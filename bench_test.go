@@ -1,0 +1,185 @@
+// Package dprof_test is the benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation (quick configurations — run
+// cmd/dprof-bench for the full versions), plus microbenchmarks and the
+// ablation benchmarks DESIGN.md calls out (directory vs snoop coherence,
+// time-merge vs pairwise path construction, alien caches on the free path).
+package dprof_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dprof/internal/app/memcachedsim"
+	"dprof/internal/cache"
+	"dprof/internal/core"
+	"dprof/internal/exp"
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+	"dprof/internal/sym"
+)
+
+// benchExperiment runs one named experiment per iteration and publishes a
+// chosen value as a benchmark metric.
+func benchExperiment(b *testing.B, name, metric string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(name, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != "" {
+			b.ReportMetric(r.Values[metric], metric)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable61(b *testing.B)  { benchExperiment(b, "table6.1", "size-1024_misspct") }
+func BenchmarkFigure61(b *testing.B) { benchExperiment(b, "figure6.1", "cross_cpu_edges") }
+func BenchmarkTable62(b *testing.B)  { benchExperiment(b, "table6.2", "Qdisc_lock_overhead_pct") }
+func BenchmarkTable63(b *testing.B)  { benchExperiment(b, "table6.3", "functions_over_1pct") }
+func BenchmarkMemcachedFix(b *testing.B) {
+	benchExperiment(b, "fix-memcached", "speedup")
+}
+func BenchmarkTable64(b *testing.B) { benchExperiment(b, "table6.4", "tcp_sock_misspct") }
+func BenchmarkTable65(b *testing.B) { benchExperiment(b, "table6.5", "tcp_sock_ws_growth") }
+func BenchmarkTable66(b *testing.B) { benchExperiment(b, "table6.6", "futex_lock_overhead_pct") }
+func BenchmarkApacheFix(b *testing.B) {
+	benchExperiment(b, "fix-apache", "speedup")
+}
+func BenchmarkFigure62(b *testing.B) { benchExperiment(b, "figure6.2", "memcached_max") }
+func BenchmarkTable67(b *testing.B)  { benchExperiment(b, "table6.7", "apache_size-1024_overhead_pct") }
+func BenchmarkTable68(b *testing.B)  { benchExperiment(b, "table6.8", "apache_size-1024_hist_per_sec") }
+func BenchmarkTable69(b *testing.B)  { benchExperiment(b, "table6.9", "size-1024_communication_pct") }
+func BenchmarkFigure63(b *testing.B) { benchExperiment(b, "figure6.3", "baseline_paths") }
+func BenchmarkTable610(b *testing.B) {
+	benchExperiment(b, "table6.10", "memcached_size-1024_histories")
+}
+
+// --- ablation: directory vs snoop coherence lookup ---
+
+func benchCoherence(b *testing.B, snoop bool) {
+	cfg := cache.DefaultConfig()
+	cfg.Snoop = snoop
+	h := cache.New(cfg, 16)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%16, addrs[i%len(addrs)], i%3 == 0)
+	}
+}
+
+// BenchmarkCoherenceDirectory measures the default O(1) directory MESI.
+func BenchmarkCoherenceDirectory(b *testing.B) { benchCoherence(b, false) }
+
+// BenchmarkCoherenceSnoop measures the scan-all-caches alternative; the
+// results are identical (tested by TestQuickSnoopEquivalence) but the
+// directory is what keeps 16-core simulations fast.
+func BenchmarkCoherenceSnoop(b *testing.B) { benchCoherence(b, true) }
+
+// --- ablation: alien caches on the remote-free path ---
+
+func benchRemoteFree(b *testing.B, alienCap int) {
+	scfg := sim.DefaultConfig()
+	scfg.Cores = 2
+	m := sim.New(scfg)
+	mcfg := mem.DefaultConfig()
+	mcfg.AlienCap = alienCap
+	a := mem.New(mcfg, 2, lockstat.NewRegistry())
+	typ := a.RegisterType("obj", 256, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var addr uint64
+		m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) { addr = a.Alloc(c, typ) })
+		m.RunAll()
+		m.Schedule(1, m.MaxCoreTime(), func(c *sim.Ctx) { a.Free(c, addr) })
+		m.RunAll()
+	}
+}
+
+// BenchmarkRemoteFreeBatched uses the default alien-cache batching.
+func BenchmarkRemoteFreeBatched(b *testing.B) { benchRemoteFree(b, mem.DefaultConfig().AlienCap) }
+
+// BenchmarkRemoteFreeUnbatched drains on every remote free (alien cap 1):
+// the pool lock and slab bookkeeping are touched per object.
+func BenchmarkRemoteFreeUnbatched(b *testing.B) { benchRemoteFree(b, 1) }
+
+// --- ablation: path construction from histories (time-merge is the default;
+// pairwise adds link evidence and quadratically more histories) ---
+
+func makeHistories(typ *mem.Type, n int, pairwise bool) []*core.History {
+	var out []*core.History
+	fns := []sym.PC{sym.Intern("rx"), sym.Intern("tx"), sym.Intern("free_path")}
+	for i := 0; i < n; i++ {
+		offsets := []uint32{uint32(i%4) * 8}
+		if pairwise {
+			offsets = []uint32{uint32(i%4) * 8, uint32((i+1)%4) * 8}
+		}
+		h := &core.History{
+			Type: typ, Offsets: offsets, WatchLen: 8, Set: i / 4,
+			AllocCore: 0, Lifetime: 1000,
+		}
+		for j, off := range offsets {
+			h.Elems = append(h.Elems, core.HistElem{
+				Offset: off, IP: fns[(i+j)%3], CPU: int32(j % 2), Time: uint64(10 + j*100),
+			})
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func benchPathTraces(b *testing.B, pairwise bool) {
+	a := mem.New(mem.DefaultConfig(), 2, lockstat.NewRegistry())
+	typ := a.RegisterType("bench", 32, "")
+	hists := makeHistories(typ, 256, pairwise)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildPathTraces(typ, hists, nil)
+	}
+}
+
+func BenchmarkPathTracesTimeMerge(b *testing.B) { benchPathTraces(b, false) }
+func BenchmarkPathTracesPairwise(b *testing.B)  { benchPathTraces(b, true) }
+
+// --- microbenchmarks of the substrate hot paths ---
+
+func BenchmarkSimAccess(b *testing.B) {
+	m := sim.New(sim.DefaultConfig())
+	c := m.Ctx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%4096)*64, 8)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	scfg := sim.DefaultConfig()
+	scfg.Cores = 1
+	m := sim.New(scfg)
+	a := mem.New(mem.DefaultConfig(), 1, lockstat.NewRegistry())
+	typ := a.RegisterType("micro", 256, "")
+	c := m.Ctx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Free(c, a.Alloc(c, typ))
+	}
+}
+
+// BenchmarkMemcachedSteadyState measures the simulator's throughput in
+// simulated requests per wall second for the headline workload.
+func BenchmarkMemcachedSteadyState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := memcachedsim.DefaultConfig()
+		cfg.Kern.LocalTxQueue = true
+		bench := memcachedsim.New(cfg)
+		st := bench.Run(500_000, 2_000_000)
+		b.ReportMetric(float64(st.Completed), "requests")
+	}
+}

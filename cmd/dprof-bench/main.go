@@ -1,0 +1,61 @@
+// Command dprof-bench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	dprof-bench -experiment all            # everything, paper order
+//	dprof-bench -experiment table6.1       # one table
+//	dprof-bench -experiment figure6.2 -quick
+//	dprof-bench -list
+//
+// Output is printed in the shape of the corresponding paper table/figure;
+// EXPERIMENTS.md records a captured run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dprof/internal/exp"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment name (or 'all')")
+	quick := flag.Bool("quick", false, "smaller workloads and fewer samples")
+	list := flag.Bool("list", false, "list available experiments")
+	values := flag.Bool("values", false, "also print machine-readable values")
+	flag.Parse()
+
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Printf("%-14s %s\n", n, exp.Title(n))
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "usage: dprof-bench -experiment <name>|all [-quick] [-values] (or -list)")
+		os.Exit(2)
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = exp.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		r, err := exp.Run(name, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (ran in %v)\n", r.Name, r.Title, time.Since(start).Round(time.Millisecond))
+		fmt.Println(strings.TrimRight(r.Text, "\n"))
+		if *values {
+			fmt.Print(exp.RenderValues(r))
+		}
+		fmt.Println()
+	}
+}

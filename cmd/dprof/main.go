@@ -1,0 +1,153 @@
+// Command dprof runs a workload on the simulated 16-core machine under the
+// DProf profiler and prints the requested views, optionally alongside the
+// lock-stat and OProfile baselines the paper compares against.
+//
+// Usage:
+//
+//	dprof -workload memcached -views dataprofile,dataflow -type skbuff
+//	dprof -workload memcached -fix            # with the local-TX-queue fix
+//	dprof -workload apache -offered 110000    # past the drop-off
+//	dprof -workload apache -views dataprofile,missclass,workingset
+//	dprof -workload memcached -lockstat -oprofile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dprof/internal/app/apachesim"
+	"dprof/internal/app/memcachedsim"
+	"dprof/internal/core"
+	"dprof/internal/kernel"
+	"dprof/internal/mem"
+	"dprof/internal/oprofile"
+	"dprof/internal/sim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "memcached", "memcached or apache")
+		views    = flag.String("views", "dataprofile", "comma list: dataprofile,workingset,missclass,dataflow,pathtrace")
+		typeName = flag.String("type", "skbuff", "type for dataflow/pathtrace views")
+		sets     = flag.Int("sets", 2, "history sets to collect for dataflow/pathtrace")
+		rate     = flag.Float64("rate", 8000, "IBS samples/s/core")
+		fix      = flag.Bool("fix", false, "memcached: enable local TX queue selection")
+		offered  = flag.Float64("offered", apachesim.PeakOffered, "apache: offered connections/s/core")
+		backlog  = flag.Int("backlog", 0, "apache: accept backlog override (0 = default 511)")
+		measure  = flag.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
+		withLS   = flag.Bool("lockstat", false, "also print the lock-stat baseline")
+		withOP   = flag.Bool("oprofile", false, "also print the OProfile baseline")
+	)
+	flag.Parse()
+
+	var (
+		m      *sim.Machine
+		alloc  *mem.Allocator
+		kern   *kernel.Kernel
+		runFn  func(warmup, measure uint64) string
+		warmup uint64
+	)
+	switch *workload {
+	case "memcached":
+		cfg := memcachedsim.DefaultConfig()
+		cfg.Kern.LocalTxQueue = *fix
+		b := memcachedsim.New(cfg)
+		m, alloc, kern = b.M, b.K.Alloc, b.K
+		warmup = 2_000_000
+		runFn = func(w, ms uint64) string { return b.Run(w, ms).String() }
+	case "apache":
+		cfg := apachesim.DefaultConfig()
+		cfg.OfferedPerCore = *offered
+		if *backlog > 0 {
+			cfg.Backlog = *backlog
+		}
+		b := apachesim.New(cfg)
+		m, alloc, kern = b.M, b.K.Alloc, b.K
+		warmup = 10_000_000
+		runFn = func(w, ms uint64) string { return b.Run(w, ms).String() }
+	default:
+		fmt.Fprintf(os.Stderr, "dprof: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	pcfg := core.DefaultConfig()
+	pcfg.SampleRate = *rate
+	p := core.Attach(m, alloc, pcfg)
+	p.StartSampling()
+
+	var op *oprofile.Profiler
+	if *withOP {
+		op = oprofile.Attach(m)
+		op.Start()
+	}
+
+	wantViews := map[string]bool{}
+	for _, v := range strings.Split(*views, ",") {
+		wantViews[strings.TrimSpace(v)] = true
+	}
+	var target *mem.Type
+	if wantViews["dataflow"] || wantViews["pathtrace"] {
+		target = alloc.TypeByName(*typeName)
+		if target == nil {
+			fmt.Fprintf(os.Stderr, "dprof: unknown type %q\n", *typeName)
+			os.Exit(2)
+		}
+		p.Collector.WatchLen = 8
+		p.Collector.AddSingleTargetsRange(target, 0, rangeCap(target), *sets)
+		p.Collector.Start()
+	}
+
+	fmt.Println(runFn(warmup, *measure*1_000_000))
+	fmt.Println()
+
+	if wantViews["dataprofile"] {
+		fmt.Println("== data profile view ==")
+		fmt.Println(p.DataProfile().String())
+	}
+	if wantViews["workingset"] {
+		fmt.Println("== working set view ==")
+		fmt.Println(p.WorkingSet().String())
+		fmt.Println(p.CacheResidency(200_000).String())
+	}
+	if wantViews["missclass"] {
+		fmt.Println("== miss classification view ==")
+		fmt.Println(core.RenderMissClassification(p.MissClassification()))
+	}
+	if wantViews["pathtrace"] && target != nil {
+		fmt.Println("== path traces ==")
+		for i, tr := range p.PathTraces(target) {
+			if i == 3 {
+				break
+			}
+			fmt.Println(tr.String())
+		}
+	}
+	if wantViews["dataflow"] && target != nil {
+		fmt.Println("== data flow view ==")
+		g := p.DataFlow(target)
+		fmt.Println(g.Render())
+		for _, e := range g.CrossCPUEdges() {
+			fmt.Printf("cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+		}
+	}
+	if *withLS {
+		fmt.Println("\n== lock-stat baseline ==")
+		rep := kern.Locks.BuildReport(*measure * 1_000_000 * uint64(m.NumCores()))
+		fmt.Println(rep.String())
+	}
+	if op != nil {
+		fmt.Println("\n== OProfile baseline ==")
+		fmt.Println(op.BuildReport(1.0).String())
+	}
+}
+
+// rangeCap limits history collection to the object head for large types
+// (the paper's hot-member optimization).
+func rangeCap(t *mem.Type) uint32 {
+	if t.Size > 256 {
+		return 256
+	}
+	return uint32(t.Size)
+}

@@ -1,0 +1,722 @@
+// Package cache simulates a multicore CPU cache hierarchy.
+//
+// The model follows the machine used in the DProf paper (a 16-core AMD
+// system): each core has a private, inclusive L1d+L2 pair; all cores share a
+// non-inclusive victim L3 (AMD's L3 is a victim cache); coherence across the
+// private hierarchies is kept with a directory-based MESI protocol. Latencies
+// are configurable and default to the values the paper reports (3 ns L1 hits,
+// 200 ns foreign-cache transfers, with 1 cycle == 1 ns at the simulated 1 GHz
+// clock).
+//
+// The hierarchy is the component that *produces* the phenomena DProf
+// diagnoses: invalidation misses (true/false sharing) come from MESI
+// write-invalidations, conflict misses from finite set associativity, and
+// capacity misses from finite total size.
+package cache
+
+import "fmt"
+
+// Level classifies where an access was satisfied.
+type Level uint8
+
+const (
+	// L1Hit means the access hit in the core's private L1.
+	L1Hit Level = iota
+	// L2Hit means the access missed L1 but hit the core's private L2.
+	L2Hit
+	// L3Hit means the access was satisfied by the shared victim L3.
+	L3Hit
+	// ForeignHit means the line was transferred from another core's
+	// private cache (the expensive cross-core case DProf highlights).
+	ForeignHit
+	// DRAM means the access went all the way to memory.
+	DRAM
+	numLevels
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	case L3Hit:
+		return "L3"
+	case ForeignHit:
+		return "foreign"
+	case DRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// NumLevels is the number of distinct Level values.
+const NumLevels = int(numLevels)
+
+// MaxCores bounds the number of cores a Hierarchy supports (directory entries
+// store holders as a 64-bit mask).
+const MaxCores = 64
+
+// Config describes the geometry and latency of the hierarchy.
+type Config struct {
+	LineSize uint64 // bytes per cache line; must be a power of two
+
+	L1Size uint64 // bytes per core
+	L1Ways int
+	L2Size uint64 // bytes per core
+	L2Ways int
+	L3Size uint64 // bytes, shared
+	L3Ways int
+
+	// Latencies, in cycles, of an access satisfied at each point.
+	LatL1      uint32
+	LatL2      uint32
+	LatL3      uint32
+	LatForeign uint32
+	LatDRAM    uint32
+
+	// Snoop switches coherence lookups from the directory to scanning all
+	// other cores' private caches. Results are identical; this exists for
+	// the directory-vs-snoop ablation benchmark.
+	Snoop bool
+}
+
+// DefaultConfig returns the paper machine's geometry: 64 KB 2-way L1d and
+// 512 KB 16-way L2 per core, a 16 MB 32-way shared victim L3 (the paper's
+// four-socket AMD box has 4 x 4-6 MB of L3), 64-byte lines, and the paper's
+// latencies (1 cycle == 1 ns).
+func DefaultConfig() Config {
+	return Config{
+		LineSize:   64,
+		L1Size:     64 << 10,
+		L1Ways:     2,
+		L2Size:     512 << 10,
+		L2Ways:     16,
+		L3Size:     16 << 20,
+		L3Ways:     32,
+		LatL1:      3,
+		LatL2:      14,
+		LatL3:      38,
+		LatForeign: 200,
+		LatDRAM:    250,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d is not a power of two", c.LineSize)
+	}
+	for _, lv := range []struct {
+		name string
+		size uint64
+		ways int
+	}{{"L1", c.L1Size, c.L1Ways}, {"L2", c.L2Size, c.L2Ways}, {"L3", c.L3Size, c.L3Ways}} {
+		if lv.ways <= 0 {
+			return fmt.Errorf("cache: %s ways must be positive", lv.name)
+		}
+		lines := lv.size / c.LineSize
+		if lines == 0 || lines%uint64(lv.ways) != 0 {
+			return fmt.Errorf("cache: %s size %d does not divide into %d ways of %d-byte lines",
+				lv.name, lv.size, lv.ways, c.LineSize)
+		}
+		sets := lines / uint64(lv.ways)
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("cache: %s set count %d is not a power of two", lv.name, sets)
+		}
+	}
+	return nil
+}
+
+// Result describes the outcome of one line access.
+type Result struct {
+	Level   Level
+	Latency uint32
+}
+
+type mesi uint8
+
+const (
+	invalid mesi = iota
+	shared
+	exclusive
+	modified
+)
+
+type way struct {
+	line  uint64 // line address (addr >> lineShift); tag and index combined
+	state mesi
+	lru   uint64
+}
+
+// bank is one set-associative cache array.
+type bank struct {
+	sets    [][]way
+	setMask uint64
+	tick    uint64
+}
+
+func newBank(size uint64, ways int, lineSize uint64) *bank {
+	nsets := size / lineSize / uint64(ways)
+	b := &bank{sets: make([][]way, nsets), setMask: nsets - 1}
+	for i := range b.sets {
+		b.sets[i] = make([]way, ways)
+	}
+	return b
+}
+
+// lookup returns the way holding line, or nil.
+func (b *bank) lookup(line uint64) *way {
+	set := b.sets[line&b.setMask]
+	for i := range set {
+		if set[i].state != invalid && set[i].line == line {
+			b.tick++
+			set[i].lru = b.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places line into its set with the given state and returns the evicted
+// victim (state != invalid) if one was displaced.
+func (b *bank) insert(line uint64, st mesi) (victim way) {
+	set := b.sets[line&b.setMask]
+	b.tick++
+	// Prefer an invalid slot; otherwise evict the LRU way.
+	vi := 0
+	for i := range set {
+		if set[i].state == invalid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	set[vi] = way{line: line, state: st, lru: b.tick}
+	if victim.state == invalid {
+		return way{}
+	}
+	return victim
+}
+
+// invalidate removes line if present and returns its previous state.
+func (b *bank) invalidate(line uint64) mesi {
+	set := b.sets[line&b.setMask]
+	for i := range set {
+		if set[i].state != invalid && set[i].line == line {
+			st := set[i].state
+			set[i].state = invalid
+			return st
+		}
+	}
+	return invalid
+}
+
+// setState updates the state of line if present.
+func (b *bank) setState(line uint64, st mesi) bool {
+	set := b.sets[line&b.setMask]
+	for i := range set {
+		if set[i].state != invalid && set[i].line == line {
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Stats accumulates per-core access counters.
+type Stats struct {
+	Accesses     uint64
+	Writes       uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	L3Hits       uint64
+	ForeignHits  uint64
+	DRAMFills    uint64
+	Upgrades     uint64 // writes that had to invalidate sharers
+	InvalsSent   uint64 // lines invalidated in other cores by this core's writes
+	InvalsRecv   uint64 // lines invalidated in this core by other cores' writes
+	WritebacksL3 uint64 // modified lines evicted from private L2 into L3
+	LatencySum   uint64
+}
+
+// L1Misses is the count of accesses not satisfied by the local L1.
+func (s *Stats) L1Misses() uint64 { return s.Accesses - s.L1Hits }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Accesses += o.Accesses
+	s.Writes += o.Writes
+	s.L1Hits += o.L1Hits
+	s.L2Hits += o.L2Hits
+	s.L3Hits += o.L3Hits
+	s.ForeignHits += o.ForeignHits
+	s.DRAMFills += o.DRAMFills
+	s.Upgrades += o.Upgrades
+	s.InvalsSent += o.InvalsSent
+	s.InvalsRecv += o.InvalsRecv
+	s.WritebacksL3 += o.WritebacksL3
+	s.LatencySum += o.LatencySum
+}
+
+// priv is one core's private L1+L2 pair. Inclusion: every valid L1 line is
+// also present in L2 (same state, conservatively).
+type priv struct {
+	l1 *bank
+	l2 *bank
+}
+
+// Hierarchy is the full simulated cache system.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	cores     []priv
+	l3        *bank
+	dir       map[uint64]uint64 // line -> holders bitmask (private caches)
+	stats     []Stats
+	// perSetFills counts L1 fills per set index, summed over cores. Used by
+	// tests and the conflict-miss ablation; cheap (one add per fill).
+	perSetFills []uint64
+}
+
+// New builds a hierarchy for n cores. It panics on invalid configuration
+// (configurations are programmer-supplied constants, not runtime input).
+func New(cfg Config, n int) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 || n > MaxCores {
+		panic(fmt.Sprintf("cache: core count %d out of range [1,%d]", n, MaxCores))
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
+	}
+	h := &Hierarchy{
+		cfg:       cfg,
+		lineShift: shift,
+		cores:     make([]priv, n),
+		l3:        newBank(cfg.L3Size, cfg.L3Ways, cfg.LineSize),
+		dir:       make(map[uint64]uint64, 1<<16),
+		stats:     make([]Stats, n),
+	}
+	for i := range h.cores {
+		h.cores[i] = priv{
+			l1: newBank(cfg.L1Size, cfg.L1Ways, cfg.LineSize),
+			l2: newBank(cfg.L2Size, cfg.L2Ways, cfg.LineSize),
+		}
+	}
+	h.perSetFills = make([]uint64, len(h.cores[0].l1.sets))
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// NumCores returns the number of private cache pairs.
+func (h *Hierarchy) NumCores() int { return len(h.cores) }
+
+// LineOf returns the line address (addr with the offset bits dropped).
+func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
+
+// L1Sets returns the number of associativity sets in each L1.
+func (h *Hierarchy) L1Sets() int { return len(h.cores[0].l1.sets) }
+
+// L1SetOf returns the L1 associativity set index addr maps to.
+func (h *Hierarchy) L1SetOf(addr uint64) int {
+	return int((addr >> h.lineShift) & h.cores[0].l1.setMask)
+}
+
+// holders returns the mask of cores whose private caches hold line.
+func (h *Hierarchy) holders(line uint64) uint64 {
+	if !h.cfg.Snoop {
+		return h.dir[line]
+	}
+	var mask uint64
+	for i := range h.cores {
+		if w := h.cores[i].l2.peek(line); w != nil {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+func (h *Hierarchy) setHolders(line uint64, mask uint64) {
+	if h.cfg.Snoop {
+		return
+	}
+	if mask == 0 {
+		delete(h.dir, line)
+	} else {
+		h.dir[line] = mask
+	}
+}
+
+// dropHolder removes core from line's holder set.
+func (h *Hierarchy) dropHolder(line uint64, core int) {
+	if h.cfg.Snoop {
+		return
+	}
+	m := h.dir[line] &^ (1 << uint(core))
+	h.setHolders(line, m)
+}
+
+// evictPrivate handles a victim displaced from a core's private L2: the L1
+// copy must go too (inclusion), the directory forgets the core, and modified
+// data spills into the shared victim L3.
+func (h *Hierarchy) evictPrivate(core int, v way) {
+	if v.state == invalid {
+		return
+	}
+	h.cores[core].l1.invalidate(v.line)
+	h.dropHolder(v.line, core)
+	if v.state == modified || v.state == exclusive {
+		// AMD-style victim L3: private evictions (clean-exclusive or
+		// dirty) are installed in L3 so a later miss can hit there.
+		h.stats[core].WritebacksL3++
+		h.l3.insert(v.line, modified)
+	} else if h.holders(v.line) == 0 {
+		// Last shared copy leaves the private caches; keep the data
+		// reachable in L3 rather than silently dropping it.
+		h.l3.insert(v.line, shared)
+	}
+}
+
+// fill installs line into core's L1+L2 with state st, handling evictions.
+func (h *Hierarchy) fill(core int, line uint64, st mesi) {
+	p := &h.cores[core]
+	if v := p.l2.insert(line, st); v.state != invalid && v.line != line {
+		h.evictPrivate(core, v)
+	}
+	if v := p.l1.insert(line, st); v.state != invalid && v.line != line {
+		// L1 victim remains in L2 (inclusive); nothing else to do. If it
+		// was modified, L2 already tracks the line; keep its state.
+		_ = v
+	}
+	h.perSetFills[line&p.l1.setMask]++
+	if !h.cfg.Snoop {
+		h.dir[line] |= 1 << uint(core)
+	}
+}
+
+// invalidateOthers removes line from every private cache except core's,
+// returning how many copies were killed.
+func (h *Hierarchy) invalidateOthers(core int, line uint64) int {
+	mask := h.holders(line) &^ (1 << uint(core))
+	killed := 0
+	for i := 0; mask != 0; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(i)
+		p := &h.cores[i]
+		p.l1.invalidate(line)
+		if st := p.l2.invalidate(line); st != invalid {
+			killed++
+			h.stats[i].InvalsRecv++
+		}
+		h.dropHolder(line, i)
+	}
+	return killed
+}
+
+// downgradeOthers moves other cores' copies of line to shared state (a remote
+// read of a modified/exclusive line).
+func (h *Hierarchy) downgradeOthers(core int, line uint64) {
+	mask := h.holders(line) &^ (1 << uint(core))
+	for i := 0; mask != 0; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(i)
+		p := &h.cores[i]
+		p.l1.setState(line, shared)
+		p.l2.setState(line, shared)
+	}
+}
+
+// Access performs one access by core to the line containing addr and returns
+// where it was satisfied. size is unused beyond the containing line; callers
+// split multi-line accesses (see sim.Ctx).
+func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
+	line := addr >> h.lineShift
+	p := &h.cores[core]
+	st := &h.stats[core]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+
+	finish := func(lv Level, lat uint32) Result {
+		st.LatencySum += uint64(lat)
+		switch lv {
+		case L1Hit:
+			st.L1Hits++
+		case L2Hit:
+			st.L2Hits++
+		case L3Hit:
+			st.L3Hits++
+		case ForeignHit:
+			st.ForeignHits++
+		case DRAM:
+			st.DRAMFills++
+		}
+		return Result{Level: lv, Latency: lat}
+	}
+
+	// Private hit path. A write to a Shared line must still invalidate the
+	// other copies ("upgrade"), which costs a coherence round trip.
+	hitUpgrade := func(w1, w2 *way, lv Level, lat uint32) Result {
+		if !write {
+			return finish(lv, lat)
+		}
+		switch w2.state {
+		case modified, exclusive:
+			w2.state = modified
+			if w1 != nil {
+				w1.state = modified
+			}
+			return finish(lv, lat)
+		default: // shared: upgrade
+			killed := h.invalidateOthers(core, line)
+			w2.state = modified
+			if w1 != nil {
+				w1.state = modified
+			}
+			st.Upgrades++
+			st.InvalsSent += uint64(killed)
+			l := lat
+			if killed > 0 {
+				l = h.cfg.LatForeign
+			}
+			return finish(lv, l)
+		}
+	}
+
+	if w1 := p.l1.lookup(line); w1 != nil {
+		w2 := p.l2.lookup(line) // inclusive: always present
+		if w2 == nil {
+			w2 = w1 // defensive: treat L1 as authority
+		}
+		return hitUpgrade(w1, w2, L1Hit, h.cfg.LatL1)
+	}
+	if w2 := p.l2.lookup(line); w2 != nil {
+		// Promote into L1.
+		stCopy := w2.state
+		if v := p.l1.insert(line, stCopy); v.state != invalid && v.line != line {
+			_ = v // victim stays in L2 (inclusive)
+		}
+		h.perSetFills[line&p.l1.setMask]++
+		w1 := p.l1.lookup(line)
+		return hitUpgrade(w1, w2, L2Hit, h.cfg.LatL2)
+	}
+
+	// Miss in the private hierarchy: consult the other cores.
+	others := h.holders(line) &^ (1 << uint(core))
+	if others != 0 {
+		if write {
+			killed := h.invalidateOthers(core, line)
+			st.InvalsSent += uint64(killed)
+			h.l3.invalidate(line)
+			h.fill(core, line, modified)
+		} else {
+			h.downgradeOthers(core, line)
+			h.fill(core, line, shared)
+		}
+		return finish(ForeignHit, h.cfg.LatForeign)
+	}
+
+	// Shared victim L3.
+	if w := h.l3.lookup(line); w != nil {
+		h.l3.invalidate(line) // victim cache: line moves to the private side
+		if write {
+			h.fill(core, line, modified)
+		} else {
+			h.fill(core, line, exclusive)
+		}
+		return finish(L3Hit, h.cfg.LatL3)
+	}
+
+	// Memory.
+	if write {
+		h.fill(core, line, modified)
+	} else {
+		h.fill(core, line, exclusive)
+	}
+	return finish(DRAM, h.cfg.LatDRAM)
+}
+
+// Probe reports where an access by core to addr *would* hit, without changing
+// any state. Intended for tests and assertions.
+func (h *Hierarchy) Probe(core int, addr uint64) Level {
+	line := addr >> h.lineShift
+	p := &h.cores[core]
+	if w := p.l1.peek(line); w != nil {
+		return L1Hit
+	}
+	if w := p.l2.peek(line); w != nil {
+		return L2Hit
+	}
+	if h.holders(line)&^(1<<uint(core)) != 0 {
+		return ForeignHit
+	}
+	if w := h.l3.peek(line); w != nil {
+		return L3Hit
+	}
+	return DRAM
+}
+
+// peek is lookup without LRU side effects.
+func (b *bank) peek(line uint64) *way {
+	set := b.sets[line&b.setMask]
+	for i := range set {
+		if set[i].state != invalid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// LineContent describes one resident cache line in a contents snapshot.
+type LineContent struct {
+	Core int    // -1 for the shared L3
+	Addr uint64 // line base address
+}
+
+// Contents snapshots every valid line in the hierarchy: the cache-contents
+// inspection hardware the paper's §7 wishes existed. DProf's oracle
+// working-set view (core.OracleWorkingSet) is built on it.
+func (h *Hierarchy) Contents() []LineContent {
+	var out []LineContent
+	shift := h.lineShift
+	for ci := range h.cores {
+		for _, set := range h.cores[ci].l2.sets {
+			for _, w := range set {
+				if w.state != invalid {
+					out = append(out, LineContent{Core: ci, Addr: w.line << shift})
+				}
+			}
+		}
+	}
+	for _, set := range h.l3.sets {
+		for _, w := range set {
+			if w.state != invalid {
+				out = append(out, LineContent{Core: -1, Addr: w.line << shift})
+			}
+		}
+	}
+	return out
+}
+
+// CoreStats returns a copy of core's counters.
+func (h *Hierarchy) CoreStats(core int) Stats { return h.stats[core] }
+
+// Totals returns counters summed over all cores.
+func (h *Hierarchy) Totals() Stats {
+	var t Stats
+	for i := range h.stats {
+		t.Add(&h.stats[i])
+	}
+	return t
+}
+
+// ResetStats zeroes all counters (cache contents are preserved), so a
+// measurement window can exclude warm-up.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.stats {
+		h.stats[i] = Stats{}
+	}
+	for i := range h.perSetFills {
+		h.perSetFills[i] = 0
+	}
+}
+
+// PerSetFills returns the cumulative L1 fill count per set index (all cores).
+func (h *Hierarchy) PerSetFills() []uint64 {
+	out := make([]uint64, len(h.perSetFills))
+	copy(out, h.perSetFills)
+	return out
+}
+
+// Latency returns the configured latency for a level.
+func (h *Hierarchy) Latency(lv Level) uint32 {
+	switch lv {
+	case L1Hit:
+		return h.cfg.LatL1
+	case L2Hit:
+		return h.cfg.LatL2
+	case L3Hit:
+		return h.cfg.LatL3
+	case ForeignHit:
+		return h.cfg.LatForeign
+	default:
+		return h.cfg.LatDRAM
+	}
+}
+
+// checkInvariants validates MESI single-writer and inclusion properties.
+// It is exported through an internal test hook only.
+func (h *Hierarchy) checkInvariants() error {
+	if h.cfg.Snoop {
+		return nil
+	}
+	// Collect every valid private line per core from L2 (inclusion root).
+	type holder struct {
+		core int
+		st   mesi
+	}
+	lines := make(map[uint64][]holder)
+	for c := range h.cores {
+		for _, set := range h.cores[c].l2.sets {
+			for _, w := range set {
+				if w.state != invalid {
+					lines[w.line] = append(lines[w.line], holder{c, w.state})
+				}
+			}
+		}
+		// Inclusion: every L1 line must be in L2.
+		for _, set := range h.cores[c].l1.sets {
+			for _, w := range set {
+				if w.state == invalid {
+					continue
+				}
+				if h.cores[c].l2.peek(w.line) == nil {
+					return fmt.Errorf("inclusion violated: core %d L1 holds line %#x not in L2", c, w.line)
+				}
+			}
+		}
+	}
+	for line, hs := range lines {
+		var mask uint64
+		mod := 0
+		for _, x := range hs {
+			mask |= 1 << uint(x.core)
+			if x.st == modified || x.st == exclusive {
+				mod++
+			}
+		}
+		if mod > 0 && len(hs) > 1 {
+			return fmt.Errorf("MESI violated: line %#x exclusive/modified with %d holders", line, len(hs))
+		}
+		if dm := h.dir[line]; dm != mask {
+			return fmt.Errorf("directory stale for line %#x: dir=%#x actual=%#x", line, dm, mask)
+		}
+	}
+	// Directory must not claim holders that do not exist.
+	for line, dm := range h.dir {
+		var mask uint64
+		if hs, ok := lines[line]; ok {
+			for _, x := range hs {
+				mask |= 1 << uint(x.core)
+			}
+		}
+		if dm != mask {
+			return fmt.Errorf("directory entry for line %#x claims %#x, caches hold %#x", line, dm, mask)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.L1Size = 4 << 10 // 4KB, 2-way, 32 sets: small enough to force evictions
+	cfg.L1Ways = 2
+	cfg.L2Size = 16 << 10
+	cfg.L2Ways = 4
+	cfg.L3Size = 64 << 10
+	cfg.L3Ways = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.LineSize = 48
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	bad = DefaultConfig()
+	bad.L1Ways = 0
+	if bad.Validate() == nil {
+		t.Error("zero ways accepted")
+	}
+	bad = DefaultConfig()
+	bad.L1Size = 96 << 10 // 1536 lines / 2 ways = 768 sets: not a power of two
+	bad.L1Ways = 2
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(testConfig(), 2)
+	r := h.Access(0, 0x1000, false)
+	if r.Level != DRAM {
+		t.Fatalf("first access level = %v, want DRAM", r.Level)
+	}
+	r = h.Access(0, 0x1000, false)
+	if r.Level != L1Hit {
+		t.Fatalf("second access level = %v, want L1", r.Level)
+	}
+	if r.Latency != testConfig().LatL1 {
+		t.Fatalf("L1 latency = %d, want %d", r.Latency, testConfig().LatL1)
+	}
+}
+
+func TestSameLineDifferentOffsets(t *testing.T) {
+	h := New(testConfig(), 1)
+	h.Access(0, 0x1000, false)
+	if r := h.Access(0, 0x103F, false); r.Level != L1Hit {
+		t.Fatalf("same-line access missed: %v", r.Level)
+	}
+	if r := h.Access(0, 0x1040, false); r.Level == L1Hit {
+		t.Fatal("next-line access should miss")
+	}
+}
+
+func TestForeignTransferOnRead(t *testing.T) {
+	h := New(testConfig(), 2)
+	h.Access(0, 0x2000, true) // core 0 owns the line modified
+	r := h.Access(1, 0x2000, false)
+	if r.Level != ForeignHit {
+		t.Fatalf("remote read level = %v, want foreign", r.Level)
+	}
+	// Both copies are now shared; both cores hit locally.
+	if r := h.Access(0, 0x2000, false); r.Level != L1Hit {
+		t.Fatalf("original owner lost its copy: %v", r.Level)
+	}
+	if r := h.Access(1, 0x2000, false); r.Level != L1Hit {
+		t.Fatalf("reader lost its copy: %v", r.Level)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h := New(testConfig(), 3)
+	h.Access(0, 0x3000, false)
+	h.Access(1, 0x3000, false)
+	h.Access(2, 0x3000, false)
+	// Core 0 upgrades: cores 1 and 2 must lose their copies.
+	h.Access(0, 0x3000, true)
+	if r := h.Access(1, 0x3000, false); r.Level != ForeignHit {
+		t.Fatalf("invalidated sharer read level = %v, want foreign", r.Level)
+	}
+	st := h.CoreStats(2)
+	if st.InvalsRecv == 0 {
+		t.Error("core 2 should have recorded a received invalidation")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeCountsAndLatency(t *testing.T) {
+	cfg := testConfig()
+	h := New(cfg, 2)
+	h.Access(0, 0x4000, false)
+	h.Access(1, 0x4000, false) // both shared
+	r := h.Access(0, 0x4000, true)
+	if r.Latency != cfg.LatForeign {
+		t.Fatalf("upgrade with sharers latency = %d, want %d", r.Latency, cfg.LatForeign)
+	}
+	if h.CoreStats(0).Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", h.CoreStats(0).Upgrades)
+	}
+	// Exclusive write hit must not pay the upgrade.
+	r = h.Access(0, 0x4000, true)
+	if r.Latency != cfg.LatL1 {
+		t.Fatalf("write hit on modified line latency = %d, want %d", r.Latency, cfg.LatL1)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := testConfig()
+	h := New(cfg, 1)
+	// L1: 2 ways, 32 sets. Three lines in the same L1 set evict the first.
+	sets := uint64(h.L1Sets())
+	stride := sets * cfg.LineSize
+	h.Access(0, 0x10000, false)
+	h.Access(0, 0x10000+stride, false)
+	h.Access(0, 0x10000+2*stride, false)
+	r := h.Access(0, 0x10000, false)
+	if r.Level != L2Hit {
+		t.Fatalf("level after L1 conflict eviction = %v, want L2", r.Level)
+	}
+}
+
+func TestVictimL3(t *testing.T) {
+	cfg := testConfig()
+	h := New(cfg, 1)
+	// Fill enough same-L2-set lines to push a victim into L3.
+	l2sets := cfg.L2Size / cfg.LineSize / uint64(cfg.L2Ways)
+	stride := l2sets * cfg.LineSize
+	base := uint64(0x100000)
+	n := cfg.L2Ways + 1
+	for i := 0; i <= n; i++ {
+		h.Access(0, base+uint64(i)*stride, false)
+	}
+	r := h.Access(0, base, false)
+	if r.Level != L3Hit {
+		t.Fatalf("evicted line level = %v, want L3 (victim cache)", r.Level)
+	}
+}
+
+func TestInclusionAfterL2Eviction(t *testing.T) {
+	cfg := testConfig()
+	h := New(cfg, 2)
+	l2sets := cfg.L2Size / cfg.LineSize / uint64(cfg.L2Ways)
+	stride := l2sets * cfg.LineSize
+	base := uint64(0x200000)
+	for i := 0; i <= cfg.L2Ways+1; i++ {
+		h.Access(0, base+uint64(i)*stride, false)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	h := New(testConfig(), 2)
+	h.Access(0, 0x5000, true)
+	before := h.CoreStats(0)
+	if lv := h.Probe(1, 0x5000); lv != ForeignHit {
+		t.Fatalf("probe from other core = %v, want foreign", lv)
+	}
+	if lv := h.Probe(0, 0x5000); lv != L1Hit {
+		t.Fatalf("probe from owner = %v, want L1", lv)
+	}
+	if h.CoreStats(0) != before {
+		t.Error("probe mutated statistics")
+	}
+	if r := h.Access(0, 0x5000, false); r.Level != L1Hit {
+		t.Error("probe mutated cache state")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := New(testConfig(), 2)
+	h.Access(0, 0x6000, false) // DRAM
+	h.Access(0, 0x6000, false) // L1
+	h.Access(1, 0x6000, true)  // foreign (write steals)
+	tot := h.Totals()
+	if tot.Accesses != 3 {
+		t.Fatalf("accesses = %d, want 3", tot.Accesses)
+	}
+	if tot.L1Hits != 1 || tot.DRAMFills != 1 || tot.ForeignHits != 1 {
+		t.Fatalf("level counts wrong: %+v", tot)
+	}
+	if tot.Writes != 1 {
+		t.Fatalf("writes = %d, want 1", tot.Writes)
+	}
+	if got := tot.L1Misses(); got != 2 {
+		t.Fatalf("L1 misses = %d, want 2", got)
+	}
+	h.ResetStats()
+	if h.Totals().Accesses != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestPerSetFills(t *testing.T) {
+	h := New(testConfig(), 1)
+	h.Access(0, 0, false)
+	fills := h.PerSetFills()
+	if fills[h.L1SetOf(0)] == 0 {
+		t.Error("fill not recorded for the accessed set")
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	cfg := testConfig()
+	h := New(cfg, 1)
+	for lv, want := range map[Level]uint32{
+		L1Hit: cfg.LatL1, L2Hit: cfg.LatL2, L3Hit: cfg.LatL3,
+		ForeignHit: cfg.LatForeign, DRAM: cfg.LatDRAM,
+	} {
+		if got := h.Latency(lv); got != want {
+			t.Errorf("Latency(%v) = %d, want %d", lv, got, want)
+		}
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	names := map[Level]string{L1Hit: "L1", L2Hit: "L2", L3Hit: "L3", ForeignHit: "foreign", DRAM: "DRAM"}
+	for lv, want := range names {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lv, lv.String(), want)
+		}
+	}
+}
+
+// randomWorkload drives a hierarchy with a pseudo-random access pattern.
+type randomWorkload struct {
+	Seed int64
+	N    uint16
+}
+
+func runRandom(h *Hierarchy, w randomWorkload, cores int) {
+	rng := rand.New(rand.NewSource(w.Seed))
+	for i := 0; i < int(w.N); i++ {
+		core := rng.Intn(cores)
+		addr := uint64(rng.Intn(1 << 16))
+		h.Access(core, addr, rng.Intn(3) == 0)
+	}
+}
+
+// TestQuickInvariants checks MESI + inclusion + directory invariants after
+// arbitrary access sequences.
+func TestQuickInvariants(t *testing.T) {
+	prop := func(w randomWorkload) bool {
+		h := New(testConfig(), 4)
+		runRandom(h, w, 4)
+		return h.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnoopEquivalence checks the directory and snoop coherence
+// implementations classify every access identically.
+func TestQuickSnoopEquivalence(t *testing.T) {
+	prop := func(seed int64, n uint16) bool {
+		cfgDir := testConfig()
+		cfgSnoop := testConfig()
+		cfgSnoop.Snoop = true
+		hd := New(cfgDir, 4)
+		hs := New(cfgSnoop, 4)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n)%2000; i++ {
+			core := rng.Intn(4)
+			addr := uint64(rng.Intn(1 << 15))
+			write := rng.Intn(3) == 0
+			rd := hd.Access(core, addr, write)
+			rs := hs.Access(core, addr, write)
+			if rd != rs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSingleWriter: after any write, no other core can hit locally
+// without a coherence transaction first.
+func TestQuickSingleWriter(t *testing.T) {
+	prop := func(w randomWorkload, addr16 uint16) bool {
+		h := New(testConfig(), 4)
+		runRandom(h, w, 4)
+		addr := uint64(addr16)
+		h.Access(0, addr, true)
+		// Any other core's probe must not claim a private hit.
+		for c := 1; c < 4; c++ {
+			if lv := h.Probe(c, addr); lv == L1Hit || lv == L2Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCoresBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many cores")
+		}
+	}()
+	New(testConfig(), MaxCores+1)
+}

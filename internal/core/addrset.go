@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+// ObjRecord is one allocation in the address set: the address and type of an
+// object plus its lifetime (§4, "address set").
+type ObjRecord struct {
+	Type      *mem.Type
+	Addr      uint64
+	AllocAt   uint64
+	FreeAt    uint64 // 0 while live
+	AllocCore int32
+}
+
+// Live reports whether the object was still allocated when profiling ended.
+func (r *ObjRecord) Live() bool { return r.FreeAt == 0 }
+
+// typeUsage tracks a type's live-object accounting over time.
+type typeUsage struct {
+	live      uint64
+	peak      uint64
+	allocs    uint64
+	frees     uint64
+	liveInt   uint64 // integral of live count over time (for averages)
+	lastTouch uint64
+}
+
+// AddressSet records the address and type of every object allocated during
+// profiling, plus static objects. DProf uses it to map objects to cache
+// associativity sets and to estimate working-set contents.
+type AddressSet struct {
+	objects []ObjRecord
+	liveIdx map[uint64]int // addr -> index of the live record
+
+	usage map[*mem.Type]*typeUsage
+
+	start uint64
+	end   uint64
+
+	// MaxObjects caps the retained per-object records; accounting counters
+	// keep running after the cap. 0 means unlimited.
+	MaxObjects int
+	dropped    uint64
+}
+
+// NewAddressSet returns an empty address set.
+func NewAddressSet() *AddressSet {
+	return &AddressSet{
+		liveIdx: make(map[uint64]int, 1<<12),
+		usage:   make(map[*mem.Type]*typeUsage),
+	}
+}
+
+// AddStatic records a static (always-live) object.
+func (as *AddressSet) AddStatic(t *mem.Type, addr uint64) {
+	as.objects = append(as.objects, ObjRecord{Type: t, Addr: addr, AllocCore: -1})
+	as.liveIdx[addr] = len(as.objects) - 1
+	u := as.usageFor(t)
+	u.live++
+	if u.live > u.peak {
+		u.peak = u.live
+	}
+}
+
+func (as *AddressSet) usageFor(t *mem.Type) *typeUsage {
+	u := as.usage[t]
+	if u == nil {
+		u = &typeUsage{}
+		as.usage[t] = u
+	}
+	return u
+}
+
+// advance accrues the live-count integral for a type up to time now.
+func (u *typeUsage) advance(now uint64) {
+	if now > u.lastTouch {
+		u.liveInt += u.live * (now - u.lastTouch)
+		u.lastTouch = now
+	}
+}
+
+// OnAlloc records an allocation (wired to the allocator's hook).
+func (as *AddressSet) OnAlloc(c *sim.Ctx, t *mem.Type, addr uint64) {
+	now := c.Now()
+	if as.start == 0 {
+		as.start = now
+	}
+	as.end = now
+	u := as.usageFor(t)
+	u.advance(now)
+	u.allocs++
+	u.live++
+	if u.live > u.peak {
+		u.peak = u.live
+	}
+	if as.MaxObjects > 0 && len(as.objects) >= as.MaxObjects {
+		as.dropped++
+		return
+	}
+	as.objects = append(as.objects, ObjRecord{
+		Type:      t,
+		Addr:      addr,
+		AllocAt:   now,
+		AllocCore: int32(c.Core.ID),
+	})
+	as.liveIdx[addr] = len(as.objects) - 1
+}
+
+// OnFree records a deallocation.
+func (as *AddressSet) OnFree(c *sim.Ctx, t *mem.Type, addr uint64) {
+	now := c.Now()
+	as.end = now
+	u := as.usageFor(t)
+	u.advance(now)
+	u.frees++
+	if u.live > 0 {
+		u.live--
+	}
+	if i, ok := as.liveIdx[addr]; ok {
+		as.objects[i].FreeAt = now
+		delete(as.liveIdx, addr)
+	}
+}
+
+// Dropped returns how many records were discarded due to MaxObjects.
+func (as *AddressSet) Dropped() uint64 { return as.dropped }
+
+// Objects returns all retained records (most recent last).
+func (as *AddressSet) Objects() []ObjRecord { return as.objects }
+
+// TypeUsage summarizes one type's footprint.
+type TypeUsage struct {
+	Type      *mem.Type
+	PeakCount uint64
+	PeakBytes uint64
+	AvgCount  float64
+	AvgBytes  float64
+	LiveCount uint64
+	Allocs    uint64
+	Frees     uint64
+}
+
+// Usage returns per-type footprint summaries, largest peak bytes first.
+func (as *AddressSet) Usage() []TypeUsage {
+	span := as.end - as.start
+	out := make([]TypeUsage, 0, len(as.usage))
+	for t, u := range as.usage {
+		u.advance(as.end)
+		tu := TypeUsage{
+			Type:      t,
+			PeakCount: u.peak,
+			PeakBytes: u.peak * t.ObjSize(),
+			LiveCount: u.live,
+			Allocs:    u.allocs,
+			Frees:     u.frees,
+		}
+		if span > 0 {
+			tu.AvgCount = float64(u.liveInt) / float64(span)
+			tu.AvgBytes = tu.AvgCount * float64(t.ObjSize())
+		} else {
+			tu.AvgCount = float64(u.live)
+			tu.AvgBytes = float64(u.live * t.ObjSize())
+		}
+		out = append(out, tu)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PeakBytes != out[j].PeakBytes {
+			return out[i].PeakBytes > out[j].PeakBytes
+		}
+		return out[i].Type.Name < out[j].Type.Name
+	})
+	return out
+}
+
+// UsageFor returns the footprint summary for one type.
+func (as *AddressSet) UsageFor(t *mem.Type) TypeUsage {
+	for _, u := range as.Usage() {
+		if u.Type == t {
+			return u
+		}
+	}
+	return TypeUsage{Type: t}
+}

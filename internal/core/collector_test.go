@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+// collectorWorld builds a machine + allocator + attached profiler.
+func collectorWorld(cores int) (*sim.Machine, *mem.Allocator, *Profiler) {
+	scfg := sim.DefaultConfig()
+	scfg.Cores = cores
+	m := sim.New(scfg)
+	a := mem.New(mem.DefaultConfig(), cores, lockstat.NewRegistry())
+	p := Attach(m, a, DefaultConfig())
+	return m, a, p
+}
+
+func TestCollectorCapturesOneObject(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("watched", 64, "")
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 1)
+	p.Collector.Start()
+
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		func() {
+			defer c.Leave(c.Enter("touch_fn"))
+			c.Write(addr, 4)
+			c.Read(addr, 4)
+			c.Read(addr+32, 4) // outside the watch window
+		}()
+		a.Free(c, addr)
+	})
+	m.RunAll()
+
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 1 {
+		t.Fatalf("histories = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if h.Truncated {
+		t.Fatal("history truncated despite free")
+	}
+	// alloc-path writes into [0,4) + our write + our read.
+	var sawTouch int
+	for _, e := range h.Elems {
+		if e.Offset >= 4 {
+			t.Fatalf("element outside watch window: %+v", e)
+		}
+		if e.IP != 0 && e.Offset < 4 {
+			sawTouch++
+		}
+	}
+	if sawTouch < 2 {
+		t.Fatalf("elements = %+v", h.Elems)
+	}
+	if h.Lifetime == 0 {
+		t.Fatal("lifetime not recorded")
+	}
+	if p.Collector.Pending() != 0 {
+		t.Fatalf("pending = %d", p.Collector.Pending())
+	}
+}
+
+func TestCollectorMovesToNextTarget(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("seq", 16, "")
+	p.Collector.AddSingleTargets(typ, 1) // offsets 0,4,8,12
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 6; i++ {
+			addr := a.Alloc(c, typ)
+			c.Write(addr, 16)
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 4 {
+		t.Fatalf("histories = %d, want 4 (one per offset)", len(hs))
+	}
+	offsets := map[uint32]bool{}
+	for _, h := range hs {
+		offsets[h.Offsets[0]] = true
+	}
+	for _, off := range []uint32{0, 4, 8, 12} {
+		if !offsets[off] {
+			t.Fatalf("offset %d never watched", off)
+		}
+	}
+}
+
+func TestCollectorTruncatesLongLivedObjects(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("longlived", 16, "")
+	p.Collector.MaxLifetime = 1000
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 1)
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		a.Alloc(c, typ) // never freed
+	})
+	m.RunAll()
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 1 || !hs[0].Truncated {
+		t.Fatalf("long-lived object not truncated: %+v", hs)
+	}
+}
+
+func TestCollectorChargesSetupCosts(t *testing.T) {
+	m, a, p := collectorWorld(4)
+	typ := a.RegisterType("costly", 16, "")
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 1)
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		a.Free(c, addr)
+	})
+	m.RunAll()
+	if m.Overhead["memory"] == 0 {
+		t.Error("object reservation cost not charged")
+	}
+	if m.Overhead["communication"] == 0 {
+		t.Error("debug-register broadcast cost not charged")
+	}
+	cs := p.Collector.StatsFor(typ)
+	if cs.Overhead["communication"] == 0 {
+		t.Error("per-type overhead attribution missing")
+	}
+	if cs.Histories != 1 {
+		t.Fatalf("stats histories = %d", cs.Histories)
+	}
+}
+
+func TestCollectorPairTargets(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("pairs", 16, "")
+	p.Collector.AddPairTargets(typ, []uint32{0, 4, 8}, 1)
+	p.Collector.Start()
+	// 1 calibration single + C(3,2)=3 pairs = 4 targets.
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 6; i++ {
+			addr := a.Alloc(c, typ)
+			c.Write(addr, 12)
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 4 {
+		t.Fatalf("histories = %d, want 4", len(hs))
+	}
+	pairCount := 0
+	for _, h := range hs {
+		if len(h.Offsets) == 2 {
+			pairCount++
+			// Pair histories must contain elements from both offsets.
+			seen := map[uint32]bool{}
+			for _, e := range h.Elems {
+				seen[e.Offset-(e.Offset%4)] = true
+			}
+			if len(seen) < 2 {
+				t.Fatalf("pair history saw offsets %v", seen)
+			}
+		}
+	}
+	if pairCount != 3 {
+		t.Fatalf("pair histories = %d, want 3", pairCount)
+	}
+}
+
+func TestCollectorTimestampsMonotonic(t *testing.T) {
+	m, a, p := collectorWorld(4)
+	typ := a.RegisterType("mono", 16, "")
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 1)
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Write(addr, 4)
+		// Touch from another core whose clock trails.
+		c.Spawn(3, 0, func(rc *sim.Ctx) {
+			rc.Read(addr, 4)
+			rc.Spawn(0, 1000, func(fc *sim.Ctx) { a.Free(fc, addr) })
+		})
+	})
+	m.RunAll()
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 1 {
+		t.Fatalf("histories = %d", len(hs))
+	}
+	var prev uint64
+	for _, e := range hs[0].Elems {
+		if e.Time < prev {
+			t.Fatalf("element times not monotonic: %+v", hs[0].Elems)
+		}
+		prev = e.Time
+	}
+}
+
+func TestUniquePathCountGrowsWithSets(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("uniq", 8, "")
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 4)
+	p.Collector.Start()
+	// Alternate between two different access paths.
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 8; i++ {
+			addr := a.Alloc(c, typ)
+			if i%2 == 0 {
+				func() { defer c.Leave(c.Enter("pathA")); c.Write(addr, 4) }()
+			} else {
+				func() { defer c.Leave(c.Enter("pathB")); c.Read(addr, 4); c.Write(addr, 4) }()
+			}
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	if got := p.Collector.SetsCollected(typ); got != 4 {
+		t.Fatalf("sets collected = %d", got)
+	}
+	all := p.Collector.UniquePathCount(typ, 4)
+	one := p.Collector.UniquePathCount(typ, 1)
+	if all < 2 {
+		t.Fatalf("expected >=2 unique paths, got %d", all)
+	}
+	if one > all {
+		t.Fatal("unique paths must be monotonic in sets")
+	}
+}
+
+func TestProfilerEndToEndViews(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("e2e", 64, "end to end")
+	p.StartSampling()
+	p.CollectHistories(1, typ)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 2000; i++ {
+			addr := a.Alloc(c, typ)
+			func() {
+				defer c.Leave(c.Enter("worker"))
+				c.Write(addr, 64)
+				c.Read(addr, 8)
+			}()
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	if p.Samples.Total == 0 {
+		t.Fatal("no IBS samples collected")
+	}
+	dp := p.DataProfile()
+	if len(dp.Rows) == 0 {
+		t.Fatal("empty data profile")
+	}
+	ws := p.WorkingSet()
+	if ws.MeanLines < 0 {
+		t.Fatal("working set replay broken")
+	}
+	if rows := p.MissClassification(); len(rows) == 0 {
+		t.Fatal("no miss classification rows")
+	}
+	traces := p.PathTraces(typ)
+	if len(traces) == 0 {
+		t.Fatal("no path traces from collected histories")
+	}
+	// Cache must be stable and invalidatable.
+	if len(p.PathTraces(typ)) != len(traces) {
+		t.Fatal("trace cache unstable")
+	}
+	p.InvalidateTraceCache()
+	if len(p.PathTraces(typ)) != len(traces) {
+		t.Fatal("rebuild after invalidation differs")
+	}
+}
+
+func TestStopSamplingHaltsSampleFlow(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("halt", 64, "")
+	p.StartSampling()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 500; i++ {
+			addr := a.Alloc(c, typ)
+			c.Write(addr, 64)
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	before := p.Samples.Total
+	p.StopSampling()
+	m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) {
+		for i := 0; i < 500; i++ {
+			addr := a.Alloc(c, typ)
+			c.Write(addr, 64)
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	if p.Samples.Total != before {
+		t.Fatal("samples kept flowing after StopSampling")
+	}
+}

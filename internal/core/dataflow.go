@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+// FlowNode is one node of the data flow view: a function that touched
+// objects of the type, annotated with how the accesses behaved.
+type FlowNode struct {
+	PC        sym.PC
+	CPU       int8 // relabeled CPU
+	CPUChange bool // edge into this node crosses cores (bold in Figure 6-1)
+	Count     uint64
+	OffLo     uint32
+	OffHi     uint32
+	AvgTime   float64
+
+	AvgLatency float64 // sampled; "darker boxes" in Figure 6-1
+	MissProb   float64
+	HaveStats  bool
+	Synthetic  bool
+
+	Children []*FlowNode
+}
+
+// FlowGraph is the data flow view for one type (§4.4): the execution paths
+// of that type's path traces merged on common prefixes, from allocation to
+// free.
+type FlowGraph struct {
+	Type  *mem.Type
+	Roots []*FlowNode
+
+	// HotLatency is the threshold above which a node renders as "hot"
+	// (the darker boxes of Figure 6-1).
+	HotLatency float64
+}
+
+// BuildDataFlow merges a type's path traces into the data flow graph.
+// Traces sharing a prefix of (function, CPU-change) steps share nodes.
+func BuildDataFlow(t *mem.Type, traces []*PathTrace) *FlowGraph {
+	g := &FlowGraph{Type: t, HotLatency: 100}
+	for _, tr := range traces {
+		nodes := &g.Roots
+		for _, st := range tr.Steps {
+			var match *FlowNode
+			for _, n := range *nodes {
+				if n.PC == st.PC && n.CPU == st.CPU && n.Synthetic == st.Synthetic {
+					match = n
+					break
+				}
+			}
+			if match == nil {
+				match = &FlowNode{
+					PC:        st.PC,
+					CPU:       st.CPU,
+					CPUChange: st.CPUChange,
+					OffLo:     st.OffLo,
+					OffHi:     st.OffHi,
+					AvgTime:   st.AvgTime,
+					Synthetic: st.Synthetic,
+				}
+				*nodes = append(*nodes, match)
+			}
+			match.Count += tr.Count
+			if st.OffLo < match.OffLo {
+				match.OffLo = st.OffLo
+			}
+			if st.OffHi > match.OffHi {
+				match.OffHi = st.OffHi
+			}
+			if st.HaveStats {
+				match.HaveStats = true
+				match.AvgLatency = st.AvgLatency
+				match.MissProb = st.MissProb()
+			}
+			nodes = &match.Children
+		}
+	}
+	sortFlow(g.Roots)
+	return g
+}
+
+func sortFlow(nodes []*FlowNode) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Count > nodes[j].Count })
+	for _, n := range nodes {
+		sortFlow(n.Children)
+	}
+}
+
+// CrossCPUEdges returns the function pairs where objects hop between cores:
+// (from, to) with the hop count. These are the bold edges of Figure 6-1 —
+// exactly the places a programmer inspects to fix sharing.
+func (g *FlowGraph) CrossCPUEdges() []FlowEdge {
+	var out []FlowEdge
+	var walk func(parent *FlowNode, nodes []*FlowNode)
+	walk = func(parent *FlowNode, nodes []*FlowNode) {
+		for _, n := range nodes {
+			if parent != nil && n.CPU != parent.CPU {
+				out = append(out, FlowEdge{
+					From:  sym.Name(parent.PC),
+					To:    sym.Name(n.PC),
+					Count: n.Count,
+				})
+			}
+			walk(n, n.Children)
+		}
+	}
+	walk(nil, g.Roots)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	// Merge duplicates.
+	var merged []FlowEdge
+	seen := make(map[string]int)
+	for _, e := range out {
+		k := e.From + "->" + e.To
+		if i, ok := seen[k]; ok {
+			merged[i].Count += e.Count
+			continue
+		}
+		seen[k] = len(merged)
+		merged = append(merged, e)
+	}
+	return merged
+}
+
+// FlowEdge is a cross-CPU transition in the data flow view.
+type FlowEdge struct {
+	From, To string
+	Count    uint64
+}
+
+// Render prints the graph as an indented tree. CPU transitions are marked
+// with "==CPU==>" (the paper's bold lines) and functions with high access
+// latency with "[HOT]" (the darker boxes).
+func (g *FlowGraph) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "data flow for %s (paths merged on common prefixes)\n", g.Type.Name)
+	var walk func(nodes []*FlowNode, depth int, parentCPU int8)
+	walk = func(nodes []*FlowNode, depth int, parentCPU int8) {
+		for _, n := range nodes {
+			indent := strings.Repeat("  ", depth)
+			marker := "->"
+			if n.CPU != parentCPU {
+				marker = "==CPU==>"
+			}
+			hot := ""
+			if n.HaveStats && n.AvgLatency >= g.HotLatency {
+				hot = " [HOT]"
+			}
+			stats := ""
+			if n.HaveStats {
+				stats = fmt.Sprintf(" lat=%.0fcyc miss=%.0f%%", n.AvgLatency, 100*n.MissProb)
+			}
+			fmt.Fprintf(&b, "%s%s %s [%d-%d] x%d%s%s\n",
+				indent, marker, sym.Name(n.PC), n.OffLo, n.OffHi, n.Count, stats, hot)
+			walk(n.Children, depth+1, n.CPU)
+		}
+	}
+	walk(g.Roots, 0, 0)
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz format: bold edges mark CPU
+// transitions, darker fills mark higher access latencies (Figure 6-1).
+func (g *FlowGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled];\n", g.Type.Name)
+	id := 0
+	var walk func(parent int, parentCPU int8, nodes []*FlowNode)
+	walk = func(parent int, parentCPU int8, nodes []*FlowNode) {
+		for _, n := range nodes {
+			id++
+			me := id
+			shade := "white"
+			if n.HaveStats {
+				switch {
+				case n.AvgLatency >= g.HotLatency:
+					shade = "gray40"
+				case n.AvgLatency >= g.HotLatency/2:
+					shade = "gray70"
+				default:
+					shade = "gray95"
+				}
+			}
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\n[%d-%d]\", fillcolor=%q];\n",
+				me, sym.Name(n.PC), n.OffLo, n.OffHi, shade)
+			if parent > 0 {
+				style := ""
+				if n.CPU != parentCPU {
+					style = " [style=bold, penwidth=3]"
+				}
+				fmt.Fprintf(&b, "  n%d -> n%d%s;\n", parent, me, style)
+			}
+			walk(me, n.CPU, n.Children)
+		}
+	}
+	walk(0, 0, g.Roots)
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+func flowTrace(typ *mem.Type, fns []string, cpus []int8, count uint64) *PathTrace {
+	tr := &PathTrace{Type: typ, Count: count, Frequency: 1}
+	prev := int8(0)
+	for i, fn := range fns {
+		cpu := int8(0)
+		if i < len(cpus) {
+			cpu = cpus[i]
+		}
+		tr.Steps = append(tr.Steps, PathStep{
+			PC: sym.Intern(fn), CPU: cpu, CPUChange: cpu != prev,
+			OffLo: 0, OffHi: 8, AvgTime: float64(i * 10),
+		})
+		prev = cpu
+	}
+	return tr
+}
+
+func TestDataFlowMergesCommonPrefix(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow", 64, "")
+	tr1 := flowTrace(typ, []string{"alloc", "rx", "free"}, nil, 6)
+	tr2 := flowTrace(typ, []string{"alloc", "tx", "free"}, nil, 4)
+	g := BuildDataFlow(typ, []*PathTrace{tr1, tr2})
+	if len(g.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (shared alloc prefix)", len(g.Roots))
+	}
+	root := g.Roots[0]
+	if sym.Name(root.PC) != "alloc" || root.Count != 10 {
+		t.Fatalf("root = %s x%d", sym.Name(root.PC), root.Count)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d, want 2 (rx and tx diverge)", len(root.Children))
+	}
+	// Children ordered by count: rx (6) before tx (4).
+	if sym.Name(root.Children[0].PC) != "rx" {
+		t.Fatalf("first child = %s, want rx", sym.Name(root.Children[0].PC))
+	}
+}
+
+func TestDataFlowCrossCPUEdges(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow2", 64, "")
+	tr := flowTrace(typ, []string{"enqueue", "dequeue", "free"}, []int8{0, 1, 1}, 3)
+	g := BuildDataFlow(typ, []*PathTrace{tr})
+	edges := g.CrossCPUEdges()
+	if len(edges) != 1 {
+		t.Fatalf("edges = %+v, want 1", edges)
+	}
+	if edges[0].From != "enqueue" || edges[0].To != "dequeue" || edges[0].Count != 3 {
+		t.Fatalf("edge = %+v", edges[0])
+	}
+}
+
+func TestDataFlowEdgeDeduplication(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow3", 64, "")
+	// Two traces with the same hop but different prefixes.
+	tr1 := flowTrace(typ, []string{"a", "hop"}, []int8{0, 1}, 2)
+	tr2 := flowTrace(typ, []string{"b", "a", "hop"}, []int8{0, 0, 1}, 5)
+	g := BuildDataFlow(typ, []*PathTrace{tr1, tr2})
+	edges := g.CrossCPUEdges()
+	total := uint64(0)
+	for _, e := range edges {
+		if e.From == "a" && e.To == "hop" {
+			total += e.Count
+		}
+	}
+	if total != 7 {
+		t.Fatalf("a->hop count = %d, want 7 (merged)", total)
+	}
+}
+
+func TestDataFlowRenderMarksTransitionsAndHotNodes(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow4", 64, "")
+	tr := flowTrace(typ, []string{"local", "remote"}, []int8{0, 1}, 1)
+	tr.Steps[1].HaveStats = true
+	tr.Steps[1].AvgLatency = 200
+	g := BuildDataFlow(typ, []*PathTrace{tr})
+	out := g.Render()
+	if !strings.Contains(out, "==CPU==>") {
+		t.Error("render missing CPU-transition marker")
+	}
+	if !strings.Contains(out, "[HOT]") {
+		t.Error("render missing hot-node marker")
+	}
+}
+
+func TestDataFlowDOT(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow5", 64, "")
+	tr := flowTrace(typ, []string{"x", "y"}, []int8{0, 2}, 1)
+	g := BuildDataFlow(typ, []*PathTrace{tr})
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "style=bold", "x\\n", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+// TestQuickFlowCountConservation: the root layer's total count equals the
+// summed counts of all traces, and every trace is a root-to-node walk.
+func TestQuickFlowCountConservation(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flowq", 64, "")
+	fns := []string{"p", "q", "r"}
+	prop := func(shape []uint8) bool {
+		if len(shape) == 0 {
+			return true
+		}
+		if len(shape) > 6 {
+			shape = shape[:6]
+		}
+		var traces []*PathTrace
+		var total uint64
+		for i, s := range shape {
+			n := int(s%3) + 1
+			var path []string
+			for j := 0; j < n; j++ {
+				path = append(path, fns[(int(s)+j)%3])
+			}
+			count := uint64(i + 1)
+			total += count
+			traces = append(traces, flowTrace(typ, path, nil, count))
+		}
+		g := BuildDataFlow(typ, traces)
+		var rootTotal uint64
+		for _, r := range g.Roots {
+			rootTotal += r.Count
+		}
+		return rootTotal == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

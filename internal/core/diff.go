@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffRow compares one type between two profiling runs.
+type DiffRow struct {
+	Type string
+
+	MissPctA, MissPctB float64
+	WSBytesA, WSBytesB uint64
+	LatencyA, LatencyB float64 // average miss latency, cycles
+
+	WSGrowth float64 // B/A, 0 when A had no footprint
+}
+
+// ProfileDiff is the differential analysis of §6.2.1: DProf profiles the
+// same workload at two operating points and diffs the views ("we used DProf
+// to perform differential analysis to figure out what went wrong between
+// two different runs").
+type ProfileDiff struct {
+	Rows []DiffRow
+}
+
+// DiffProfiles compares two data profiles (run A = baseline, run B = the
+// suspect run), ordered by working-set growth.
+func DiffProfiles(a, b *DataProfile) *ProfileDiff {
+	byName := make(map[string]*DiffRow)
+	rowFor := func(name string) *DiffRow {
+		r := byName[name]
+		if r == nil {
+			r = &DiffRow{Type: name}
+			byName[name] = r
+		}
+		return r
+	}
+	for _, row := range a.Rows {
+		r := rowFor(row.Type.Name)
+		r.MissPctA = row.MissPct
+		r.WSBytesA = row.WorkingSetBytes
+		r.LatencyA = row.AvgMissLatency
+	}
+	for _, row := range b.Rows {
+		r := rowFor(row.Type.Name)
+		r.MissPctB = row.MissPct
+		r.WSBytesB = row.WorkingSetBytes
+		r.LatencyB = row.AvgMissLatency
+	}
+	d := &ProfileDiff{}
+	for _, r := range byName {
+		if r.WSBytesA > 0 {
+			r.WSGrowth = float64(r.WSBytesB) / float64(r.WSBytesA)
+		}
+		d.Rows = append(d.Rows, *r)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		if d.Rows[i].WSGrowth != d.Rows[j].WSGrowth {
+			return d.Rows[i].WSGrowth > d.Rows[j].WSGrowth
+		}
+		return d.Rows[i].Type < d.Rows[j].Type
+	})
+	return d
+}
+
+// String renders the diff, biggest working-set growth first.
+func (d *ProfileDiff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %8s %9s %9s %9s %9s\n",
+		"Type name", "WS A", "WS B", "growth", "miss%% A", "miss%% B", "lat A", "lat B")
+	for _, r := range d.Rows {
+		if r.WSBytesA < 1024 && r.WSBytesB < 1024 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10s %10s %7.1fx %8.2f%% %8.2f%% %9.0f %9.0f\n",
+			r.Type, fmtBytes(float64(r.WSBytesA)), fmtBytes(float64(r.WSBytesB)),
+			r.WSGrowth, r.MissPctA, r.MissPctB, r.LatencyA, r.LatencyB)
+	}
+	return b.String()
+}
+
+// Top returns the row with the largest working-set growth (ignoring types
+// with trivial footprints), which is how the Apache case study finds
+// tcp_sock.
+func (d *ProfileDiff) Top() (DiffRow, bool) {
+	for _, r := range d.Rows {
+		if r.WSBytesB >= 64*1024 {
+			return r, true
+		}
+	}
+	if len(d.Rows) == 0 {
+		return DiffRow{}, false
+	}
+	return d.Rows[0], true
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/json"
+
+	"dprof/internal/cache"
+	"dprof/internal/sym"
+)
+
+// The JSON export forms of the views, for tooling built on top of DProf
+// (dashboards, regression tracking). Field names are stable.
+
+type dataProfileJSON struct {
+	TotalSamples     uint64        `json:"total_samples"`
+	TotalMissSamples uint64        `json:"total_miss_samples"`
+	UnresolvedPct    float64       `json:"unresolved_pct"`
+	Rows             []dataRowJSON `json:"rows"`
+}
+
+type dataRowJSON struct {
+	Type           string  `json:"type"`
+	Description    string  `json:"description"`
+	WorkingSet     uint64  `json:"working_set_bytes"`
+	MissPct        float64 `json:"miss_pct"`
+	Bounce         bool    `json:"bounce"`
+	AvgMissLatency float64 `json:"avg_miss_latency_cycles"`
+}
+
+// MarshalJSON exports the data profile.
+func (dp *DataProfile) MarshalJSON() ([]byte, error) {
+	out := dataProfileJSON{
+		TotalSamples:     dp.TotalSamples,
+		TotalMissSamples: dp.TotalMissSamples,
+		UnresolvedPct:    dp.UnresolvedPct,
+	}
+	for _, r := range dp.Rows {
+		out.Rows = append(out.Rows, dataRowJSON{
+			Type:           r.Type.Name,
+			Description:    r.Type.Desc,
+			WorkingSet:     r.WorkingSetBytes,
+			MissPct:        r.MissPct,
+			Bounce:         r.Bounce,
+			AvgMissLatency: r.AvgMissLatency,
+		})
+	}
+	return json.Marshal(out)
+}
+
+type pathStepJSON struct {
+	Function   string             `json:"function"`
+	CPUChange  bool               `json:"cpu_change"`
+	OffLo      uint32             `json:"offset_lo"`
+	OffHi      uint32             `json:"offset_hi"`
+	Write      bool               `json:"write"`
+	AvgTime    float64            `json:"avg_time_cycles"`
+	AvgLatency float64            `json:"avg_latency_cycles,omitempty"`
+	LevelProb  map[string]float64 `json:"hit_probability,omitempty"`
+	Synthetic  bool               `json:"synthetic,omitempty"`
+}
+
+type pathTraceJSON struct {
+	Type        string         `json:"type"`
+	Count       uint64         `json:"count"`
+	Frequency   float64        `json:"frequency"`
+	AvgLifetime float64        `json:"avg_lifetime_cycles"`
+	CrossCPU    bool           `json:"cross_cpu"`
+	Steps       []pathStepJSON `json:"steps"`
+}
+
+// MarshalJSON exports a path trace.
+func (tr *PathTrace) MarshalJSON() ([]byte, error) {
+	out := pathTraceJSON{
+		Type:        tr.Type.Name,
+		Count:       tr.Count,
+		Frequency:   tr.Frequency,
+		AvgLifetime: tr.AvgLifetime,
+		CrossCPU:    tr.CrossCPU,
+	}
+	for _, st := range tr.Steps {
+		js := pathStepJSON{
+			Function:  sym.Name(st.PC),
+			CPUChange: st.CPUChange,
+			OffLo:     st.OffLo,
+			OffHi:     st.OffHi,
+			Write:     st.Write,
+			AvgTime:   st.AvgTime,
+			Synthetic: st.Synthetic,
+		}
+		if st.HaveStats {
+			js.AvgLatency = st.AvgLatency
+			js.LevelProb = make(map[string]float64)
+			for lv := 0; lv < cache.NumLevels; lv++ {
+				if st.LevelProb[lv] > 0 {
+					js.LevelProb[cache.Level(lv).String()] = st.LevelProb[lv]
+				}
+			}
+		}
+		out.Steps = append(out.Steps, js)
+	}
+	return json.Marshal(out)
+}
+
+type flowNodeJSON struct {
+	Function  string         `json:"function"`
+	CPUChange bool           `json:"cpu_change"`
+	Count     uint64         `json:"count"`
+	OffLo     uint32         `json:"offset_lo"`
+	OffHi     uint32         `json:"offset_hi"`
+	Latency   float64        `json:"avg_latency_cycles,omitempty"`
+	Children  []flowNodeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON exports the data flow graph as a tree.
+func (g *FlowGraph) MarshalJSON() ([]byte, error) {
+	var conv func(nodes []*FlowNode) []flowNodeJSON
+	conv = func(nodes []*FlowNode) []flowNodeJSON {
+		var out []flowNodeJSON
+		for _, n := range nodes {
+			j := flowNodeJSON{
+				Function:  sym.Name(n.PC),
+				CPUChange: n.CPUChange,
+				Count:     n.Count,
+				OffLo:     n.OffLo,
+				OffHi:     n.OffHi,
+				Children:  conv(n.Children),
+			}
+			if n.HaveStats {
+				j.Latency = n.AvgLatency
+			}
+			out = append(out, j)
+		}
+		return out
+	}
+	return json.Marshal(struct {
+		Type  string         `json:"type"`
+		Roots []flowNodeJSON `json:"roots"`
+	}{g.Type.Name, conv(g.Roots)})
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dprof/internal/cache"
+	"dprof/internal/sim"
+	"dprof/internal/sym"
+)
+
+func TestOracleWorkingSetResolvesResidentLines(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("resident", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Write(addr, 128) // two lines now resident in core 0's caches
+	})
+	m.RunAll()
+	v := p.OracleWorkingSet()
+	if v.TotalLines == 0 {
+		t.Fatal("oracle saw an empty cache after accesses")
+	}
+	if got := v.LinesFor("resident"); got != 2 {
+		t.Fatalf("resident lines = %d, want 2", got)
+	}
+	if !strings.Contains(v.String(), "resident") {
+		t.Error("render missing type")
+	}
+}
+
+func TestOracleCountsDistinctLinesOnce(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("shared2", 64, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Read(addr, 8)
+		c.Spawn(1, 100, func(cc *sim.Ctx) { cc.Read(addr, 8) })
+	})
+	m.RunAll()
+	// The line is in both cores' caches (shared), but the oracle counts it
+	// once.
+	if got := p.OracleWorkingSet().LinesFor("shared2"); got != 1 {
+		t.Fatalf("shared line counted %d times", got)
+	}
+}
+
+func TestDiffProfilesFindsGrowth(t *testing.T) {
+	a := testAlloc()
+	grow := a.RegisterType("grower", 128, "")
+	flat := a.RegisterType("flat", 128, "")
+	mk := func(growBytes uint64) *DataProfile {
+		return &DataProfile{Rows: []DataProfileRow{
+			{Type: grow, WorkingSetBytes: growBytes, MissPct: 10, AvgMissLatency: 50},
+			{Type: flat, WorkingSetBytes: 1 << 20, MissPct: 20, AvgMissLatency: 60},
+		}}
+	}
+	d := DiffProfiles(mk(1<<20), mk(10<<20))
+	// DiffProfiles used the same builder for A and B above except grower's
+	// bytes; rebuild properly:
+	d = DiffProfiles(
+		&DataProfile{Rows: []DataProfileRow{
+			{Type: grow, WorkingSetBytes: 1 << 20, MissPct: 10, AvgMissLatency: 50},
+			{Type: flat, WorkingSetBytes: 1 << 20, MissPct: 20, AvgMissLatency: 60},
+		}},
+		&DataProfile{Rows: []DataProfileRow{
+			{Type: grow, WorkingSetBytes: 10 << 20, MissPct: 22, AvgMissLatency: 150},
+			{Type: flat, WorkingSetBytes: 1 << 20, MissPct: 18, AvgMissLatency: 61},
+		}},
+	)
+	top, ok := d.Top()
+	if !ok || top.Type != "grower" {
+		t.Fatalf("Top = %+v", top)
+	}
+	if top.WSGrowth < 9.9 || top.WSGrowth > 10.1 {
+		t.Fatalf("growth = %f, want 10", top.WSGrowth)
+	}
+	if !strings.Contains(d.String(), "grower") {
+		t.Error("render missing grower")
+	}
+}
+
+func TestDiffProfilesHandlesNewTypes(t *testing.T) {
+	a := testAlloc()
+	neu := a.RegisterType("new_type", 128, "")
+	d := DiffProfiles(
+		&DataProfile{},
+		&DataProfile{Rows: []DataProfileRow{{Type: neu, WorkingSetBytes: 1 << 20, MissPct: 5}}},
+	)
+	if len(d.Rows) != 1 || d.Rows[0].WSGrowth != 0 {
+		t.Fatalf("rows = %+v", d.Rows)
+	}
+}
+
+func TestDataProfileJSON(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("jsonable", 128, "a type")
+	st := NewSampleTable()
+	for i := 0; i < 4; i++ {
+		st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))
+	}
+	as := NewAddressSet()
+	as.AddStatic(typ, 0x1000)
+	dp := BuildDataProfile(st, as, nil)
+	raw, err := json.Marshal(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		TotalSamples uint64 `json:"total_samples"`
+		Rows         []struct {
+			Type    string  `json:"type"`
+			MissPct float64 `json:"miss_pct"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalSamples != 4 || len(back.Rows) != 1 || back.Rows[0].Type != "jsonable" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestPathTraceJSON(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("trace_json", 64, "")
+	tr := &PathTrace{
+		Type: typ, Count: 3, Frequency: 0.5, AvgLifetime: 1000,
+		Steps: []PathStep{{
+			PC: sym.Intern("fn_x"), OffLo: 0, OffHi: 8,
+			HaveStats: true, AvgLatency: 123, LevelProb: foreignProb(),
+		}},
+	}
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"fn_x"`, `"foreign":1`, `"avg_latency_cycles":123`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestFlowGraphJSON(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("flow_json", 64, "")
+	g := BuildDataFlow(typ, []*PathTrace{flowTrace(typ, []string{"a", "b"}, []int8{0, 1}, 2)})
+	raw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"cpu_change":true`) || !strings.Contains(s, `"children"`) {
+		t.Fatalf("flow JSON = %s", s)
+	}
+}
+
+func TestWideWatchCollection(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("wide", 256, "")
+	p.DRegs.Variable = true
+	p.Collector.WatchLen = 256 // whole object in one watchpoint
+	p.Collector.AddSingleTargetsRange(typ, 0, 256, 1)
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Write(addr, 64)
+		c.Write(addr+128, 64)
+		a.Free(c, addr)
+	})
+	m.RunAll()
+	hs := p.Collector.Histories(typ)
+	if len(hs) != 1 {
+		t.Fatalf("histories = %d, want 1 (single wide target)", len(hs))
+	}
+	offs := map[uint32]bool{}
+	for _, e := range hs[0].Elems {
+		offs[e.Offset] = true
+	}
+	if !offs[0] || !offs[128] {
+		t.Fatalf("wide watch missed offsets: %+v", hs[0].Elems)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+// HistElem records a single trapped access to a watched offset of an object
+// (Table 5.2 of the paper).
+type HistElem struct {
+	Offset uint32 // offset within the object
+	IP     sym.PC
+	CPU    int32
+	Time   uint64 // cycles since the object's allocation
+	Write  bool
+}
+
+// History is one object access history: every trapped access to the watched
+// offsets of one object, from allocation to free (§5.3).
+type History struct {
+	Type      *mem.Type
+	Offsets   []uint32 // watched offsets (one, or two when pairwise sampling)
+	WatchLen  uint32   // bytes covered per watchpoint
+	Set       int      // which history set this collection belongs to
+	AllocCore int32
+	Lifetime  uint64 // cycles from allocation to free
+	Truncated bool   // collection ended by timeout rather than free
+	Elems     []HistElem
+}
+
+// RelabeledCPUs maps each element's CPU to a canonical small integer: the
+// allocating core is 0, and each newly-seen core gets the next integer. Two
+// histories from different objects follow "the same execution path" (§5.4)
+// exactly when their instruction sequences and relabeled CPU sequences
+// match, even though the absolute core numbers differ per object.
+func (h *History) RelabeledCPUs() []int8 {
+	labels := map[int32]int8{h.AllocCore: 0}
+	out := make([]int8, len(h.Elems))
+	for i, e := range h.Elems {
+		l, ok := labels[e.CPU]
+		if !ok {
+			l = int8(len(labels))
+			labels[e.CPU] = l
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// Signature returns the history's execution-path identity: the sequence of
+// instruction addresses paired with relabeled CPUs.
+func (h *History) Signature() string {
+	if len(h.Elems) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	rcpus := h.RelabeledCPUs()
+	for i, e := range h.Elems {
+		fmt.Fprintf(&b, "%d@%d;", uint32(e.IP), rcpus[i])
+	}
+	return b.String()
+}
+
+// CrossCPU reports whether any access came from a core other than the
+// allocating one — the "bounce" signal in the data profile.
+func (h *History) CrossCPU() bool {
+	for _, e := range h.Elems {
+		if e.CPU != h.AllocCore {
+			return true
+		}
+	}
+	return false
+}
+
+// SubHistory returns the elements restricted to one watched offset window,
+// as a synthetic single-offset History (used to match pairwise histories
+// against single-offset path clusters).
+func (h *History) SubHistory(offset uint32) *History {
+	sub := &History{
+		Type:      h.Type,
+		Offsets:   []uint32{offset},
+		WatchLen:  h.WatchLen,
+		Set:       h.Set,
+		AllocCore: h.AllocCore,
+		Lifetime:  h.Lifetime,
+		Truncated: h.Truncated,
+	}
+	for _, e := range h.Elems {
+		if e.Offset >= offset && e.Offset < offset+h.WatchLen {
+			sub.Elems = append(sub.Elems, e)
+		}
+	}
+	return sub
+}
+
+// offsetsKey identifies the watched-offset tuple of a history.
+func (h *History) offsetsKey() string {
+	var b strings.Builder
+	for _, o := range h.Offsets {
+		fmt.Fprintf(&b, "%d,", o)
+	}
+	return b.String()
+}

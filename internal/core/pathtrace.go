@@ -1,0 +1,378 @@
+package core
+
+import (
+	"sort"
+
+	"dprof/internal/cache"
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+// PathStep is one row of a path trace (Table 4.1): an instruction that
+// touched the object, the offsets it accessed, whether the CPU changed, and
+// the cache behaviour sampled for that (type, offset, instruction).
+type PathStep struct {
+	PC        sym.PC
+	CPUChange bool
+	CPU       int8 // relabeled CPU (allocating core = 0)
+	OffLo     uint32
+	OffHi     uint32 // exclusive
+	Write     bool
+	AvgTime   float64 // cycles since allocation
+
+	// Augmented from access samples (§5.4): probability the access hit at
+	// each cache level, and the average access latency.
+	LevelProb  [cache.NumLevels]float64
+	AvgLatency float64
+	HaveStats  bool
+
+	Synthetic bool // alloc/free boundary rows added for readability
+}
+
+// MissProb returns the probability this step missed the local L1.
+func (s *PathStep) MissProb() float64 {
+	if !s.HaveStats {
+		return 0
+	}
+	return 1 - s.LevelProb[cache.L1Hit]
+}
+
+// RemoteProb returns the probability this step was served from a remote
+// cache or DRAM.
+func (s *PathStep) RemoteProb() float64 {
+	if !s.HaveStats {
+		return 0
+	}
+	return s.LevelProb[cache.ForeignHit] + s.LevelProb[cache.DRAM]
+}
+
+// PathTrace is the combined life history of objects of one type that follow
+// one execution path, from allocation to free (§4, §5.4).
+type PathTrace struct {
+	Type        *mem.Type
+	Steps       []PathStep
+	Count       uint64  // object histories represented
+	Frequency   float64 // fraction of this type's objects on this path
+	AvgLifetime float64 // cycles
+	CrossCPU    bool
+}
+
+// cluster is a group of histories with identical watched offsets and
+// identical path signature.
+type cluster struct {
+	offKey string
+	sig    string
+	hists  []*History
+
+	rank int // frequency rank within its offKey
+	id   int
+}
+
+// avgElem is an element of a cluster's averaged history.
+type avgElem struct {
+	offset  uint32
+	watch   uint32
+	ip      sym.PC
+	rcpu    int8
+	write   bool
+	avgTime float64
+}
+
+// averagedElems element-wise averages the cluster's member histories (all
+// members share a signature, hence length, IPs, and relabeled CPUs).
+func (cl *cluster) averagedElems() []avgElem {
+	if len(cl.hists) == 0 {
+		return nil
+	}
+	n := len(cl.hists[0].Elems)
+	out := make([]avgElem, n)
+	rcpus := cl.hists[0].RelabeledCPUs()
+	for i := 0; i < n; i++ {
+		e := cl.hists[0].Elems[i]
+		out[i] = avgElem{
+			offset: e.Offset,
+			watch:  cl.hists[0].WatchLen,
+			ip:     e.IP,
+			rcpu:   rcpus[i],
+		}
+	}
+	for _, h := range cl.hists {
+		for i, e := range h.Elems {
+			out[i].avgTime += float64(e.Time)
+			out[i].write = out[i].write || e.Write
+		}
+	}
+	for i := range out {
+		out[i].avgTime /= float64(len(cl.hists))
+	}
+	return out
+}
+
+func (cl *cluster) avgLifetime() float64 {
+	var sum float64
+	for _, h := range cl.hists {
+		sum += float64(h.Lifetime)
+	}
+	return sum / float64(len(cl.hists))
+}
+
+// unionFind is a tiny disjoint-set for cluster grouping.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	u := make(unionFind, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func (u unionFind) find(x int) int {
+	for u[x] != x {
+		u[x] = u[u[x]]
+		x = u[x]
+	}
+	return x
+}
+
+func (u unionFind) union(a, b int) { u[u.find(a)] = u.find(b) }
+
+// BuildPathTraces combines a type's object access histories into path
+// traces and augments them with access-sample statistics (§5.4):
+//
+//  1. Histories are clustered by (watched offsets, path signature).
+//  2. Clusters of different offsets are linked into full-object paths —
+//     by pairwise histories when present (a pair history's per-offset
+//     sub-signatures identify which single-offset clusters co-occur in one
+//     object), and by frequency rank otherwise (the paper's observation
+//     that access patterns are repetitive enough for rank matching).
+//  3. Each group's averaged elements are merged in time order and coalesced
+//     into steps; sample statistics attach per (type, offset, instruction).
+func BuildPathTraces(t *mem.Type, hists []*History, samples *SampleTable) []*PathTrace {
+	if len(hists) == 0 {
+		return nil
+	}
+	hists = append([]*History(nil), hists...)
+	sortHistoriesByOffset(hists)
+
+	// Split pairwise histories into their single-offset sub-histories for
+	// clustering; remember the pair linkage.
+	type pairLink struct{ a, b string } // cluster keys
+	var links []pairLink
+	clusters := make(map[string]*cluster)
+	key := func(offKey, sig string) string { return offKey + "|" + sig }
+	addToCluster := func(h *History) string {
+		ok, sig := h.offsetsKey(), h.Signature()
+		k := key(ok, sig)
+		cl := clusters[k]
+		if cl == nil {
+			cl = &cluster{offKey: ok, sig: sig}
+			clusters[k] = cl
+		}
+		cl.hists = append(cl.hists, h)
+		return k
+	}
+	for _, h := range hists {
+		if len(h.Offsets) == 1 {
+			addToCluster(h)
+			continue
+		}
+		// Pairwise history: contribute each offset's sub-history and link
+		// the two clusters.
+		var keys []string
+		for _, off := range h.Offsets {
+			keys = append(keys, addToCluster(h.SubHistory(off)))
+		}
+		for i := 1; i < len(keys); i++ {
+			links = append(links, pairLink{keys[0], keys[i]})
+		}
+	}
+
+	// Deterministic cluster ordering: by offset key, then by descending
+	// size, then signature.
+	ordered := make([]*cluster, 0, len(clusters))
+	for _, cl := range clusters {
+		ordered = append(ordered, cl)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.offKey != b.offKey {
+			return a.offKey < b.offKey
+		}
+		if len(a.hists) != len(b.hists) {
+			return len(a.hists) > len(b.hists)
+		}
+		return a.sig < b.sig
+	})
+	byKey := make(map[string]int, len(ordered))
+	rank := 0
+	for i, cl := range ordered {
+		cl.id = i
+		if i > 0 && ordered[i-1].offKey != cl.offKey {
+			rank = 0
+		}
+		cl.rank = rank
+		rank++
+		byKey[key(cl.offKey, cl.sig)] = i
+	}
+
+	uf := newUnionFind(len(ordered))
+	// Pairwise linkage first (ground truth of co-occurrence).
+	for _, ln := range links {
+		uf.union(byKey[ln.a], byKey[ln.b])
+	}
+	// Frequency-rank linkage for whatever remains unconnected: the r-th
+	// most common path of each offset is assumed to belong to the r-th most
+	// common object path.
+	rankRep := make(map[int]int) // rank -> representative cluster id
+	for _, cl := range ordered {
+		if rep, ok := rankRep[cl.rank]; ok {
+			uf.union(cl.id, rep)
+		} else {
+			rankRep[cl.rank] = cl.id
+		}
+	}
+
+	// Build one trace per group.
+	groups := make(map[int][]*cluster)
+	var groupOrder []int
+	for _, cl := range ordered {
+		g := uf.find(cl.id)
+		if _, ok := groups[g]; !ok {
+			groupOrder = append(groupOrder, g)
+		}
+		groups[g] = append(groups[g], cl)
+	}
+
+	// Per-offset totals, for frequency computation.
+	perOffTotal := make(map[string]int)
+	for _, cl := range ordered {
+		perOffTotal[cl.offKey] += len(cl.hists)
+	}
+
+	var traces []*PathTrace
+	for _, g := range groupOrder {
+		cls := groups[g]
+		var elems []avgElem
+		var count, lifeSum float64
+		var freqSum float64
+		for _, cl := range cls {
+			elems = append(elems, cl.averagedElems()...)
+			count += float64(len(cl.hists))
+			lifeSum += cl.avgLifetime() * float64(len(cl.hists))
+			freqSum += float64(len(cl.hists)) / float64(perOffTotal[cl.offKey])
+		}
+		if len(elems) == 0 {
+			continue
+		}
+		sort.SliceStable(elems, func(i, j int) bool { return elems[i].avgTime < elems[j].avgTime })
+		tr := &PathTrace{
+			Type:        t,
+			Count:       uint64(count / float64(len(cls))),
+			Frequency:   freqSum / float64(len(cls)),
+			AvgLifetime: lifeSum / count,
+		}
+		if tr.Count == 0 {
+			tr.Count = 1
+		}
+		// Coalesce consecutive same-instruction, same-CPU elements.
+		var steps []PathStep
+		for _, e := range elems {
+			if n := len(steps); n > 0 {
+				last := &steps[n-1]
+				if last.PC == e.ip && last.CPU == e.rcpu {
+					if e.offset < last.OffLo {
+						last.OffLo = e.offset
+					}
+					if e.offset+e.watch > last.OffHi {
+						last.OffHi = e.offset + e.watch
+					}
+					last.Write = last.Write || e.write
+					continue
+				}
+			}
+			steps = append(steps, PathStep{
+				PC:      e.ip,
+				CPU:     e.rcpu,
+				OffLo:   e.offset,
+				OffHi:   e.offset + e.watch,
+				Write:   e.write,
+				AvgTime: e.avgTime,
+			})
+		}
+		prev := int8(0)
+		for i := range steps {
+			steps[i].CPUChange = steps[i].CPU != prev
+			if steps[i].CPUChange {
+				tr.CrossCPU = true
+			}
+			prev = steps[i].CPU
+		}
+		// Boundary rows, like the paper's kalloc()/kfree() lines. The free
+		// runs on whichever (relabeled) core last touched the object, so it
+		// does not manufacture a phantom CPU transition.
+		lastCPU := int8(0)
+		if len(steps) > 0 {
+			lastCPU = steps[len(steps)-1].CPU
+		}
+		alloc := PathStep{
+			PC: sym.Intern("kmem_cache_alloc_node"), OffLo: 0, OffHi: uint32(t.Size),
+			Synthetic: true,
+		}
+		free := PathStep{
+			PC: sym.Intern("kmem_cache_free"), OffLo: 0, OffHi: uint32(t.Size),
+			AvgTime: tr.AvgLifetime, Synthetic: true, CPU: lastCPU,
+		}
+		tr.Steps = append([]PathStep{alloc}, steps...)
+		tr.Steps = append(tr.Steps, free)
+		if samples != nil {
+			augmentSteps(t, tr.Steps, samples)
+		}
+		traces = append(traces, tr)
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Frequency > traces[j].Frequency })
+	return traces
+}
+
+// augmentSteps attaches sampled cache statistics to each step: all sample
+// keys matching the step's (type, instruction) with an offset inside the
+// step's range are aggregated into hit probabilities and average latency.
+func augmentSteps(t *mem.Type, steps []PathStep, samples *SampleTable) {
+	// Index samples by (pc) once per call.
+	type acc struct {
+		count  uint64
+		levels [cache.NumLevels]uint64
+		latSum uint64
+	}
+	byPC := make(map[sym.PC][]SampleKey)
+	for _, k := range samples.Keys() {
+		if k.Type == t {
+			byPC[k.PC] = append(byPC[k.PC], k)
+		}
+	}
+	for i := range steps {
+		st := &steps[i]
+		if st.Synthetic {
+			continue
+		}
+		var a acc
+		for _, k := range byPC[st.PC] {
+			if k.Offset >= st.OffLo && k.Offset < st.OffHi {
+				s := samples.Get(k)
+				a.count += s.Count
+				a.latSum += s.LatencySum
+				for lv := range s.Levels {
+					a.levels[lv] += s.Levels[lv]
+				}
+			}
+		}
+		if a.count == 0 {
+			continue
+		}
+		st.HaveStats = true
+		st.AvgLatency = float64(a.latSum) / float64(a.count)
+		for lv := range a.levels {
+			st.LevelProb[lv] = float64(a.levels[lv]) / float64(a.count)
+		}
+	}
+}

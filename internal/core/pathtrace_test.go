@@ -1,0 +1,333 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/cache"
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+// mkHist builds a synthetic single-offset history.
+func mkHist(typ *mem.Type, offset uint32, set int, allocCore int32, elems ...HistElem) *History {
+	h := &History{
+		Type:      typ,
+		Offsets:   []uint32{offset},
+		WatchLen:  4,
+		Set:       set,
+		AllocCore: allocCore,
+		Lifetime:  1000,
+		Elems:     elems,
+	}
+	for i := range h.Elems {
+		h.Elems[i].Offset = offset
+	}
+	return h
+}
+
+func el(fn string, cpu int32, time uint64, write bool) HistElem {
+	return HistElem{IP: sym.Intern(fn), CPU: cpu, Time: time, Write: write}
+}
+
+func TestHistorySignatureRelabelsCPUs(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("sig", 64, "")
+	// Two objects on different absolute cores but the same relative path.
+	h1 := mkHist(typ, 0, 0, 2, el("f", 2, 10, true), el("g", 5, 20, false))
+	h2 := mkHist(typ, 0, 0, 7, el("f", 7, 11, true), el("g", 1, 22, false))
+	if h1.Signature() != h2.Signature() {
+		t.Fatal("relabeled signatures should match across absolute core IDs")
+	}
+	h3 := mkHist(typ, 0, 0, 2, el("f", 2, 10, true), el("g", 2, 20, false))
+	if h1.Signature() == h3.Signature() {
+		t.Fatal("cross-CPU and same-CPU paths must differ")
+	}
+}
+
+func TestHistoryCrossCPU(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("cc", 64, "")
+	local := mkHist(typ, 0, 0, 1, el("f", 1, 10, false))
+	if local.CrossCPU() {
+		t.Fatal("same-core history flagged as bouncing")
+	}
+	remote := mkHist(typ, 0, 0, 1, el("f", 3, 10, false))
+	if !remote.CrossCPU() {
+		t.Fatal("cross-core history not flagged")
+	}
+}
+
+func TestBuildPathTracesSinglePath(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p1", 16, "")
+	var hs []*History
+	for i := 0; i < 4; i++ {
+		hs = append(hs,
+			mkHist(typ, 0, i, 0, el("init", 0, 5, true), el("use", 0, 50, false)),
+			mkHist(typ, 8, i, 0, el("use2", 0, 100, false)),
+		)
+	}
+	traces := BuildPathTraces(typ, hs, nil)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	// alloc boundary + init + use + use2 + free boundary
+	if len(tr.Steps) != 5 {
+		t.Fatalf("steps = %d, want 5: %+v", len(tr.Steps), tr.Steps)
+	}
+	if !tr.Steps[0].Synthetic || !tr.Steps[4].Synthetic {
+		t.Fatal("missing alloc/free boundary steps")
+	}
+	names := []string{"init", "use", "use2"}
+	for i, want := range names {
+		if got := sym.Name(tr.Steps[i+1].PC); got != want {
+			t.Fatalf("step %d = %s, want %s", i+1, got, want)
+		}
+	}
+	if tr.CrossCPU {
+		t.Fatal("single-core path marked cross-CPU")
+	}
+	if tr.Frequency < 0.99 {
+		t.Fatalf("frequency = %f, want ~1", tr.Frequency)
+	}
+}
+
+func TestBuildPathTracesOrdersByTime(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p2", 16, "")
+	hs := []*History{
+		mkHist(typ, 8, 0, 0, el("late", 0, 500, false)),
+		mkHist(typ, 0, 0, 0, el("early", 0, 10, true)),
+	}
+	traces := BuildPathTraces(typ, hs, nil)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	steps := traces[0].Steps
+	if sym.Name(steps[1].PC) != "early" || sym.Name(steps[2].PC) != "late" {
+		t.Fatalf("steps not time-ordered: %s then %s", sym.Name(steps[1].PC), sym.Name(steps[2].PC))
+	}
+}
+
+func TestBuildPathTracesTwoPaths(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p3", 8, "")
+	var hs []*History
+	// Path A (common): rx path, 3 sets.
+	for i := 0; i < 3; i++ {
+		hs = append(hs, mkHist(typ, 0, i, 0, el("rx", 0, 10, true)))
+	}
+	// Path B (rare): tx path, 1 set.
+	hs = append(hs, mkHist(typ, 0, 3, 0, el("tx", 0, 10, true), el("txdone", 1, 400, false)))
+	traces := BuildPathTraces(typ, hs, nil)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	if traces[0].Frequency < traces[1].Frequency {
+		t.Fatal("traces not ordered by frequency")
+	}
+	if sym.Name(traces[0].Steps[1].PC) != "rx" {
+		t.Fatal("most frequent trace should be the rx path")
+	}
+	if !traces[1].CrossCPU {
+		t.Fatal("tx path should be cross-CPU")
+	}
+}
+
+func TestBuildPathTracesCoalescesSteps(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p4", 16, "")
+	// Same function touching adjacent offsets back to back merges into one
+	// step with a widened offset range.
+	hs := []*History{
+		mkHist(typ, 0, 0, 0, el("memset", 0, 10, true)),
+		mkHist(typ, 4, 0, 0, el("memset", 0, 12, true)),
+		mkHist(typ, 8, 0, 0, el("memset", 0, 14, true)),
+	}
+	traces := BuildPathTraces(typ, hs, nil)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	var memsetSteps []PathStep
+	for _, st := range traces[0].Steps {
+		if !st.Synthetic {
+			memsetSteps = append(memsetSteps, st)
+		}
+	}
+	if len(memsetSteps) != 1 {
+		t.Fatalf("memset not coalesced: %d steps", len(memsetSteps))
+	}
+	if memsetSteps[0].OffLo != 0 || memsetSteps[0].OffHi != 12 {
+		t.Fatalf("coalesced range = [%d,%d), want [0,12)", memsetSteps[0].OffLo, memsetSteps[0].OffHi)
+	}
+}
+
+func TestPairwiseLinkingBeatsRankMatching(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p5", 8, "")
+	// Offset 0 has paths X (2 histories) and Y (2 histories): equal ranks,
+	// ambiguous. Offset 4 likewise has P and Q. A pairwise history observing
+	// X at offset 0 and Q at offset 4 must link (X,Q) and leave (Y,P).
+	var hs []*History
+	hs = append(hs,
+		mkHist(typ, 0, 0, 0, el("X", 0, 10, true)),
+		mkHist(typ, 0, 1, 0, el("X", 0, 10, true)),
+		mkHist(typ, 0, 2, 0, el("Y", 0, 10, true)),
+		mkHist(typ, 0, 3, 0, el("Y", 0, 10, true)),
+		mkHist(typ, 4, 0, 0, el("P", 0, 20, false)),
+		mkHist(typ, 4, 1, 0, el("P", 0, 20, false)),
+		mkHist(typ, 4, 2, 0, el("Q", 0, 20, false)),
+		mkHist(typ, 4, 3, 0, el("Q", 0, 20, false)),
+	)
+	pair := &History{
+		Type: typ, Offsets: []uint32{0, 4}, WatchLen: 4, Set: 4, AllocCore: 0,
+		Lifetime: 1000,
+		Elems: []HistElem{
+			{Offset: 0, IP: sym.Intern("X"), CPU: 0, Time: 10, Write: true},
+			{Offset: 4, IP: sym.Intern("Q"), CPU: 0, Time: 20},
+		},
+	}
+	hs = append(hs, pair)
+	traces := BuildPathTraces(typ, hs, nil)
+	// Find the trace containing X; it must also contain Q (not P).
+	var xTrace *PathTrace
+	for _, tr := range traces {
+		for _, st := range tr.Steps {
+			if sym.Name(st.PC) == "X" {
+				xTrace = tr
+			}
+		}
+	}
+	if xTrace == nil {
+		t.Fatal("no trace contains X")
+	}
+	hasQ, hasP := false, false
+	for _, st := range xTrace.Steps {
+		switch sym.Name(st.PC) {
+		case "Q":
+			hasQ = true
+		case "P":
+			hasP = true
+		}
+	}
+	if !hasQ || hasP {
+		t.Fatalf("pairwise link failed: X-trace hasQ=%v hasP=%v", hasQ, hasP)
+	}
+}
+
+func TestAugmentStepsAttachesSampleStats(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p6", 16, "")
+	st := NewSampleTable()
+	for i := 0; i < 10; i++ {
+		st.Add(typ, 0, ev("hotfn", 1, cache.ForeignHit, 200, false))
+	}
+	hs := []*History{mkHist(typ, 0, 0, 0, el("hotfn", 1, 10, false))}
+	traces := BuildPathTraces(typ, hs, st)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	var hot *PathStep
+	for i := range traces[0].Steps {
+		if sym.Name(traces[0].Steps[i].PC) == "hotfn" {
+			hot = &traces[0].Steps[i]
+		}
+	}
+	if hot == nil || !hot.HaveStats {
+		t.Fatal("sample stats not attached")
+	}
+	if hot.LevelProb[cache.ForeignHit] != 1.0 {
+		t.Fatalf("foreign prob = %f, want 1", hot.LevelProb[cache.ForeignHit])
+	}
+	if hot.AvgLatency != 200 {
+		t.Fatalf("latency = %f", hot.AvgLatency)
+	}
+	if hot.MissProb() != 1.0 || hot.RemoteProb() != 1.0 {
+		t.Fatalf("probs: miss=%f remote=%f", hot.MissProb(), hot.RemoteProb())
+	}
+}
+
+func TestEmptyHistoriesProduceNoTraces(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("p7", 16, "")
+	if got := BuildPathTraces(typ, nil, nil); got != nil {
+		t.Fatal("nil histories should produce nil traces")
+	}
+	// Histories with no elements (object never touched at that offset).
+	hs := []*History{mkHist(typ, 0, 0, 0)}
+	if got := BuildPathTraces(typ, hs, nil); len(got) != 0 {
+		t.Fatalf("empty histories produced %d traces", len(got))
+	}
+}
+
+// TestQuickTraceStepsTimeOrdered: steps of every built trace are
+// non-decreasing in average time.
+func TestQuickTraceStepsTimeOrdered(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("pq", 32, "")
+	fns := []string{"f1", "f2", "f3"}
+	prop := func(times []uint16, cpus []uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		if len(times) > 8 {
+			times = times[:8]
+		}
+		var elems []HistElem
+		for i, tm := range times {
+			cpu := int32(0)
+			if i < len(cpus) {
+				cpu = int32(cpus[i] % 4)
+			}
+			elems = append(elems, el(fns[i%3], cpu, uint64(tm), i%2 == 0))
+		}
+		hs := []*History{mkHist(typ, 0, 0, 0, elems...)}
+		for _, tr := range BuildPathTraces(typ, hs, nil) {
+			prev := -1.0
+			for _, st := range tr.Steps {
+				if st.Synthetic {
+					continue
+				}
+				if st.AvgTime < prev {
+					return false
+				}
+				prev = st.AvgTime
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSignatureGroupingIsPartition: histories with equal signatures
+// always land in the same trace; the per-offset history count is conserved.
+func TestQuickSignatureGroupingIsPartition(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("pr", 8, "")
+	prop := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 10 {
+			picks = picks[:10]
+		}
+		var hs []*History
+		for i, p := range picks {
+			fn := []string{"a", "b"}[p%2]
+			hs = append(hs, mkHist(typ, 0, i, 0, el(fn, 0, uint64(10+i), false)))
+		}
+		traces := BuildPathTraces(typ, hs, nil)
+		var total uint64
+		for _, tr := range traces {
+			total += tr.Count
+		}
+		return total == uint64(len(picks)) && len(traces) <= 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

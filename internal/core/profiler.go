@@ -1,0 +1,193 @@
+package core
+
+import (
+	"dprof/internal/hw"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+// Config tunes a profiling session.
+type Config struct {
+	// SampleRate is the IBS rate in samples per second per core. The paper
+	// sweeps 1,000-18,000 (Figure 6-2).
+	SampleRate float64
+	// MaxAddrRecords caps retained address-set records (0 = unlimited).
+	MaxAddrRecords int
+	// WatchLen is the debug-register window in bytes (1..8).
+	WatchLen uint32
+}
+
+// DefaultConfig returns a moderate-overhead profiling configuration.
+func DefaultConfig() Config {
+	return Config{SampleRate: 8000, MaxAddrRecords: 500_000, WatchLen: 4}
+}
+
+// Profiler is one DProf session attached to a machine and its allocator.
+type Profiler struct {
+	M     *sim.Machine
+	Alloc *mem.Allocator
+
+	IBS   *hw.IBS
+	DRegs *hw.DebugRegs
+
+	Samples   *SampleTable
+	AddrSet   *AddressSet
+	Collector *Collector
+
+	cfg      Config
+	sampling bool
+
+	traceCache map[*mem.Type][]*PathTrace
+}
+
+// Attach wires a profiler to the machine: it creates the IBS and
+// debug-register units, instruments the allocator for the address set and
+// history collection, and seeds the address set with static objects.
+// Sampling and history collection start explicitly.
+func Attach(m *sim.Machine, alloc *mem.Allocator, cfg Config) *Profiler {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = DefaultConfig().SampleRate
+	}
+	if cfg.WatchLen == 0 || cfg.WatchLen > hw.MaxWatchBytes {
+		cfg.WatchLen = 4
+	}
+	p := &Profiler{
+		M:          m,
+		Alloc:      alloc,
+		IBS:        hw.NewIBS(m),
+		DRegs:      hw.NewDebugRegs(m),
+		Samples:    NewSampleTable(),
+		AddrSet:    NewAddressSet(),
+		cfg:        cfg,
+		traceCache: make(map[*mem.Type][]*PathTrace),
+	}
+	p.AddrSet.MaxObjects = cfg.MaxAddrRecords
+	p.Collector = newCollector(p)
+	p.Collector.WatchLen = cfg.WatchLen
+
+	for _, s := range alloc.Statics() {
+		p.AddrSet.AddStatic(s.Type, s.Base)
+	}
+	for _, s := range alloc.InternalObjects() {
+		p.AddrSet.AddStatic(s.Type, s.Base)
+	}
+	for _, s := range alloc.LiveObjects() {
+		p.AddrSet.AddStatic(s.Type, s.Base)
+	}
+	alloc.OnAlloc(p.AddrSet.OnAlloc)
+	alloc.OnFree(p.AddrSet.OnFree)
+	alloc.OnFree(func(c *sim.Ctx, t *mem.Type, addr uint64) { p.Collector.onFree(c, addr) })
+	return p
+}
+
+// Config returns the profiler's configuration.
+func (p *Profiler) Config() Config { return p.cfg }
+
+// StartSampling turns on IBS access sampling. Each delivered sample costs
+// the interrupted core ~2,000 cycles — the overhead Figure 6-2 measures.
+func (p *Profiler) StartSampling() {
+	if p.sampling {
+		return
+	}
+	p.sampling = true
+	p.IBS.Start(p.cfg.SampleRate, func(c *sim.Ctx, s hw.Sample) {
+		t, base, ok := p.Alloc.Resolve(s.Ev.Addr)
+		if !ok {
+			p.Samples.Add(nil, 0, &s.Ev)
+			return
+		}
+		p.Samples.Add(t, uint32(s.Ev.Addr-base), &s.Ev)
+	})
+}
+
+// StopSampling turns IBS off.
+func (p *Profiler) StopSampling() {
+	p.sampling = false
+	p.IBS.Stop()
+}
+
+// CollectHistories queues `sets` single-offset history sets for each type
+// and starts the collector (if not already running). Histories accumulate
+// while the workload runs.
+func (p *Profiler) CollectHistories(sets int, types ...*mem.Type) {
+	for _, t := range types {
+		p.Collector.AddSingleTargets(t, sets)
+	}
+	if !p.Collector.Running() {
+		p.Collector.Start()
+	}
+}
+
+// CollectPairwise queues pairwise-sampling sets over the given offsets of a
+// type (§5.3). If offsets is nil, the most-sampled offsets are used, as §6.4
+// describes ("DProf analyzes the access samples to find the most used
+// members").
+func (p *Profiler) CollectPairwise(t *mem.Type, offsets []uint32, sets, maxOffsets int) {
+	if offsets == nil {
+		offsets = p.Samples.HotOffsets(t, p.cfg.WatchLen, maxOffsets)
+	}
+	if len(offsets) < 2 {
+		// Not enough sampled offsets to order pairwise; fall back to the
+		// first two watchable offsets.
+		offsets = []uint32{0, p.cfg.WatchLen}
+	}
+	p.Collector.AddPairTargets(t, offsets, sets)
+	if !p.Collector.Running() {
+		p.Collector.Start()
+	}
+}
+
+// PathTraces builds (and caches) the path traces for a type from the
+// collected histories and access samples.
+func (p *Profiler) PathTraces(t *mem.Type) []*PathTrace {
+	if tr, ok := p.traceCache[t]; ok {
+		return tr
+	}
+	tr := BuildPathTraces(t, p.Collector.Histories(t), p.Samples)
+	p.traceCache[t] = tr
+	return tr
+}
+
+// InvalidateTraceCache drops memoized path traces (after collecting more
+// histories).
+func (p *Profiler) InvalidateTraceCache() {
+	p.traceCache = make(map[*mem.Type][]*PathTrace)
+}
+
+// allTraces builds traces for every type with histories.
+func (p *Profiler) allTraces() map[*mem.Type][]*PathTrace {
+	out := make(map[*mem.Type][]*PathTrace)
+	for _, h := range p.Collector.AllHistories() {
+		if _, ok := out[h.Type]; !ok {
+			out[h.Type] = p.PathTraces(h.Type)
+		}
+	}
+	return out
+}
+
+// DataProfile builds the data profile view (§4.1).
+func (p *Profiler) DataProfile() *DataProfile {
+	return BuildDataProfile(p.Samples, p.AddrSet, p.Collector)
+}
+
+// WorkingSet builds the working set view (§4.2) using the machine's L1
+// geometry.
+func (p *Profiler) WorkingSet() *WorkingSetView {
+	cfg := p.M.Hier.Config()
+	geo := workingSetGeometry{
+		lineSize: cfg.LineSize,
+		sets:     p.M.Hier.L1Sets(),
+		ways:     cfg.L1Ways,
+	}
+	return BuildWorkingSet(p.AddrSet, p.allTraces(), geo, 200_000)
+}
+
+// MissClassification builds the miss classification view (§4.3).
+func (p *Profiler) MissClassification() []MissClassRow {
+	return BuildMissClassification(p.Samples, p.allTraces(), p.WorkingSet(), p.M.Hier.Config().LineSize)
+}
+
+// DataFlow builds the data flow view for one type (§4.4).
+func (p *Profiler) DataFlow(t *mem.Type) *FlowGraph {
+	return BuildDataFlow(t, p.PathTraces(t))
+}

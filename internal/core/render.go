@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dprof/internal/cache"
+	"dprof/internal/sym"
+)
+
+// symName resolves a PC for display (indirection for the views package).
+func symName(pc sym.PC) string { return sym.Name(pc) }
+
+// fmtBytes renders a byte count the way the paper's tables do (B/KB/MB).
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// String renders the data profile like Tables 6.1/6.4/6.5: working set and
+// data profile views side by side.
+func (dp *DataProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-40s %10s %10s %7s\n",
+		"Type name", "Description", "WS Size", "% L1 miss", "Bounce")
+	var totalBytes, totalPct float64
+	for _, row := range dp.Rows {
+		if row.MissPct < 0.5 {
+			continue // the paper's tables list only the top types
+		}
+		bounce := "no"
+		if row.Bounce {
+			bounce = "yes"
+		}
+		fmt.Fprintf(&b, "%-16s %-40s %10s %9.2f%% %7s\n",
+			row.Type.Name, row.Type.Desc, fmtBytes(float64(row.WorkingSetBytes)), row.MissPct, bounce)
+		totalBytes += float64(row.WorkingSetBytes)
+		totalPct += row.MissPct
+	}
+	fmt.Fprintf(&b, "%-16s %-40s %10s %9.2f%%\n", "Total", "", fmtBytes(totalBytes), totalPct)
+	if dp.UnresolvedPct > 0 {
+		fmt.Fprintf(&b, "(%.1f%% of miss samples unresolved; %d samples total)\n",
+			dp.UnresolvedPct, dp.TotalSamples)
+	}
+	return b.String()
+}
+
+// String renders the working set view.
+func (v *WorkingSetView) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %10s\n",
+		"Type name", "Peak bytes", "Avg bytes", "Peak objs", "Avg objs")
+	for _, row := range v.Rows {
+		if row.PeakBytes < 1024 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %12s %12s %10d %10.1f\n",
+			row.Type.Name, fmtBytes(float64(row.PeakBytes)), fmtBytes(row.AvgBytes),
+			row.PeakCount, row.AvgCount)
+		for _, p := range row.TopPaths {
+			fmt.Fprintf(&b, "    path %s\n", p)
+		}
+	}
+	fmt.Fprintf(&b, "associativity sets: mean %.1f lines/set, %d overloaded (>2x mean, ways=%d)\n",
+		v.MeanLines, len(v.Overloaded), v.Ways)
+	for i, st := range v.Overloaded {
+		if i == 8 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(v.Overloaded)-8)
+			break
+		}
+		fmt.Fprintf(&b, "  set %4d: %d lines (%s)\n", st.Index, st.DistinctLines, typeCounts(st.ByType))
+	}
+	return b.String()
+}
+
+func typeCounts(m map[string]int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	var kvs []kv
+	for k, v := range m {
+		kvs = append(kvs, kv{k, v})
+	}
+	for i := 0; i < len(kvs); i++ {
+		for j := i + 1; j < len(kvs); j++ {
+			if kvs[j].v > kvs[i].v || (kvs[j].v == kvs[i].v && kvs[j].k < kvs[i].k) {
+				kvs[i], kvs[j] = kvs[j], kvs[i]
+			}
+		}
+	}
+	var parts []string
+	for i, x := range kvs {
+		if i == 4 {
+			parts = append(parts, "...")
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", x.k, x.v))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RenderMissClassification prints the miss classification view.
+func RenderMissClassification(rows []MissClassRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s %8s\n",
+		"Type name", "misses", "inval%", "true%", "false%", "confl%", "capac%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Type.Name, r.MissSamples, r.InvalidationPct, r.TrueSharingPct,
+			r.FalseSharingPct, r.ConflictPct, r.CapacityPct)
+	}
+	return b.String()
+}
+
+// String renders a path trace like Table 4.1.
+func (tr *PathTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path trace for %s (x%d, freq %.1f%%, avg lifetime %.0f cycles)\n",
+		tr.Type.Name, tr.Count, 100*tr.Frequency, tr.AvgLifetime)
+	fmt.Fprintf(&b, "%10s  %-26s %4s %12s  %-26s %10s\n",
+		"time", "function", "cpu?", "offsets", "cache hit probability", "avg access")
+	for _, st := range tr.Steps {
+		cpu := "no"
+		if st.CPUChange {
+			cpu = "yes"
+		}
+		probs := "-"
+		lat := "-"
+		if st.HaveStats {
+			probs = levelProbs(st.LevelProb)
+			lat = fmt.Sprintf("%.0f ns", st.AvgLatency)
+		}
+		fmt.Fprintf(&b, "%10.0f  %-26s %4s %5d-%-6d  %-26s %10s\n",
+			st.AvgTime, sym.Name(st.PC), cpu, st.OffLo, st.OffHi, probs, lat)
+	}
+	return b.String()
+}
+
+func levelProbs(p [cache.NumLevels]float64) string {
+	var parts []string
+	for lv := 0; lv < cache.NumLevels; lv++ {
+		if p[lv] >= 0.005 {
+			parts = append(parts, fmt.Sprintf("%.0f%% %s", 100*p[lv], cache.Level(lv)))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResidencyRow is one type's time-averaged presence in the replayed cache.
+type ResidencyRow struct {
+	Type     string
+	AvgLines float64
+	MaxLines int
+}
+
+// ResidencyView is the §4.2 cache simulation: DProf replays the address set
+// in time order through a simulated cache of the machine's total capacity —
+// objects insert their cache lines at allocation, a free removes the
+// object's lines ("when an object is freed in its path trace, that object's
+// cache lines are removed from the simulated cache"), and an LRU policy
+// evicts when the capacity overflows. The output is the count of each data
+// type present in the cache, averaged over the simulation.
+type ResidencyView struct {
+	Rows          []ResidencyRow
+	CapacityLines int
+	Evictions     uint64
+	ReplayedObjs  int
+}
+
+// replayEvent is one allocation or free in time order.
+type replayEvent struct {
+	at    uint64
+	alloc bool
+	obj   int // index into the record slice
+}
+
+// lruCache is the §4.2 mini-simulation's cache: a capacity-bounded set of
+// lines with LRU eviction, tracking per-type resident counts.
+type lruCache struct {
+	cap     int
+	tick    uint64
+	entries map[uint64]*lruEntry // line -> entry
+	byType  map[string]int
+
+	evictions uint64
+}
+
+type lruEntry struct {
+	typ  string
+	used uint64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		entries: make(map[uint64]*lruEntry, capacity),
+		byType:  make(map[string]int),
+	}
+}
+
+// insert adds a line for a type, evicting the LRU line when full.
+func (c *lruCache) insert(line uint64, typ string) {
+	c.tick++
+	if e, ok := c.entries[line]; ok {
+		e.used = c.tick
+		return
+	}
+	if len(c.entries) >= c.cap {
+		// Evict the least recently used line. A heap would be faster; the
+		// replay samples a bounded object population, so a scan epoch
+		// suffices and keeps the structure allocation-free.
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for l, e := range c.entries {
+			if e.used < oldest {
+				oldest = e.used
+				victim = l
+			}
+		}
+		c.remove(victim)
+		c.evictions++
+	}
+	c.entries[line] = &lruEntry{typ: typ, used: c.tick}
+	c.byType[typ]++
+}
+
+func (c *lruCache) remove(line uint64) {
+	if e, ok := c.entries[line]; ok {
+		c.byType[e.typ]--
+		delete(c.entries, line)
+	}
+}
+
+// CacheResidency runs the §4.2 replay over the profiler's address set. It
+// samples at most maxObjects records (weighted uniformly, as the paper picks
+// address sets randomly) and replays their allocation and free events in
+// time order through a cache of the machine's combined capacity.
+func (p *Profiler) CacheResidency(maxObjects int) *ResidencyView {
+	cfg := p.M.Hier.Config()
+	capLines := int((cfg.L2Size*uint64(p.M.NumCores()) + cfg.L3Size) / cfg.LineSize)
+	v := &ResidencyView{CapacityLines: capLines}
+
+	objs := p.AddrSet.Objects()
+	step := 1
+	if maxObjects > 0 && len(objs) > maxObjects {
+		step = (len(objs) + maxObjects - 1) / maxObjects
+	}
+	var events []replayEvent
+	for i := 0; i < len(objs); i += step {
+		rec := &objs[i]
+		v.ReplayedObjs++
+		events = append(events, replayEvent{at: rec.AllocAt, alloc: true, obj: i})
+		if !rec.Live() {
+			events = append(events, replayEvent{at: rec.FreeAt, alloc: false, obj: i})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].alloc && !events[b].alloc // alloc before same-time free
+	})
+	if len(events) == 0 {
+		return v
+	}
+
+	cache := newLRUCache(capLines)
+	integral := make(map[string]float64)
+	maxSeen := make(map[string]int)
+	last := events[0].at
+	span := events[len(events)-1].at - events[0].at
+	accrue := func(now uint64) {
+		dt := float64(now - last)
+		for typ, n := range cache.byType {
+			integral[typ] += dt * float64(n)
+		}
+		last = now
+	}
+	for _, ev := range events {
+		accrue(ev.at)
+		rec := &objs[ev.obj]
+		lineLo := rec.Addr / 64
+		lineHi := (rec.Addr + rec.Type.ObjSize() - 1) / 64
+		for l := lineLo; l <= lineHi; l++ {
+			if ev.alloc {
+				cache.insert(l, rec.Type.Name)
+			} else {
+				cache.remove(l)
+			}
+		}
+		if ev.alloc {
+			if n := cache.byType[rec.Type.Name]; n > maxSeen[rec.Type.Name] {
+				maxSeen[rec.Type.Name] = n
+			}
+		}
+	}
+	v.Evictions = cache.evictions
+	for typ, area := range integral {
+		row := ResidencyRow{Type: typ, MaxLines: maxSeen[typ]}
+		if span > 0 {
+			row.AvgLines = area / float64(span)
+		} else {
+			row.AvgLines = float64(cache.byType[typ])
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	sort.Slice(v.Rows, func(i, j int) bool {
+		if v.Rows[i].AvgLines != v.Rows[j].AvgLines {
+			return v.Rows[i].AvgLines > v.Rows[j].AvgLines
+		}
+		return v.Rows[i].Type < v.Rows[j].Type
+	})
+	return v
+}
+
+// String renders the residency view.
+func (v *ResidencyView) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed cache residency (capacity %d lines, %d objects, %d evictions)\n",
+		v.CapacityLines, v.ReplayedObjs, v.Evictions)
+	fmt.Fprintf(&b, "%-16s %12s %10s\n", "Type name", "Avg lines", "Max lines")
+	for _, r := range v.Rows {
+		if r.AvgLines < 0.5 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %12.1f %10d\n", r.Type, r.AvgLines, r.MaxLines)
+	}
+	return b.String()
+}
+
+// AvgLinesFor returns the time-averaged resident lines for a type name.
+func (v *ResidencyView) AvgLinesFor(name string) float64 {
+	for _, r := range v.Rows {
+		if r.Type == name {
+			return r.AvgLines
+		}
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dprof/internal/sim"
+)
+
+func TestCacheResidencyTracksLiveObjects(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("resident_r", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		// Two objects live for a long stretch, one freed immediately.
+		x := a.Alloc(c, typ)
+		y := a.Alloc(c, typ)
+		z := a.Alloc(c, typ)
+		a.Free(c, z)
+		c.Compute(1_000_000)
+		a.Free(c, x)
+		a.Free(c, y)
+	})
+	m.RunAll()
+	v := p.CacheResidency(0)
+	if v.ReplayedObjs < 3 {
+		t.Fatalf("replayed %d objects", v.ReplayedObjs)
+	}
+	avg := v.AvgLinesFor("resident_r")
+	// Two 128-byte objects (2 lines each) resident for almost the whole
+	// span: expect close to 4 average lines.
+	if avg < 3 || avg > 5 {
+		t.Fatalf("avg lines = %.2f, want ~4", avg)
+	}
+	if !strings.Contains(v.String(), "resident_r") {
+		t.Error("render missing type")
+	}
+}
+
+func TestCacheResidencyFreeRemovesLines(t *testing.T) {
+	m, a, p := collectorWorld(1)
+	typ := a.RegisterType("transient", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		// Objects freed right away: near-zero average residency.
+		for i := 0; i < 50; i++ {
+			x := a.Alloc(c, typ)
+			a.Free(c, x)
+			c.Compute(10_000)
+		}
+	})
+	m.RunAll()
+	v := p.CacheResidency(0)
+	if avg := v.AvgLinesFor("transient"); avg > 1 {
+		t.Fatalf("freed-immediately objects average %.2f resident lines", avg)
+	}
+}
+
+func TestCacheResidencyEvictsAtCapacity(t *testing.T) {
+	c := newLRUCache(2)
+	c.insert(1, "a")
+	c.insert(2, "a")
+	c.insert(3, "b") // evicts line 1 (LRU)
+	if c.evictions != 1 {
+		t.Fatalf("evictions = %d", c.evictions)
+	}
+	if c.byType["a"] != 1 || c.byType["b"] != 1 {
+		t.Fatalf("byType = %v", c.byType)
+	}
+	// Touch line 2 then insert: line 3 is now LRU.
+	c.insert(2, "a")
+	c.insert(4, "b")
+	if _, ok := c.entries[3]; ok {
+		t.Fatal("LRU order not respected")
+	}
+}
+
+func TestCacheResidencyEmptyAddressSet(t *testing.T) {
+	_, _, p := collectorWorld(1)
+	v := p.CacheResidency(0)
+	// Statics seeded by Attach still replay; the view must not crash and
+	// statics (alloc time 0, never freed) should be resident.
+	if v.CapacityLines == 0 {
+		t.Fatal("capacity not computed")
+	}
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dprof/internal/cache"
+	"dprof/internal/mem"
+)
+
+// DataProfileRow is one line of the data profile view: a data type, its
+// working-set size, its share of all L1 misses, and whether its objects
+// bounce between cores (Tables 6.1, 6.4, 6.5).
+type DataProfileRow struct {
+	Type            *mem.Type
+	WorkingSetBytes uint64
+	MissPct         float64 // % of all sampled L1 misses
+	Bounce          bool
+	Samples         uint64
+	MissSamples     uint64
+	AvgMissLatency  float64
+}
+
+// DataProfile is the highest-level view: types ranked by cache misses.
+type DataProfile struct {
+	Rows             []DataProfileRow
+	TotalSamples     uint64
+	TotalMissSamples uint64
+	UnresolvedPct    float64 // % of miss samples with no resolvable type
+}
+
+// BuildDataProfile combines the sample table, address set, and (optionally)
+// collected histories into the data profile view (§4.1).
+func BuildDataProfile(samples *SampleTable, addrs *AddressSet, col *Collector) *DataProfile {
+	dp := &DataProfile{
+		TotalSamples:     samples.Total,
+		TotalMissSamples: samples.TotalMisses,
+	}
+	var unresolvedMisses uint64
+	byType := samples.ByType()
+	for t, agg := range byType {
+		if t == nil {
+			unresolvedMisses = agg.Misses
+			continue
+		}
+		row := DataProfileRow{
+			Type:           t,
+			MissPct:        100 * agg.MissShare(samples),
+			Samples:        agg.Samples,
+			MissSamples:    agg.Misses,
+			AvgMissLatency: agg.AvgMissLatency(),
+		}
+		row.WorkingSetBytes = addrs.UsageFor(t).PeakBytes
+		row.Bounce = bounceFor(t, agg, col)
+		dp.Rows = append(dp.Rows, row)
+	}
+	if samples.TotalMisses > 0 {
+		dp.UnresolvedPct = 100 * float64(unresolvedMisses) / float64(samples.TotalMisses)
+	}
+	sort.Slice(dp.Rows, func(i, j int) bool {
+		if dp.Rows[i].MissPct != dp.Rows[j].MissPct {
+			return dp.Rows[i].MissPct > dp.Rows[j].MissPct
+		}
+		return dp.Rows[i].Type.Name < dp.Rows[j].Type.Name
+	})
+	return dp
+}
+
+// bounceFor decides the "bounce" column: object access histories are
+// authoritative when available; otherwise samples showing foreign-cache
+// transfers or multi-CPU writers imply bouncing.
+func bounceFor(t *mem.Type, agg *TypeAggregate, col *Collector) bool {
+	if col != nil {
+		if hs := col.Histories(t); len(hs) > 0 {
+			for _, h := range hs {
+				if h.CrossCPU() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if agg.Samples == 0 {
+		return false
+	}
+	// Foreign-cache transfers are the signature of objects moving between
+	// cores. Multi-core writes alone are not: sixteen per-core sockets
+	// written by sixteen different cores never share a line.
+	foreignFrac := float64(agg.Levels[cache.ForeignHit]) / float64(agg.Samples)
+	return foreignFrac > 0.002
+}
+
+// AssocSetStat describes one L1 associativity set in the working-set view.
+type AssocSetStat struct {
+	Index         int
+	DistinctLines int
+	ByType        map[string]int // distinct lines per type name
+}
+
+// WorkingSetRow is one type's footprint in the working-set view.
+type WorkingSetRow struct {
+	Type      *mem.Type
+	PeakBytes uint64
+	AvgBytes  float64
+	PeakCount uint64
+	AvgCount  float64
+
+	// TopPaths summarizes the execution paths objects of this type take
+	// (§4.2: knowing the cache is full of skbuffs is not enough — the
+	// programmer needs to know *which of the many potential sources* is
+	// generating them). Each entry is "freq%: fn -> fn -> ...".
+	TopPaths []string
+}
+
+// WorkingSetView reports what data is in the cache: per-type footprints and
+// the associativity-set histogram DProf builds with its replay simulation
+// (§4.2).
+type WorkingSetView struct {
+	Rows []WorkingSetRow
+
+	LinesPerSet []int // distinct cache lines that ever mapped to each L1 set
+	MeanLines   float64
+	Ways        int
+	Overloaded  []AssocSetStat // sets holding >2x the mean (conflict suspects)
+
+	SampledObjects int
+}
+
+// workingSetGeometry captures the cache parameters the replay needs.
+type workingSetGeometry struct {
+	lineSize uint64
+	sets     int
+	ways     int
+}
+
+// BuildWorkingSet replays the address set through the cache geometry:
+// every sampled object contributes the cache lines its accessed offsets
+// (from path traces, or its whole extent without them) map to (§4.2).
+func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo workingSetGeometry, maxObjects int) *WorkingSetView {
+	v := &WorkingSetView{
+		LinesPerSet: make([]int, geo.sets),
+		Ways:        geo.ways,
+	}
+	for _, u := range addrs.Usage() {
+		v.Rows = append(v.Rows, WorkingSetRow{
+			Type:      u.Type,
+			PeakBytes: u.PeakBytes,
+			AvgBytes:  u.AvgBytes,
+			PeakCount: u.PeakCount,
+			AvgCount:  u.AvgCount,
+			TopPaths:  summarizePaths(traces[u.Type], 3),
+		})
+	}
+
+	// Per-type accessed-offset ranges, from path traces when available.
+	type offRange struct{ lo, hi uint64 }
+	rangesFor := func(t *mem.Type) []offRange {
+		trs := traces[t]
+		if len(trs) == 0 {
+			return []offRange{{0, t.ObjSize()}}
+		}
+		var rs []offRange
+		for _, tr := range trs {
+			for _, st := range tr.Steps {
+				if st.Synthetic {
+					continue
+				}
+				rs = append(rs, offRange{uint64(st.OffLo), uint64(st.OffHi)})
+			}
+		}
+		if len(rs) == 0 {
+			return []offRange{{0, t.ObjSize()}}
+		}
+		return rs
+	}
+	rangeCache := make(map[*mem.Type][]offRange)
+
+	perSet := make([]map[uint64]string, geo.sets)
+	objs := addrs.Objects()
+	step := 1
+	if maxObjects > 0 && len(objs) > maxObjects {
+		step = (len(objs) + maxObjects - 1) / maxObjects
+	}
+	for i := 0; i < len(objs); i += step {
+		rec := &objs[i]
+		v.SampledObjects++
+		rs, ok := rangeCache[rec.Type]
+		if !ok {
+			rs = rangesFor(rec.Type)
+			rangeCache[rec.Type] = rs
+		}
+		for _, r := range rs {
+			for off := r.lo &^ (geo.lineSize - 1); off < r.hi; off += geo.lineSize {
+				line := (rec.Addr + off) / geo.lineSize
+				set := int(line) & (geo.sets - 1)
+				if perSet[set] == nil {
+					perSet[set] = make(map[uint64]string)
+				}
+				if _, dup := perSet[set][line]; !dup {
+					perSet[set][line] = rec.Type.Name
+				}
+			}
+		}
+	}
+	var total int
+	for i, m := range perSet {
+		v.LinesPerSet[i] = len(m)
+		total += len(m)
+	}
+	v.MeanLines = float64(total) / float64(geo.sets)
+
+	threshold := 2 * v.MeanLines
+	for i, m := range perSet {
+		if float64(len(m)) > threshold && len(m) > geo.ways {
+			st := AssocSetStat{Index: i, DistinctLines: len(m), ByType: make(map[string]int)}
+			for _, name := range m {
+				st.ByType[name]++
+			}
+			v.Overloaded = append(v.Overloaded, st)
+		}
+	}
+	sort.Slice(v.Overloaded, func(i, j int) bool {
+		if v.Overloaded[i].DistinctLines != v.Overloaded[j].DistinctLines {
+			return v.Overloaded[i].DistinctLines > v.Overloaded[j].DistinctLines
+		}
+		return v.Overloaded[i].Index < v.Overloaded[j].Index
+	})
+	return v
+}
+
+// summarizePaths renders a type's most frequent execution paths as short
+// "freq%: fn -> fn" strings for the working-set view.
+func summarizePaths(traces []*PathTrace, max int) []string {
+	var out []string
+	for i, tr := range traces {
+		if i == max {
+			break
+		}
+		var fns []string
+		var last string
+		for _, st := range tr.Steps {
+			name := symName(st.PC)
+			if name == last {
+				continue
+			}
+			last = name
+			fns = append(fns, name)
+			if len(fns) == 6 {
+				fns = append(fns, "...")
+				break
+			}
+		}
+		out = append(out, fmt.Sprintf("%.0f%%: %s", 100*tr.Frequency, strings.Join(fns, " -> ")))
+	}
+	return out
+}
+
+// conflictShare returns the fraction of a type's cache lines that map into
+// overloaded associativity sets.
+func (v *WorkingSetView) conflictShare(t *mem.Type) float64 {
+	if len(v.Overloaded) == 0 {
+		return 0
+	}
+	over := 0
+	for _, st := range v.Overloaded {
+		over += st.ByType[t.Name]
+	}
+	var total float64
+	for _, row := range v.Rows {
+		if row.Type == t {
+			total = float64(row.PeakBytes) / 64
+			break
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	share := float64(over) / total
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// spreadEvenly reports whether the overload is broad (capacity) rather than
+// concentrated in a few sets (conflict), per §4.3's heuristic.
+func (v *WorkingSetView) spreadEvenly() bool {
+	return len(v.Overloaded) > len(v.LinesPerSet)/8
+}
+
+// MissClassRow classifies one type's misses (§4.3).
+type MissClassRow struct {
+	Type        *mem.Type
+	MissSamples uint64
+
+	// Percentages of this type's misses.
+	InvalidationPct float64 // all sharing-induced misses
+	TrueSharingPct  float64
+	FalseSharingPct float64
+	ConflictPct     float64
+	CapacityPct     float64
+	// Compulsory misses are assumed absent (§4.3).
+}
+
+// BuildMissClassification classifies each type's misses into invalidation
+// (true/false sharing), conflict, and capacity misses.
+//
+// Sharing misses are identified per the paper: a miss whose path trace
+// contains an earlier write to the same cache line from a different CPU is
+// an invalidation miss. It is false sharing when the type's layout packs
+// multiple objects into one line and the prior cross-CPU write touched a
+// different object (detected by the absence of a same-object cross-CPU
+// write). Non-invalidation misses split between conflict and capacity using
+// the working-set histogram.
+func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathTrace, ws *WorkingSetView, lineSize uint64) []MissClassRow {
+	var rows []MissClassRow
+	for t, agg := range samples.ByType() {
+		if t == nil || agg.Misses == 0 {
+			continue
+		}
+		row := MissClassRow{Type: t, MissSamples: agg.Misses}
+
+		invalFrac, trueFrac := invalidationFractions(t, traces[t], agg, lineSize)
+		sharesLines := t.ObjSize()%lineSize != 0
+		falseFrac := 0.0
+		if sharesLines {
+			falseFrac = invalFrac - trueFrac
+			if falseFrac < 0 {
+				falseFrac = 0
+			}
+		} else {
+			trueFrac = invalFrac
+		}
+
+		row.InvalidationPct = 100 * invalFrac
+		row.TrueSharingPct = 100 * (invalFrac - falseFrac)
+		row.FalseSharingPct = 100 * falseFrac
+
+		rest := 1 - invalFrac
+		if rest < 0 {
+			rest = 0
+		}
+		conflictShare := 0.0
+		if ws != nil {
+			conflictShare = ws.conflictShare(t)
+			if ws.spreadEvenly() {
+				// Broad overload means the cache is simply too small:
+				// attribute the overflow to capacity.
+				conflictShare = 0
+			}
+		}
+		row.ConflictPct = 100 * rest * conflictShare
+		row.CapacityPct = 100*rest - row.ConflictPct
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MissSamples != rows[j].MissSamples {
+			return rows[i].MissSamples > rows[j].MissSamples
+		}
+		return rows[i].Type.Name < rows[j].Type.Name
+	})
+	return rows
+}
+
+// invalidationFractions estimates, for one type, the fraction of misses due
+// to cross-CPU invalidations, and the fraction attributable to writes to the
+// *same object* (true sharing). With path traces it walks each miss step
+// backwards looking for a cross-CPU write to the same line (§4.3); without
+// them it falls back to the sampled foreign-hit fraction.
+func invalidationFractions(t *mem.Type, traces []*PathTrace, agg *TypeAggregate, lineSize uint64) (inval, trueShare float64) {
+	foreignFrac := 0.0
+	if agg.Misses > 0 {
+		foreignFrac = float64(agg.Levels[cache.ForeignHit]) / float64(agg.Misses)
+	}
+	if len(traces) == 0 {
+		return foreignFrac, foreignFrac
+	}
+	var missWeight, invalWeight float64
+	for _, tr := range traces {
+		w := tr.Frequency
+		for i := range tr.Steps {
+			st := &tr.Steps[i]
+			if st.Synthetic || !st.HaveStats {
+				continue
+			}
+			mp := st.MissProb()
+			if mp == 0 {
+				continue
+			}
+			missWeight += w * mp
+			if priorCrossCPUWrite(tr.Steps[:i], st, lineSize) {
+				invalWeight += w * mp
+			}
+		}
+	}
+	if missWeight == 0 {
+		return foreignFrac, foreignFrac
+	}
+	frac := invalWeight / missWeight
+	// True sharing can never exceed the observed invalidation level; the
+	// sampled foreign fraction anchors the total.
+	if foreignFrac > frac {
+		return foreignFrac, frac
+	}
+	return frac, frac
+}
+
+// priorCrossCPUWrite reports whether any earlier step wrote a cache line the
+// given step reads, from a different CPU.
+func priorCrossCPUWrite(prior []PathStep, st *PathStep, lineSize uint64) bool {
+	lineLo := uint64(st.OffLo) / lineSize
+	lineHi := uint64(st.OffHi-1) / lineSize
+	for i := len(prior) - 1; i >= 0; i-- {
+		p := &prior[i]
+		if p.Synthetic || !p.Write || p.CPU == st.CPU {
+			continue
+		}
+		plo := uint64(p.OffLo) / lineSize
+		phi := uint64(p.OffHi-1) / lineSize
+		if plo <= lineHi && lineLo <= phi {
+			return true
+		}
+	}
+	return false
+}

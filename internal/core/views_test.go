@@ -1,0 +1,277 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dprof/internal/cache"
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+func TestDataProfileRanksByMisses(t *testing.T) {
+	a := testAlloc()
+	hot := a.RegisterType("hot", 128, "hot type")
+	cold := a.RegisterType("cold", 128, "cold type")
+	st := NewSampleTable()
+	for i := 0; i < 10; i++ {
+		st.Add(hot, 0, ev("f", 0, cache.DRAM, 250, false))
+	}
+	st.Add(cold, 0, ev("g", 0, cache.DRAM, 250, false))
+	st.Add(cold, 0, ev("g", 0, cache.L1Hit, 3, false))
+	as := NewAddressSet()
+	dp := BuildDataProfile(st, as, nil)
+	if len(dp.Rows) != 2 || dp.Rows[0].Type != hot {
+		t.Fatalf("rows = %+v", dp.Rows)
+	}
+	wantHot := 100 * 10.0 / 11.0
+	if diff := dp.Rows[0].MissPct - wantHot; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("hot miss pct = %f, want %f", dp.Rows[0].MissPct, wantHot)
+	}
+}
+
+func TestDataProfileUnresolved(t *testing.T) {
+	st := NewSampleTable()
+	st.Add(nil, 0, ev("u", 0, cache.DRAM, 250, false))
+	a := testAlloc()
+	typ := a.RegisterType("t", 64, "")
+	st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))
+	dp := BuildDataProfile(st, NewAddressSet(), nil)
+	if dp.UnresolvedPct != 50 {
+		t.Fatalf("unresolved = %f, want 50", dp.UnresolvedPct)
+	}
+}
+
+func TestBounceFromForeignSamples(t *testing.T) {
+	a := testAlloc()
+	bouncer := a.RegisterType("b", 64, "")
+	pinned := a.RegisterType("p", 64, "")
+	st := NewSampleTable()
+	for i := 0; i < 100; i++ {
+		st.Add(bouncer, 0, ev("f", i%4, cache.ForeignHit, 200, false))
+		st.Add(pinned, 0, ev("g", i%4, cache.L1Hit, 3, true))
+	}
+	dp := BuildDataProfile(st, NewAddressSet(), nil)
+	for _, row := range dp.Rows {
+		switch row.Type {
+		case bouncer:
+			if !row.Bounce {
+				t.Error("foreign-heavy type not marked bouncing")
+			}
+		case pinned:
+			if row.Bounce {
+				t.Error("per-core type wrongly marked bouncing (multi-CPU writes alone)")
+			}
+		}
+	}
+}
+
+func TestBounceFromHistoriesOverridesSamples(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("hb", 64, "")
+	st := NewSampleTable()
+	st.Add(typ, 0, ev("f", 0, cache.L1Hit, 3, false)) // no foreign signal
+	agg := st.ByType()[typ]
+	col := &Collector{byType: map[*mem.Type][]*History{
+		typ: {mkHist(typ, 0, 0, 0, el("f", 2, 10, false))}, // cross-CPU
+	}}
+	if !bounceFor(typ, agg, col) {
+		t.Fatal("history-evidenced bounce ignored")
+	}
+}
+
+func TestWorkingSetReplayCountsLines(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("ws", 128, "")
+	as := NewAddressSet()
+	// Three synthetic objects at known addresses.
+	for i := uint64(0); i < 3; i++ {
+		as.AddStatic(typ, 0x40000000+i*128)
+	}
+	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	v := BuildWorkingSet(as, nil, geo, 0)
+	var total int
+	for _, n := range v.LinesPerSet {
+		total += n
+	}
+	if total != 6 { // 3 objects x 2 lines each
+		t.Fatalf("replayed lines = %d, want 6", total)
+	}
+	if v.SampledObjects != 3 {
+		t.Fatalf("sampled = %d", v.SampledObjects)
+	}
+}
+
+func TestWorkingSetDetectsOverloadedSets(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("conflict", 64, "")
+	as := NewAddressSet()
+	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	// 20 objects all mapping to set 5, plus light background in other sets.
+	for i := uint64(0); i < 20; i++ {
+		as.AddStatic(typ, (5+64*i)*64+0x40000000*0) // line index = 5 + 64i -> set 5
+	}
+	bg := a.RegisterType("bg", 64, "")
+	for i := uint64(0); i < 8; i++ {
+		as.AddStatic(bg, (i+8)*64)
+	}
+	v := BuildWorkingSet(as, nil, geo, 0)
+	if len(v.Overloaded) == 0 {
+		t.Fatal("overloaded set not detected")
+	}
+	found := false
+	for _, s := range v.Overloaded {
+		if s.Index == 5 && s.ByType["conflict"] >= 18 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("set 5 not attributed to the conflicting type: %+v", v.Overloaded)
+	}
+	if v.conflictShare(typ) < 0.5 {
+		t.Fatalf("conflict share = %f", v.conflictShare(typ))
+	}
+}
+
+func TestWorkingSetUsesTraceOffsets(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("big", 1024, "")
+	as := NewAddressSet()
+	as.AddStatic(typ, 0x40000000)
+	// A path trace showing only the first 64 bytes are touched.
+	traces := map[*mem.Type][]*PathTrace{
+		typ: {{
+			Type: typ,
+			Steps: []PathStep{
+				{PC: sym.Intern("f"), OffLo: 0, OffHi: 64},
+			},
+		}},
+	}
+	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	v := BuildWorkingSet(as, traces, geo, 0)
+	var total int
+	for _, n := range v.LinesPerSet {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("trace-guided replay counted %d lines, want 1", total)
+	}
+}
+
+func TestMissClassificationTrueSharing(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("shared", 64, "")
+	st := NewSampleTable()
+	for i := 0; i < 50; i++ {
+		st.Add(typ, 0, ev("reader", 1, cache.ForeignHit, 200, false))
+	}
+	// Trace: writer on CPU0 then reader on CPU1 missing.
+	traces := map[*mem.Type][]*PathTrace{typ: {{
+		Type: typ, Count: 10, Frequency: 1,
+		Steps: []PathStep{
+			{PC: sym.Intern("writer"), CPU: 0, OffLo: 0, OffHi: 8, Write: true},
+			{PC: sym.Intern("reader"), CPU: 1, CPUChange: true, OffLo: 0, OffHi: 8,
+				HaveStats: true, LevelProb: foreignProb(), AvgLatency: 200},
+		},
+	}}}
+	rows := BuildMissClassification(st, traces, nil, 64)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.InvalidationPct < 90 {
+		t.Fatalf("invalidation pct = %f, want ~100", r.InvalidationPct)
+	}
+	if r.TrueSharingPct < 90 || r.FalseSharingPct > 10 {
+		t.Fatalf("true/false = %f/%f", r.TrueSharingPct, r.FalseSharingPct)
+	}
+}
+
+func foreignProb() [cache.NumLevels]float64 {
+	var p [cache.NumLevels]float64
+	p[cache.ForeignHit] = 1
+	return p
+}
+
+func TestMissClassificationFalseSharing(t *testing.T) {
+	a := testAlloc()
+	// Sub-line objects: two per cache line.
+	typ := a.RegisterTypeAligned("packed", 32, "", 32)
+	st := NewSampleTable()
+	for i := 0; i < 50; i++ {
+		st.Add(typ, 0, ev("reader", 1, cache.ForeignHit, 200, false))
+	}
+	// The object's own trace shows no cross-CPU write — the invalidations
+	// come from the neighbour on the same line, i.e. false sharing.
+	traces := map[*mem.Type][]*PathTrace{typ: {{
+		Type: typ, Count: 10, Frequency: 1,
+		Steps: []PathStep{
+			{PC: sym.Intern("reader"), CPU: 0, OffLo: 0, OffHi: 8,
+				HaveStats: true, LevelProb: foreignProb(), AvgLatency: 200},
+		},
+	}}}
+	rows := BuildMissClassification(st, traces, nil, 64)
+	r := rows[0]
+	if r.FalseSharingPct < 90 {
+		t.Fatalf("false sharing pct = %f, want ~100 (inval=%f true=%f)",
+			r.FalseSharingPct, r.InvalidationPct, r.TrueSharingPct)
+	}
+}
+
+func TestMissClassificationCapacity(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("bulk", 64, "")
+	st := NewSampleTable()
+	for i := 0; i < 50; i++ {
+		st.Add(typ, 0, ev("scan", 0, cache.DRAM, 250, false))
+	}
+	rows := BuildMissClassification(st, nil, nil, 64)
+	r := rows[0]
+	if r.CapacityPct < 90 {
+		t.Fatalf("capacity pct = %f (inval=%f confl=%f)", r.CapacityPct, r.InvalidationPct, r.ConflictPct)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("render", 128, "render me")
+	st := NewSampleTable()
+	for i := 0; i < 10; i++ {
+		st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))
+	}
+	as := NewAddressSet()
+	as.AddStatic(typ, 0x40000000)
+	dp := BuildDataProfile(st, as, nil)
+	if !strings.Contains(dp.String(), "render") {
+		t.Error("data profile render missing type")
+	}
+	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	ws := BuildWorkingSet(as, nil, geo, 0)
+	if !strings.Contains(ws.String(), "associativity") {
+		t.Error("working set render missing histogram")
+	}
+	rows := BuildMissClassification(st, nil, ws, 64)
+	if !strings.Contains(RenderMissClassification(rows), "render") {
+		t.Error("miss classification render missing type")
+	}
+	tr := &PathTrace{Type: typ, Count: 1, Frequency: 1, Steps: []PathStep{
+		{PC: sym.Intern("f"), OffLo: 0, OffHi: 8, HaveStats: true, AvgLatency: 250},
+	}}
+	if !strings.Contains(tr.String(), "f") {
+		t.Error("path trace render missing step")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[float64]string{
+		100:       "100B",
+		2048:      "2.00KB",
+		3 << 20:   "3.00MB",
+		1<<20 + 1: "1.00MB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%f) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dprof/internal/mem"
+	"dprof/internal/sym"
+)
+
+func TestWorkingSetReportsExecutionPaths(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("pathy", 2048, "")
+	as := NewAddressSet()
+	as.AddStatic(typ, 0x40000000)
+	traces := map[*mem.Type][]*PathTrace{typ: {
+		{
+			Type: typ, Count: 8, Frequency: 0.8,
+			Steps: []PathStep{
+				{PC: sym.Intern("rx_path"), OffLo: 0, OffHi: 8},
+				{PC: sym.Intern("consume"), OffLo: 8, OffHi: 16},
+			},
+		},
+		{
+			Type: typ, Count: 2, Frequency: 0.2,
+			Steps: []PathStep{{PC: sym.Intern("tx_path"), OffLo: 0, OffHi: 8}},
+		},
+	}}
+	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	v := BuildWorkingSet(as, traces, geo, 0)
+	var row *WorkingSetRow
+	for i := range v.Rows {
+		if v.Rows[i].Type == typ {
+			row = &v.Rows[i]
+		}
+	}
+	if row == nil || len(row.TopPaths) != 2 {
+		t.Fatalf("TopPaths = %+v", row)
+	}
+	if !strings.Contains(row.TopPaths[0], "rx_path") || !strings.Contains(row.TopPaths[0], "80%") {
+		t.Fatalf("dominant path = %q, want the 80%% rx path first", row.TopPaths[0])
+	}
+	if !strings.Contains(row.TopPaths[1], "tx_path") {
+		t.Fatalf("second path = %q", row.TopPaths[1])
+	}
+	// And the renderer includes them.
+	if out := v.String(); !strings.Contains(out, "rx_path") {
+		t.Errorf("render missing paths:\n%s", out)
+	}
+}
+
+func TestSummarizePathsTruncatesLongChains(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("longpath", 64, "")
+	var steps []PathStep
+	for _, fn := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		steps = append(steps, PathStep{PC: sym.Intern(fn)})
+	}
+	out := summarizePaths([]*PathTrace{{Type: typ, Frequency: 1, Steps: steps}}, 3)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if !strings.Contains(out[0], "...") {
+		t.Fatalf("long chain not truncated: %q", out[0])
+	}
+}
+
+func TestSummarizePathsDedupesConsecutive(t *testing.T) {
+	a := testAlloc()
+	typ := a.RegisterType("dupes", 64, "")
+	steps := []PathStep{
+		{PC: sym.Intern("same")}, {PC: sym.Intern("same")}, {PC: sym.Intern("next")},
+	}
+	out := summarizePaths([]*PathTrace{{Type: typ, Frequency: 1, Steps: steps}}, 1)
+	if strings.Count(out[0], "same") != 1 {
+		t.Fatalf("consecutive duplicate not collapsed: %q", out[0])
+	}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dprof/internal/app/apachesim"
+	"dprof/internal/core"
+)
+
+func init() {
+	register("table6.4", "Apache at peak: working set and data profile views (DProf)", runTable64)
+	register("table6.5", "Apache at drop-off: working set and data profile views (DProf)", runTable65)
+	register("table6.6", "Apache lock statistics (lock-stat)", runTable66)
+	register("fix-apache", "accept-queue admission control fix (+16% in the paper)", runFixApache)
+}
+
+// apacheProfile runs DProf over Apache at one operating point and returns
+// the data profile plus the tcp_sock miss latency (the 50 vs 150 cycle
+// comparison of §6.2.1).
+func apacheProfile(offered float64, quick bool) (Result, *core.Profiler) {
+	w := apacheWindow(quick)
+	b := newApache(offered, 0)
+	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
+	p.StartSampling()
+	st := b.Run(w.warmup, w.measure)
+
+	dp := p.DataProfile()
+	vals := map[string]float64{"throughput": st.Throughput, "refused": float64(st.Refused)}
+	for _, row := range dp.Rows {
+		vals[row.Type.Name+"_misspct"] = row.MissPct
+		vals[row.Type.Name+"_ws_bytes"] = float64(row.WorkingSetBytes)
+		if row.Bounce {
+			vals[row.Type.Name+"_bounce"] = 1
+		}
+		if row.Type.Name == "tcp_sock" {
+			vals["tcp_sock_miss_latency"] = row.AvgMissLatency
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(dp.String())
+	fmt.Fprintf(&sb, "\nthroughput: %.0f req/s; tcp_sock avg miss latency: %.0f cycles\n",
+		st.Throughput, vals["tcp_sock_miss_latency"])
+	return Result{Text: sb.String(), Values: vals}, p
+}
+
+// runTable64 regenerates Table 6.4: Apache profiled at peak load.
+func runTable64(quick bool) Result {
+	r, _ := apacheProfile(apachesim.PeakOffered, quick)
+	return r
+}
+
+// runTable65 regenerates Table 6.5: Apache profiled past the drop-off, where
+// the tcp_sock working set balloons. The comparison values against Table 6.4
+// are what §6.2.1 calls differential analysis.
+func runTable65(quick bool) Result {
+	peak, _ := apacheProfile(apachesim.PeakOffered, quick)
+	drop, _ := apacheProfile(apachesim.DropOffOffered, quick)
+	growth := 0.0
+	if pb := peak.Values["tcp_sock_ws_bytes"]; pb > 0 {
+		growth = drop.Values["tcp_sock_ws_bytes"] / pb
+	}
+	var sb strings.Builder
+	sb.WriteString(drop.Text)
+	fmt.Fprintf(&sb, "\ndifferential vs peak: tcp_sock working set grew %.1fx (%.2fMB -> %.2fMB)\n",
+		growth, peak.Values["tcp_sock_ws_bytes"]/(1<<20), drop.Values["tcp_sock_ws_bytes"]/(1<<20))
+	fmt.Fprintf(&sb, "tcp_sock avg miss latency: %.0f -> %.0f cycles (paper: 50 -> 150)\n",
+		peak.Values["tcp_sock_miss_latency"], drop.Values["tcp_sock_miss_latency"])
+	drop.Values["tcp_sock_ws_growth"] = growth
+	drop.Values["peak_tcp_sock_miss_latency"] = peak.Values["tcp_sock_miss_latency"]
+	drop.Values["peak_throughput"] = peak.Values["throughput"]
+	drop.Text = sb.String()
+	return drop
+}
+
+// runTable66 regenerates Table 6.6: lock-stat for Apache (the futex lock is
+// the only busy class, and it says nothing about the real problem).
+func runTable66(quick bool) Result {
+	w := apacheWindow(quick)
+	b := newApache(apachesim.DropOffOffered, 0)
+	b.K.Locks.Reset()
+	b.Run(w.warmup, w.measure)
+	rep := b.K.Locks.BuildReport(w.measure * uint64(b.M.NumCores()))
+	vals := map[string]float64{}
+	for _, row := range rep.Rows {
+		vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
+	}
+	if len(rep.Rows) > 0 {
+		vals["top_is_futex"] = boolVal(rep.Rows[0].Name == "futex lock")
+	}
+	return Result{Text: rep.String(), Values: vals}
+}
+
+// runFixApache measures the §6.2 fix: the default deep backlog versus
+// admission control, both under the drop-off offered load.
+func runFixApache(quick bool) Result {
+	w := apacheWindow(quick)
+	stDeep := newApache(apachesim.DropOffOffered, 0).Run(w.warmup, w.measure)
+	stCapped := newApache(apachesim.DropOffOffered, apachesim.FixedBacklog).Run(w.warmup, w.measure)
+	speedup := stCapped.Throughput / stDeep.Throughput
+	text := fmt.Sprintf("deep backlog (511):      %s\nadmission control (%d):  %s\nimprovement: %.0f%%  (paper: +16%%)\n",
+		stDeep, apachesim.FixedBacklog, stCapped, 100*(speedup-1))
+	return Result{Text: text, Values: map[string]float64{
+		"tput_deep":   stDeep.Throughput,
+		"tput_capped": stCapped.Throughput,
+		"speedup":     speedup,
+	}}
+}

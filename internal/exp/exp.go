@@ -1,0 +1,150 @@
+// Package exp regenerates every table and figure from the paper's evaluation
+// (§6). Each experiment builds the workload, attaches the relevant profiler
+// (DProf, lock-stat, or OProfile), runs the simulation, and renders output in
+// the shape of the paper's table or figure. EXPERIMENTS.md records measured
+// values next to the paper's.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dprof/internal/app/apachesim"
+	"dprof/internal/app/memcachedsim"
+	"dprof/internal/sim"
+)
+
+// Result is one experiment's output: rendered text plus named values for
+// programmatic assertions (tests and benchmarks).
+type Result struct {
+	Name   string
+	Title  string
+	Text   string
+	Values map[string]float64
+}
+
+// Runner produces a Result; quick trades precision for speed (used by tests).
+type Runner func(quick bool) Result
+
+type entry struct {
+	name  string
+	title string
+	run   Runner
+}
+
+var registry []entry
+
+func register(name, title string, run Runner) {
+	registry = append(registry, entry{name, title, run})
+}
+
+// paperOrder fixes the listing order to follow the paper's evaluation.
+var paperOrder = []string{
+	"table6.1", "figure6.1", "table6.2", "table6.3", "fix-memcached",
+	"table6.4", "table6.5", "table6.6", "fix-apache",
+	"figure6.2", "table6.7", "table6.8", "table6.9", "figure6.3", "table6.10",
+}
+
+// Names lists all experiments in paper order (any extras appended).
+func Names() []string {
+	seen := make(map[string]bool, len(registry))
+	for _, e := range registry {
+		seen[e.name] = true
+	}
+	var out []string
+	for _, n := range paperOrder {
+		if seen[n] {
+			out = append(out, n)
+			seen[n] = false
+		}
+	}
+	for _, e := range registry {
+		if seen[e.name] {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(name string) string {
+	for _, e := range registry {
+		if e.name == name {
+			return e.title
+		}
+	}
+	return ""
+}
+
+// Run executes one experiment by name.
+func Run(name string, quick bool) (Result, error) {
+	for _, e := range registry {
+		if e.name == name {
+			r := e.run(quick)
+			r.Name = e.name
+			r.Title = e.title
+			return r, nil
+		}
+	}
+	return Result{}, fmt.Errorf("exp: unknown experiment %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// --- shared workload constructors and run windows ---
+
+type window struct {
+	warmup  uint64
+	measure uint64
+}
+
+func memcachedWindow(quick bool) window {
+	if quick {
+		return window{1_000_000, 4_000_000}
+	}
+	return window{2_000_000, 12_000_000}
+}
+
+func apacheWindow(quick bool) window {
+	if quick {
+		return window{6_000_000, 5_000_000}
+	}
+	return window{12_000_000, 10_000_000}
+}
+
+func newMemcached(fix bool) *memcachedsim.Bench {
+	cfg := memcachedsim.DefaultConfig()
+	cfg.Kern.LocalTxQueue = fix
+	return memcachedsim.New(cfg)
+}
+
+func newApache(offered float64, backlog int) *apachesim.Bench {
+	cfg := apachesim.DefaultConfig()
+	cfg.OfferedPerCore = offered
+	if backlog > 0 {
+		cfg.Backlog = backlog
+	}
+	return apachesim.New(cfg)
+}
+
+// seconds converts cycles to simulated seconds.
+func seconds(cycles uint64) float64 { return float64(cycles) / float64(sim.Freq) }
+
+// sortedKeys renders a Values map deterministically (for logs).
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderValues pretty-prints the named values of a result.
+func RenderValues(r Result) string {
+	var b strings.Builder
+	for _, k := range sortedKeys(r.Values) {
+		fmt.Fprintf(&b, "  %-36s %14.4f\n", k, r.Values[k])
+	}
+	return b.String()
+}

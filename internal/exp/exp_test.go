@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, name string) Result {
+	t.Helper()
+	r, err := Run(name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(r.Text) == "" {
+		t.Fatalf("%s produced no output", name)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table6.1", "figure6.1", "table6.2", "table6.3", "fix-memcached",
+		"table6.4", "table6.5", "table6.6", "fix-apache",
+		"figure6.2", "table6.7", "table6.8", "table6.9", "figure6.3", "table6.10",
+	}
+	names := Names()
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d: %v", len(names), len(want), names)
+	}
+	// The paper's tables and figures come first, in paper order; extensions
+	// and ablations follow.
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("order[%d] = %s, want %s", i, names[i], n)
+		}
+		if Title(n) == "" {
+			t.Fatalf("experiment %s has no title", n)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("table9.9", true); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestTable61Shape(t *testing.T) {
+	r := runQuick(t, "table6.1")
+	if r.Values["top_is_size1024"] != 1 {
+		t.Errorf("size-1024 is not the top miss type:\n%s", r.Text)
+	}
+	for _, typ := range []string{"size-1024", "skbuff", "slab", "array_cache", "udp_sock"} {
+		if r.Values[typ+"_bounce"] != 1 {
+			t.Errorf("%s does not bounce in the broken configuration", typ)
+		}
+	}
+	if r.Values["size-1024_misspct"] < 25 {
+		t.Errorf("size-1024 miss share %.1f%%, paper has ~45%%", r.Values["size-1024_misspct"])
+	}
+}
+
+func TestFigure61Shape(t *testing.T) {
+	r := runQuick(t, "figure6.1")
+	if r.Values["qdisc_hop"] != 1 {
+		t.Errorf("data flow view missing the qdisc cross-CPU hop:\n%s", r.Text)
+	}
+	if r.Values["cross_cpu_edges"] < 1 {
+		t.Error("no cross-CPU edges found")
+	}
+}
+
+func TestTable62Shape(t *testing.T) {
+	r := runQuick(t, "table6.2")
+	if r.Values["top_is_qdisc"] != 1 {
+		t.Errorf("Qdisc lock is not the top lock-stat row:\n%s", r.Text)
+	}
+	if r.Values["epoll_lock_overhead_pct"] <= 0 {
+		t.Error("epoll lock contention missing")
+	}
+}
+
+func TestTable63Shape(t *testing.T) {
+	r := runQuick(t, "table6.3")
+	if r.Values["functions_over_1pct"] < 10 {
+		t.Errorf("OProfile found only %.0f functions over 1%%; the paper's point is a flat profile",
+			r.Values["functions_over_1pct"])
+	}
+}
+
+func TestFixMemcachedShape(t *testing.T) {
+	r := runQuick(t, "fix-memcached")
+	if s := r.Values["speedup"]; s < 1.3 || s > 2.1 {
+		t.Errorf("memcached fix speedup = %.2fx, paper = 1.57x (accepted band 1.3-2.1)", s)
+	}
+}
+
+func TestTable65Shape(t *testing.T) {
+	r := runQuick(t, "table6.5")
+	if g := r.Values["tcp_sock_ws_growth"]; g < 3 {
+		t.Errorf("tcp_sock working set growth = %.1fx, paper = ~10x", g)
+	}
+	if r.Values["tcp_sock_miss_latency"] <= r.Values["peak_tcp_sock_miss_latency"] {
+		t.Error("tcp_sock miss latency did not grow at drop-off (paper: 50 -> 150 cycles)")
+	}
+	if r.Values["throughput"] >= r.Values["peak_throughput"] {
+		t.Error("no throughput drop past the peak")
+	}
+	if r.Values["tcp_sock_bounce"] == 1 {
+		t.Error("tcp_sock should not bounce in the Apache study")
+	}
+}
+
+func TestTable66Shape(t *testing.T) {
+	r := runQuick(t, "table6.6")
+	if r.Values["top_is_futex"] != 1 {
+		t.Errorf("futex lock is not the top Apache lock-stat row:\n%s", r.Text)
+	}
+}
+
+func TestFixApacheShape(t *testing.T) {
+	r := runQuick(t, "fix-apache")
+	if s := r.Values["speedup"]; s < 1.05 || s > 1.6 {
+		t.Errorf("apache fix speedup = %.2fx, paper = 1.16x (accepted band 1.05-1.6)", s)
+	}
+}
+
+func TestFigure62Shape(t *testing.T) {
+	r := runQuick(t, "figure6.2")
+	lo, hi := r.Values["memcached_6000"], r.Values["memcached_18000"]
+	if hi <= lo {
+		t.Errorf("memcached overhead not increasing with rate: %.2f -> %.2f", lo, hi)
+	}
+	if hi < 1 || hi > 15 {
+		t.Errorf("overhead at 18k = %.2f%%, paper ~10%% (accepted 1-15%%)", hi)
+	}
+	alo, ahi := r.Values["apache_6000"], r.Values["apache_18000"]
+	if ahi <= alo {
+		t.Errorf("apache overhead not increasing with rate: %.2f -> %.2f", alo, ahi)
+	}
+}
+
+func TestTable67Shape(t *testing.T) {
+	r := runQuick(t, "table6.7")
+	if r.Values["memcached_size-1024_histories"] == 0 {
+		t.Error("no memcached size-1024 histories collected")
+	}
+	if r.Values["apache_size-1024_overhead_pct"] <= 0 {
+		t.Error("apache collection overhead missing")
+	}
+}
+
+func TestTable69Shape(t *testing.T) {
+	r := runQuick(t, "table6.9")
+	// The paper: cross-core setup communication dominates.
+	if r.Values["size-1024_communication_pct"] < 30 {
+		t.Errorf("communication share = %.0f%%, paper: 30-90%%",
+			r.Values["size-1024_communication_pct"])
+	}
+}
+
+func TestFigure63Shape(t *testing.T) {
+	r := runQuick(t, "figure6.3")
+	n := int(r.Values["sets_collected"])
+	if n < 2 {
+		t.Fatalf("only %d sets collected", n)
+	}
+	// Coverage must be monotone non-decreasing and end at 100%.
+	prev := 0.0
+	for k := 1; k <= n; k++ {
+		got := r.Values[keyAt(k)]
+		if got < prev {
+			t.Fatalf("coverage decreased at %d sets: %.1f < %.1f", k, got, prev)
+		}
+		prev = got
+	}
+	if prev < 99.9 {
+		t.Fatalf("coverage at all sets = %.1f%%, want 100%%", prev)
+	}
+}
+
+func keyAt(k int) string {
+	return "pct_at_" + itoa(k)
+}
+
+func itoa(k int) string {
+	if k == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for k > 0 {
+		i--
+		b[i] = byte('0' + k%10)
+		k /= 10
+	}
+	return string(b[i:])
+}
+
+func TestTable610Shape(t *testing.T) {
+	r := runQuick(t, "table6.10")
+	if r.Values["memcached_size-1024_histories"] < 3 {
+		t.Errorf("pairwise collected too few histories:\n%s", r.Text)
+	}
+}
+
+func TestExtOracleShape(t *testing.T) {
+	r := runQuick(t, "ext-oracle")
+	if r.Values["oracle_total_lines"] == 0 {
+		t.Fatal("oracle saw an empty cache")
+	}
+	// The cache cannot hold more than it has capacity for, and the payload
+	// pool must be its biggest resident type.
+	if r.Values["size-1024_oracle_lines"] == 0 {
+		t.Error("no resident size-1024 lines in the oracle snapshot")
+	}
+}
+
+func TestExtWideWatchShape(t *testing.T) {
+	r := runQuick(t, "ext-widewatch")
+	if r.Values["speedup"] < 2 {
+		t.Errorf("variable-size registers speedup = %.1fx, want >= 2x", r.Values["speedup"])
+	}
+	if r.Values["wide_setups"] >= r.Values["narrow_setups"] {
+		t.Error("wide watch should need fewer setup broadcasts")
+	}
+}
+
+func TestExtPEBSShape(t *testing.T) {
+	r := runQuick(t, "ext-pebs")
+	if r.Values["pebs_miss_frac"] <= r.Values["ibs_miss_frac"] {
+		t.Errorf("PEBS-LL miss fraction %.2f should exceed IBS's %.2f",
+			r.Values["pebs_miss_frac"], r.Values["ibs_miss_frac"])
+	}
+}
+
+func TestExtPTUShape(t *testing.T) {
+	r := runQuick(t, "ext-ptu")
+	if r.Values["named_miss_pct"] > 50 {
+		t.Errorf("PTU named %.1f%% of misses; dynamic data should be anonymous",
+			r.Values["named_miss_pct"])
+	}
+	if r.Values["rows"] == 0 {
+		t.Error("no hot lines reported")
+	}
+}
+
+func TestAblationMergeShape(t *testing.T) {
+	r := runQuick(t, "ablation-merge")
+	if r.Values["histories"] == 0 {
+		t.Fatal("no histories collected")
+	}
+	if r.Values["paths_pairwise"] > r.Values["paths_rank_only"] {
+		t.Error("pairwise linkage must not split clusters rank matching merged")
+	}
+}

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dprof/internal/core"
+	"dprof/internal/oprofile"
+)
+
+func init() {
+	register("table6.1", "memcached working set and data profile views (DProf)", runTable61)
+	register("figure6.1", "skbuff data flow view for memcached (DProf)", runFigure61)
+	register("table6.2", "memcached lock statistics (lock-stat)", runTable62)
+	register("table6.3", "memcached top functions (OProfile)", runTable63)
+	register("fix-memcached", "local TX queue selection fix (+57% in the paper)", runFixMemcached)
+}
+
+// runTable61 regenerates Table 6.1: the data profile of the memcached
+// workload under the buggy default queue selection.
+func runTable61(quick bool) Result {
+	w := memcachedWindow(quick)
+	b := newMemcached(false)
+	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
+	p.StartSampling()
+	b.Run(w.warmup, w.measure)
+
+	dp := p.DataProfile()
+	vals := map[string]float64{}
+	for _, row := range dp.Rows {
+		vals[row.Type.Name+"_misspct"] = row.MissPct
+		vals[row.Type.Name+"_ws_bytes"] = float64(row.WorkingSetBytes)
+		if row.Bounce {
+			vals[row.Type.Name+"_bounce"] = 1
+		}
+	}
+	if len(dp.Rows) > 0 {
+		vals["top_is_size1024"] = boolVal(dp.Rows[0].Type.Name == "size-1024")
+	}
+	return Result{Text: dp.String(), Values: vals}
+}
+
+// runFigure61 regenerates Figure 6-1: the data flow view for skbuff objects,
+// with the cross-CPU hop through the qdisc.
+func runFigure61(quick bool) Result {
+	b := newMemcached(false)
+	cfg := core.DefaultConfig()
+	cfg.WatchLen = 8
+	p := core.Attach(b.M, b.K.Alloc, cfg)
+	p.StartSampling()
+	sets := 3
+	measure := uint64(120_000_000)
+	if quick {
+		sets = 1
+		measure = 40_000_000
+	}
+	// Watching the skbuff header region is enough to see the transmit path;
+	// the paper similarly profiles the most-used members (§6.4).
+	p.Collector.AddSingleTargetsRange(b.K.SkbType, 0, 128, sets)
+	p.Collector.Start()
+	b.Run(1_000_000, measure)
+
+	g := p.DataFlow(b.K.SkbType)
+	edges := g.CrossCPUEdges()
+	var sb strings.Builder
+	sb.WriteString(g.Render())
+	sb.WriteString("\ncross-CPU transitions (bold edges in Figure 6-1):\n")
+	vals := map[string]float64{
+		"cross_cpu_edges": float64(len(edges)),
+		"histories":       float64(len(p.Collector.Histories(b.K.SkbType))),
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+		if strings.Contains(e.From, "pfifo_fast_enqueue") || strings.Contains(e.To, "pfifo_fast_dequeue") ||
+			strings.Contains(e.From, "dev_queue_xmit") || strings.Contains(e.To, "dev_hard_start_xmit") {
+			vals["qdisc_hop"] = 1
+		}
+	}
+	sb.WriteString("\nGraphviz form:\n")
+	sb.WriteString(g.DOT())
+	return Result{Text: sb.String(), Values: vals}
+}
+
+// runTable62 regenerates Table 6.2: lock-stat output for memcached.
+func runTable62(quick bool) Result {
+	w := memcachedWindow(quick)
+	b := newMemcached(false)
+	b.K.Locks.Reset()
+	b.Run(w.warmup, w.measure)
+	rep := b.K.Locks.BuildReport(w.measure * uint64(b.M.NumCores()))
+	vals := map[string]float64{}
+	for _, row := range rep.Rows {
+		vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
+		vals[strings.ReplaceAll(row.Name, " ", "_")+"_wait_s"] = seconds(row.WaitCycles)
+	}
+	if len(rep.Rows) > 0 {
+		vals["top_is_qdisc"] = boolVal(rep.Rows[0].Name == "Qdisc lock")
+	}
+	return Result{Text: rep.String(), Values: vals}
+}
+
+// runTable63 regenerates Table 6.3: OProfile's flat function profile for
+// memcached.
+func runTable63(quick bool) Result {
+	w := memcachedWindow(quick)
+	b := newMemcached(false)
+	op := oprofile.Attach(b.M)
+	op.Start()
+	b.Run(w.warmup, w.measure)
+	rep := op.BuildReport(1.0)
+	vals := map[string]float64{"functions_over_1pct": float64(len(rep.Rows))}
+	for i, row := range rep.Rows {
+		if i < 8 {
+			vals["clk_"+row.Function] = row.ClkPct
+		}
+	}
+	if len(rep.Rows) > 0 {
+		vals["top_clk_pct"] = rep.Rows[0].ClkPct
+	}
+	return Result{Text: rep.String(), Values: vals}
+}
+
+// runFixMemcached measures the §6.1 fix: default hashed TX queue selection
+// versus the driver-local queue selection.
+func runFixMemcached(quick bool) Result {
+	w := memcachedWindow(quick)
+	stDefault := newMemcached(false).Run(w.warmup, w.measure)
+	stFixed := newMemcached(true).Run(w.warmup, w.measure)
+	speedup := stFixed.Throughput / stDefault.Throughput
+	text := fmt.Sprintf("default (skb_tx_hash):   %s\nfixed (local queue):     %s\nimprovement: %.0f%%  (paper: +57%%)\n",
+		stDefault, stFixed, 100*(speedup-1))
+	return Result{Text: text, Values: map[string]float64{
+		"tput_default": stDefault.Throughput,
+		"tput_fixed":   stFixed.Throughput,
+		"speedup":      speedup,
+	}}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

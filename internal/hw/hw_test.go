@@ -1,0 +1,243 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/sim"
+)
+
+func testMachine(cores int) *sim.Machine {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	return sim.New(cfg)
+}
+
+// spin issues n single-line reads from a walk over distinct lines.
+func spin(c *sim.Ctx, n int) {
+	for i := 0; i < n; i++ {
+		c.Read(uint64(i%512)*64, 8)
+	}
+}
+
+func TestIBSDisabledByDefault(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	fired := 0
+	m.Schedule(0, 0, func(c *sim.Ctx) { spin(c, 1000) })
+	m.RunAll()
+	if u.Delivered() != 0 || fired != 0 {
+		t.Fatal("disabled IBS delivered samples")
+	}
+}
+
+func TestIBSDeliversAtRoughlyTheConfiguredRate(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	var n int
+	u.Start(100_000, func(c *sim.Ctx, s Sample) { n++ }) // every ~10µs
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for c.Now() < 10_000_000 { // 10ms
+			spin(c, 100)
+		}
+	})
+	m.RunAll()
+	// Expect ~1000 samples; accept a wide band (jittered sampling).
+	if n < 400 || n > 2500 {
+		t.Fatalf("delivered %d samples for an expected ~1000", n)
+	}
+}
+
+func TestIBSChargesInterruptCost(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	u.Start(1_000_000, nil) // aggressive, guaranteed to fire
+	m.Schedule(0, 0, func(c *sim.Ctx) { spin(c, 5000) })
+	m.RunAll()
+	if u.Delivered() == 0 {
+		t.Fatal("no samples delivered")
+	}
+	want := u.Delivered() * IBSInterruptCycles
+	if got := m.Overhead["ibs-interrupt"]; got != want {
+		t.Fatalf("overhead = %d, want %d", got, want)
+	}
+}
+
+func TestIBSSampleCarriesEventData(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	var got Sample
+	u.Start(1_000_000, func(c *sim.Ctx, s Sample) { got = s })
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer c.Leave(c.Enter("sampled_fn"))
+		spin(c, 2000)
+	})
+	m.RunAll()
+	if got.Ev.Size == 0 {
+		t.Fatal("sample missing access data")
+	}
+}
+
+func TestIBSStop(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	u.Start(1_000_000, nil)
+	m.Schedule(0, 0, func(c *sim.Ctx) { spin(c, 2000) })
+	m.RunAll()
+	before := u.Delivered()
+	u.Stop()
+	m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) { spin(c, 2000) })
+	m.RunAll()
+	if u.Delivered() != before {
+		t.Fatal("stopped IBS kept sampling")
+	}
+}
+
+func TestIBSBadRatePanics(t *testing.T) {
+	m := testMachine(1)
+	u := NewIBS(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	u.Start(0, nil)
+}
+
+func TestDebugRegsTrapOnWatchedRange(t *testing.T) {
+	m := testMachine(2)
+	d := NewDebugRegs(m)
+	var traps []uint64
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		d.SetAll(c, []Watch{{Addr: 0x1004, Len: 4}}, func(tc *sim.Ctx, ev *sim.AccessEvent, reg int) {
+			traps = append(traps, ev.Addr)
+		})
+	})
+	m.Schedule(1, 1_000_000, func(c *sim.Ctx) {
+		c.Read(0x1000, 4)  // below the window: no trap
+		c.Read(0x1004, 2)  // inside
+		c.Write(0x1006, 2) // inside
+		c.Read(0x1008, 4)  // above: no trap
+		c.Read(0x1000, 16) // spans the window: trap
+	})
+	m.RunAll()
+	if len(traps) != 3 {
+		t.Fatalf("traps = %v, want 3 hits", traps)
+	}
+}
+
+func TestDebugTrapCost(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		d.SetAll(c, []Watch{{Addr: 0x2000, Len: 8}}, nil)
+	})
+	m.Schedule(0, 1000, func(c *sim.Ctx) {
+		c.Read(0x2000, 8)
+		c.Read(0x2000, 8)
+	})
+	m.RunAll()
+	if d.Traps() != 2 {
+		t.Fatalf("traps = %d, want 2", d.Traps())
+	}
+	if got := m.Overhead["interrupt"]; got != 2*DebugTrapCycles {
+		t.Fatalf("interrupt overhead = %d, want %d", got, 2*DebugTrapCycles)
+	}
+}
+
+func TestDebugSetupBroadcastCost(t *testing.T) {
+	m := testMachine(4)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		d.SetAll(c, []Watch{{Addr: 0x3000, Len: 4}}, nil)
+	})
+	m.RunAll()
+	want := uint64(DebugSetupBroadcastCycles + 3*DebugRemoteInstallCycles)
+	if got := m.Overhead["communication"]; got != want {
+		t.Fatalf("communication overhead = %d, want %d", got, want)
+	}
+	if d.Setups() != 1 {
+		t.Fatalf("setups = %d", d.Setups())
+	}
+}
+
+func TestClearAllStopsTraps(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		d.SetAll(c, []Watch{{Addr: 0x4000, Len: 8}}, nil)
+		c.Read(0x4000, 8)
+		d.ClearAll()
+		c.Read(0x4000, 8)
+	})
+	m.RunAll()
+	if d.Traps() != 1 {
+		t.Fatalf("traps = %d, want 1", d.Traps())
+	}
+	if d.Active() != 0 {
+		t.Fatal("ClearAll left watchpoints active")
+	}
+}
+
+func TestTooManyWatchesPanics(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("5 watches did not panic")
+			}
+		}()
+		d.SetAll(c, make([]Watch, 5), nil)
+	})
+	m.RunAll()
+}
+
+func TestOversizeWatchPanics(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("9-byte watch did not panic")
+			}
+		}()
+		d.SetAll(c, []Watch{{Addr: 0, Len: 9}}, nil)
+	})
+	m.RunAll()
+}
+
+func TestQuickWatchOverlap(t *testing.T) {
+	prop := func(wAddr uint16, wLen8, aAddr uint16, aSize8 uint8) bool {
+		wLen := uint32(wLen8%8 + 1)
+		aSize := uint32(aSize8%8 + 1)
+		w := Watch{Addr: uint64(wAddr), Len: wLen}
+		got := w.overlaps(uint64(aAddr), aSize)
+		want := uint64(aAddr) < w.Addr+uint64(w.Len) && w.Addr < uint64(aAddr)+uint64(aSize)
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIBSIntervalScalesWithRate(t *testing.T) {
+	// Higher rates must deliver at least as many samples (statistically;
+	// we compare 2x rates over the same deterministic access stream).
+	run := func(rate float64) uint64 {
+		m := testMachine(1)
+		u := NewIBS(m)
+		u.Start(rate, nil)
+		m.Schedule(0, 0, func(c *sim.Ctx) {
+			for c.Now() < 5_000_000 {
+				spin(c, 100)
+			}
+		})
+		m.RunAll()
+		return u.Delivered()
+	}
+	lo, hi := run(2000), run(16000)
+	if hi <= lo {
+		t.Fatalf("8x rate delivered %d <= %d", hi, lo)
+	}
+}

@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"testing"
+
+	"dprof/internal/sim"
+)
+
+func TestPEBSThresholdFiltersHits(t *testing.T) {
+	m := testMachine(1)
+	p := NewPEBS(m)
+	var samples []Sample
+	p.Start(1_000_000, 30, func(c *sim.Ctx, s Sample) { samples = append(samples, s) })
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		c.Read(0x1000, 8) // DRAM: above threshold
+		for i := 0; i < 3000; i++ {
+			c.Read(0x1000, 8) // L1 (3 cycles): below threshold
+		}
+		c.Read(0x2000, 8) // DRAM again
+	})
+	m.RunAll()
+	if len(samples) == 0 {
+		t.Fatal("no samples delivered")
+	}
+	for _, s := range samples {
+		if s.Ev.Latency < 30 {
+			t.Fatalf("below-threshold sample delivered: %+v", s.Ev)
+		}
+	}
+	if p.Skipped() == 0 {
+		t.Fatal("L1 hits should have been skipped while armed")
+	}
+}
+
+func TestPEBSCostCharged(t *testing.T) {
+	m := testMachine(1)
+	p := NewPEBS(m)
+	p.Start(1_000_000, 0, nil) // threshold 0: every armed access qualifies
+	m.Schedule(0, 0, func(c *sim.Ctx) { spin(c, 3000) })
+	m.RunAll()
+	if p.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	want := p.Delivered() * PEBSInterruptCycles
+	if got := m.Overhead["pebs-interrupt"]; got != want {
+		t.Fatalf("overhead = %d, want %d", got, want)
+	}
+}
+
+func TestPEBSStop(t *testing.T) {
+	m := testMachine(1)
+	p := NewPEBS(m)
+	p.Start(1_000_000, 0, nil)
+	m.Schedule(0, 0, func(c *sim.Ctx) { spin(c, 1000) })
+	m.RunAll()
+	n := p.Delivered()
+	p.Stop()
+	m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) { spin(c, 1000) })
+	m.RunAll()
+	if p.Delivered() != n {
+		t.Fatal("PEBS sampled after Stop")
+	}
+}
+
+func TestVariableWatchRejectedWithoutFlag(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("64-byte watch accepted without Variable mode")
+			}
+		}()
+		d.SetAll(c, []Watch{{Addr: 0, Len: 64}}, nil)
+	})
+	m.RunAll()
+}
+
+func TestVariableWatchAccepted(t *testing.T) {
+	m := testMachine(1)
+	d := NewDebugRegs(m)
+	d.Variable = true
+	traps := 0
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		d.SetAll(c, []Watch{{Addr: 0x1000, Len: 256}}, func(tc *sim.Ctx, ev *sim.AccessEvent, reg int) {
+			traps++
+		})
+		c.Read(0x1080, 8) // middle of the wide window
+	})
+	m.RunAll()
+	if traps != 1 {
+		t.Fatalf("traps = %d, want 1", traps)
+	}
+}

@@ -1,0 +1,41 @@
+package kernel
+
+import (
+	"dprof/internal/sim"
+)
+
+// Task is a kernel task (thread) with its task_struct object. Apache's
+// per-request handoffs between the listener and worker threads context-switch
+// among these; the task_struct traffic is the second-largest data-profile row
+// in Tables 6.4/6.5.
+type Task struct {
+	Addr uint64
+	Name string
+}
+
+// NewTask allocates a task_struct.
+func (k *Kernel) NewTask(c *sim.Ctx, name string) *Task {
+	addr := k.Alloc.Alloc(c, k.TaskType)
+	c.Write(addr, 64)
+	return &Task{Addr: addr, Name: name}
+}
+
+// ContextSwitch performs the schedule() memory traffic: saving the outgoing
+// task's state and loading the incoming task's.
+func (k *Kernel) ContextSwitch(c *sim.Ctx, from, to *Task) {
+	defer c.Leave(c.Enter("schedule"))
+	if from != nil {
+		c.Write(from.Addr, 64)       // thread state save
+		c.Write(from.Addr+64, 128)   // fpu/extended state
+		c.Read(from.Addr+256, 32)    // accounting
+		c.Write(from.Addr+1024, 192) // stack frames spilled on switch-out
+	}
+	if to != nil {
+		c.Read(to.Addr, 64)        // thread state restore
+		c.Read(to.Addr+128, 128)   // mm, stack pointers, fpu reload
+		c.Write(to.Addr+320, 64)   // scheduling bookkeeping
+		c.Read(to.Addr+1024, 256)  // stack frames touched on resume
+		c.Write(to.Addr+1280, 128) // new frames pushed by the resumed code
+	}
+	c.Compute(250)
+}

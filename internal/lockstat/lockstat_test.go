@@ -1,0 +1,212 @@
+package lockstat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/sim"
+)
+
+func testMachine() *sim.Machine {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	return sim.New(cfg)
+}
+
+func TestUncontendedAcquire(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("test lock"), 0x1000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		l.Acquire(c)
+		c.Compute(100)
+		l.Release(c)
+	})
+	m.RunAll()
+	cl := reg.Class("test lock")
+	if cl.Acquisitions != 1 || cl.Contentions != 0 || cl.WaitCycles != 0 {
+		t.Fatalf("class = %+v", cl)
+	}
+	if cl.HoldCycles < 100 {
+		t.Fatalf("hold cycles = %d, want >= 100", cl.HoldCycles)
+	}
+}
+
+func TestContentionRecordsWait(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("hot lock"), 0x2000)
+	// Core 0 holds the lock over [~0, ~1000]; core 1 tries at t=100.
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		l.Acquire(c)
+		c.Compute(1000)
+		l.Release(c)
+	})
+	m.Schedule(1, 100, func(c *sim.Ctx) {
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.RunAll()
+	cl := reg.Class("hot lock")
+	if cl.Contentions != 1 {
+		t.Fatalf("contentions = %d, want 1", cl.Contentions)
+	}
+	if cl.WaitCycles == 0 {
+		t.Fatal("no wait recorded for a contended acquisition")
+	}
+}
+
+func TestWaitClampedBySkewBound(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("skewed"), 0x3000)
+	// A task far in the future releases at a huge timestamp; a task in the
+	// "past" must not wait more than MaxSpinWait.
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		c.Compute(1_000_000)
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.Schedule(1, 10, func(c *sim.Ctx) {
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.RunAll()
+	if w := reg.Class("skewed").WaitCycles; w > MaxSpinWait {
+		t.Fatalf("wait = %d exceeds clamp %d", w, MaxSpinWait)
+	}
+}
+
+func TestAcquireSitesRecorded(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("sited"), 0x4000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer c.Leave(c.Enter("dev_queue_xmit"))
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.RunAll()
+	sites := reg.Class("sited").Sites()
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(sites))
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("x"), 0x5000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("release of unheld lock did not panic")
+			}
+		}()
+		l.Release(c)
+	})
+	m.RunAll()
+}
+
+func TestLockGeneratesMemoryTraffic(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("mem"), 0x6000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.RunAll()
+	if m.Hier.Totals().Accesses < 3 { // read + write + write
+		t.Fatalf("lock ops produced %d accesses", m.Hier.Totals().Accesses)
+	}
+}
+
+func TestReportOrderingAndOverhead(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	a := NewLock(reg.Class("A"), 0x7000)
+	b := NewLock(reg.Class("B"), 0x8000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		a.Acquire(c)
+		c.Compute(2000)
+		a.Release(c)
+	})
+	m.Schedule(1, 100, func(c *sim.Ctx) {
+		a.Acquire(c) // contends
+		a.Release(c)
+		b.Acquire(c) // uncontended
+		b.Release(c)
+	})
+	m.RunAll()
+	rep := reg.BuildReport(100_000)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	if rep.Rows[0].Name != "A" {
+		t.Fatalf("report not ordered by wait: %v", rep.Rows[0].Name)
+	}
+	if rep.Rows[0].OverheadPct <= 0 {
+		t.Fatal("overhead percentage missing")
+	}
+	if !strings.Contains(rep.String(), "A") {
+		t.Fatal("rendered report missing class name")
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	m := testMachine()
+	reg := NewRegistry()
+	l := NewLock(reg.Class("r"), 0x9000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		l.Acquire(c)
+		l.Release(c)
+	})
+	m.RunAll()
+	reg.Reset()
+	if reg.Class("r").Acquisitions != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	if len(reg.Classes()) != 1 {
+		t.Fatal("reset dropped the class")
+	}
+}
+
+func TestClassReuse(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Class("same") != reg.Class("same") {
+		t.Fatal("Class created duplicate instances")
+	}
+}
+
+// TestQuickHoldNeverNegative: however acquire/release interleave across
+// cores, accumulated hold time never exceeds total simulated time per core
+// count and never goes negative (unsigned underflow would produce a huge
+// value).
+func TestQuickHoldNeverNegative(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) > 12 {
+			delays = delays[:12]
+		}
+		m := testMachine()
+		reg := NewRegistry()
+		l := NewLock(reg.Class("q"), 0xA000)
+		for i, d := range delays {
+			core := i % 4
+			hold := uint64(d % 2048)
+			m.Schedule(core, uint64(i)*137, func(c *sim.Ctx) {
+				l.Acquire(c)
+				c.Compute(hold)
+				l.Release(c)
+			})
+		}
+		m.RunAll()
+		cl := reg.Class("q")
+		limit := m.MaxCoreTime() * 4
+		return cl.HoldCycles <= limit && cl.WaitCycles <= limit
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/lockstat"
+	"dprof/internal/sim"
+)
+
+func testWorld() (*sim.Machine, *Allocator) {
+	m := sim.New(sim.Config{Cores: 4, Cache: sim.DefaultConfig().Cache, Seed: 7})
+	locks := lockstat.NewRegistry()
+	a := New(DefaultConfig(), m.NumCores(), locks)
+	return m, a
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("widget", 192, "test widget")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		got, base, ok := a.Resolve(addr)
+		if !ok || got != typ || base != addr {
+			t.Errorf("Resolve(%#x) = (%v,%#x,%v)", addr, got, base, ok)
+		}
+		a.Free(c, addr)
+	})
+	m.RunAll()
+	st := a.StatsFor(typ)
+	if st.Allocs != 1 || st.Frees != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResolveInteriorPointer(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("box", 256, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		got, base, ok := a.Resolve(addr + 100)
+		if !ok || got != typ || base != addr {
+			t.Errorf("interior resolve failed: (%v, %#x, %v)", got, base, ok)
+		}
+	})
+	m.RunAll()
+}
+
+func TestResolveUnknownAddress(t *testing.T) {
+	_, a := testWorld()
+	if _, _, ok := a.Resolve(0x7f00_dead_beef); ok {
+		t.Fatal("resolved an address that was never allocated")
+	}
+}
+
+func TestDistinctLiveObjectsDoNotOverlap(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("obj", 192, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		seen := make(map[uint64]bool)
+		for i := 0; i < 500; i++ {
+			addr := a.Alloc(c, typ)
+			for b := addr; b < addr+typ.ObjSize(); b += 64 {
+				if seen[b] {
+					t.Fatalf("object at %#x overlaps a live object", addr)
+				}
+				seen[b] = true
+			}
+		}
+	})
+	m.RunAll()
+}
+
+func TestLocalFreeReuse(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("r", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		a.Free(c, addr)
+		if again := a.Alloc(c, typ); again != addr {
+			t.Errorf("LIFO per-CPU cache should reuse %#x, got %#x", addr, again)
+		}
+	})
+	m.RunAll()
+}
+
+func TestAlienFreeGoesHome(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("pkt", 256, "")
+	var addrs []uint64
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 64; i++ {
+			addrs = append(addrs, a.Alloc(c, typ))
+		}
+	})
+	// Free everything from core 1: alien caches must drain without leaking.
+	m.Schedule(1, 1000, func(c *sim.Ctx) {
+		for _, addr := range addrs {
+			a.Free(c, addr)
+		}
+	})
+	m.RunAll()
+	st := a.StatsFor(typ)
+	if st.Live != 0 {
+		t.Fatalf("live = %d after freeing everything", st.Live)
+	}
+	// The pool lock class must have seen the drain path.
+	if a.locks.Class("SLAB cache lock").Acquisitions == 0 {
+		t.Fatal("alien drain never took the pool lock")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("d", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		a.Free(c, addr)
+		defer func() {
+			if recover() == nil {
+				t.Error("double free did not panic")
+			}
+		}()
+		a.Free(c, addr)
+	})
+	m.RunAll()
+}
+
+func TestStaticObjects(t *testing.T) {
+	_, a := testWorld()
+	typ, addr := a.Static("net_device_t", 128, "device")
+	got, base, ok := a.Resolve(addr + 64)
+	if !ok || got != typ || base != addr {
+		t.Fatalf("static resolve = (%v, %#x, %v)", got, base, ok)
+	}
+	if len(a.Statics()) != 1 {
+		t.Fatalf("statics = %d, want 1", len(a.Statics()))
+	}
+}
+
+func TestStaticArrayResolvesPerObject(t *testing.T) {
+	_, a := testWorld()
+	typ, addrs := a.StaticArray("qdisc_t", 256, 16, "queues")
+	if len(addrs) != 16 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	for i, addr := range addrs {
+		got, base, ok := a.Resolve(addr + 10)
+		if !ok || got != typ || base != addr {
+			t.Fatalf("element %d resolve = (%v, %#x, %v)", i, got, base, ok)
+		}
+	}
+	// A multi-page array must resolve in its later pages too.
+	last := addrs[15]
+	if _, base, ok := a.Resolve(last); !ok || base != last {
+		t.Fatal("last element unresolvable")
+	}
+}
+
+func TestMultiPageStatic(t *testing.T) {
+	_, a := testWorld()
+	typ, addr := a.Static("big", 3*SlabBytes+100, "spans pages")
+	got, base, ok := a.Resolve(addr + 2*SlabBytes + 17)
+	if !ok || got != typ || base != addr {
+		t.Fatalf("multi-page resolve = (%v, %#x, %v)", got, base, ok)
+	}
+}
+
+func TestSubLineAlignmentSharesLines(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterTypeAligned("stat", 16, "per-core counter", 16)
+	if typ.ObjSize() != 16 {
+		t.Fatalf("objSize = %d, want 16", typ.ObjSize())
+	}
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		a1 := a.Alloc(c, typ)
+		objs := a.ObjectsOnLine(a1&^63, 64)
+		if len(objs) < 2 {
+			t.Errorf("expected multiple objects on one line, got %d", len(objs))
+		}
+	})
+	m.RunAll()
+}
+
+func TestObjectsOnLineLineAligned(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("aligned", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		objs := a.ObjectsOnLine(addr, 64)
+		if len(objs) != 1 || objs[0].Base != addr {
+			t.Errorf("ObjectsOnLine = %v", objs)
+		}
+	})
+	m.RunAll()
+}
+
+func TestWatchNextAllocFIFO(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("w", 128, "")
+	var fired []int
+	a.WatchNextAlloc(typ, func(c *sim.Ctx, addr uint64) { fired = append(fired, 1) })
+	a.WatchNextAlloc(typ, func(c *sim.Ctx, addr uint64) { fired = append(fired, 2) })
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		a.Alloc(c, typ)
+		a.Alloc(c, typ)
+		a.Alloc(c, typ) // no watcher left
+	})
+	m.RunAll()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("watchers fired = %v, want [1 2]", fired)
+	}
+}
+
+func TestAllocHooks(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("hooked", 128, "")
+	allocs, frees := 0, 0
+	a.OnAlloc(func(c *sim.Ctx, tt *Type, addr uint64) {
+		if tt == typ {
+			allocs++
+		}
+	})
+	a.OnFree(func(c *sim.Ctx, tt *Type, addr uint64) {
+		if tt == typ {
+			frees++
+		}
+	})
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		x := a.Alloc(c, typ)
+		y := a.Alloc(c, typ)
+		a.Free(c, x)
+		a.Free(c, y)
+	})
+	m.RunAll()
+	if allocs != 2 || frees != 2 {
+		t.Fatalf("hooks saw %d allocs, %d frees", allocs, frees)
+	}
+}
+
+func TestLiveObjects(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("live", 256, "")
+	var keep []uint64
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		for i := 0; i < 20; i++ {
+			addr := a.Alloc(c, typ)
+			if i%2 == 0 {
+				keep = append(keep, addr)
+			} else {
+				a.Free(c, addr)
+			}
+		}
+	})
+	m.RunAll()
+	live := make(map[uint64]bool)
+	for _, o := range a.LiveObjects() {
+		if o.Type == typ {
+			live[o.Base] = true
+		}
+	}
+	if len(live) != len(keep) {
+		t.Fatalf("LiveObjects reports %d, want %d", len(live), len(keep))
+	}
+	for _, addr := range keep {
+		if !live[addr] {
+			t.Fatalf("live object %#x missing", addr)
+		}
+	}
+}
+
+func TestInternalObjectsTyped(t *testing.T) {
+	_, a := testWorld()
+	a.RegisterType("anything", 128, "")
+	foundAC := false
+	for _, o := range a.InternalObjects() {
+		if o.Type.Name == "array_cache" {
+			foundAC = true
+			if got, base, ok := a.Resolve(o.Base + 8); !ok || got != o.Type || base != o.Base {
+				t.Fatal("array_cache object does not resolve")
+			}
+		}
+	}
+	if !foundAC {
+		t.Fatal("no array_cache objects registered")
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	m, a := testWorld()
+	typ := a.RegisterType("peak", 128, "")
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		var addrs []uint64
+		for i := 0; i < 10; i++ {
+			addrs = append(addrs, a.Alloc(c, typ))
+		}
+		for _, x := range addrs {
+			a.Free(c, x)
+		}
+		a.Alloc(c, typ)
+	})
+	m.RunAll()
+	st := a.StatsFor(typ)
+	if st.Peak != 10 || st.Live != 1 {
+		t.Fatalf("peak=%d live=%d, want 10/1", st.Peak, st.Live)
+	}
+}
+
+func TestDuplicateTypePanics(t *testing.T) {
+	_, a := testWorld()
+	a.RegisterType("dup", 64, "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate type registration did not panic")
+		}
+	}()
+	a.RegisterType("dup", 64, "")
+}
+
+func TestOversizeTypePanics(t *testing.T) {
+	_, a := testWorld()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize type did not panic")
+		}
+	}()
+	a.RegisterType("huge", SlabBytes+1, "")
+}
+
+// TestQuickAllocFreeConservation: after arbitrary alloc/free interleavings,
+// live counts match and every live object resolves to itself.
+func TestQuickAllocFreeConservation(t *testing.T) {
+	prop := func(seed int64, steps uint8) bool {
+		m, a := testWorld()
+		typ := a.RegisterType("q", 192, "")
+		rng := rand.New(rand.NewSource(seed))
+		var live []uint64
+		ok := true
+		m.Schedule(0, 0, func(c *sim.Ctx) {
+			for i := 0; i < int(steps); i++ {
+				if len(live) == 0 || rng.Intn(2) == 0 {
+					live = append(live, a.Alloc(c, typ))
+				} else {
+					j := rng.Intn(len(live))
+					a.Free(c, live[j])
+					live = append(live[:j], live[j+1:]...)
+				}
+			}
+			for _, addr := range live {
+				if got, base, k := a.Resolve(addr); !k || got != typ || base != addr {
+					ok = false
+				}
+			}
+		})
+		m.RunAll()
+		return ok && a.StatsFor(typ).Live == uint64(len(live))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResolveNeverCrossesObjects: Resolve of any offset inside an
+// allocated object returns that object's base.
+func TestQuickResolveNeverCrossesObjects(t *testing.T) {
+	prop := func(off uint16) bool {
+		m, a := testWorld()
+		typ := a.RegisterType("rc", 320, "")
+		result := true
+		m.Schedule(0, 0, func(c *sim.Ctx) {
+			addr := a.Alloc(c, typ)
+			o := uint64(off) % typ.ObjSize()
+			got, base, ok := a.Resolve(addr + o)
+			result = ok && got == typ && base == addr
+		})
+		m.RunAll()
+		return result
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package oprofile
+
+import (
+	"strings"
+	"testing"
+
+	"dprof/internal/sim"
+)
+
+func testMachine() *sim.Machine {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	return sim.New(cfg)
+}
+
+func TestAttributesCyclesToFunctions(t *testing.T) {
+	m := testMachine()
+	p := Attach(m)
+	p.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		func() {
+			defer c.Leave(c.Enter("busy"))
+			c.Compute(900)
+		}()
+		func() {
+			defer c.Leave(c.Enter("idle_fn"))
+			c.Compute(100)
+		}()
+	})
+	m.RunAll()
+	rep := p.BuildReport(0)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d: %+v", len(rep.Rows), rep.Rows)
+	}
+	if rep.Rows[0].Function != "busy" {
+		t.Fatalf("top function = %s", rep.Rows[0].Function)
+	}
+	if rep.Rows[0].ClkPct < 89 || rep.Rows[0].ClkPct > 91 {
+		t.Fatalf("busy pct = %f, want ~90", rep.Rows[0].ClkPct)
+	}
+}
+
+func TestAttributesL2Misses(t *testing.T) {
+	m := testMachine()
+	p := Attach(m)
+	p.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		func() {
+			defer c.Leave(c.Enter("misser"))
+			for i := 0; i < 64; i++ {
+				c.Read(uint64(i)*64, 8) // cold: all DRAM
+			}
+		}()
+		func() {
+			defer c.Leave(c.Enter("hitter"))
+			for i := 0; i < 64; i++ {
+				c.Read(0, 8) // all L1 after the first
+			}
+		}()
+	})
+	m.RunAll()
+	rep := p.BuildReport(0)
+	var misser, hitter Row
+	for _, r := range rep.Rows {
+		switch r.Function {
+		case "misser":
+			misser = r
+		case "hitter":
+			hitter = r
+		}
+	}
+	if misser.L2Pct < 99 {
+		t.Fatalf("misser L2 pct = %f", misser.L2Pct)
+	}
+	if hitter.L2Pct > 1 {
+		t.Fatalf("hitter L2 pct = %f", hitter.L2Pct)
+	}
+}
+
+func TestMinPctFilter(t *testing.T) {
+	m := testMachine()
+	p := Attach(m)
+	p.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		func() { defer c.Leave(c.Enter("major")); c.Compute(990) }()
+		func() { defer c.Leave(c.Enter("minor")); c.Compute(5) }()
+	})
+	m.RunAll()
+	rep := p.BuildReport(1.0)
+	for _, r := range rep.Rows {
+		if r.Function == "minor" {
+			t.Fatal("sub-threshold function not filtered")
+		}
+	}
+}
+
+func TestStartStopReset(t *testing.T) {
+	m := testMachine()
+	p := Attach(m)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer c.Leave(c.Enter("before_start"))
+		c.Compute(100)
+	})
+	m.RunAll()
+	if len(p.BuildReport(0).Rows) != 0 {
+		t.Fatal("collected while stopped")
+	}
+	p.Start()
+	m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) {
+		defer c.Leave(c.Enter("during"))
+		c.Compute(100)
+	})
+	m.RunAll()
+	if len(p.BuildReport(0).Rows) != 1 {
+		t.Fatal("did not collect while started")
+	}
+	p.Reset()
+	if len(p.BuildReport(0).Rows) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRenderedReport(t *testing.T) {
+	m := testMachine()
+	p := Attach(m)
+	p.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		defer c.Leave(c.Enter("render_fn"))
+		c.Compute(100)
+	})
+	m.RunAll()
+	out := p.BuildReport(0).String()
+	if !strings.Contains(out, "render_fn") || !strings.Contains(out, "% CLK") {
+		t.Fatalf("report = %q", out)
+	}
+}

@@ -1,0 +1,126 @@
+// Package plot renders small ASCII line charts for the figure experiments
+// (Figures 6-2 and 6-3 are plots in the paper; the bench harness draws them
+// in the terminal).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+
+	series []Series
+}
+
+// New creates a chart.
+func New(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 60, Height: 16}
+}
+
+// Add appends a series; X and Y must have equal lengths.
+func (c *Chart) Add(s Series) *Chart {
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("plot: series %q has %d x values and %d y values",
+			s.Name, len(s.X), len(s.Y)))
+	}
+	c.series = append(c.series, s)
+	return c
+}
+
+// markers assigns each series a distinct point rune.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w < 10 {
+		w = 10
+	}
+	if h < 4 {
+		h = 4
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor the axis at zero for rate/percentage plots
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, m rune) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+		row = h - 1 - row
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		// Connect consecutive points with interpolated dots, then overlay
+		// the data-point markers.
+		for i := 1; i < len(s.X); i++ {
+			steps := w / 2
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				put(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), '.')
+			}
+		}
+		for i := range s.X {
+			put(s.X[i], s.Y[i], m)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		yval := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", yval, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

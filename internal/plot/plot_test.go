@@ -1,0 +1,74 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	c := New("overhead", "rate", "percent")
+	c.Add(Series{Name: "memcached", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	c.Add(Series{Name: "apache", X: []float64{0, 1, 2}, Y: []float64{0, 2, 4}})
+	out := c.Render()
+	for _, want := range []string{"overhead", "*", "+", "memcached", "apache", "x: rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := New("empty", "", "").Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart render = %q", out)
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	New("bad", "", "").Add(Series{Name: "s", X: []float64{1}, Y: []float64{1, 2}})
+}
+
+func TestAxisAnchorsAtZero(t *testing.T) {
+	c := New("t", "", "")
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 10}})
+	out := c.Render()
+	if !strings.Contains(out, "0.0 |") {
+		t.Errorf("y axis not anchored at zero:\n%s", out)
+	}
+}
+
+func TestMonotoneCurveRendersHigherRight(t *testing.T) {
+	c := New("t", "", "")
+	c.Add(Series{Name: "s", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	lines := strings.Split(c.Render(), "\n")
+	// The topmost grid row containing a marker should have it on the right
+	// half; the bottom-most on the left half.
+	var topCol, botCol int = -1, -1
+	for _, ln := range lines {
+		if i := strings.IndexRune(ln, '*'); i >= 0 {
+			if topCol == -1 {
+				topCol = i
+			}
+			botCol = i
+		}
+	}
+	if topCol == -1 || botCol == -1 {
+		t.Fatal("no markers rendered")
+	}
+	if topCol <= botCol {
+		t.Fatalf("increasing curve renders wrong: top marker at col %d, bottom at %d", topCol, botCol)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := New("p", "", "")
+	c.Add(Series{Name: "s", X: []float64{5}, Y: []float64{5}})
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,96 @@
+package ptu
+
+import (
+	"strings"
+	"testing"
+
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+func testWorld() (*sim.Machine, *mem.Allocator) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	m := sim.New(cfg)
+	return m, mem.New(mem.DefaultConfig(), 2, lockstat.NewRegistry())
+}
+
+func TestNamesStaticsOnly(t *testing.T) {
+	m, a := testWorld()
+	_, devAddr := a.Static("fake_device", 128, "static device")
+	dyn := a.RegisterType("dynobj", 128, "dynamic object")
+	p := Attach(m, a)
+	p.Start(1_000_000) // sample aggressively
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, dyn)
+		for i := 0; i < 500; i++ {
+			// Alternate cores via spawned reads to force misses on both.
+			c.Read(devAddr, 8)
+			c.Read(addr, 8)
+			c.Write(devAddr, 8)
+			c.Write(addr, 8)
+		}
+	})
+	// Remote traffic creates foreign misses on both objects.
+	m.Schedule(1, 1000, func(c *sim.Ctx) {
+		for i := 0; i < 500; i++ {
+			c.Read(devAddr, 8)
+		}
+	})
+	m.RunAll()
+	rep := p.BuildReport(0)
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var staticNamed, dynamicNamed bool
+	for _, r := range rep.Rows {
+		if r.Name == "fake_device" {
+			staticNamed = true
+		}
+		if r.Name == "dynobj" {
+			dynamicNamed = true
+		}
+	}
+	if !staticNamed {
+		t.Error("static object not named")
+	}
+	if dynamicNamed {
+		t.Error("PTU must NOT name dynamic allocations (that is DProf's advantage)")
+	}
+	if !strings.Contains(rep.String(), "no symbol") {
+		t.Error("render missing the anonymous marker")
+	}
+}
+
+func TestAggregatesByLineNotType(t *testing.T) {
+	m, a := testWorld()
+	dyn := a.RegisterType("multi", 64, "")
+	p := Attach(m, a)
+	p.Start(1_000_000)
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		// Two objects of the same type at different lines: PTU reports two
+		// rows, never one aggregated row.
+		x := a.Alloc(c, dyn)
+		y := a.Alloc(c, dyn)
+		for i := 0; i < 400; i++ {
+			c.Write(x, 8)
+			c.Write(y, 8)
+		}
+	})
+	m.Schedule(1, 500, func(c *sim.Ctx) {
+		// Remote reads make both lines miss.
+		for i := 0; i < 400; i++ {
+			c.Read(0x40000000, 8)
+		}
+	})
+	m.RunAll()
+	rep := p.BuildReport(0)
+	lines := map[uint64]bool{}
+	for _, r := range rep.Rows {
+		lines[r.Line] = true
+	}
+	if len(lines) < 2 {
+		t.Fatalf("expected per-line rows, got %d distinct lines", len(lines))
+	}
+}

@@ -1,0 +1,348 @@
+// Package sim provides a deterministic, event-driven multicore machine.
+//
+// Workload code ("kernel" and "application" functions) runs as short tasks
+// scheduled on simulated cores. Each task executes straight-line Go code that
+// issues memory accesses through a Ctx; every access consults the shared
+// cache hierarchy and advances the executing core's cycle clock by the access
+// latency. Profiling hardware (IBS, debug registers — package hw) observes
+// accesses through hooks, exactly as real PMU hardware observes retired
+// instructions, and charges its interrupt costs to the interrupted core.
+//
+// The simulation is sequential and deterministic (seeded), which is what
+// makes the paper's statistical profiler reproducible here: two runs of a
+// workload with the same seed produce identical access streams.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"dprof/internal/cache"
+	"dprof/internal/sym"
+)
+
+// Freq is the simulated core clock: 1 GHz, so 1 cycle == 1 ns. The paper's
+// latency numbers (3 ns L1, 200 ns foreign transfer, 2,000-cycle IBS
+// interrupt) are used directly.
+const Freq = 1_000_000_000
+
+// TaskFunc is a unit of work executed on a core.
+type TaskFunc func(*Ctx)
+
+// Config describes a machine.
+type Config struct {
+	Cores int
+	Cache cache.Config
+	Seed  int64
+}
+
+// DefaultConfig returns the paper's 16-core machine.
+func DefaultConfig() Config {
+	return Config{Cores: 16, Cache: cache.DefaultConfig(), Seed: 1}
+}
+
+// AccessEvent describes one line-sized memory access, as seen by hooks.
+type AccessEvent struct {
+	Time    uint64 // core-local cycle count when the access completed
+	Core    int
+	PC      sym.PC // innermost function executing the access
+	Addr    uint64 // byte address of the accessed range within this line
+	Size    uint32 // bytes accessed within this line
+	Write   bool
+	Level   cache.Level
+	Latency uint32
+}
+
+// AccessHook observes memory accesses. Hooks run on the accessing core's
+// context and may charge cycles (interrupt costs) but must not issue
+// simulated memory accesses (hardware does not recurse).
+type AccessHook func(*Ctx, *AccessEvent)
+
+// WorkHook observes compute cycles attributed to a function (used by the
+// OProfile baseline for cycle accounting).
+type WorkHook func(c *Ctx, pc sym.PC, cycles uint64)
+
+// Core is one simulated CPU.
+type Core struct {
+	ID      int
+	now     uint64
+	stack   []sym.PC
+	idle    uint64
+	retired uint64 // accesses completed
+	inHook  bool
+	rng     *rand.Rand
+}
+
+// Now returns the core's cycle clock (its TSC).
+func (c *Core) Now() uint64 { return c.now }
+
+// Idle returns cycles the core spent with no runnable task.
+func (c *Core) Idle() uint64 { return c.idle }
+
+// Retired returns the number of completed memory accesses.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Fn returns the innermost function currently executing.
+func (c *Core) Fn() sym.PC {
+	if len(c.stack) == 0 {
+		return sym.None
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+type event struct {
+	t    uint64
+	seq  uint64
+	core int
+	fn   TaskFunc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Machine is the simulated multicore system.
+type Machine struct {
+	Hier  *cache.Hierarchy
+	cores []*Core
+	ctxs  []Ctx
+
+	events eventHeap
+	seq    uint64
+	now    uint64 // time of the most recently dispatched event
+
+	accessHooks []AccessHook
+	workHooks   []WorkHook
+
+	// Overhead tallies profiling costs by category; Table 6.9 reports the
+	// breakdown. Categories used: "interrupt", "memory", "communication".
+	Overhead map[string]uint64
+
+	rng *rand.Rand
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("sim: core count must be positive")
+	}
+	m := &Machine{
+		Hier:     cache.New(cfg.Cache, cfg.Cores),
+		Overhead: make(map[string]uint64),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	m.cores = make([]*Core, cfg.Cores)
+	m.ctxs = make([]Ctx, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = &Core{ID: i, rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
+		m.ctxs[i] = Ctx{M: m, Core: m.cores[i]}
+	}
+	return m
+}
+
+// NumCores returns the number of cores.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Ctx returns the execution context bound to core i (for direct use by
+// drivers and tests; scheduled tasks receive it as an argument).
+func (m *Machine) Ctx(i int) *Ctx { return &m.ctxs[i] }
+
+// Rand returns the machine's seeded RNG.
+func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// Now returns the dispatch watermark: the scheduled time of the most recently
+// started task.
+func (m *Machine) Now() uint64 { return m.now }
+
+// MaxCoreTime returns the furthest-advanced core clock.
+func (m *Machine) MaxCoreTime() uint64 {
+	var mx uint64
+	for _, c := range m.cores {
+		if c.now > mx {
+			mx = c.now
+		}
+	}
+	return mx
+}
+
+// AddAccessHook registers a hook over all memory accesses.
+func (m *Machine) AddAccessHook(h AccessHook) { m.accessHooks = append(m.accessHooks, h) }
+
+// AddWorkHook registers a hook over compute-cycle charging.
+func (m *Machine) AddWorkHook(h WorkHook) { m.workHooks = append(m.workHooks, h) }
+
+// Schedule queues fn to run on core at absolute time t (or as soon as the
+// core is free, if later).
+func (m *Machine) Schedule(core int, t uint64, fn TaskFunc) {
+	if core < 0 || core >= len(m.cores) {
+		panic(fmt.Sprintf("sim: schedule on core %d of %d", core, len(m.cores)))
+	}
+	m.seq++
+	heap.Push(&m.events, event{t: t, seq: m.seq, core: core, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (m *Machine) Pending() int { return len(m.events) }
+
+// Run dispatches events in time order until the queue is empty or the next
+// event is scheduled after `until`. It returns the number of tasks run.
+func (m *Machine) Run(until uint64) int {
+	n := 0
+	for len(m.events) > 0 {
+		if m.events[0].t > until {
+			break
+		}
+		ev := heap.Pop(&m.events).(event)
+		core := m.cores[ev.core]
+		if core.now < ev.t {
+			core.idle += ev.t - core.now
+			core.now = ev.t
+		}
+		m.now = ev.t
+		ev.fn(&m.ctxs[ev.core])
+		n++
+	}
+	return n
+}
+
+// RunAll dispatches until no events remain.
+func (m *Machine) RunAll() int { return m.Run(^uint64(0)) }
+
+// Ctx is the interface workload code uses to execute on a core.
+type Ctx struct {
+	M    *Machine
+	Core *Core
+}
+
+// Enter pushes a function onto the core's call stack. Use with defer:
+//
+//	defer c.Leave(c.Enter("dev_queue_xmit"))
+func (c *Ctx) Enter(fn string) sym.PC {
+	pc := sym.Intern(fn)
+	c.Core.stack = append(c.Core.stack, pc)
+	return pc
+}
+
+// EnterPC pushes an already-interned function.
+func (c *Ctx) EnterPC(pc sym.PC) sym.PC {
+	c.Core.stack = append(c.Core.stack, pc)
+	return pc
+}
+
+// Leave pops the current function. The argument (the PC returned by Enter) is
+// only there to make the defer idiom read well and to catch mismatches.
+func (c *Ctx) Leave(pc sym.PC) {
+	n := len(c.Core.stack)
+	if n == 0 {
+		panic("sim: Leave with empty call stack")
+	}
+	if c.Core.stack[n-1] != pc {
+		panic(fmt.Sprintf("sim: Leave(%s) but innermost is %s",
+			sym.Name(pc), sym.Name(c.Core.stack[n-1])))
+	}
+	c.Core.stack = c.Core.stack[:n-1]
+}
+
+// Fn returns the innermost function.
+func (c *Ctx) Fn() sym.PC { return c.Core.Fn() }
+
+// Now returns the core's cycle clock.
+func (c *Ctx) Now() uint64 { return c.Core.now }
+
+// Read performs a load of size bytes at addr.
+func (c *Ctx) Read(addr uint64, size uint32) { c.access(addr, size, false) }
+
+// Write performs a store of size bytes at addr.
+func (c *Ctx) Write(addr uint64, size uint32) { c.access(addr, size, true) }
+
+func (c *Ctx) access(addr uint64, size uint32, write bool) {
+	if size == 0 {
+		return
+	}
+	ls := c.M.Hier.Config().LineSize
+	end := addr + uint64(size)
+	for cur := addr; cur < end; {
+		lineEnd := (cur &^ (ls - 1)) + ls
+		n := lineEnd - cur
+		if end-cur < n {
+			n = end - cur
+		}
+		res := c.M.Hier.Access(c.Core.ID, cur, write)
+		c.Core.now += uint64(res.Latency)
+		c.Core.retired++
+		if len(c.M.accessHooks) > 0 && !c.Core.inHook {
+			ev := AccessEvent{
+				Time:    c.Core.now,
+				Core:    c.Core.ID,
+				PC:      c.Core.Fn(),
+				Addr:    cur,
+				Size:    uint32(n),
+				Write:   write,
+				Level:   res.Level,
+				Latency: res.Latency,
+			}
+			c.Core.inHook = true
+			for _, h := range c.M.accessHooks {
+				h(c, &ev)
+			}
+			c.Core.inHook = false
+		}
+		if len(c.M.workHooks) > 0 && !c.Core.inHook {
+			c.Core.inHook = true
+			for _, h := range c.M.workHooks {
+				h(c, c.Core.Fn(), uint64(res.Latency))
+			}
+			c.Core.inHook = false
+		}
+		cur += n
+	}
+}
+
+// Compute charges n cycles of pure computation to the current function.
+func (c *Ctx) Compute(n uint64) {
+	c.Core.now += n
+	if len(c.M.workHooks) > 0 && !c.Core.inHook {
+		c.Core.inHook = true
+		for _, h := range c.M.workHooks {
+			h(c, c.Core.Fn(), n)
+		}
+		c.Core.inHook = false
+	}
+}
+
+// ChargeOverhead charges n cycles of profiling overhead in the named
+// category ("interrupt", "memory", "communication"). The cycles delay the
+// core — that is the measured overhead in §6.3/§6.4 — and are tallied on the
+// machine for the Table 6.9 breakdown.
+func (c *Ctx) ChargeOverhead(category string, n uint64) {
+	c.Core.now += n
+	c.M.Overhead[category] += n
+}
+
+// Spawn schedules fn on the given core, delay cycles after the current
+// core's clock.
+func (c *Ctx) Spawn(core int, delay uint64, fn TaskFunc) {
+	c.M.Schedule(core, c.Core.now+delay, fn)
+}
+
+// Rand returns the core-local RNG (deterministic per seed and core).
+func (c *Ctx) Rand() *rand.Rand { return c.Core.rng }

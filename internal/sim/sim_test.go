@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dprof/internal/sym"
+)
+
+func testMachine(cores int) *Machine {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	return New(cfg)
+}
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	m := testMachine(2)
+	var order []int
+	m.Schedule(0, 300, func(c *Ctx) { order = append(order, 3) })
+	m.Schedule(1, 100, func(c *Ctx) { order = append(order, 1) })
+	m.Schedule(0, 200, func(c *Ctx) { order = append(order, 2) })
+	if n := m.RunAll(); n != 3 {
+		t.Fatalf("ran %d tasks, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	m := testMachine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		m.Schedule(0, 50, func(c *Ctx) { order = append(order, i) })
+	}
+	m.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time tasks not FIFO: %v", order)
+		}
+	}
+}
+
+func TestBusyCoreDelaysNextTask(t *testing.T) {
+	m := testMachine(1)
+	var secondStart uint64
+	m.Schedule(0, 0, func(c *Ctx) { c.Compute(5000) })
+	m.Schedule(0, 100, func(c *Ctx) { secondStart = c.Now() })
+	m.RunAll()
+	if secondStart != 5000 {
+		t.Fatalf("second task started at %d, want 5000 (after the busy first task)", secondStart)
+	}
+}
+
+func TestIdleAccounting(t *testing.T) {
+	m := testMachine(1)
+	m.Schedule(0, 1000, func(c *Ctx) { c.Compute(10) })
+	m.RunAll()
+	if got := m.Core(0).Idle(); got != 1000 {
+		t.Fatalf("idle = %d, want 1000", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	m := testMachine(1)
+	ran := 0
+	m.Schedule(0, 10, func(c *Ctx) { ran++ })
+	m.Schedule(0, 2000, func(c *Ctx) { ran++ })
+	if n := m.Run(1000); n != 1 {
+		t.Fatalf("Run(1000) executed %d tasks, want 1", n)
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", m.Pending())
+	}
+	m.RunAll()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}
+
+func TestAccessAdvancesClockByLatency(t *testing.T) {
+	m := testMachine(1)
+	cfg := m.Hier.Config()
+	m.Schedule(0, 0, func(c *Ctx) {
+		c.Read(0x1000, 8) // cold: DRAM
+		if c.Now() != uint64(cfg.LatDRAM) {
+			t.Fatalf("clock after cold read = %d, want %d", c.Now(), cfg.LatDRAM)
+		}
+		c.Read(0x1000, 8) // L1
+		if c.Now() != uint64(cfg.LatDRAM+cfg.LatL1) {
+			t.Fatalf("clock after warm read = %d", c.Now())
+		}
+	})
+	m.RunAll()
+}
+
+func TestAccessSplitsAcrossLines(t *testing.T) {
+	m := testMachine(1)
+	var events []AccessEvent
+	m.AddAccessHook(func(c *Ctx, ev *AccessEvent) { events = append(events, *ev) })
+	m.Schedule(0, 0, func(c *Ctx) {
+		c.Write(0x1000-8, 16) // straddles two lines
+	})
+	m.RunAll()
+	if len(events) != 2 {
+		t.Fatalf("line-straddling access produced %d events, want 2", len(events))
+	}
+	if events[0].Size != 8 || events[1].Size != 8 {
+		t.Fatalf("split sizes = %d,%d, want 8,8", events[0].Size, events[1].Size)
+	}
+	if events[1].Addr != 0x1000 {
+		t.Fatalf("second fragment addr = %#x, want 0x1000", events[1].Addr)
+	}
+}
+
+func TestZeroSizeAccessIsNoop(t *testing.T) {
+	m := testMachine(1)
+	hits := 0
+	m.AddAccessHook(func(c *Ctx, ev *AccessEvent) { hits++ })
+	m.Schedule(0, 0, func(c *Ctx) { c.Read(0x1000, 0) })
+	m.RunAll()
+	if hits != 0 {
+		t.Fatal("zero-size access generated an event")
+	}
+}
+
+func TestEnterLeaveStack(t *testing.T) {
+	m := testMachine(1)
+	m.Schedule(0, 0, func(c *Ctx) {
+		if c.Fn() != sym.None {
+			t.Fatal("fresh stack should report None")
+		}
+		pc := c.Enter("outer")
+		if sym.Name(c.Fn()) != "outer" {
+			t.Fatal("Enter did not set Fn")
+		}
+		inner := c.Enter("inner")
+		if sym.Name(c.Fn()) != "inner" {
+			t.Fatal("nested Enter did not set Fn")
+		}
+		c.Leave(inner)
+		c.Leave(pc)
+		if c.Fn() != sym.None {
+			t.Fatal("stack not empty after Leaves")
+		}
+	})
+	m.RunAll()
+}
+
+func TestLeaveMismatchPanics(t *testing.T) {
+	m := testMachine(1)
+	m.Schedule(0, 0, func(c *Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched Leave did not panic")
+			}
+			c.Core.stack = nil
+		}()
+		c.Enter("a")
+		c.Leave(sym.Intern("b"))
+	})
+	m.RunAll()
+}
+
+func TestHooksSeeCurrentFunction(t *testing.T) {
+	m := testMachine(1)
+	var pcs []sym.PC
+	m.AddAccessHook(func(c *Ctx, ev *AccessEvent) { pcs = append(pcs, ev.PC) })
+	m.Schedule(0, 0, func(c *Ctx) {
+		defer c.Leave(c.Enter("reader_fn"))
+		c.Read(0x2000, 8)
+	})
+	m.RunAll()
+	if len(pcs) != 1 || sym.Name(pcs[0]) != "reader_fn" {
+		t.Fatalf("hook saw %v", pcs)
+	}
+}
+
+func TestHookRecursionSuppressed(t *testing.T) {
+	m := testMachine(1)
+	calls := 0
+	m.AddAccessHook(func(c *Ctx, ev *AccessEvent) {
+		calls++
+		// A hook issuing an access must not re-trigger hooks.
+		c.Read(0x9000, 8)
+	})
+	m.Schedule(0, 0, func(c *Ctx) { c.Read(0x3000, 8) })
+	m.RunAll()
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1 (no recursion)", calls)
+	}
+}
+
+func TestWorkHookAttribution(t *testing.T) {
+	m := testMachine(1)
+	var got uint64
+	var fn sym.PC
+	m.AddWorkHook(func(c *Ctx, pc sym.PC, cycles uint64) {
+		got += cycles
+		fn = pc
+	})
+	m.Schedule(0, 0, func(c *Ctx) {
+		defer c.Leave(c.Enter("busy_fn"))
+		c.Compute(123)
+	})
+	m.RunAll()
+	if got != 123 || sym.Name(fn) != "busy_fn" {
+		t.Fatalf("work hook saw %d cycles in %s", got, sym.Name(fn))
+	}
+}
+
+func TestChargeOverhead(t *testing.T) {
+	m := testMachine(1)
+	m.Schedule(0, 0, func(c *Ctx) {
+		c.ChargeOverhead("interrupt", 500)
+		c.ChargeOverhead("interrupt", 250)
+		c.ChargeOverhead("memory", 100)
+	})
+	m.RunAll()
+	if m.Overhead["interrupt"] != 750 || m.Overhead["memory"] != 100 {
+		t.Fatalf("overhead = %v", m.Overhead)
+	}
+	if m.Core(0).Now() != 850 {
+		t.Fatalf("overhead cycles must delay the core: now = %d", m.Core(0).Now())
+	}
+}
+
+func TestSpawnRelativeToCoreClock(t *testing.T) {
+	m := testMachine(2)
+	var startedAt uint64
+	m.Schedule(0, 0, func(c *Ctx) {
+		c.Compute(1000)
+		c.Spawn(1, 50, func(c2 *Ctx) { startedAt = c2.Now() })
+	})
+	m.RunAll()
+	if startedAt != 1050 {
+		t.Fatalf("spawned task started at %d, want 1050", startedAt)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		m := testMachine(4)
+		for core := 0; core < 4; core++ {
+			core := core
+			m.Schedule(core, 0, func(c *Ctx) {
+				for i := 0; i < 100; i++ {
+					c.Read(uint64(c.Rand().Intn(1<<14)), 8)
+				}
+			})
+		}
+		m.RunAll()
+		return m.MaxCoreTime()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different final time: %d vs %d", a, b)
+	}
+}
+
+func TestQuickClockMonotonic(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		m := testMachine(1)
+		ok := true
+		m.Schedule(0, 0, func(c *Ctx) {
+			prev := c.Now()
+			for _, s := range sizes {
+				c.Read(uint64(s)*64, uint32(s%9))
+				if c.Now() < prev {
+					ok = false
+				}
+				prev = c.Now()
+			}
+		})
+		m.RunAll()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRetiredMatchesHookCount(t *testing.T) {
+	prop := func(n uint8) bool {
+		m := testMachine(1)
+		count := uint64(0)
+		m.AddAccessHook(func(c *Ctx, ev *AccessEvent) { count++ })
+		m.Schedule(0, 0, func(c *Ctx) {
+			for i := 0; i < int(n); i++ {
+				c.Read(uint64(i)*64, 8)
+			}
+		})
+		m.RunAll()
+		return m.Core(0).Retired() == count && count == uint64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleBadCorePanics(t *testing.T) {
+	m := testMachine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Schedule(5, 0, func(c *Ctx) {})
+}

@@ -1,0 +1,79 @@
+// Package sym provides interned program-counter symbols.
+//
+// The simulator identifies code locations by function name (the granularity
+// at which DProf's views report results). Interning the names into small
+// integer PCs keeps access-event records compact and makes path-trace
+// signatures cheap to compare and hash.
+package sym
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PC identifies an interned code location. The zero PC is "<none>".
+type PC uint32
+
+// None is the PC of the empty/unknown location.
+const None PC = 0
+
+// Table interns strings to PCs. The zero value is not usable; use NewTable.
+// A process-wide default table is provided via Intern and Name, which is what
+// the simulator and profilers use; separate tables exist only for tests.
+type Table struct {
+	mu    sync.RWMutex
+	byPC  []string
+	byStr map[string]PC
+}
+
+// NewTable returns an empty symbol table with PC 0 reserved for "<none>".
+func NewTable() *Table {
+	t := &Table{byStr: make(map[string]PC)}
+	t.byPC = append(t.byPC, "<none>")
+	t.byStr["<none>"] = None
+	return t
+}
+
+// Intern returns the PC for name, creating it if necessary.
+func (t *Table) Intern(name string) PC {
+	t.mu.RLock()
+	pc, ok := t.byStr[name]
+	t.mu.RUnlock()
+	if ok {
+		return pc
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.byStr[name]; ok {
+		return pc
+	}
+	pc = PC(len(t.byPC))
+	t.byPC = append(t.byPC, name)
+	t.byStr[name] = pc
+	return pc
+}
+
+// Name returns the string for pc, or a placeholder if pc was never interned.
+func (t *Table) Name(pc PC) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(pc) < len(t.byPC) {
+		return t.byPC[pc]
+	}
+	return fmt.Sprintf("<pc:%d>", uint32(pc))
+}
+
+// Len reports the number of interned symbols (including "<none>").
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byPC)
+}
+
+var defaultTable = NewTable()
+
+// Intern interns name in the process-wide default table.
+func Intern(name string) PC { return defaultTable.Intern(name) }
+
+// Name resolves pc against the process-wide default table.
+func Name(pc PC) string { return defaultTable.Name(pc) }

@@ -1,0 +1,110 @@
+package sym
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	tb := NewTable()
+	pc := tb.Intern("dev_queue_xmit")
+	if got := tb.Name(pc); got != "dev_queue_xmit" {
+		t.Fatalf("Name(Intern(x)) = %q, want dev_queue_xmit", got)
+	}
+}
+
+func TestInternIsIdempotent(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("f")
+	b := tb.Intern("f")
+	if a != b {
+		t.Fatalf("same name interned to different PCs: %d vs %d", a, b)
+	}
+	if tb.Len() != 2 { // "<none>" + "f"
+		t.Fatalf("table length = %d, want 2", tb.Len())
+	}
+}
+
+func TestDistinctNamesDistinctPCs(t *testing.T) {
+	tb := NewTable()
+	seen := make(map[PC]string)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("fn_%d", i)
+		pc := tb.Intern(name)
+		if prev, dup := seen[pc]; dup {
+			t.Fatalf("PC %d reused for %q and %q", pc, prev, name)
+		}
+		seen[pc] = name
+	}
+}
+
+func TestNonePC(t *testing.T) {
+	tb := NewTable()
+	if got := tb.Name(None); got != "<none>" {
+		t.Fatalf("Name(None) = %q", got)
+	}
+	if tb.Intern("<none>") != None {
+		t.Fatal("interning <none> should return the reserved PC")
+	}
+}
+
+func TestUnknownPCName(t *testing.T) {
+	tb := NewTable()
+	if got := tb.Name(PC(9999)); got != "<pc:9999>" {
+		t.Fatalf("Name(unknown) = %q", got)
+	}
+}
+
+func TestDefaultTable(t *testing.T) {
+	pc := Intern("test_default_table_fn")
+	if Name(pc) != "test_default_table_fn" {
+		t.Fatal("default table round trip failed")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	pcs := make([][]PC, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pcs[g] = append(pcs[g], tb.Intern(fmt.Sprintf("shared_%d", i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range pcs[g] {
+			if pcs[g][i] != pcs[0][i] {
+				t.Fatalf("goroutine %d interned shared_%d to %d, goroutine 0 got %d",
+					g, i, pcs[g][i], pcs[0][i])
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	tb := NewTable()
+	prop := func(s string) bool {
+		return tb.Name(tb.Intern(s)) == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIdempotent(t *testing.T) {
+	tb := NewTable()
+	prop := func(s string) bool {
+		return tb.Intern(s) == tb.Intern(s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
