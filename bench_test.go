@@ -6,6 +6,7 @@
 package dprof_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,7 +25,7 @@ import (
 func benchExperiment(b *testing.B, name, metric string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Run(name, true)
+		r, err := exp.Run(context.Background(), name, exp.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -33,6 +34,21 @@ func benchExperiment(b *testing.B, name, metric string) {
 		}
 	}
 }
+
+// benchEngine measures wall clock for a fixed experiment subset at a given
+// worker count; comparing Workers=1 against Workers=N shows the parallel
+// engine's speedup on multi-core runners.
+func benchEngine(b *testing.B, workers int) {
+	names := []string{"table6.1", "figure6.1", "table6.2", "table6.3"}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAll(context.Background(), names, exp.Options{Quick: true, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSerial(b *testing.B)   { benchEngine(b, 1) }
+func BenchmarkEngineParallel(b *testing.B) { benchEngine(b, 0) }
 
 // --- one benchmark per paper table/figure ---
 
@@ -156,6 +172,23 @@ func BenchmarkSimAccess(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Read(uint64(i%4096)*64, 8)
+	}
+}
+
+// BenchmarkSimAccessHooked measures the access path with a profiler-style
+// hook attached — the configuration every experiment runs under. The hook
+// dispatch must not allocate (the scratch AccessEvent is reused per core).
+func BenchmarkSimAccessHooked(b *testing.B) {
+	m := sim.New(sim.DefaultConfig())
+	var seen uint64
+	m.AddAccessHook(func(c *sim.Ctx, ev *sim.AccessEvent) { seen += uint64(ev.Latency) })
+	c := m.Ctx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%4096)*64, 8)
+	}
+	if seen == 0 {
+		b.Fatal("hook never ran")
 	}
 }
 

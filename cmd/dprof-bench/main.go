@@ -3,59 +3,83 @@
 //
 // Usage:
 //
-//	dprof-bench -experiment all            # everything, paper order
-//	dprof-bench -experiment table6.1       # one table
+//	dprof-bench -experiment all                    # everything, paper order
+//	dprof-bench -experiment all -parallel 0        # ... on all cores
+//	dprof-bench -experiment table6.1               # one table
+//	dprof-bench -experiment table6.1,table6.2      # a subset
 //	dprof-bench -experiment figure6.2 -quick
 //	dprof-bench -list
 //
-// Output is printed in the shape of the corresponding paper table/figure;
-// EXPERIMENTS.md records a captured run next to the paper's numbers.
+// Output is printed in the shape of the corresponding paper table/figure, in
+// request order regardless of -parallel; per-experiment progress streams to
+// stderr as experiments start and finish. EXPERIMENTS.md records a captured
+// run next to the paper's numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
-	"time"
+	"os/signal"
 
 	"dprof/internal/exp"
 )
 
 func main() {
-	experiment := flag.String("experiment", "", "experiment name (or 'all')")
-	quick := flag.Bool("quick", false, "smaller workloads and fewer samples")
-	list := flag.Bool("list", false, "list available experiments")
-	values := flag.Bool("values", false, "also print machine-readable values")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dprof-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "", "experiment name, comma list, or 'all'")
+		quick      = fs.Bool("quick", false, "smaller workloads and fewer samples")
+		list       = fs.Bool("list", false, "list available experiments")
+		values     = fs.Bool("values", false, "also print machine-readable values")
+		parallel   = fs.Int("parallel", 1, "experiments to run concurrently (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, n := range exp.Names() {
-			fmt.Printf("%-14s %s\n", n, exp.Title(n))
-		}
-		return
+		fmt.Fprint(stdout, exp.Titles())
+		return 0
 	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "usage: dprof-bench -experiment <name>|all [-quick] [-values] (or -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: dprof-bench -experiment <name>[,<name>...]|all [-quick] [-values] [-parallel n] (or -list)")
+		return 2
 	}
 
-	names := []string{*experiment}
-	if *experiment == "all" {
-		names = exp.Names()
+	names, ok := exp.ParseNames(*experiment)
+	if !ok {
+		fmt.Fprintf(stderr, "dprof-bench: no experiment names in %q\n", *experiment)
+		return 2
 	}
-	for _, name := range names {
-		start := time.Now()
-		r, err := exp.Run(name, *quick)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s — %s (ran in %v)\n", r.Name, r.Title, time.Since(start).Round(time.Millisecond))
-		fmt.Println(strings.TrimRight(r.Text, "\n"))
-		if *values {
-			fmt.Print(exp.RenderValues(r))
-		}
-		fmt.Println()
+
+	results, err := exp.RunAll(ctx, names, exp.Options{
+		Quick:   *quick,
+		Workers: *parallel,
+		Progress: func(ev exp.Event) {
+			switch ev.Kind {
+			case exp.EventStarted:
+				fmt.Fprintf(stderr, "[%d/%d] %s: running...\n", ev.Index+1, ev.Total, ev.Name)
+			case exp.EventFinished:
+				fmt.Fprintf(stderr, "[%d/%d] %s: done in %v\n", ev.Index+1, ev.Total, ev.Name, ev.Elapsed.Round(1e6))
+			case exp.EventFailed:
+				fmt.Fprintf(stderr, "[%d/%d] %s: FAILED: %v\n", ev.Index+1, ev.Total, ev.Name, ev.Err)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	exp.WriteResults(stdout, results, *values)
+	return 0
 }

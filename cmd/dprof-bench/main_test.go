@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantOut    []string // substrings of stdout
+		wantErrOut []string // substrings of stderr
+	}{
+		{
+			name:       "no arguments prints usage",
+			args:       nil,
+			wantCode:   2,
+			wantErrOut: []string{"usage:"},
+		},
+		{
+			name:     "list names every experiment",
+			args:     []string{"-list"},
+			wantCode: 0,
+			wantOut:  []string{"table6.1", "figure6.3", "table6.10"},
+		},
+		{
+			name:       "unknown experiment fails and prints the valid set",
+			args:       []string{"-experiment", "table9.9"},
+			wantCode:   1,
+			wantErrOut: []string{"unknown experiment", "table9.9", "table6.1"},
+		},
+		{
+			name:       "unknown name in a comma list fails",
+			args:       []string{"-experiment", "table6.1,bogus", "-quick"},
+			wantCode:   1,
+			wantErrOut: []string{"unknown experiment", "bogus"},
+		},
+		{
+			name:       "bad flag fails",
+			args:       []string{"-no-such-flag"},
+			wantCode:   2,
+			wantErrOut: []string{"flag provided but not defined"},
+		},
+		{
+			name:       "comma-only experiment list fails instead of running everything",
+			args:       []string{"-experiment", ","},
+			wantCode:   2,
+			wantErrOut: []string{"no experiment names"},
+		},
+		{
+			name:       "single experiment runs and streams progress",
+			args:       []string{"-experiment", "table6.1", "-quick"},
+			wantCode:   0,
+			wantOut:    []string{"=== table6.1"},
+			wantErrOut: []string{"[1/1] table6.1: running", "[1/1] table6.1: done"},
+		},
+		{
+			name:     "parallel subset prints results in request order",
+			args:     []string{"-experiment", "table6.3,table6.1", "-quick", "-parallel", "2", "-values"},
+			wantCode: 0,
+			wantOut:  []string{"=== table6.3"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(context.Background(), tt.args, &out, &errOut)
+			if code != tt.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tt.wantCode, out.String(), errOut.String())
+			}
+			for _, want := range tt.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, want := range tt.wantErrOut {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunParallelOrderPreserved(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-experiment", "table6.3,table6.1", "-quick", "-parallel", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	i3 := strings.Index(out.String(), "=== table6.3")
+	i1 := strings.Index(out.String(), "=== table6.1")
+	if i3 < 0 || i1 < 0 || i3 > i1 {
+		t.Errorf("results not in request order (table6.3 at %d, table6.1 at %d)", i3, i1)
+	}
+}

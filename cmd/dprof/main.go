@@ -9,38 +9,89 @@
 //	dprof -workload apache -offered 110000    # past the drop-off
 //	dprof -workload apache -views dataprofile,missclass,workingset
 //	dprof -workload memcached -lockstat -oprofile
+//	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"slices"
+	"sort"
 	"strings"
 
 	"dprof/internal/app/apachesim"
 	"dprof/internal/app/memcachedsim"
 	"dprof/internal/core"
+	"dprof/internal/exp"
 	"dprof/internal/kernel"
 	"dprof/internal/mem"
 	"dprof/internal/oprofile"
 	"dprof/internal/sim"
 )
 
+var knownViews = []string{"dataprofile", "workingset", "missclass", "dataflow", "pathtrace"}
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "memcached", "memcached or apache")
-		views    = flag.String("views", "dataprofile", "comma list: dataprofile,workingset,missclass,dataflow,pathtrace")
-		typeName = flag.String("type", "skbuff", "type for dataflow/pathtrace views")
-		sets     = flag.Int("sets", 2, "history sets to collect for dataflow/pathtrace")
-		rate     = flag.Float64("rate", 8000, "IBS samples/s/core")
-		fix      = flag.Bool("fix", false, "memcached: enable local TX queue selection")
-		offered  = flag.Float64("offered", apachesim.PeakOffered, "apache: offered connections/s/core")
-		backlog  = flag.Int("backlog", 0, "apache: accept backlog override (0 = default 511)")
-		measure  = flag.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
-		withLS   = flag.Bool("lockstat", false, "also print the lock-stat baseline")
-		withOP   = flag.Bool("oprofile", false, "also print the OProfile baseline")
+		workload   = fs.String("workload", "memcached", "memcached or apache")
+		views      = fs.String("views", "dataprofile", "comma list: "+strings.Join(knownViews, ","))
+		typeName   = fs.String("type", "skbuff", "type for dataflow/pathtrace views")
+		sets       = fs.Int("sets", 2, "history sets to collect for dataflow/pathtrace")
+		rate       = fs.Float64("rate", 8000, "IBS samples/s/core")
+		fix        = fs.Bool("fix", false, "memcached: enable local TX queue selection")
+		offered    = fs.Float64("offered", apachesim.PeakOffered, "apache: offered connections/s/core")
+		backlog    = fs.Int("backlog", 0, "apache: accept backlog override (0 = default 511)")
+		measure    = fs.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
+		withLS     = fs.Bool("lockstat", false, "also print the lock-stat baseline")
+		withOP     = fs.Bool("oprofile", false, "also print the OProfile baseline")
+		experiment = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
+		quick      = fs.Bool("quick", false, "experiment mode: smaller workloads")
+		parallel   = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Experiment mode delegates to the engine (same results as dprof-bench).
+	if *experiment != "" {
+		names, ok := exp.ParseNames(*experiment)
+		if !ok {
+			fmt.Fprintf(stderr, "dprof: no experiment names in %q\n", *experiment)
+			return 2
+		}
+		results, err := exp.RunAll(ctx, names, exp.Options{Quick: *quick, Workers: *parallel})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		exp.WriteResults(stdout, results, false)
+		return 0
+	}
+
+	wantViews := map[string]bool{}
+	for _, v := range strings.Split(*views, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		if !slices.Contains(knownViews, v) {
+			fmt.Fprintf(stderr, "dprof: unknown view %q (known: %s)\n", v, strings.Join(knownViews, ", "))
+			return 2
+		}
+		wantViews[v] = true
+	}
 
 	var (
 		m      *sim.Machine
@@ -68,8 +119,8 @@ func main() {
 		warmup = 10_000_000
 		runFn = func(w, ms uint64) string { return b.Run(w, ms).String() }
 	default:
-		fmt.Fprintf(os.Stderr, "dprof: unknown workload %q\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dprof: unknown workload %q (known: memcached, apache)\n", *workload)
+		return 2
 	}
 
 	pcfg := core.DefaultConfig()
@@ -83,64 +134,71 @@ func main() {
 		op.Start()
 	}
 
-	wantViews := map[string]bool{}
-	for _, v := range strings.Split(*views, ",") {
-		wantViews[strings.TrimSpace(v)] = true
-	}
 	var target *mem.Type
 	if wantViews["dataflow"] || wantViews["pathtrace"] {
 		target = alloc.TypeByName(*typeName)
 		if target == nil {
-			fmt.Fprintf(os.Stderr, "dprof: unknown type %q\n", *typeName)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dprof: unknown type %q (known: %s)\n", *typeName, typeNames(alloc))
+			return 2
 		}
 		p.Collector.WatchLen = 8
 		p.Collector.AddSingleTargetsRange(target, 0, rangeCap(target), *sets)
 		p.Collector.Start()
 	}
 
-	fmt.Println(runFn(warmup, *measure*1_000_000))
-	fmt.Println()
+	fmt.Fprintln(stdout, runFn(warmup, *measure*1_000_000))
+	fmt.Fprintln(stdout)
 
 	if wantViews["dataprofile"] {
-		fmt.Println("== data profile view ==")
-		fmt.Println(p.DataProfile().String())
+		fmt.Fprintln(stdout, "== data profile view ==")
+		fmt.Fprintln(stdout, p.DataProfile().String())
 	}
 	if wantViews["workingset"] {
-		fmt.Println("== working set view ==")
-		fmt.Println(p.WorkingSet().String())
-		fmt.Println(p.CacheResidency(200_000).String())
+		fmt.Fprintln(stdout, "== working set view ==")
+		fmt.Fprintln(stdout, p.WorkingSet().String())
+		fmt.Fprintln(stdout, p.CacheResidency(200_000).String())
 	}
 	if wantViews["missclass"] {
-		fmt.Println("== miss classification view ==")
-		fmt.Println(core.RenderMissClassification(p.MissClassification()))
+		fmt.Fprintln(stdout, "== miss classification view ==")
+		fmt.Fprintln(stdout, core.RenderMissClassification(p.MissClassification()))
 	}
 	if wantViews["pathtrace"] && target != nil {
-		fmt.Println("== path traces ==")
+		fmt.Fprintln(stdout, "== path traces ==")
 		for i, tr := range p.PathTraces(target) {
 			if i == 3 {
 				break
 			}
-			fmt.Println(tr.String())
+			fmt.Fprintln(stdout, tr.String())
 		}
 	}
 	if wantViews["dataflow"] && target != nil {
-		fmt.Println("== data flow view ==")
+		fmt.Fprintln(stdout, "== data flow view ==")
 		g := p.DataFlow(target)
-		fmt.Println(g.Render())
+		fmt.Fprintln(stdout, g.Render())
 		for _, e := range g.CrossCPUEdges() {
-			fmt.Printf("cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+			fmt.Fprintf(stdout, "cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)
 		}
 	}
 	if *withLS {
-		fmt.Println("\n== lock-stat baseline ==")
+		fmt.Fprintln(stdout, "\n== lock-stat baseline ==")
 		rep := kern.Locks.BuildReport(*measure * 1_000_000 * uint64(m.NumCores()))
-		fmt.Println(rep.String())
+		fmt.Fprintln(stdout, rep.String())
 	}
 	if op != nil {
-		fmt.Println("\n== OProfile baseline ==")
-		fmt.Println(op.BuildReport(1.0).String())
+		fmt.Fprintln(stdout, "\n== OProfile baseline ==")
+		fmt.Fprintln(stdout, op.BuildReport(1.0).String())
 	}
+	return 0
+}
+
+// typeNames lists the allocator's registered type names for error messages.
+func typeNames(a *mem.Allocator) string {
+	var names []string
+	for _, t := range a.Types() {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // rangeCap limits history collection to the object head for large types

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantErrOut []string
+	}{
+		{
+			name:       "unknown workload fails and prints the valid set",
+			args:       []string{"-workload", "nginx"},
+			wantCode:   2,
+			wantErrOut: []string{"unknown workload", "nginx", "memcached", "apache"},
+		},
+		{
+			name:       "unknown view fails and prints the valid set",
+			args:       []string{"-views", "dataprofle"},
+			wantCode:   2,
+			wantErrOut: []string{"unknown view", "dataprofle", "dataprofile", "pathtrace"},
+		},
+		{
+			name:       "unknown type fails and prints the valid set",
+			args:       []string{"-views", "dataflow", "-type", "skbuf"},
+			wantCode:   2,
+			wantErrOut: []string{"unknown type", "skbuf", "skbuff"},
+		},
+		{
+			name:       "unknown experiment fails and prints the valid set",
+			args:       []string{"-experiment", "table9.9"},
+			wantCode:   1,
+			wantErrOut: []string{"unknown experiment", "table9.9", "table6.1"},
+		},
+		{
+			name:       "bad flag fails",
+			args:       []string{"-no-such-flag"},
+			wantCode:   2,
+			wantErrOut: []string{"flag provided but not defined"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(context.Background(), tt.args, &out, &errOut)
+			if code != tt.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tt.wantCode, out.String(), errOut.String())
+			}
+			for _, want := range tt.wantErrOut {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunMemcachedDataProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload run")
+	}
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-workload", "memcached", "-measure-ms", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "== data profile view ==") {
+		t.Errorf("data profile view missing:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick experiment")
+	}
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-experiment", "table6.1", "-quick"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "=== table6.1") {
+		t.Errorf("experiment output missing:\n%s", out.String())
+	}
+}

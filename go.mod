@@ -1,0 +1,3 @@
+module dprof
+
+go 1.24

@@ -191,7 +191,7 @@ func (b *Bench) serve(c *sim.Ctx, core int, conn *kernel.TCPConn) {
 
 	conn.ReadRequest(c, b.Cfg.RequestBytes)
 	func() {
-		defer c.Leave(c.Enter("apache_process"))
+		defer c.Leave(c.EnterPC(pcApacheProcess))
 		c.Compute(6000)                     // parse, headers, logging, filters
 		c.Read(b.pageAddr, b.Cfg.FileBytes) // the mmapped file
 	}()

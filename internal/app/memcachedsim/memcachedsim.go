@@ -156,7 +156,7 @@ func (b *Bench) appLoop(c *sim.Ctx, core int) {
 // process models memcached's request handling: parse, hash, and a lookup
 // that misses (the paper's clients ask for one non-existent key).
 func (b *Bench) process(c *sim.Ctx, core int) {
-	defer c.Leave(c.Enter("memcached_process"))
+	defer c.Leave(c.EnterPC(pcMemcachedProcess))
 	c.Compute(2500) // syscall return, request parse, key hash, response format
 	h := b.hashAddrs[core]
 	c.Read(h+uint64(c.Rand().Intn(256))*64, 8) // bucket probe: key absent

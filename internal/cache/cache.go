@@ -150,12 +150,22 @@ type way struct {
 	lru   uint64
 }
 
-// bank is one set-associative cache array.
+// bank is one set-associative cache array. The L3 carries a presence index
+// so the common miss case is one hash probe instead of a scan over every
+// way; the narrower L1/L2 are cheaper to scan directly (see indexedWaysMin).
 type bank struct {
 	sets    [][]way
 	setMask uint64
 	tick    uint64
+	idx     *lineSet // nil for narrow banks
 }
+
+// Only the L3 is indexed: its lookups and invalidates are overwhelmingly
+// misses (a line in any private cache is not in the victim L3), so the probe
+// almost always replaces a full 32-way scan. The L2 is hit-heavy — every L1
+// miss that hits L2 would pay the probe on top of the scan, and every fill
+// would pay the index maintenance.
+const indexedWaysMin = 32
 
 func newBank(size uint64, ways int, lineSize uint64) *bank {
 	nsets := size / lineSize / uint64(ways)
@@ -163,16 +173,29 @@ func newBank(size uint64, ways int, lineSize uint64) *bank {
 	for i := range b.sets {
 		b.sets[i] = make([]way, ways)
 	}
+	if ways >= indexedWaysMin {
+		b.idx = newLineSet()
+	}
 	return b
 }
 
-// lookup returns the way holding line, or nil.
+// lookup returns the way holding line, or nil. A hit is swapped to slot 0
+// (move-to-front) so repeat lookups of hot lines touch one slot instead of
+// scanning the whole set; eviction order is unaffected because LRU is
+// tracked by the lru tick, not by position.
 func (b *bank) lookup(line uint64) *way {
+	if b.idx != nil && !b.idx.has(line) {
+		return nil
+	}
 	set := b.sets[line&b.setMask]
 	for i := range set {
-		if set[i].state != invalid && set[i].line == line {
+		if set[i].line == line && set[i].state != invalid {
 			b.tick++
 			set[i].lru = b.tick
+			if i != 0 {
+				set[0], set[i] = set[i], set[0]
+				return &set[0]
+			}
 			return &set[i]
 		}
 	}
@@ -197,6 +220,12 @@ func (b *bank) insert(line uint64, st mesi) (victim way) {
 	}
 	victim = set[vi]
 	set[vi] = way{line: line, state: st, lru: b.tick}
+	if b.idx != nil {
+		if victim.state != invalid {
+			b.idx.del(victim.line)
+		}
+		b.idx.add(line)
+	}
 	if victim.state == invalid {
 		return way{}
 	}
@@ -205,11 +234,17 @@ func (b *bank) insert(line uint64, st mesi) (victim way) {
 
 // invalidate removes line if present and returns its previous state.
 func (b *bank) invalidate(line uint64) mesi {
+	if b.idx != nil && !b.idx.has(line) {
+		return invalid
+	}
 	set := b.sets[line&b.setMask]
 	for i := range set {
-		if set[i].state != invalid && set[i].line == line {
+		if set[i].line == line && set[i].state != invalid {
 			st := set[i].state
 			set[i].state = invalid
+			if b.idx != nil {
+				b.idx.del(line)
+			}
 			return st
 		}
 	}
@@ -276,7 +311,7 @@ type Hierarchy struct {
 	lineShift uint
 	cores     []priv
 	l3        *bank
-	dir       map[uint64]uint64 // line -> holders bitmask (private caches)
+	dir       *dirTable // line -> holders bitmask (private caches)
 	stats     []Stats
 	// perSetFills counts L1 fills per set index, summed over cores. Used by
 	// tests and the conflict-miss ablation; cheap (one add per fill).
@@ -301,7 +336,7 @@ func New(cfg Config, n int) *Hierarchy {
 		lineShift: shift,
 		cores:     make([]priv, n),
 		l3:        newBank(cfg.L3Size, cfg.L3Ways, cfg.LineSize),
-		dir:       make(map[uint64]uint64, 1<<16),
+		dir:       newDirTable(1 << 16),
 		stats:     make([]Stats, n),
 	}
 	for i := range h.cores {
@@ -334,7 +369,7 @@ func (h *Hierarchy) L1SetOf(addr uint64) int {
 // holders returns the mask of cores whose private caches hold line.
 func (h *Hierarchy) holders(line uint64) uint64 {
 	if !h.cfg.Snoop {
-		return h.dir[line]
+		return h.dir.get(line)
 	}
 	var mask uint64
 	for i := range h.cores {
@@ -349,11 +384,7 @@ func (h *Hierarchy) setHolders(line uint64, mask uint64) {
 	if h.cfg.Snoop {
 		return
 	}
-	if mask == 0 {
-		delete(h.dir, line)
-	} else {
-		h.dir[line] = mask
-	}
+	h.dir.set(line, mask)
 }
 
 // dropHolder removes core from line's holder set.
@@ -361,7 +392,7 @@ func (h *Hierarchy) dropHolder(line uint64, core int) {
 	if h.cfg.Snoop {
 		return
 	}
-	m := h.dir[line] &^ (1 << uint(core))
+	m := h.dir.get(line) &^ (1 << uint(core))
 	h.setHolders(line, m)
 }
 
@@ -399,7 +430,7 @@ func (h *Hierarchy) fill(core int, line uint64, st mesi) {
 	}
 	h.perSetFills[line&p.l1.setMask]++
 	if !h.cfg.Snoop {
-		h.dir[line] |= 1 << uint(core)
+		h.dir.or(line, 1<<uint(core))
 	}
 }
 
@@ -451,58 +482,21 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		st.Writes++
 	}
 
-	finish := func(lv Level, lat uint32) Result {
-		st.LatencySum += uint64(lat)
-		switch lv {
-		case L1Hit:
-			st.L1Hits++
-		case L2Hit:
-			st.L2Hits++
-		case L3Hit:
-			st.L3Hits++
-		case ForeignHit:
-			st.ForeignHits++
-		case DRAM:
-			st.DRAMFills++
-		}
-		return Result{Level: lv, Latency: lat}
-	}
-
-	// Private hit path. A write to a Shared line must still invalidate the
-	// other copies ("upgrade"), which costs a coherence round trip.
-	hitUpgrade := func(w1, w2 *way, lv Level, lat uint32) Result {
-		if !write {
-			return finish(lv, lat)
-		}
-		switch w2.state {
-		case modified, exclusive:
-			w2.state = modified
-			if w1 != nil {
-				w1.state = modified
-			}
-			return finish(lv, lat)
-		default: // shared: upgrade
-			killed := h.invalidateOthers(core, line)
-			w2.state = modified
-			if w1 != nil {
-				w1.state = modified
-			}
-			st.Upgrades++
-			st.InvalsSent += uint64(killed)
-			l := lat
-			if killed > 0 {
-				l = h.cfg.LatForeign
-			}
-			return finish(lv, l)
-		}
-	}
-
 	if w1 := p.l1.lookup(line); w1 != nil {
+		if !write {
+			// Fast path: a read hit in L1 is the overwhelmingly common case
+			// and, as on real hardware, is invisible to L2 (no LRU touch —
+			// the L1 filters it). Inclusion keeps states in sync on the
+			// write paths, which still consult L2.
+			st.L1Hits++
+			st.LatencySum += uint64(h.cfg.LatL1)
+			return Result{Level: L1Hit, Latency: h.cfg.LatL1}
+		}
 		w2 := p.l2.lookup(line) // inclusive: always present
 		if w2 == nil {
 			w2 = w1 // defensive: treat L1 as authority
 		}
-		return hitUpgrade(w1, w2, L1Hit, h.cfg.LatL1)
+		return h.hitUpgrade(core, line, w1, w2, L1Hit, h.cfg.LatL1, write)
 	}
 	if w2 := p.l2.lookup(line); w2 != nil {
 		// Promote into L1.
@@ -512,7 +506,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		}
 		h.perSetFills[line&p.l1.setMask]++
 		w1 := p.l1.lookup(line)
-		return hitUpgrade(w1, w2, L2Hit, h.cfg.LatL2)
+		return h.hitUpgrade(core, line, w1, w2, L2Hit, h.cfg.LatL2, write)
 	}
 
 	// Miss in the private hierarchy: consult the other cores.
@@ -527,7 +521,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 			h.downgradeOthers(core, line)
 			h.fill(core, line, shared)
 		}
-		return finish(ForeignHit, h.cfg.LatForeign)
+		return h.finish(st, ForeignHit, h.cfg.LatForeign)
 	}
 
 	// Shared victim L3.
@@ -538,7 +532,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		} else {
 			h.fill(core, line, exclusive)
 		}
-		return finish(L3Hit, h.cfg.LatL3)
+		return h.finish(st, L3Hit, h.cfg.LatL3)
 	}
 
 	// Memory.
@@ -547,7 +541,56 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	} else {
 		h.fill(core, line, exclusive)
 	}
-	return finish(DRAM, h.cfg.LatDRAM)
+	return h.finish(st, DRAM, h.cfg.LatDRAM)
+}
+
+// finish records the satisfied level in the core's counters.
+func (h *Hierarchy) finish(st *Stats, lv Level, lat uint32) Result {
+	st.LatencySum += uint64(lat)
+	switch lv {
+	case L1Hit:
+		st.L1Hits++
+	case L2Hit:
+		st.L2Hits++
+	case L3Hit:
+		st.L3Hits++
+	case ForeignHit:
+		st.ForeignHits++
+	case DRAM:
+		st.DRAMFills++
+	}
+	return Result{Level: lv, Latency: lat}
+}
+
+// hitUpgrade completes a private-cache hit. A write to a Shared line must
+// still invalidate the other copies ("upgrade"), which costs a coherence
+// round trip.
+func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat uint32, write bool) Result {
+	st := &h.stats[core]
+	if !write {
+		return h.finish(st, lv, lat)
+	}
+	switch w2.state {
+	case modified, exclusive:
+		w2.state = modified
+		if w1 != nil {
+			w1.state = modified
+		}
+		return h.finish(st, lv, lat)
+	default: // shared: upgrade
+		killed := h.invalidateOthers(core, line)
+		w2.state = modified
+		if w1 != nil {
+			w1.state = modified
+		}
+		st.Upgrades++
+		st.InvalsSent += uint64(killed)
+		l := lat
+		if killed > 0 {
+			l = h.cfg.LatForeign
+		}
+		return h.finish(st, lv, l)
+	}
 }
 
 // Probe reports where an access by core to addr *would* hit, without changing
@@ -572,6 +615,9 @@ func (h *Hierarchy) Probe(core int, addr uint64) Level {
 
 // peek is lookup without LRU side effects.
 func (b *bank) peek(line uint64) *way {
+	if b.idx != nil && !b.idx.has(line) {
+		return nil
+	}
 	set := b.sets[line&b.setMask]
 	for i := range set {
 		if set[i].state != invalid && set[i].line == line {
@@ -702,12 +748,16 @@ func (h *Hierarchy) checkInvariants() error {
 		if mod > 0 && len(hs) > 1 {
 			return fmt.Errorf("MESI violated: line %#x exclusive/modified with %d holders", line, len(hs))
 		}
-		if dm := h.dir[line]; dm != mask {
+		if dm := h.dir.get(line); dm != mask {
 			return fmt.Errorf("directory stale for line %#x: dir=%#x actual=%#x", line, dm, mask)
 		}
 	}
 	// Directory must not claim holders that do not exist.
-	for line, dm := range h.dir {
+	var dirErr error
+	h.dir.forEach(func(line, dm uint64) {
+		if dirErr != nil {
+			return
+		}
 		var mask uint64
 		if hs, ok := lines[line]; ok {
 			for _, x := range hs {
@@ -715,8 +765,8 @@ func (h *Hierarchy) checkInvariants() error {
 			}
 		}
 		if dm != mask {
-			return fmt.Errorf("directory entry for line %#x claims %#x, caches hold %#x", line, dm, mask)
+			dirErr = fmt.Errorf("directory entry for line %#x claims %#x, caches hold %#x", line, dm, mask)
 		}
-	}
-	return nil
+	})
+	return dirErr
 }

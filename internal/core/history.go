@@ -59,7 +59,11 @@ func (h *History) Signature() string {
 	var b strings.Builder
 	rcpus := h.RelabeledCPUs()
 	for i, e := range h.Elems {
-		fmt.Fprintf(&b, "%d@%d;", uint32(e.IP), rcpus[i])
+		// Identify elements by function name rather than numeric PC:
+		// signatures order clusters in rendered views, and PC values depend
+		// on symbol interning order, which varies when experiments run
+		// concurrently.
+		fmt.Fprintf(&b, "%s@%d;", sym.Name(e.IP), rcpus[i])
 	}
 	return b.String()
 }

@@ -116,7 +116,9 @@ func (st *SampleTable) Keys() []SampleKey {
 		if out[i].Offset != out[j].Offset {
 			return out[i].Offset < out[j].Offset
 		}
-		return out[i].PC < out[j].PC
+		// Tie-break by name, not numeric PC: PC values depend on interning
+		// order, which is not stable when experiments run concurrently.
+		return sym.Name(out[i].PC) < sym.Name(out[j].PC)
 	})
 	return out
 }

@@ -3,13 +3,15 @@
 // (DProf, lock-stat, or OProfile), runs the simulation, and renders output in
 // the shape of the paper's table or figure. EXPERIMENTS.md records measured
 // values next to the paper's.
+//
+// Experiments execute on the engine in engine.go: Run and RunAll dispatch
+// any subset onto a bounded worker pool with context cancellation, streamed
+// progress events, and structured errors. Every experiment constructs its
+// own seeded sim.Machine, so concurrent runs are bit-identical to serial
+// ones (enforced by TestRunAllParallelMatchesSerial).
 package exp
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"dprof/internal/app/apachesim"
 	"dprof/internal/app/memcachedsim"
 	"dprof/internal/sim"
@@ -77,20 +79,6 @@ func Title(name string) string {
 	return ""
 }
 
-// Run executes one experiment by name.
-func Run(name string, quick bool) (Result, error) {
-	for _, e := range registry {
-		if e.name == name {
-			r := e.run(quick)
-			r.Name = e.name
-			r.Title = e.title
-			return r, nil
-		}
-	}
-	return Result{}, fmt.Errorf("exp: unknown experiment %q (known: %s)",
-		name, strings.Join(Names(), ", "))
-}
-
 // --- shared workload constructors and run windows ---
 
 type window struct {
@@ -129,22 +117,3 @@ func newApache(offered float64, backlog int) *apachesim.Bench {
 
 // seconds converts cycles to simulated seconds.
 func seconds(cycles uint64) float64 { return float64(cycles) / float64(sim.Freq) }
-
-// sortedKeys renders a Values map deterministically (for logs).
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// RenderValues pretty-prints the named values of a result.
-func RenderValues(r Result) string {
-	var b strings.Builder
-	for _, k := range sortedKeys(r.Values) {
-		fmt.Fprintf(&b, "  %-36s %14.4f\n", k, r.Values[k])
-	}
-	return b.String()
-}

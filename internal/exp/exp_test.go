@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func runQuick(t *testing.T, name string) Result {
 	t.Helper()
-	r, err := Run(name, true)
+	r, err := Run(context.Background(), name, Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,12 +41,13 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := Run("table9.9", true); err == nil {
+	if _, err := Run(context.Background(), "table9.9", Options{Quick: true}); err == nil {
 		t.Fatal("unknown experiment did not error")
 	}
 }
 
 func TestTable61Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.1")
 	if r.Values["top_is_size1024"] != 1 {
 		t.Errorf("size-1024 is not the top miss type:\n%s", r.Text)
@@ -61,6 +63,7 @@ func TestTable61Shape(t *testing.T) {
 }
 
 func TestFigure61Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "figure6.1")
 	if r.Values["qdisc_hop"] != 1 {
 		t.Errorf("data flow view missing the qdisc cross-CPU hop:\n%s", r.Text)
@@ -71,6 +74,7 @@ func TestFigure61Shape(t *testing.T) {
 }
 
 func TestTable62Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.2")
 	if r.Values["top_is_qdisc"] != 1 {
 		t.Errorf("Qdisc lock is not the top lock-stat row:\n%s", r.Text)
@@ -81,6 +85,7 @@ func TestTable62Shape(t *testing.T) {
 }
 
 func TestTable63Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.3")
 	if r.Values["functions_over_1pct"] < 10 {
 		t.Errorf("OProfile found only %.0f functions over 1%%; the paper's point is a flat profile",
@@ -89,6 +94,7 @@ func TestTable63Shape(t *testing.T) {
 }
 
 func TestFixMemcachedShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "fix-memcached")
 	if s := r.Values["speedup"]; s < 1.3 || s > 2.1 {
 		t.Errorf("memcached fix speedup = %.2fx, paper = 1.57x (accepted band 1.3-2.1)", s)
@@ -96,6 +102,7 @@ func TestFixMemcachedShape(t *testing.T) {
 }
 
 func TestTable65Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.5")
 	if g := r.Values["tcp_sock_ws_growth"]; g < 3 {
 		t.Errorf("tcp_sock working set growth = %.1fx, paper = ~10x", g)
@@ -112,6 +119,7 @@ func TestTable65Shape(t *testing.T) {
 }
 
 func TestTable66Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.6")
 	if r.Values["top_is_futex"] != 1 {
 		t.Errorf("futex lock is not the top Apache lock-stat row:\n%s", r.Text)
@@ -119,6 +127,7 @@ func TestTable66Shape(t *testing.T) {
 }
 
 func TestFixApacheShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "fix-apache")
 	if s := r.Values["speedup"]; s < 1.05 || s > 1.6 {
 		t.Errorf("apache fix speedup = %.2fx, paper = 1.16x (accepted band 1.05-1.6)", s)
@@ -126,6 +135,7 @@ func TestFixApacheShape(t *testing.T) {
 }
 
 func TestFigure62Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "figure6.2")
 	lo, hi := r.Values["memcached_6000"], r.Values["memcached_18000"]
 	if hi <= lo {
@@ -141,6 +151,10 @@ func TestFigure62Shape(t *testing.T) {
 }
 
 func TestTable67Shape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("slow history-collection experiment")
+	}
 	r := runQuick(t, "table6.7")
 	if r.Values["memcached_size-1024_histories"] == 0 {
 		t.Error("no memcached size-1024 histories collected")
@@ -151,6 +165,10 @@ func TestTable67Shape(t *testing.T) {
 }
 
 func TestTable69Shape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("slow overhead-breakdown experiment")
+	}
 	r := runQuick(t, "table6.9")
 	// The paper: cross-core setup communication dominates.
 	if r.Values["size-1024_communication_pct"] < 30 {
@@ -160,6 +178,10 @@ func TestTable69Shape(t *testing.T) {
 }
 
 func TestFigure63Shape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("slow coverage-sweep experiment")
+	}
 	r := runQuick(t, "figure6.3")
 	n := int(r.Values["sets_collected"])
 	if n < 2 {
@@ -198,6 +220,7 @@ func itoa(k int) string {
 }
 
 func TestTable610Shape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "table6.10")
 	if r.Values["memcached_size-1024_histories"] < 3 {
 		t.Errorf("pairwise collected too few histories:\n%s", r.Text)
@@ -205,6 +228,7 @@ func TestTable610Shape(t *testing.T) {
 }
 
 func TestExtOracleShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "ext-oracle")
 	if r.Values["oracle_total_lines"] == 0 {
 		t.Fatal("oracle saw an empty cache")
@@ -217,6 +241,7 @@ func TestExtOracleShape(t *testing.T) {
 }
 
 func TestExtWideWatchShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "ext-widewatch")
 	if r.Values["speedup"] < 2 {
 		t.Errorf("variable-size registers speedup = %.1fx, want >= 2x", r.Values["speedup"])
@@ -227,6 +252,7 @@ func TestExtWideWatchShape(t *testing.T) {
 }
 
 func TestExtPEBSShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "ext-pebs")
 	if r.Values["pebs_miss_frac"] <= r.Values["ibs_miss_frac"] {
 		t.Errorf("PEBS-LL miss fraction %.2f should exceed IBS's %.2f",
@@ -235,6 +261,7 @@ func TestExtPEBSShape(t *testing.T) {
 }
 
 func TestExtPTUShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "ext-ptu")
 	if r.Values["named_miss_pct"] > 50 {
 		t.Errorf("PTU named %.1f%% of misses; dynamic data should be anonymous",
@@ -246,6 +273,7 @@ func TestExtPTUShape(t *testing.T) {
 }
 
 func TestAblationMergeShape(t *testing.T) {
+	t.Parallel()
 	r := runQuick(t, "ablation-merge")
 	if r.Values["histories"] == 0 {
 		t.Fatal("no histories collected")

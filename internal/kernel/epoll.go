@@ -54,7 +54,7 @@ func (k *Kernel) Epoll(i int) *EventPoll { return k.epolls[i] }
 func (k *Kernel) EpollWake(c *sim.Ctx, ep *EventPoll) {
 	var wake bool
 	func() {
-		defer c.Leave(c.Enter("ep_poll_callback"))
+		defer c.Leave(c.EnterPC(pcEpPollCallback))
 		ep.Lock.Acquire(c)
 		c.Read(ep.Addr+8, 8)    // ready list head
 		c.Write(ep.Addr+16, 16) // link the epitem
@@ -66,7 +66,7 @@ func (k *Kernel) EpollWake(c *sim.Ctx, ep *EventPoll) {
 	// event (even when nobody needs waking), which is where the paper's
 	// "wait queue" lock-stat row comes from.
 	func() {
-		defer c.Leave(c.Enter("__wake_up_sync_key"))
+		defer c.Leave(c.EnterPC(pcWakeUpSyncKey))
 		ep.WQ.Lock.Acquire(c)
 		c.Read(ep.WQ.Addr+8, 8)
 		if wake {
@@ -82,7 +82,7 @@ func (k *Kernel) EpollWake(c *sim.Ctx, ep *EventPoll) {
 // EpollNote posts a readiness event without waking (used for EPOLLOUT
 // write-space notifications, which the applications do not sleep on).
 func (k *Kernel) EpollNote(c *sim.Ctx, ep *EventPoll) {
-	defer c.Leave(c.Enter("ep_poll_callback"))
+	defer c.Leave(c.EnterPC(pcEpPollCallback))
 	ep.Lock.Acquire(c)
 	c.Write(ep.Addr+16, 16)
 	ep.Lock.Release(c)
@@ -91,11 +91,11 @@ func (k *Kernel) EpollNote(c *sim.Ctx, ep *EventPoll) {
 // EpollWait drains and returns the pending readiness count — sys_epoll_wait
 // with its ep_scan_ready_list pass.
 func (k *Kernel) EpollWait(c *sim.Ctx, ep *EventPoll) int {
-	defer c.Leave(c.Enter("sys_epoll_wait"))
+	defer c.Leave(c.EnterPC(pcSysEpollWait))
 	ep.Lock.Acquire(c)
 	n := ep.ready
 	func() {
-		defer c.Leave(c.Enter("ep_scan_ready_list"))
+		defer c.Leave(c.EnterPC(pcEpScanReadyList))
 		c.Read(ep.Addr+8, 16)
 		c.Write(ep.Addr+8, 16)
 		ep.ready = 0

@@ -34,9 +34,9 @@ func (f *FutexTable) bucket(key uint64) int { return int(key % futexBuckets) }
 // Wait records a waiter on the futex identified by key (the blocking half of
 // a user-space queue handoff).
 func (f *FutexTable) Wait(c *sim.Ctx, key uint64) {
-	defer c.Leave(c.Enter("do_futex"))
+	defer c.Leave(c.EnterPC(pcDoFutex))
 	func() {
-		defer c.Leave(c.Enter("futex_wait"))
+		defer c.Leave(c.EnterPC(pcFutexWait))
 		b := f.bucket(key)
 		f.locks[b].Acquire(c)
 		c.Read(f.addrs[b]+8, 8)
@@ -47,9 +47,9 @@ func (f *FutexTable) Wait(c *sim.Ctx, key uint64) {
 
 // Wake wakes waiters on the futex identified by key.
 func (f *FutexTable) Wake(c *sim.Ctx, key uint64) {
-	defer c.Leave(c.Enter("do_futex"))
+	defer c.Leave(c.EnterPC(pcDoFutex))
 	func() {
-		defer c.Leave(c.Enter("futex_wake"))
+		defer c.Leave(c.EnterPC(pcFutexWake))
 		b := f.bucket(key)
 		f.locks[b].Acquire(c)
 		c.Read(f.addrs[b]+8, 16)

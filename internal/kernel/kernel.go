@@ -116,7 +116,7 @@ func New(m *sim.Machine, acfg mem.Config, kcfg Config) *Kernel {
 
 // Getnstimeofday models packet timestamping: a read of the shared timebase.
 func (k *Kernel) Getnstimeofday(c *sim.Ctx) {
-	defer c.Leave(c.Enter("getnstimeofday"))
+	defer c.Leave(c.EnterPC(pcGetnstimeofday))
 	c.Read(k.xtimeAddr, 8)
 	c.Compute(20)
 }
@@ -130,7 +130,7 @@ func (k *Kernel) TickXtime(c *sim.Ctx) {
 // ModTimer models arming or rearming a timer on the calling core's timer
 // wheel (TCP does this on every connection setup and teardown).
 func (k *Kernel) ModTimer(c *sim.Ctx) {
-	defer c.Leave(c.Enter("mod_timer"))
+	defer c.Leave(c.EnterPC(pcModTimer))
 	base := k.tvecAddrs[c.Core.ID]
 	slot := uint64(c.Rand().Intn(28)) * 64
 	c.Read(base+slot, 16)
@@ -140,6 +140,6 @@ func (k *Kernel) ModTimer(c *sim.Ctx) {
 
 // LocalBHEnable models the bottom-half bookkeeping the RX path performs.
 func (k *Kernel) LocalBHEnable(c *sim.Ctx) {
-	defer c.Leave(c.Enter("local_bh_enable"))
+	defer c.Leave(c.EnterPC(pcLocalBhEnable))
 	c.Compute(40)
 }

@@ -102,11 +102,11 @@ func (d *NetDevice) selectQueue(c *sim.Ctx, skb *SKB) int {
 	if d.k.Cfg.LocalTxQueue {
 		// The fix: a driver-provided ndo_select_queue that keeps the
 		// packet on the transmitting core's own queue.
-		defer c.Leave(c.Enter("ixgbe_select_queue"))
+		defer c.Leave(c.EnterPC(pcIxgbeSelectQueue))
 		c.Read(d.Addr+DevOffTxQueues, 4)
 		return c.Core.ID % len(d.Tx)
 	}
-	defer c.Leave(c.Enter("skb_tx_hash"))
+	defer c.Leave(c.EnterPC(pcSkbTxHash))
 	c.Read(d.Addr+DevOffTxQueues, 4)
 	c.Read(skb.Addr+SkbOffCB, 8)
 	c.Compute(30) // jhash over the flow key
@@ -117,7 +117,7 @@ func (d *NetDevice) selectQueue(c *sim.Ctx, skb *SKB) int {
 // enqueue under the Qdisc lock, and a kick of the drain on the queue's owner
 // core (§6.1's critical path).
 func (d *NetDevice) DevQueueXmit(c *sim.Ctx, skb *SKB) bool {
-	defer c.Leave(c.Enter("dev_queue_xmit"))
+	defer c.Leave(c.EnterPC(pcDevQueueXmit))
 	c.Read(d.Addr+DevOffState, 8) // qdisc state / device up check
 	q := d.Tx[d.selectQueue(c, skb)]
 	skb.Queue = q.ID
@@ -132,7 +132,7 @@ func (d *NetDevice) DevQueueXmit(c *sim.Ctx, skb *SKB) bool {
 		return false
 	}
 	func() {
-		defer c.Leave(c.Enter("pfifo_fast_enqueue"))
+		defer c.Leave(c.EnterPC(pcPfifoFastEnqueue))
 		c.Read(q.QdiscAddr+QdiscOffQlen, 8)
 		c.Write(skb.Addr+SkbOffNext, 8)
 		c.Write(q.QdiscAddr+QdiscOffTail, 16) // tail pointer + qlen, one line
@@ -165,12 +165,12 @@ const txTouchBytes = 256
 // hand each packet to the driver. With the default hashed queue selection
 // this is where payloads and skbuffs cross cores.
 func (d *NetDevice) qdiscRun(c *sim.Ctx, q *TxQueue) {
-	defer c.Leave(c.Enter("__qdisc_run"))
+	defer c.Leave(c.EnterPC(pcQdiscRun))
 	for i := 0; i < drainBudget; i++ {
 		q.Lock.Acquire(c)
 		var skb *SKB
 		func() {
-			defer c.Leave(c.Enter("pfifo_fast_dequeue"))
+			defer c.Leave(c.EnterPC(pcPfifoFastDequeue))
 			c.Read(q.QdiscAddr+QdiscOffQlen, 8)
 			if len(q.fifo) == 0 {
 				return
@@ -196,11 +196,11 @@ func (d *NetDevice) qdiscRun(c *sim.Ctx, q *TxQueue) {
 // maps it for DMA, posts the descriptor, and schedules the completion
 // interrupt.
 func (d *NetDevice) hardStartXmit(c *sim.Ctx, q *TxQueue, skb *SKB) {
-	defer c.Leave(c.Enter("dev_hard_start_xmit"))
+	defer c.Leave(c.EnterPC(pcDevHardStartXmit))
 	c.Read(skb.Addr, 64)          // skb header: len, data, flags
 	c.Read(d.Addr+DevOffState, 8) // netif_running / xmit-stopped checks
 	func() {
-		defer c.Leave(c.Enter("ixgbe_xmit_frame"))
+		defer c.Leave(c.EnterPC(pcIxgbeXmitFrame))
 		c.Read(skb.Addr+SkbOffData, 8)
 		// The driver touches the packet head: headers for the checksum
 		// pseudo-sum plus the region it copies into the immediate
@@ -214,9 +214,9 @@ func (d *NetDevice) hardStartXmit(c *sim.Ctx, q *TxQueue, skb *SKB) {
 			c.Read(skb.Data, n)
 		}
 		func() {
-			defer c.Leave(c.Enter("skb_dma_map"))
+			defer c.Leave(c.EnterPC(pcSkbDmaMap))
 			func() {
-				defer c.Leave(c.Enter("__phys_addr"))
+				defer c.Leave(c.EnterPC(pcPhysAddr))
 				c.Compute(15)
 			}()
 			c.Read(skb.Addr+SkbOffDMA, 16)
@@ -234,7 +234,7 @@ func (d *NetDevice) hardStartXmit(c *sim.Ctx, q *TxQueue, skb *SKB) {
 // frees the skb (the remote free that exercises the SLAB alien caches) and
 // fires the packet's completion callback.
 func (d *NetDevice) cleanTxIrq(c *sim.Ctx, q *TxQueue, skb *SKB) {
-	defer c.Leave(c.Enter("ixgbe_clean_tx_irq"))
+	defer c.Leave(c.EnterPC(pcIxgbeCleanTxIrq))
 	c.Read(q.QdiscAddr+QdiscOffRing, 16)
 	c.Write(q.QdiscAddr+QdiscOffRing, 8)
 	c.Compute(500) // IRQ entry/exit, descriptor recycling
@@ -255,9 +255,9 @@ func (d *NetDevice) RxDeliver(c *sim.Ctx, qid int, payloadLen uint32) *SKB {
 	ring := d.rx[qid]
 	var skb *SKB
 	func() {
-		defer c.Leave(c.Enter("event_handler"))
+		defer c.Leave(c.EnterPC(pcEventHandler))
 		func() {
-			defer c.Leave(c.Enter("ixgbe_clean_rx_irq"))
+			defer c.Leave(c.EnterPC(pcIxgbeCleanRxIrq))
 			q := d.Tx[qid]
 			c.Read(q.QdiscAddr+QdiscOffRxRing, 16) // RX descriptor
 			if len(ring.skbs) == 0 {
@@ -276,18 +276,18 @@ func (d *NetDevice) RxDeliver(c *sim.Ctx, qid int, payloadLen uint32) *SKB {
 			d.rxPackets++
 		}()
 		func() {
-			defer c.Leave(c.Enter("ixgbe_set_itr_msix"))
+			defer c.Leave(c.EnterPC(pcIxgbeSetItrMsix))
 			q := d.Tx[qid]
 			c.Write(q.QdiscAddr+QdiscOffRxRing+32, 8) // interrupt moderation state
 		}()
 	}()
 	func() {
-		defer c.Leave(c.Enter("eth_type_trans"))
+		defer c.Leave(c.EnterPC(pcEthTypeTrans))
 		c.Read(skb.Data, 14) // ethernet header
 		c.Write(skb.Addr+SkbOffProto, 2)
 	}()
 	func() {
-		defer c.Leave(c.Enter("ip_rcv"))
+		defer c.Leave(c.EnterPC(pcIpRcv))
 		c.Read(skb.Data+14, 20) // IP header
 		c.Write(skb.Addr+SkbOffCB, 8)
 		c.Compute(350) // header validation, routing decision

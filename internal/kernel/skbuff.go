@@ -36,7 +36,7 @@ type SKB struct {
 // AllocSKB allocates an skb (fclone selects the TCP transmit variant) and its
 // payload buffer, performing the __alloc_skb accesses.
 func (k *Kernel) AllocSKB(c *sim.Ctx, fclone bool) *SKB {
-	defer c.Leave(c.Enter("__alloc_skb"))
+	defer c.Leave(c.EnterPC(pcAllocSkb))
 	t := k.SkbType
 	if fclone {
 		t = k.FcloneType
@@ -51,7 +51,7 @@ func (k *Kernel) AllocSKB(c *sim.Ctx, fclone bool) *SKB {
 
 // SkbPut reserves n payload bytes, updating the length bookkeeping.
 func (k *Kernel) SkbPut(c *sim.Ctx, skb *SKB, n uint32) {
-	defer c.Leave(c.Enter("skb_put"))
+	defer c.Leave(c.EnterPC(pcSkbPut))
 	c.Read(skb.Addr+SkbOffLen, 8)
 	c.Write(skb.Addr+SkbOffLen, 8)
 	skb.Len += n
@@ -60,11 +60,11 @@ func (k *Kernel) SkbPut(c *sim.Ctx, skb *SKB, n uint32) {
 // KfreeSKB frees the payload (kfree: it came from the size-1024 kmalloc pool)
 // and then the skbuff itself (__kfree_skb -> kmem_cache_free).
 func (k *Kernel) KfreeSKB(c *sim.Ctx, skb *SKB) {
-	defer c.Leave(c.Enter("__kfree_skb"))
+	defer c.Leave(c.EnterPC(pcKfreeSkb))
 	c.Read(skb.Addr, 16)
 	c.Read(skb.Addr+SkbOffData, 8)
 	func() {
-		defer c.Leave(c.Enter("kfree"))
+		defer c.Leave(c.EnterPC(pcKfree))
 		// kfree inspects the payload's page/slab linkage before handing
 		// the object back to its pool.
 		c.Read(skb.Data, 16)
@@ -75,19 +75,19 @@ func (k *Kernel) KfreeSKB(c *sim.Ctx, skb *SKB) {
 
 // DevKfreeSKBIrq is the interrupt-context free used by TX completion.
 func (k *Kernel) DevKfreeSKBIrq(c *sim.Ctx, skb *SKB) {
-	defer c.Leave(c.Enter("dev_kfree_skb_irq"))
+	defer c.Leave(c.EnterPC(pcDevKfreeSkbIrq))
 	k.KfreeSKB(c, skb)
 }
 
 // SkbCopyDatagramIovec copies n payload bytes to "user space" (the read side
 // of recvmsg): a streaming read of the payload.
 func (k *Kernel) SkbCopyDatagramIovec(c *sim.Ctx, skb *SKB, n uint32) {
-	defer c.Leave(c.Enter("skb_copy_datagram_iovec"))
+	defer c.Leave(c.EnterPC(pcSkbCopyDatagramIovec))
 	if n > skb.Len {
 		n = skb.Len
 	}
 	func() {
-		defer c.Leave(c.Enter("copy_user_generic_string"))
+		defer c.Leave(c.EnterPC(pcCopyUserGenericString))
 		c.Read(skb.Data, n)
 	}()
 	c.Compute(uint64(n) / 8)
@@ -96,7 +96,7 @@ func (k *Kernel) SkbCopyDatagramIovec(c *sim.Ctx, skb *SKB, n uint32) {
 // CopyToPayload copies n bytes into the payload from "user space" (the write
 // side of sendmsg) starting at byte off.
 func (k *Kernel) CopyToPayload(c *sim.Ctx, skb *SKB, off uint64, n uint32) {
-	defer c.Leave(c.Enter("copy_user_generic_string"))
+	defer c.Leave(c.EnterPC(pcCopyUserGenericString))
 	c.Write(skb.Data+off, n)
 	c.Compute(uint64(n) / 8)
 }

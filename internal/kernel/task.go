@@ -23,7 +23,7 @@ func (k *Kernel) NewTask(c *sim.Ctx, name string) *Task {
 // ContextSwitch performs the schedule() memory traffic: saving the outgoing
 // task's state and loading the incoming task's.
 func (k *Kernel) ContextSwitch(c *sim.Ctx, from, to *Task) {
-	defer c.Leave(c.Enter("schedule"))
+	defer c.Leave(c.EnterPC(pcSchedule))
 	if from != nil {
 		c.Write(from.Addr, 64)       // thread state save
 		c.Write(from.Addr+64, 128)   // fpu/extended state

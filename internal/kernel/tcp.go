@@ -85,7 +85,7 @@ func (l *Listener) Refused() uint64 { return l.refused }
 // the backlog was full and the connection was refused.
 func (l *Listener) RxSyn(c *sim.Ctx, reqSKB *SKB) *TCPConn {
 	k := l.k
-	defer c.Leave(c.Enter("tcp_v4_rcv"))
+	defer c.Leave(c.EnterPC(pcTcpV4Rcv))
 	c.Read(reqSKB.Data+34, 16) // TCP header
 	c.Read(l.Addr, 16)         // listener lookup hit
 	if len(l.acceptQ) >= l.Backlog {
@@ -95,7 +95,7 @@ func (l *Listener) RxSyn(c *sim.Ctx, reqSKB *SKB) *TCPConn {
 	}
 	var conn *TCPConn
 	func() {
-		defer c.Leave(c.Enter("tcp_v4_syn_recv_sock"))
+		defer c.Leave(c.EnterPC(pcTcpV4SynRecvSock))
 		addr := k.Alloc.Alloc(c, k.TCPSockType)
 		// Initialize the new socket: the writes that put its lines into
 		// this core's cache — the lines that will have gone cold by
@@ -120,7 +120,7 @@ func (l *Listener) RxSyn(c *sim.Ctx, reqSKB *SKB) *TCPConn {
 	l.acceptQ = append(l.acceptQ, conn)
 	l.lock.Release(c)
 	func() {
-		defer c.Leave(c.Enter("sock_def_readable"))
+		defer c.Leave(c.EnterPC(pcSockDefReadable))
 		k.EpollWake(c, l.Epoll)
 	}()
 	return conn
@@ -130,7 +130,7 @@ func (l *Listener) RxSyn(c *sim.Ctx, reqSKB *SKB) *TCPConn {
 // the tcp_sock lines the way accept does — the reads whose latency Table 6.5
 // reports growing from ~50 to ~150 cycles at drop-off.
 func (l *Listener) Accept(c *sim.Ctx) *TCPConn {
-	defer c.Leave(c.Enter("inet_csk_accept"))
+	defer c.Leave(c.EnterPC(pcInetCskAccept))
 	l.lock.Acquire(c)
 	if len(l.acceptQ) == 0 {
 		l.lock.Release(c)
@@ -158,14 +158,14 @@ func (conn *TCPConn) QueueDelay(c *sim.Ctx) uint64 {
 }
 
 func (conn *TCPConn) lockSock(c *sim.Ctx) {
-	defer c.Leave(c.Enter("lock_sock_nested"))
+	defer c.Leave(c.EnterPC(pcLockSockNested))
 	conn.lock.Acquire(c)
 }
 
 // ReadRequest consumes the request data queued on the connection, copying
 // readLen bytes to user space, and frees the request skb.
 func (conn *TCPConn) ReadRequest(c *sim.Ctx, readLen uint32) {
-	defer c.Leave(c.Enter("tcp_recvmsg"))
+	defer c.Leave(c.EnterPC(pcTcpRecvmsg))
 	conn.lockSock(c)
 	skb := conn.ReqSKB
 	conn.ReqSKB = nil
@@ -184,7 +184,7 @@ func (conn *TCPConn) ReadRequest(c *sim.Ctx, readLen uint32) {
 // it. onComplete runs on the TX-completion core.
 func (conn *TCPConn) SendResponse(c *sim.Ctx, n uint32, onComplete func(*sim.Ctx)) bool {
 	k := conn.k
-	defer c.Leave(c.Enter("tcp_sendmsg"))
+	defer c.Leave(c.EnterPC(pcTcpSendmsg))
 	conn.lockSock(c)
 	skb := k.AllocSKB(c, true)
 	k.SkbPut(c, skb, 54+n)
@@ -192,13 +192,13 @@ func (conn *TCPConn) SendResponse(c *sim.Ctx, n uint32, onComplete func(*sim.Ctx
 	c.Write(conn.Addr+TCPOffSndQ, 16)
 	var ok bool
 	func() {
-		defer c.Leave(c.Enter("tcp_transmit_skb"))
+		defer c.Leave(c.EnterPC(pcTcpTransmitSkb))
 		c.Write(skb.Data, 54) // ethernet+IP+TCP headers
 		c.Write(conn.Addr+TCPOffStats, 16)
 		skb.Len = 54 + n
 		skb.OnTxComplete = func(cc *sim.Ctx) {
 			func() {
-				defer cc.Leave(cc.Enter("sock_def_write_space"))
+				defer cc.Leave(cc.EnterPC(pcSockDefWriteSpace))
 				cc.Read(conn.Addr+TCPOffSndQ, 8)
 				cc.Write(conn.Addr+TCPOffSndQ, 8)
 			}()
@@ -220,7 +220,7 @@ func (conn *TCPConn) Close(c *sim.Ctx) {
 		panic("kernel: double close of TCP connection")
 	}
 	conn.closed = true
-	defer c.Leave(c.Enter("tcp_close"))
+	defer c.Leave(c.EnterPC(pcTcpClose))
 	if conn.ReqSKB != nil {
 		conn.k.KfreeSKB(c, conn.ReqSKB)
 		conn.ReqSKB = nil
@@ -230,7 +230,7 @@ func (conn *TCPConn) Close(c *sim.Ctx) {
 	k.ModTimer(c) // FIN/TIME_WAIT timer
 	if k.Cfg.TimeWait > 0 {
 		c.Spawn(c.Core.ID, k.Cfg.TimeWait, func(cc *sim.Ctx) {
-			defer cc.Leave(cc.Enter("inet_twsk_deschedule"))
+			defer cc.Leave(cc.EnterPC(pcInetTwskDeschedule))
 			k.Alloc.Free(cc, conn.Addr)
 		})
 		return

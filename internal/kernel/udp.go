@@ -51,7 +51,7 @@ func (k *Kernel) NewUDPSock(c *sim.Ctx, port, core int) *UDPSock {
 func (sk *UDPSock) RxQueueLen() int { return len(sk.rxq) }
 
 func (sk *UDPSock) lockSock(c *sim.Ctx) {
-	defer c.Leave(c.Enter("lock_sock_nested"))
+	defer c.Leave(c.EnterPC(pcLockSockNested))
 	sk.lock.Acquire(c)
 }
 
@@ -63,7 +63,7 @@ func (k *Kernel) UDPRcv(c *sim.Ctx, skb *SKB, port int) {
 		k.KfreeSKB(c, skb)
 		return
 	}
-	defer c.Leave(c.Enter("udp_rcv"))
+	defer c.Leave(c.EnterPC(pcUdpRcv))
 	c.Read(skb.Data+34, 8) // UDP header
 	c.Compute(400)         // checksum validation, socket lookup
 	sk.lockSock(c)
@@ -74,7 +74,7 @@ func (k *Kernel) UDPRcv(c *sim.Ctx, skb *SKB, port int) {
 	sk.rxq = append(sk.rxq, skb)
 	sk.lock.Release(c)
 	func() {
-		defer c.Leave(c.Enter("sock_def_readable"))
+		defer c.Leave(c.EnterPC(pcSockDefReadable))
 		k.EpollWake(c, sk.Epoll)
 	}()
 }
@@ -82,7 +82,7 @@ func (k *Kernel) UDPRcv(c *sim.Ctx, skb *SKB, port int) {
 // Recvmsg dequeues one datagram and copies readLen bytes of it to user
 // space. It returns nil if the queue is empty.
 func (sk *UDPSock) Recvmsg(c *sim.Ctx, readLen uint32) *SKB {
-	defer c.Leave(c.Enter("udp_recvmsg"))
+	defer c.Leave(c.EnterPC(pcUdpRecvmsg))
 	sk.lockSock(c)
 	if len(sk.rxq) == 0 {
 		sk.lock.Release(c)
@@ -105,7 +105,7 @@ func (sk *UDPSock) Recvmsg(c *sim.Ctx, readLen uint32) *SKB {
 // non-nil, runs on the TX-completion core after the wire accepts the packet.
 // It returns false if the qdisc dropped the packet.
 func (sk *UDPSock) Sendmsg(c *sim.Ctx, n uint32, onComplete func(*sim.Ctx)) bool {
-	defer c.Leave(c.Enter("udp_sendmsg"))
+	defer c.Leave(c.EnterPC(pcUdpSendmsg))
 	c.Compute(1400) // syscall entry/exit, route lookup, header build
 	sk.lockSock(c)
 	skb := sk.k.AllocSKB(c, false)
@@ -119,7 +119,7 @@ func (sk *UDPSock) Sendmsg(c *sim.Ctx, n uint32, onComplete func(*sim.Ctx)) bool
 	k := sk.k
 	skb.OnTxComplete = func(cc *sim.Ctx) {
 		func() {
-			defer cc.Leave(cc.Enter("sock_def_write_space"))
+			defer cc.Leave(cc.EnterPC(pcSockDefWriteSpace))
 			cc.Read(sk.Addr+UDPOffWmem, 8)
 			cc.Write(sk.Addr+UDPOffWmem, 8)
 			// The full EPOLLOUT wake only fires when enough write space

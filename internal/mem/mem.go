@@ -378,7 +378,7 @@ func (a *Allocator) WatchNextAlloc(t *Type, fn AllocWatcher) {
 // growPool adds a fresh slab to the pool (Linux cache_grow), charging page
 // allocation cost and initializing the slab bookkeeping object.
 func (a *Allocator) growPool(c *sim.Ctx, p *pool, home int) *slabInfo {
-	defer c.Leave(c.Enter("cache_grow"))
+	defer c.Leave(c.EnterPC(pcCacheGrow))
 	base := a.nextSlab
 	a.nextSlab += SlabBytes
 	nobj := int(SlabBytes / p.t.objSize)
@@ -412,7 +412,7 @@ func (a *Allocator) growPool(c *sim.Ctx, p *pool, home int) *slabInfo {
 // refill implements cache_alloc_refill: move a batch of objects from the
 // pool's slabs into the calling core's array cache, under the pool lock.
 func (a *Allocator) refill(c *sim.Ctx, p *pool, ac *arrayCache) {
-	defer c.Leave(c.Enter("cache_alloc_refill"))
+	defer c.Leave(c.EnterPC(pcCacheAllocRefill))
 	p.lock.Acquire(c)
 	c.Read(p.kcAddr+64, 16) // pool freelist heads
 	need := a.cfg.BatchCount
@@ -462,7 +462,7 @@ func (a *Allocator) returnToSlab(c *sim.Ctx, p *pool, obj uint64) {
 // flushLocal spills a batch from an over-full local array cache back to the
 // slabs (Linux cache_flusharray).
 func (a *Allocator) flushLocal(c *sim.Ctx, p *pool, ac *arrayCache) {
-	defer c.Leave(c.Enter("cache_flusharray"))
+	defer c.Leave(c.EnterPC(pcCacheFlusharray))
 	p.lock.Acquire(c)
 	n := a.cfg.BatchCount
 	if n > len(ac.objs) {
@@ -498,7 +498,7 @@ func (a *Allocator) flushLocal(c *sim.Ctx, p *pool, ac *arrayCache) {
 // only for the freelist splice; the per-slab bookkeeping writes are batched
 // per distinct slab.
 func (a *Allocator) drainAlien(c *sim.Ctx, p *pool, alien *arrayCache) {
-	defer c.Leave(c.Enter("__drain_alien_cache"))
+	defer c.Leave(c.EnterPC(pcDrainAlienCache))
 	objs := append([]uint64(nil), alien.objs...)
 	alien.objs = alien.objs[:0]
 	c.Read(alien.addr+16, 8)
@@ -535,7 +535,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, t *Type) uint64 {
 	if t.pool == nil {
 		panic(fmt.Sprintf("mem: Alloc of non-pool type %q", t.Name))
 	}
-	defer c.Leave(c.Enter("kmem_cache_alloc_node"))
+	defer c.Leave(c.EnterPC(pcKmemCacheAllocNode))
 	p := t.pool
 	ac := p.perCPU[c.Core.ID]
 	c.Read(ac.addr, 8) // avail counter
@@ -570,7 +570,7 @@ func (a *Allocator) Free(c *sim.Ctx, addr uint64) {
 	}
 	t := s.t
 	p := t.pool
-	defer c.Leave(c.Enter("kmem_cache_free"))
+	defer c.Leave(c.EnterPC(pcKmemCacheFree))
 	p.frees++
 	if p.live == 0 {
 		panic(fmt.Sprintf("mem: double free or free-without-alloc for type %q at %#x", t.Name, addr))

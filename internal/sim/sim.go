@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -72,6 +71,10 @@ type Core struct {
 	retired uint64 // accesses completed
 	inHook  bool
 	rng     *rand.Rand
+	// ev is scratch space for hook dispatch. Hooks receive a pointer into it
+	// for the duration of the call only; reusing it keeps the per-access hot
+	// path allocation-free (hooks that retain event data must copy fields).
+	ev AccessEvent
 }
 
 // Now returns the core's cycle clock (its TSC).
@@ -98,30 +101,66 @@ type event struct {
 	fn   TaskFunc
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq). It
+// deliberately avoids container/heap: the interface{} boxing there allocates
+// on every Push/Pop, and scheduling is one of the simulator's hottest
+// non-access paths.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (h event) less(o event) bool {
+	if h.t != o.t {
+		return h.t < o.t
 	}
-	return h[i].seq < h[j].seq
+	return h.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s[l].less(s[smallest]) {
+			smallest = l
+		}
+		if r < n && s[r].less(s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Machine is the simulated multicore system.
 type Machine struct {
-	Hier  *cache.Hierarchy
-	cores []*Core
-	ctxs  []Ctx
+	Hier     *cache.Hierarchy
+	lineSize uint64 // cached Hier line size (hot path)
+	cores    []*Core
+	ctxs     []Ctx
 
 	events eventHeap
 	seq    uint64
@@ -144,6 +183,7 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{
 		Hier:     cache.New(cfg.Cache, cfg.Cores),
+		lineSize: cfg.Cache.LineSize,
 		Overhead: make(map[string]uint64),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -197,7 +237,7 @@ func (m *Machine) Schedule(core int, t uint64, fn TaskFunc) {
 		panic(fmt.Sprintf("sim: schedule on core %d of %d", core, len(m.cores)))
 	}
 	m.seq++
-	heap.Push(&m.events, event{t: t, seq: m.seq, core: core, fn: fn})
+	m.events.push(event{t: t, seq: m.seq, core: core, fn: fn})
 }
 
 // Pending returns the number of queued events.
@@ -211,7 +251,7 @@ func (m *Machine) Run(until uint64) int {
 		if m.events[0].t > until {
 			break
 		}
-		ev := heap.Pop(&m.events).(event)
+		ev := m.events.pop()
 		core := m.cores[ev.core]
 		if core.now < ev.t {
 			core.idle += ev.t - core.now
@@ -278,7 +318,8 @@ func (c *Ctx) access(addr uint64, size uint32, write bool) {
 	if size == 0 {
 		return
 	}
-	ls := c.M.Hier.Config().LineSize
+	m, core := c.M, c.Core
+	ls := m.lineSize
 	end := addr + uint64(size)
 	for cur := addr; cur < end; {
 		lineEnd := (cur &^ (ls - 1)) + ls
@@ -286,35 +327,42 @@ func (c *Ctx) access(addr uint64, size uint32, write bool) {
 		if end-cur < n {
 			n = end - cur
 		}
-		res := c.M.Hier.Access(c.Core.ID, cur, write)
-		c.Core.now += uint64(res.Latency)
-		c.Core.retired++
-		if len(c.M.accessHooks) > 0 && !c.Core.inHook {
-			ev := AccessEvent{
-				Time:    c.Core.now,
-				Core:    c.Core.ID,
-				PC:      c.Core.Fn(),
-				Addr:    cur,
-				Size:    uint32(n),
-				Write:   write,
-				Level:   res.Level,
-				Latency: res.Latency,
-			}
-			c.Core.inHook = true
-			for _, h := range c.M.accessHooks {
-				h(c, &ev)
-			}
-			c.Core.inHook = false
-		}
-		if len(c.M.workHooks) > 0 && !c.Core.inHook {
-			c.Core.inHook = true
-			for _, h := range c.M.workHooks {
-				h(c, c.Core.Fn(), uint64(res.Latency))
-			}
-			c.Core.inHook = false
+		res := m.Hier.Access(core.ID, cur, write)
+		core.now += uint64(res.Latency)
+		core.retired++
+		if !core.inHook && (len(m.accessHooks) > 0 || len(m.workHooks) > 0) {
+			c.dispatchHooks(cur, uint32(n), write, res)
 		}
 		cur += n
 	}
+}
+
+// dispatchHooks notifies access and work hooks about one completed line
+// access. It reuses the core's scratch AccessEvent so the hot path performs
+// no allocation (the event would otherwise escape to the heap on every
+// access — ~80% of all allocations in the experiment suite).
+func (c *Ctx) dispatchHooks(addr uint64, size uint32, write bool, res cache.Result) {
+	core := c.Core
+	pc := core.Fn()
+	core.inHook = true
+	if len(c.M.accessHooks) > 0 {
+		ev := &core.ev
+		ev.Time = core.now
+		ev.Core = core.ID
+		ev.PC = pc
+		ev.Addr = addr
+		ev.Size = size
+		ev.Write = write
+		ev.Level = res.Level
+		ev.Latency = res.Latency
+		for _, h := range c.M.accessHooks {
+			h(c, ev)
+		}
+	}
+	for _, h := range c.M.workHooks {
+		h(c, pc, uint64(res.Latency))
+	}
+	core.inHook = false
 }
 
 // Compute charges n cycles of pure computation to the current function.

@@ -9,6 +9,7 @@ package sym
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PC identifies an interned code location. The zero PC is "<none>".
@@ -17,57 +18,72 @@ type PC uint32
 // None is the PC of the empty/unknown location.
 const None PC = 0
 
-// Table interns strings to PCs. The zero value is not usable; use NewTable.
-// A process-wide default table is provided via Intern and Name, which is what
-// the simulator and profilers use; separate tables exist only for tests.
-type Table struct {
-	mu    sync.RWMutex
+// tableState is an immutable snapshot of the interned symbols. Readers load
+// it with a single atomic pointer load; writers build a new snapshot under
+// the mutex and publish it. Symbol interning happens on the simulator's hot
+// path (every Ctx.Enter), so the read path must not take locks.
+type tableState struct {
 	byPC  []string
 	byStr map[string]PC
 }
 
+// Table interns strings to PCs. The zero value is not usable; use NewTable.
+// A process-wide default table is provided via Intern and Name, which is what
+// the simulator and profilers use; separate tables exist only for tests.
+// All methods are safe for concurrent use; lookups of already-interned
+// symbols are lock-free.
+type Table struct {
+	mu    sync.Mutex // serializes writers
+	state atomic.Pointer[tableState]
+}
+
 // NewTable returns an empty symbol table with PC 0 reserved for "<none>".
 func NewTable() *Table {
-	t := &Table{byStr: make(map[string]PC)}
-	t.byPC = append(t.byPC, "<none>")
-	t.byStr["<none>"] = None
+	t := &Table{}
+	st := &tableState{
+		byPC:  []string{"<none>"},
+		byStr: map[string]PC{"<none>": None},
+	}
+	t.state.Store(st)
 	return t
 }
 
 // Intern returns the PC for name, creating it if necessary.
 func (t *Table) Intern(name string) PC {
-	t.mu.RLock()
-	pc, ok := t.byStr[name]
-	t.mu.RUnlock()
-	if ok {
+	if pc, ok := t.state.Load().byStr[name]; ok {
 		return pc
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if pc, ok := t.byStr[name]; ok {
+	old := t.state.Load()
+	if pc, ok := old.byStr[name]; ok {
 		return pc
 	}
-	pc = PC(len(t.byPC))
-	t.byPC = append(t.byPC, name)
-	t.byStr[name] = pc
+	pc := PC(len(old.byPC))
+	next := &tableState{
+		byPC:  append(old.byPC[:len(old.byPC):len(old.byPC)], name),
+		byStr: make(map[string]PC, len(old.byStr)+1),
+	}
+	for k, v := range old.byStr {
+		next.byStr[k] = v
+	}
+	next.byStr[name] = pc
+	t.state.Store(next)
 	return pc
 }
 
 // Name returns the string for pc, or a placeholder if pc was never interned.
 func (t *Table) Name(pc PC) string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(pc) < len(t.byPC) {
-		return t.byPC[pc]
+	st := t.state.Load()
+	if int(pc) < len(st.byPC) {
+		return st.byPC[pc]
 	}
 	return fmt.Sprintf("<pc:%d>", uint32(pc))
 }
 
 // Len reports the number of interned symbols (including "<none>").
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.byPC)
+	return len(t.state.Load().byPC)
 }
 
 var defaultTable = NewTable()
