@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dprof/internal/app/memcachedsim"
+	"dprof/internal/app/workload"
 	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/exp"
@@ -73,6 +74,33 @@ func BenchmarkFigure63(b *testing.B) { benchExperiment(b, "figure6.3", "baseline
 func BenchmarkTable610(b *testing.B) {
 	benchExperiment(b, "table6.10", "memcached_size-1024_histories")
 }
+
+// --- the contention-scenario experiments (registry workloads) ---
+
+func BenchmarkFalseshareScenario(b *testing.B) { benchExperiment(b, "falseshare", "speedup") }
+func BenchmarkConflictScenario(b *testing.B)   { benchExperiment(b, "conflict", "speedup") }
+
+// BenchmarkTrueshareScenario baselines the new lock-contention scenario: the
+// speedup metric is the partitioning fix's gain over shared buckets.
+func BenchmarkTrueshareScenario(b *testing.B) { benchExperiment(b, "trueshare", "speedup") }
+
+// BenchmarkAlienPingScenario baselines the new remote-free scenario: the
+// speedup metric is the local-free fix's gain over alien-cache drains.
+func BenchmarkAlienPingScenario(b *testing.B) { benchExperiment(b, "alienping", "speedup") }
+
+// benchScenarioRun measures one unprofiled scenario run through the
+// registry (simulator throughput, no profiling overhead).
+func benchScenarioRun(b *testing.B, name string, opts map[string]string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		inst := workload.MustBuild(name, opts)
+		r := inst.Run(250_000, 1_500_000)
+		b.ReportMetric(r.Values["throughput"], "sim_tput")
+	}
+}
+
+func BenchmarkTrueshareRun(b *testing.B) { benchScenarioRun(b, "trueshare", nil) }
+func BenchmarkAlienPingRun(b *testing.B) { benchScenarioRun(b, "alienping", nil) }
 
 // --- ablation: directory vs snoop coherence lookup ---
 

@@ -1,14 +1,21 @@
-// Command dprof runs a workload on the simulated 16-core machine under the
-// DProf profiler and prints the requested views, optionally alongside the
-// lock-stat and OProfile baselines the paper compares against.
+// Command dprof runs a registered workload on the simulated machine under
+// the DProf profiler and prints the requested views, optionally alongside
+// the lock-stat and OProfile baselines the paper compares against.
+//
+// Workloads come from the internal/app/workload registry; -list-workloads
+// prints the registered set with each workload's options. Workload-specific
+// flags (e.g. -fix, -offered) are rejected unless the selected workload
+// declares them.
 //
 // Usage:
 //
+//	dprof -list-workloads
 //	dprof -workload memcached -views dataprofile,dataflow -type skbuff
 //	dprof -workload memcached -fix            # with the local-TX-queue fix
 //	dprof -workload apache -offered 110000    # past the drop-off
-//	dprof -workload apache -views dataprofile,missclass,workingset
-//	dprof -workload memcached -lockstat -oprofile
+//	dprof -workload falseshare -views missclass -rate 100000
+//	dprof -workload trueshare -lockstat
+//	dprof -workload alienping -views dataprofile,dataflow
 //	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
 package main
 
@@ -19,21 +26,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"slices"
-	"sort"
+	"strconv"
 	"strings"
 
-	"dprof/internal/app/apachesim"
-	"dprof/internal/app/memcachedsim"
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
 	"dprof/internal/core"
 	"dprof/internal/exp"
-	"dprof/internal/kernel"
-	"dprof/internal/mem"
-	"dprof/internal/oprofile"
-	"dprof/internal/sim"
 )
-
-var knownViews = []string{"dataprofile", "workingset", "missclass", "dataflow", "pathtrace"}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -45,23 +45,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dprof", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload   = fs.String("workload", "memcached", "memcached or apache")
-		views      = fs.String("views", "dataprofile", "comma list: "+strings.Join(knownViews, ","))
-		typeName   = fs.String("type", "skbuff", "type for dataflow/pathtrace views")
-		sets       = fs.Int("sets", 2, "history sets to collect for dataflow/pathtrace")
-		rate       = fs.Float64("rate", 8000, "IBS samples/s/core")
-		fix        = fs.Bool("fix", false, "memcached: enable local TX queue selection")
-		offered    = fs.Float64("offered", apachesim.PeakOffered, "apache: offered connections/s/core")
-		backlog    = fs.Int("backlog", 0, "apache: accept backlog override (0 = default 511)")
-		measure    = fs.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
-		withLS     = fs.Bool("lockstat", false, "also print the lock-stat baseline")
-		withOP     = fs.Bool("oprofile", false, "also print the OProfile baseline")
-		experiment = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
-		quick      = fs.Bool("quick", false, "experiment mode: smaller workloads")
-		parallel   = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
+		workloadName = fs.String("workload", "memcached", "workload to run; one of: "+strings.Join(workload.Names(), ", "))
+		views        = fs.String("views", "dataprofile", "comma list: "+strings.Join(core.KnownViews, ","))
+		typeName     = fs.String("type", "", "type for dataflow/pathtrace views (default: the workload's natural target)")
+		sets         = fs.Int("sets", 2, "history sets to collect for dataflow/pathtrace")
+		rate         = fs.Float64("rate", 8000, "IBS samples/s/core")
+		measure      = fs.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
+		withLS       = fs.Bool("lockstat", false, "also print the lock-stat baseline")
+		withOP       = fs.Bool("oprofile", false, "also print the OProfile baseline")
+		list         = fs.Bool("list-workloads", false, "list registered workloads and their options")
+		experiment   = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
+		quick        = fs.Bool("quick", false, "experiment mode: smaller workloads")
+		parallel     = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
 	)
+	optValues := registerWorkloadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *list {
+		writeWorkloadList(stdout)
+		return 0
 	}
 
 	// Experiment mode delegates to the engine (same results as dprof-bench).
@@ -80,132 +84,114 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	wantViews := map[string]bool{}
-	for _, v := range strings.Split(*views, ",") {
-		v = strings.TrimSpace(v)
-		if v == "" {
-			continue
-		}
-		if !slices.Contains(knownViews, v) {
-			fmt.Fprintf(stderr, "dprof: unknown view %q (known: %s)\n", v, strings.Join(knownViews, ", "))
-			return 2
-		}
-		wantViews[v] = true
+	w, err := workload.Lookup(*workloadName)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 2
 	}
 
-	var (
-		m      *sim.Machine
-		alloc  *mem.Allocator
-		kern   *kernel.Kernel
-		runFn  func(warmup, measure uint64) string
-		warmup uint64
-	)
-	switch *workload {
-	case "memcached":
-		cfg := memcachedsim.DefaultConfig()
-		cfg.Kern.LocalTxQueue = *fix
-		b := memcachedsim.New(cfg)
-		m, alloc, kern = b.M, b.K.Alloc, b.K
-		warmup = 2_000_000
-		runFn = func(w, ms uint64) string { return b.Run(w, ms).String() }
-	case "apache":
-		cfg := apachesim.DefaultConfig()
-		cfg.OfferedPerCore = *offered
-		if *backlog > 0 {
-			cfg.Backlog = *backlog
+	// Only options the user explicitly set are passed on, so every workload
+	// sees its own defaults — and options the selected workload does not
+	// declare are rejected instead of silently ignored.
+	setOpts := map[string]string{}
+	fs.Visit(func(f *flag.Flag) {
+		if get, ok := optValues[f.Name]; ok {
+			setOpts[f.Name] = get()
 		}
-		b := apachesim.New(cfg)
-		m, alloc, kern = b.M, b.K.Alloc, b.K
-		warmup = 10_000_000
-		runFn = func(w, ms uint64) string { return b.Run(w, ms).String() }
-	default:
-		fmt.Fprintf(stderr, "dprof: unknown workload %q (known: memcached, apache)\n", *workload)
+	})
+	cfg, err := workload.NewConfig(w, setOpts)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
 		return 2
+	}
+	inst, err := w.Build(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: building %s: %v\n", w.Name(), err)
+		return 1
+	}
+
+	var viewList []string
+	needTarget := *typeName != "" // an explicit -type is always validated and collected
+	for _, v := range strings.Split(*views, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			viewList = append(viewList, v)
+			needTarget = needTarget || v == "dataflow" || v == "pathtrace"
+		}
 	}
 
 	pcfg := core.DefaultConfig()
 	pcfg.SampleRate = *rate
-	p := core.Attach(m, alloc, pcfg)
-	p.StartSampling()
-
-	var op *oprofile.Profiler
-	if *withOP {
-		op = oprofile.Attach(m)
-		op.Start()
+	scfg := core.SessionConfig{
+		Profiler: pcfg,
+		Views:    viewList,
+		Sets:     *sets,
+		LockStat: *withLS,
+		OProfile: *withOP,
+		Warmup:   w.Windows(false).Warmup,
+		Measure:  *measure * 1_000_000,
 	}
-
-	var target *mem.Type
-	if wantViews["dataflow"] || wantViews["pathtrace"] {
-		target = alloc.TypeByName(*typeName)
-		if target == nil {
-			fmt.Fprintf(stderr, "dprof: unknown type %q (known: %s)\n", *typeName, typeNames(alloc))
-			return 2
-		}
-		p.Collector.WatchLen = 8
-		p.Collector.AddSingleTargetsRange(target, 0, rangeCap(target), *sets)
-		p.Collector.Start()
-	}
-
-	fmt.Fprintln(stdout, runFn(warmup, *measure*1_000_000))
-	fmt.Fprintln(stdout)
-
-	if wantViews["dataprofile"] {
-		fmt.Fprintln(stdout, "== data profile view ==")
-		fmt.Fprintln(stdout, p.DataProfile().String())
-	}
-	if wantViews["workingset"] {
-		fmt.Fprintln(stdout, "== working set view ==")
-		fmt.Fprintln(stdout, p.WorkingSet().String())
-		fmt.Fprintln(stdout, p.CacheResidency(200_000).String())
-	}
-	if wantViews["missclass"] {
-		fmt.Fprintln(stdout, "== miss classification view ==")
-		fmt.Fprintln(stdout, core.RenderMissClassification(p.MissClassification()))
-	}
-	if wantViews["pathtrace"] && target != nil {
-		fmt.Fprintln(stdout, "== path traces ==")
-		for i, tr := range p.PathTraces(target) {
-			if i == 3 {
-				break
-			}
-			fmt.Fprintln(stdout, tr.String())
+	if needTarget {
+		scfg.TypeName = *typeName
+		if scfg.TypeName == "" {
+			scfg.TypeName = w.DefaultTarget()
 		}
 	}
-	if wantViews["dataflow"] && target != nil {
-		fmt.Fprintln(stdout, "== data flow view ==")
-		g := p.DataFlow(target)
-		fmt.Fprintln(stdout, g.Render())
-		for _, e := range g.CrossCPUEdges() {
-			fmt.Fprintf(stdout, "cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)
-		}
+	s, err := core.NewSession(inst, scfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 2
 	}
-	if *withLS {
-		fmt.Fprintln(stdout, "\n== lock-stat baseline ==")
-		rep := kern.Locks.BuildReport(*measure * 1_000_000 * uint64(m.NumCores()))
-		fmt.Fprintln(stdout, rep.String())
-	}
-	if op != nil {
-		fmt.Fprintln(stdout, "\n== OProfile baseline ==")
-		fmt.Fprintln(stdout, op.BuildReport(1.0).String())
-	}
+	s.WriteReport(stdout)
 	return 0
 }
 
-// typeNames lists the allocator's registered type names for error messages.
-func typeNames(a *mem.Allocator) string {
-	var names []string
-	for _, t := range a.Types() {
-		names = append(names, t.Name)
+// registerWorkloadFlags declares one typed flag per option declared by any
+// registered workload (names are shared across workloads that declare the
+// same option). It returns, per flag name, a getter serializing the parsed
+// value back to the registry's string form.
+func registerWorkloadFlags(fs *flag.FlagSet) map[string]func() string {
+	getters := make(map[string]func() string)
+	for _, name := range workload.Names() {
+		w, _ := workload.Get(name)
+		for _, o := range w.Options() {
+			if _, dup := getters[o.Name]; dup {
+				continue
+			}
+			usage := fmt.Sprintf("%s: %s", name, o.Usage)
+			switch o.Kind {
+			case workload.Bool:
+				def, _ := strconv.ParseBool(orZero(o.Default, "false"))
+				p := fs.Bool(o.Name, def, usage)
+				getters[o.Name] = func() string { return strconv.FormatBool(*p) }
+			case workload.Int:
+				def, _ := strconv.Atoi(orZero(o.Default, "0"))
+				p := fs.Int(o.Name, def, usage)
+				getters[o.Name] = func() string { return strconv.Itoa(*p) }
+			case workload.Float:
+				def, _ := strconv.ParseFloat(orZero(o.Default, "0"), 64)
+				p := fs.Float64(o.Name, def, usage)
+				getters[o.Name] = func() string { return strconv.FormatFloat(*p, 'f', -1, 64) }
+			}
+		}
 	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
+	return getters
 }
 
-// rangeCap limits history collection to the object head for large types
-// (the paper's hot-member optimization).
-func rangeCap(t *mem.Type) uint32 {
-	if t.Size > 256 {
-		return 256
+func orZero(v, zero string) string {
+	if v == "" {
+		return zero
 	}
-	return uint32(t.Size)
+	return v
+}
+
+// writeWorkloadList renders the registry: one line per workload plus its
+// declared options.
+func writeWorkloadList(out io.Writer) {
+	for _, name := range workload.Names() {
+		w, _ := workload.Get(name)
+		fmt.Fprintf(out, "%-12s %s\n", name, w.Description())
+		for _, o := range w.Options() {
+			fmt.Fprintf(out, "    -%-10s %-6s (default %s) %s\n", o.Name, o.Kind, orZero(o.Default, "zero"), o.Usage)
+		}
+	}
 }

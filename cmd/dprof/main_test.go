@@ -43,6 +43,36 @@ func TestRunErrors(t *testing.T) {
 			wantCode:   2,
 			wantErrOut: []string{"flag provided but not defined"},
 		},
+		{
+			name:       "memcached rejects apache's -offered and lists declared options",
+			args:       []string{"-workload", "memcached", "-offered", "110000"},
+			wantCode:   2,
+			wantErrOut: []string{"does not accept", "offered", "fix", "window"},
+		},
+		{
+			name:       "apache rejects memcached's -fix",
+			args:       []string{"-workload", "apache", "-fix"},
+			wantCode:   2,
+			wantErrOut: []string{"does not accept", "fix", "backlog", "offered"},
+		},
+		{
+			name:       "apache rejects memcached's -window",
+			args:       []string{"-workload", "apache", "-window", "10"},
+			wantCode:   2,
+			wantErrOut: []string{`workload "apache"`, "does not accept", "window"},
+		},
+		{
+			name:       "scenario workloads reject case-study options",
+			args:       []string{"-workload", "falseshare", "-backlog", "5"},
+			wantCode:   2,
+			wantErrOut: []string{`workload "falseshare"`, "does not accept", "backlog", "padded"},
+		},
+		{
+			name:       "unknown workload message lists the scenario workloads too",
+			args:       []string{"-workload", "nginx"},
+			wantCode:   2,
+			wantErrOut: []string{"falseshare", "conflict", "trueshare", "alienping"},
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -58,6 +88,36 @@ func TestRunErrors(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestListWorkloads(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-list-workloads"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"memcached", "apache", "falseshare", "conflict", "trueshare", "alienping", "-fix", "-offered", "-padded"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunScenarioWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload run")
+	}
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "trueshare", "-views", "dataprofile,missclass", "-lockstat", "-measure-ms", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"== data profile view ==", "== miss classification view ==", "== lock-stat baseline ==", "job lock"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

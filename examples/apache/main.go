@@ -9,27 +9,42 @@
 // its access latency triples. Admission control (a small backlog cap) is the
 // fix (+16% in the paper).
 //
-// Run: go run ./examples/apache
+// Every machine is built through the workload registry ("apache", with its
+// declared -offered/-backlog options) and profiled through core.Session.
+//
+// Run: go run ./examples/apache   (-quick for a tiny smoke run)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strconv"
 
+	_ "dprof/internal/app/all" // register every workload
 	"dprof/internal/app/apachesim"
+	"dprof/internal/app/workload"
 	"dprof/internal/core"
 )
 
-func profileAt(offered float64, backlog int) (apachesim.Stats, *core.DataProfile, float64) {
-	cfg := apachesim.DefaultConfig()
-	cfg.OfferedPerCore = offered
+var warmup, measure = uint64(12_000_000), uint64(10_000_000)
+
+func profileAt(offered float64, backlog int) (core.RunResult, *core.DataProfile, float64) {
+	opts := map[string]string{"offered": strconv.FormatFloat(offered, 'f', -1, 64)}
 	if backlog > 0 {
-		cfg.Backlog = backlog
+		opts["backlog"] = strconv.Itoa(backlog)
 	}
-	b := apachesim.New(cfg)
-	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
-	p.StartSampling()
-	st := b.Run(12_000_000, 10_000_000)
-	dp := p.DataProfile()
+	s, err := core.NewSession(workload.MustBuild("apache", opts), core.SessionConfig{
+		Profiler: core.DefaultConfig(),
+		Warmup:   warmup,
+		Measure:  measure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := s.Run()
+	dp := s.Profiler().DataProfile()
 	var tcpLat float64
 	for _, row := range dp.Rows {
 		if row.Type.Name == "tcp_sock" {
@@ -49,13 +64,19 @@ func wsOf(dp *core.DataProfile, name string) float64 {
 }
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+	if *quick {
+		warmup, measure = 6_000_000, 5_000_000
+	}
+
 	fmt.Println("--- profile at peak load ---")
 	stPeak, dpPeak, latPeak := profileAt(apachesim.PeakOffered, 0)
-	fmt.Printf("%v\n\n%s\n", stPeak, dpPeak.String())
+	fmt.Printf("%s\n\n%s\n", stPeak.Summary, dpPeak.String())
 
 	fmt.Println("--- profile past the drop-off ---")
 	stDrop, dpDrop, latDrop := profileAt(apachesim.DropOffOffered, 0)
-	fmt.Printf("%v\n\n%s\n", stDrop, dpDrop.String())
+	fmt.Printf("%s\n\n%s\n", stDrop.Summary, dpDrop.String())
 
 	fmt.Println("--- differential analysis (the paper's §6.2.1) ---")
 	diff := core.DiffProfiles(dpPeak, dpDrop)
@@ -70,7 +91,7 @@ func main() {
 
 	fmt.Println("--- the fix: admission control on the accept queue ---")
 	stFix, _, _ := profileAt(apachesim.DropOffOffered, apachesim.FixedBacklog)
-	fmt.Printf("%v\n", stFix)
+	fmt.Printf("%s\n", stFix.Summary)
 	fmt.Printf("\nimprovement over drop-off: %+.0f%%  (the paper reports +16%%)\n",
-		100*(stFix.Throughput/stDrop.Throughput-1))
+		100*(stFix.Values["throughput"]/stDrop.Values["throughput"]-1))
 }

@@ -9,65 +9,64 @@
 // misses conflicts, not capacity. "Coloring" the pool (a stride that is not
 // a multiple of the set period) spreads the buffers and removes the misses.
 //
-// Run: go run ./examples/conflict
+// The workload itself lives in internal/app/scenarios and is registered as
+// "conflict"; this example builds it in both layouts through the registry
+// and drives each under a core.Session.
+//
+// Run: go run ./examples/conflict   (-quick for a tiny smoke run)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strconv"
 
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
 	"dprof/internal/core"
-	"dprof/internal/lockstat"
-	"dprof/internal/mem"
-	"dprof/internal/sim"
 )
 
-const (
-	buffers = 24
-	sweeps  = 4000
-)
-
-func run(stride uint64, label string) *core.Profiler {
-	scfg := sim.DefaultConfig()
-	scfg.Cores = 1
-	m := sim.New(scfg)
-	alloc := mem.New(mem.DefaultConfig(), m.NumCores(), lockstat.NewRegistry())
-	bufType, addrs := alloc.StaticStrided("hot_buf", 64, buffers, stride, "DMA descriptor ring")
-	_ = bufType
-
-	p := core.Attach(m, alloc, core.Config{SampleRate: 200_000, WatchLen: 8})
-	p.StartSampling()
-
-	m.Schedule(0, 0, func(c *sim.Ctx) {
-		defer c.Leave(c.Enter("ring_walk"))
-		for s := 0; s < sweeps; s++ {
-			for _, a := range addrs {
-				c.Read(a, 64)
-			}
-		}
+func profile(colored, quick bool, label string) {
+	w, err := workload.Lookup("conflict")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	win := w.Windows(quick)
+	inst := workload.MustBuild("conflict", map[string]string{"colored": strconv.FormatBool(colored)})
+	s, err := core.NewSession(inst, core.SessionConfig{
+		Profiler: core.Config{SampleRate: 200_000, WatchLen: 8},
+		Warmup:   win.Warmup,
+		Measure:  win.Measure,
 	})
-	m.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := s.Run()
 
-	ws := p.WorkingSet()
-	fmt.Printf("--- %s (stride %d) ---\n", label, stride)
+	ws := s.Profiler().WorkingSet()
+	fmt.Printf("--- %s ---\n%s\n", label, res.Summary)
 	fmt.Printf("mean lines/set %.2f, overloaded sets: %d\n", ws.MeanLines, len(ws.Overloaded))
-	for i, s := range ws.Overloaded {
+	for i, set := range ws.Overloaded {
 		if i == 3 {
 			break
 		}
 		fmt.Printf("  set %d holds %d distinct lines (ways=%d): %v\n",
-			s.Index, s.DistinctLines, ws.Ways, s.ByType)
+			set.Index, set.DistinctLines, ws.Ways, set.ByType)
 	}
-	fmt.Println(core.RenderMissClassification(p.MissClassification()))
-	return p
+	fmt.Println(core.RenderMissClassification(s.Profiler().MissClassification()))
 }
 
 func main() {
-	// L1: 64 KB, 2-way, 64 B lines -> 512 sets -> the set period is 32 KB.
-	setPeriod := uint64(512 * 64)
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
 
-	// Aligned: every buffer lands in the same set.
-	run(setPeriod, "aligned pool (pathological)")
+	// Aligned: every buffer lands in the same set (the L1's set period is
+	// computed from the machine's real geometry by the workload).
+	profile(false, *quick, "aligned pool (pathological)")
 
-	// Colored: stride offset by one line per buffer spreads the sets.
-	run(9*4096+64, "colored pool (fixed)")
+	// Colored: a stride off the set period spreads the sets.
+	profile(true, *quick, "colored pool (fixed)")
 }

@@ -1,84 +1,71 @@
 // False sharing: DProf's miss classification separates false sharing from
 // true sharing (§4.3 of the paper).
 //
-// Sixteen per-core statistics counters are packed four to a cache line.
+// Sixteen-byte per-core statistics counters are packed four to a cache line.
 // Each core only ever touches its own counter — there is no logical sharing
 // at all — yet every write invalidates three other cores' lines. DProf's
 // path traces show objects with heavy invalidation misses but *no*
 // cross-CPU writes to the same object: the signature of false sharing.
 // Padding each counter to its own line removes the misses.
 //
-// Run: go run ./examples/falseshare
+// The workload itself lives in internal/app/scenarios and is registered as
+// "falseshare"; this example is a thin wrapper that builds it in both
+// layouts through the registry and drives each under a core.Session.
+//
+// Run: go run ./examples/falseshare   (-quick for a tiny smoke run)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strconv"
 
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
 	"dprof/internal/core"
-	"dprof/internal/lockstat"
-	"dprof/internal/mem"
-	"dprof/internal/sim"
 )
 
-const iterations = 40000
-
-// run builds the workload with the given counter alignment and returns the
-// profiler and per-core throughput.
-func run(align uint64) (*core.Profiler, uint64) {
-	scfg := sim.DefaultConfig()
-	scfg.Cores = 4
-	m := sim.New(scfg)
-	alloc := mem.New(mem.DefaultConfig(), m.NumCores(), lockstat.NewRegistry())
-	statType := alloc.RegisterTypeAligned("pkt_stat", 16, "per-core packet counters", align)
-
-	p := core.Attach(m, alloc, core.Config{SampleRate: 100_000, WatchLen: 8})
-	p.StartSampling()
-	p.CollectHistories(1, statType)
-
-	// Allocate the counters contiguously (one pool slab), one per core.
-	// Each core's updates run in short chunks so the cores interleave in
-	// simulated time, the way independent CPUs really do.
-	const chunk = 8
-	addrs := make([]uint64, m.NumCores())
-	var step func(c *sim.Ctx, core, remaining int)
-	step = func(c *sim.Ctx, core, remaining int) {
-		func() {
-			defer c.Leave(c.Enter("count_packet"))
-			for i := 0; i < chunk && remaining > 0; i++ {
-				c.Read(addrs[core], 8)
-				c.Write(addrs[core], 8)
-				c.Compute(25)
-				remaining--
-			}
-		}()
-		if remaining > 0 {
-			c.Spawn(core, 0, func(cc *sim.Ctx) { step(cc, core, remaining) })
-		}
+func profile(padded, quick bool) (core.RunResult, *core.Profiler) {
+	w, err := workload.Lookup("falseshare")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	m.Schedule(0, 0, func(c *sim.Ctx) {
-		for i := range addrs {
-			addrs[i] = alloc.Alloc(c, statType)
-		}
-		for core := 0; core < m.NumCores(); core++ {
-			core := core
-			m.Schedule(core, c.Now(), func(cc *sim.Ctx) { step(cc, core, iterations) })
-		}
+	win := w.Windows(quick)
+	inst := workload.MustBuild("falseshare", map[string]string{"padded": strconv.FormatBool(padded)})
+	s, err := core.NewSession(inst, core.SessionConfig{
+		Profiler:    core.Config{SampleRate: 100_000, WatchLen: 8},
+		TypeName:    "pkt_stat",
+		Sets:        1,
+		MaxLifetime: (win.Warmup + win.Measure) / 2, // the counters live forever; truncate so traces exist
+		Warmup:      win.Warmup,
+		Measure:     win.Measure,
 	})
-	m.RunAll()
-	return p, m.MaxCoreTime()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return s.Run(), s.Profiler()
 }
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+
 	fmt.Println("--- packed counters (16-byte alignment: 4 per cache line) ---")
-	packed, packedTime := run(16)
-	fmt.Println(core.RenderMissClassification(packed.MissClassification()))
+	packed, pp := profile(false, *quick)
+	fmt.Println(packed.Summary)
+	fmt.Println(core.RenderMissClassification(pp.MissClassification()))
 
 	fmt.Println("--- padded counters (64-byte alignment: one per line) ---")
-	padded, paddedTime := run(64)
-	fmt.Println(core.RenderMissClassification(padded.MissClassification()))
+	padded, dp := profile(true, *quick)
+	fmt.Println(padded.Summary)
+	fmt.Println(core.RenderMissClassification(dp.MissClassification()))
 
-	fmt.Printf("run time: packed %d cycles, padded %d cycles (%.1fx faster)\n",
-		packedTime, paddedTime, float64(packedTime)/float64(paddedTime))
+	fmt.Printf("throughput: packed %.0f/s, padded %.0f/s (%.1fx faster)\n",
+		packed.Values["throughput"], padded.Values["throughput"],
+		padded.Values["throughput"]/packed.Values["throughput"])
 	fmt.Println("\nThe packed layout shows pkt_stat misses classified as false sharing —")
 	fmt.Println("invalidation misses without any cross-CPU write to the same object.")
 }

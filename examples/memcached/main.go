@@ -3,7 +3,9 @@
 //
 // Sixteen single-core memcached instances serve UDP GETs; the experiment is
 // set up so each client's packets arrive on its instance's core — and yet
-// the machine does not scale. This example walks the paper's diagnosis:
+// the machine does not scale. This example walks the paper's diagnosis,
+// building every machine through the workload registry and profiling
+// through core.Session:
 //
 //  1. The data profile shows packet payloads (size-1024) taking nearly half
 //     of all L1 misses, and every hot type bouncing between cores.
@@ -13,31 +15,49 @@
 //     driver-local queue selection function recovers the lost throughput
 //     (+57% in the paper).
 //
-// Run: go run ./examples/memcached
+// Run: go run ./examples/memcached   (-quick for a tiny smoke run)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
-	"dprof/internal/app/memcachedsim"
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
 	"dprof/internal/core"
 )
 
 func main() {
-	fmt.Println("--- step 1: profile the broken configuration ---")
-	broken := memcachedsim.New(memcachedsim.DefaultConfig())
-	p := core.Attach(broken.M, broken.K.Alloc, core.DefaultConfig())
-	p.StartSampling()
-	p.Collector.WatchLen = 8
-	p.Collector.AddSingleTargetsRange(broken.K.SkbType, 0, 128, 2)
-	p.Collector.Start()
-	stBroken := broken.Run(2_000_000, 40_000_000)
-	fmt.Printf("throughput: %v\n\n", stBroken)
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
 
-	fmt.Println(p.DataProfile().String())
+	warmup, measure := uint64(2_000_000), uint64(40_000_000)
+	if *quick {
+		warmup, measure = 1_000_000, 4_000_000
+	}
+
+	fmt.Println("--- step 1: profile the broken configuration ---")
+	pcfg := core.DefaultConfig()
+	pcfg.WatchLen = 8
+	s, err := core.NewSession(workload.MustBuild("memcached", nil), core.SessionConfig{
+		Profiler:   pcfg,
+		TypeName:   "skbuff",
+		Sets:       2,
+		WatchRange: 128, // the header region is enough to see the transmit path
+		Warmup:     warmup,
+		Measure:    measure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stBroken := s.Run()
+	fmt.Printf("throughput: %s\n\n", stBroken.Summary)
+	fmt.Println(s.Profiler().DataProfile().String())
 
 	fmt.Println("--- step 2: where do skbuffs change cores? ---")
-	g := p.DataFlow(broken.K.SkbType)
+	g := s.Profiler().DataFlow(s.Target())
 	for _, e := range g.CrossCPUEdges() {
 		fmt.Printf("  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
 	}
@@ -47,14 +67,10 @@ func main() {
 	fmt.Println("\n--- step 3: install the local queue selection fix ---")
 	// Compare clean runs (no profiler attached) on both sides, the way the
 	// paper reports its speedup.
-	clean := memcachedsim.New(memcachedsim.DefaultConfig())
-	stClean := clean.Run(2_000_000, 40_000_000)
-	cfg := memcachedsim.DefaultConfig()
-	cfg.Kern.LocalTxQueue = true
-	fixed := memcachedsim.New(cfg)
-	stFixed := fixed.Run(2_000_000, 40_000_000)
-	fmt.Printf("default (unprofiled): %v\n", stClean)
-	fmt.Printf("fixed   (unprofiled): %v\n", stFixed)
+	stClean := workload.MustBuild("memcached", nil).Run(warmup, measure)
+	stFixed := workload.MustBuild("memcached", map[string]string{"fix": "true"}).Run(warmup, measure)
+	fmt.Printf("default (unprofiled): %s\n", stClean.Summary)
+	fmt.Printf("fixed   (unprofiled): %s\n", stFixed.Summary)
 	fmt.Printf("\nimprovement: %+.0f%%  (the paper reports +57%%)\n",
-		100*(stFixed.Throughput/stClean.Throughput-1))
+		100*(stFixed.Values["throughput"]/stClean.Values["throughput"]-1))
 }

@@ -1,0 +1,11 @@
+// Package all imports every workload package for its registration side
+// effect. Consumers that resolve workloads by name (cmd/dprof, the
+// experiment engine, the examples, registry-wide tests) blank-import this
+// one package instead of tracking the scenario list themselves.
+package all
+
+import (
+	_ "dprof/internal/app/apachesim"
+	_ "dprof/internal/app/memcachedsim"
+	_ "dprof/internal/app/scenarios"
+)

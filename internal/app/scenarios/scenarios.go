@@ -1,0 +1,64 @@
+// Package scenarios holds the small self-contained contention workloads:
+// the false-sharing and associativity-conflict scenarios promoted from
+// examples/, plus the true-sharing (lock/futex-style contention) and
+// alien-cache ping-pong (remote-free path) scenarios. Each registers itself
+// with the workload registry, so cmd/dprof, the experiment engine, and the
+// examples all reach them by name.
+//
+// Unlike the case-study workloads (memcachedsim, apachesim), these run no
+// kernel: they build a machine and a typed allocator directly and drive
+// synthetic access patterns engineered to exhibit exactly one pathology
+// from the paper's miss taxonomy (§4.3).
+package scenarios
+
+import (
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+// bench is the shared core.Runnable plumbing: machine, allocator, lock
+// registry, and the warmup/measure window bookkeeping.
+type bench struct {
+	M *sim.Machine
+	A *mem.Allocator
+	L *lockstat.Registry
+
+	measureFrom uint64
+	measureTo   uint64
+	stopAt      uint64
+	started     bool
+}
+
+func newBench(scfg sim.Config, mcfg mem.Config) *bench {
+	m := sim.New(scfg)
+	locks := lockstat.NewRegistry()
+	return &bench{M: m, A: mem.New(mcfg, m.NumCores(), locks), L: locks}
+}
+
+// Machine, Alloc, and Locks satisfy core.Runnable.
+func (b *bench) Machine() *sim.Machine     { return b.M }
+func (b *bench) Alloc() *mem.Allocator     { return b.A }
+func (b *bench) Locks() *lockstat.Registry { return b.L }
+
+// inWindow reports whether t falls inside the measured window.
+func (b *bench) inWindow(t uint64) bool { return t >= b.measureFrom && t < b.measureTo }
+
+// window primes the measured interval and the generator stop horizon.
+func (b *bench) window(warmup, measure uint64) {
+	b.measureFrom = warmup
+	b.measureTo = warmup + measure
+	b.stopAt = warmup + measure
+}
+
+// measure runs the machine through warmup and the measured interval,
+// resetting cache statistics at the warmup boundary (so views reflect
+// steady state, like the case-study workloads).
+func (b *bench) measure(warmup, measureCycles uint64) {
+	b.M.Run(warmup)
+	b.M.Hier.ResetStats()
+	b.M.Run(warmup + measureCycles)
+}
+
+// seconds converts simulated cycles to seconds.
+func seconds(cycles uint64) float64 { return float64(cycles) / float64(sim.Freq) }

@@ -20,13 +20,15 @@ func init() {
 // comparison of §6.2.1).
 func apacheProfile(offered float64, quick bool) (Result, *core.Profiler) {
 	w := apacheWindow(quick)
-	b := newApache(offered, 0)
-	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
-	p.StartSampling()
-	st := b.Run(w.warmup, w.measure)
+	s := mustSession(buildApache(offered, 0), core.SessionConfig{
+		Profiler: core.DefaultConfig(),
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	st := s.Run()
 
-	dp := p.DataProfile()
-	vals := map[string]float64{"throughput": st.Throughput, "refused": float64(st.Refused)}
+	dp := s.Profiler().DataProfile()
+	vals := map[string]float64{"throughput": st.Values["throughput"], "refused": st.Values["refused"]}
 	for _, row := range dp.Rows {
 		vals[row.Type.Name+"_misspct"] = row.MissPct
 		vals[row.Type.Name+"_ws_bytes"] = float64(row.WorkingSetBytes)
@@ -40,8 +42,8 @@ func apacheProfile(offered float64, quick bool) (Result, *core.Profiler) {
 	var sb strings.Builder
 	sb.WriteString(dp.String())
 	fmt.Fprintf(&sb, "\nthroughput: %.0f req/s; tcp_sock avg miss latency: %.0f cycles\n",
-		st.Throughput, vals["tcp_sock_miss_latency"])
-	return Result{Text: sb.String(), Values: vals}, p
+		st.Values["throughput"], vals["tcp_sock_miss_latency"])
+	return Result{Text: sb.String(), Values: vals}, s.Profiler()
 }
 
 // runTable64 regenerates Table 6.4: Apache profiled at peak load.
@@ -77,10 +79,10 @@ func runTable65(quick bool) Result {
 // the only busy class, and it says nothing about the real problem).
 func runTable66(quick bool) Result {
 	w := apacheWindow(quick)
-	b := newApache(apachesim.DropOffOffered, 0)
-	b.K.Locks.Reset()
+	b := buildApache(apachesim.DropOffOffered, 0)
+	b.Locks().Reset()
 	b.Run(w.warmup, w.measure)
-	rep := b.K.Locks.BuildReport(w.measure * uint64(b.M.NumCores()))
+	rep := b.Locks().BuildReport(w.measure * uint64(b.Machine().NumCores()))
 	vals := map[string]float64{}
 	for _, row := range rep.Rows {
 		vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
@@ -95,14 +97,14 @@ func runTable66(quick bool) Result {
 // admission control, both under the drop-off offered load.
 func runFixApache(quick bool) Result {
 	w := apacheWindow(quick)
-	stDeep := newApache(apachesim.DropOffOffered, 0).Run(w.warmup, w.measure)
-	stCapped := newApache(apachesim.DropOffOffered, apachesim.FixedBacklog).Run(w.warmup, w.measure)
-	speedup := stCapped.Throughput / stDeep.Throughput
+	stDeep := buildApache(apachesim.DropOffOffered, 0).Run(w.warmup, w.measure)
+	stCapped := buildApache(apachesim.DropOffOffered, apachesim.FixedBacklog).Run(w.warmup, w.measure)
+	speedup := stCapped.Values["throughput"] / stDeep.Values["throughput"]
 	text := fmt.Sprintf("deep backlog (511):      %s\nadmission control (%d):  %s\nimprovement: %.0f%%  (paper: +16%%)\n",
-		stDeep, apachesim.FixedBacklog, stCapped, 100*(speedup-1))
+		stDeep.Summary, apachesim.FixedBacklog, stCapped.Summary, 100*(speedup-1))
 	return Result{Text: text, Values: map[string]float64{
-		"tput_deep":   stDeep.Throughput,
-		"tput_capped": stCapped.Throughput,
+		"tput_deep":   stDeep.Values["throughput"],
+		"tput_capped": stCapped.Values["throughput"],
 		"speedup":     speedup,
 	}}
 }

@@ -12,8 +12,12 @@
 package exp
 
 import (
-	"dprof/internal/app/apachesim"
-	"dprof/internal/app/memcachedsim"
+	"fmt"
+	"strconv"
+
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
+	"dprof/internal/core"
 	"dprof/internal/sim"
 )
 
@@ -79,40 +83,53 @@ func Title(name string) string {
 	return ""
 }
 
-// --- shared workload constructors and run windows ---
+// --- shared workload construction (registry-driven) and run windows ---
 
 type window struct {
 	warmup  uint64
 	measure uint64
 }
 
-func memcachedWindow(quick bool) window {
-	if quick {
-		return window{1_000_000, 4_000_000}
+// windowFor reads a registered workload's default run windows.
+func windowFor(name string, quick bool) window {
+	w, err := workload.Lookup(name)
+	if err != nil {
+		panic(err)
 	}
-	return window{2_000_000, 12_000_000}
+	ws := w.Windows(quick)
+	return window{ws.Warmup, ws.Measure}
 }
 
-func apacheWindow(quick bool) window {
-	if quick {
-		return window{6_000_000, 5_000_000}
-	}
-	return window{12_000_000, 10_000_000}
+func memcachedWindow(quick bool) window { return windowFor("memcached", quick) }
+
+func apacheWindow(quick bool) window { return windowFor("apache", quick) }
+
+// build constructs a workload instance through the registry. Experiment
+// workload names and options are compile-time constants, so failures panic
+// (the engine reports them as RunErrors).
+func build(name string, opts map[string]string) core.Runnable {
+	return workload.MustBuild(name, opts)
 }
 
-func newMemcached(fix bool) *memcachedsim.Bench {
-	cfg := memcachedsim.DefaultConfig()
-	cfg.Kern.LocalTxQueue = fix
-	return memcachedsim.New(cfg)
+func buildMemcached(fix bool) core.Runnable {
+	return build("memcached", map[string]string{"fix": strconv.FormatBool(fix)})
 }
 
-func newApache(offered float64, backlog int) *apachesim.Bench {
-	cfg := apachesim.DefaultConfig()
-	cfg.OfferedPerCore = offered
-	if backlog > 0 {
-		cfg.Backlog = backlog
+func buildApache(offered float64, backlog int) core.Runnable {
+	return build("apache", map[string]string{
+		"offered": strconv.FormatFloat(offered, 'f', -1, 64),
+		"backlog": strconv.Itoa(backlog),
+	})
+}
+
+// mustSession wraps core.NewSession for experiments, whose view and type
+// names are constants.
+func mustSession(inst core.Runnable, cfg core.SessionConfig) *core.Session {
+	s, err := core.NewSession(inst, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
-	return apachesim.New(cfg)
+	return s
 }
 
 // seconds converts cycles to simulated seconds.

@@ -24,10 +24,13 @@ func init() {
 // cache residency, for the top memcached types.
 func runExtOracle(quick bool) Result {
 	w := memcachedWindow(quick)
-	b := newMemcached(false)
-	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
-	p.StartSampling()
-	b.Run(w.warmup, w.measure)
+	s := mustSession(buildMemcached(false), core.SessionConfig{
+		Profiler: core.DefaultConfig(),
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	s.Run()
+	p := s.Profiler()
 
 	oracle := p.OracleWorkingSet()
 	est := p.WorkingSet()
@@ -41,7 +44,7 @@ func runExtOracle(quick bool) Result {
 		"oracle_total_lines": float64(oracle.TotalLines),
 		"oracle_unresolved":  float64(oracle.Unresolved),
 	}
-	lineSize := float64(b.M.Hier.Config().LineSize)
+	lineSize := float64(p.M.Hier.Config().LineSize)
 	for _, row := range est.Rows {
 		o := oracle.LinesFor(row.Type.Name)
 		if o == 0 && row.PeakBytes < 64*1024 {
@@ -116,15 +119,15 @@ func runExtPEBS(quick bool) Result {
 	w := memcachedWindow(quick)
 	const rate = 8000
 
-	ibsRun := newMemcached(false)
-	pIBS := core.Attach(ibsRun.M, ibsRun.K.Alloc, core.Config{SampleRate: rate})
+	ibsRun := buildMemcached(false)
+	pIBS := core.Attach(ibsRun.Machine(), ibsRun.Alloc(), core.Config{SampleRate: rate})
 	pIBS.StartSampling()
 	ibsRun.Run(w.warmup, w.measure)
 	ibsMissFrac := float64(pIBS.Samples.TotalMisses) / float64(pIBS.Samples.Total)
 
-	pebsRun := newMemcached(false)
-	pPEBS := core.Attach(pebsRun.M, pebsRun.K.Alloc, core.Config{SampleRate: rate})
-	pebs := hw.NewPEBS(pebsRun.M)
+	pebsRun := buildMemcached(false)
+	pPEBS := core.Attach(pebsRun.Machine(), pebsRun.Alloc(), core.Config{SampleRate: rate})
+	pebs := hw.NewPEBS(pebsRun.Machine())
 	pebs.Start(rate, 30, func(c *sim.Ctx, s hw.Sample) { // threshold: beyond-L1 latencies
 		t, base, ok := pPEBS.Alloc.Resolve(s.Ev.Addr)
 		if !ok {
@@ -158,8 +161,8 @@ func runExtPEBS(quick bool) Result {
 // is invisible (§2.2).
 func runExtPTU(quick bool) Result {
 	w := memcachedWindow(quick)
-	b := newMemcached(false)
-	p := ptu.Attach(b.M, b.K.Alloc)
+	b := buildMemcached(false)
+	p := ptu.Attach(b.Machine(), b.Alloc())
 	p.Start(12000)
 	b.Run(w.warmup, w.measure)
 	rep := p.BuildReport(12)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"dprof/internal/app/apachesim"
 	"dprof/internal/core"
 	"dprof/internal/mem"
 	"dprof/internal/plot"
@@ -19,34 +18,28 @@ func init() {
 	register("table6.10", "pairwise sampling collection time and overhead", runTable610)
 }
 
-// workload abstracts over the two applications for collection experiments.
-type workload struct {
+// liveWorkload is a primed workload instance the collection experiments
+// drive incrementally.
+type liveWorkload struct {
 	name  string
 	m     *sim.Machine
 	alloc *mem.Allocator
 	cores int
 }
 
-// newWorkload builds and primes a workload so the machine can be driven
-// incrementally with w.m.Run.
-func newWorkload(app string, horizon uint64) *workload {
-	switch app {
-	case "memcached":
-		b := newMemcached(false)
-		b.Prime()
-		return &workload{name: app, m: b.M, alloc: b.K.Alloc, cores: b.M.NumCores()}
-	case "apache":
-		b := newApache(apachesim.PeakOffered, 0)
-		b.Prime(horizon)
-		return &workload{name: app, m: b.M, alloc: b.K.Alloc, cores: b.M.NumCores()}
-	}
-	panic("exp: unknown app " + app)
+// newWorkload builds a registered workload at its default operating point
+// and primes it so the machine can be driven incrementally with w.m.Run.
+func newWorkload(app string, horizon uint64) *liveWorkload {
+	inst := build(app, nil)
+	inst.Prime(horizon)
+	m := inst.Machine()
+	return &liveWorkload{name: app, m: m, alloc: inst.Alloc(), cores: m.NumCores()}
 }
 
 // driveUntilDone steps the machine until the collector's queue empties or
 // the simulated-time budget runs out. It returns true when collection
 // finished.
-func driveUntilDone(w *workload, col *core.Collector, budget uint64) bool {
+func driveUntilDone(w *liveWorkload, col *core.Collector, budget uint64) bool {
 	const step = 10_000_000 // 10 ms chunks
 	for t := uint64(step); t <= budget; t += step {
 		w.m.Run(t)

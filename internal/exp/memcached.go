@@ -20,12 +20,14 @@ func init() {
 // workload under the buggy default queue selection.
 func runTable61(quick bool) Result {
 	w := memcachedWindow(quick)
-	b := newMemcached(false)
-	p := core.Attach(b.M, b.K.Alloc, core.DefaultConfig())
-	p.StartSampling()
-	b.Run(w.warmup, w.measure)
+	s := mustSession(buildMemcached(false), core.SessionConfig{
+		Profiler: core.DefaultConfig(),
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	s.Run()
 
-	dp := p.DataProfile()
+	dp := s.Profiler().DataProfile()
 	vals := map[string]float64{}
 	for _, row := range dp.Rows {
 		vals[row.Type.Name+"_misspct"] = row.MissPct
@@ -43,31 +45,35 @@ func runTable61(quick bool) Result {
 // runFigure61 regenerates Figure 6-1: the data flow view for skbuff objects,
 // with the cross-CPU hop through the qdisc.
 func runFigure61(quick bool) Result {
-	b := newMemcached(false)
-	cfg := core.DefaultConfig()
-	cfg.WatchLen = 8
-	p := core.Attach(b.M, b.K.Alloc, cfg)
-	p.StartSampling()
 	sets := 3
 	measure := uint64(120_000_000)
 	if quick {
 		sets = 1
 		measure = 40_000_000
 	}
+	pcfg := core.DefaultConfig()
+	pcfg.WatchLen = 8
 	// Watching the skbuff header region is enough to see the transmit path;
 	// the paper similarly profiles the most-used members (§6.4).
-	p.Collector.AddSingleTargetsRange(b.K.SkbType, 0, 128, sets)
-	p.Collector.Start()
-	b.Run(1_000_000, measure)
+	s := mustSession(buildMemcached(false), core.SessionConfig{
+		Profiler:   pcfg,
+		TypeName:   "skbuff",
+		Sets:       sets,
+		WatchRange: 128,
+		Warmup:     1_000_000,
+		Measure:    measure,
+	})
+	s.Run()
 
-	g := p.DataFlow(b.K.SkbType)
+	p, skb := s.Profiler(), s.Target()
+	g := p.DataFlow(skb)
 	edges := g.CrossCPUEdges()
 	var sb strings.Builder
 	sb.WriteString(g.Render())
 	sb.WriteString("\ncross-CPU transitions (bold edges in Figure 6-1):\n")
 	vals := map[string]float64{
 		"cross_cpu_edges": float64(len(edges)),
-		"histories":       float64(len(p.Collector.Histories(b.K.SkbType))),
+		"histories":       float64(len(p.Collector.Histories(skb))),
 	}
 	for _, e := range edges {
 		fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
@@ -81,13 +87,14 @@ func runFigure61(quick bool) Result {
 	return Result{Text: sb.String(), Values: vals}
 }
 
-// runTable62 regenerates Table 6.2: lock-stat output for memcached.
+// runTable62 regenerates Table 6.2: lock-stat output for memcached. No DProf
+// session here: the baseline runs unprofiled, exactly as the paper did.
 func runTable62(quick bool) Result {
 	w := memcachedWindow(quick)
-	b := newMemcached(false)
-	b.K.Locks.Reset()
+	b := buildMemcached(false)
+	b.Locks().Reset()
 	b.Run(w.warmup, w.measure)
-	rep := b.K.Locks.BuildReport(w.measure * uint64(b.M.NumCores()))
+	rep := b.Locks().BuildReport(w.measure * uint64(b.Machine().NumCores()))
 	vals := map[string]float64{}
 	for _, row := range rep.Rows {
 		vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
@@ -100,11 +107,11 @@ func runTable62(quick bool) Result {
 }
 
 // runTable63 regenerates Table 6.3: OProfile's flat function profile for
-// memcached.
+// memcached (again unprofiled by DProf).
 func runTable63(quick bool) Result {
 	w := memcachedWindow(quick)
-	b := newMemcached(false)
-	op := oprofile.Attach(b.M)
+	b := buildMemcached(false)
+	op := oprofile.Attach(b.Machine())
 	op.Start()
 	b.Run(w.warmup, w.measure)
 	rep := op.BuildReport(1.0)
@@ -124,14 +131,14 @@ func runTable63(quick bool) Result {
 // versus the driver-local queue selection.
 func runFixMemcached(quick bool) Result {
 	w := memcachedWindow(quick)
-	stDefault := newMemcached(false).Run(w.warmup, w.measure)
-	stFixed := newMemcached(true).Run(w.warmup, w.measure)
-	speedup := stFixed.Throughput / stDefault.Throughput
+	stDefault := buildMemcached(false).Run(w.warmup, w.measure)
+	stFixed := buildMemcached(true).Run(w.warmup, w.measure)
+	speedup := stFixed.Values["throughput"] / stDefault.Values["throughput"]
 	text := fmt.Sprintf("default (skb_tx_hash):   %s\nfixed (local queue):     %s\nimprovement: %.0f%%  (paper: +57%%)\n",
-		stDefault, stFixed, 100*(speedup-1))
+		stDefault.Summary, stFixed.Summary, 100*(speedup-1))
 	return Result{Text: text, Values: map[string]float64{
-		"tput_default": stDefault.Throughput,
-		"tput_fixed":   stFixed.Throughput,
+		"tput_default": stDefault.Values["throughput"],
+		"tput_fixed":   stFixed.Values["throughput"],
 		"speedup":      speedup,
 	}}
 }

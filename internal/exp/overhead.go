@@ -2,10 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dprof/internal/app/apachesim"
-	"dprof/internal/app/memcachedsim"
 	"dprof/internal/core"
 	"dprof/internal/plot"
 )
@@ -26,33 +26,28 @@ func runFigure62(quick bool) Result {
 		rates = []float64{6000, 18000}
 	}
 
-	memc := func(rate float64) float64 {
-		w := memcachedWindow(quick)
-		cfg := memcachedsim.DefaultConfig()
-		cfg.Kern.LocalTxQueue = true // the fixed kernel: cleanest baseline
-		cfg.Window = 10              // saturate the cores
-		b := memcachedsim.New(cfg)
+	throughputAt := func(name string, opts map[string]string, w window, rate float64) float64 {
+		b := build(name, opts)
 		if rate > 0 {
 			pcfg := core.DefaultConfig()
 			pcfg.SampleRate = rate
-			p := core.Attach(b.M, b.K.Alloc, pcfg)
-			p.StartSampling()
+			s := mustSession(b, core.SessionConfig{Profiler: pcfg, Warmup: w.warmup, Measure: w.measure})
+			return s.Run().Values["throughput"]
 		}
-		return b.Run(w.warmup, w.measure).Throughput
+		return b.Run(w.warmup, w.measure).Values["throughput"]
+	}
+	memc := func(rate float64) float64 {
+		// The fixed kernel with a deep closed-loop window: saturated cores,
+		// the cleanest baseline for measuring sampling overhead.
+		return throughputAt("memcached", map[string]string{"fix": "true", "window": "10"},
+			memcachedWindow(quick), rate)
 	}
 	apache := func(rate float64) float64 {
-		w := apacheWindow(quick)
-		cfg := apachesim.DefaultConfig()
-		cfg.OfferedPerCore = apachesim.DropOffOffered
-		cfg.Backlog = apachesim.FixedBacklog // saturated but not queue-degraded
-		b := apachesim.New(cfg)
-		if rate > 0 {
-			pcfg := core.DefaultConfig()
-			pcfg.SampleRate = rate
-			p := core.Attach(b.M, b.K.Alloc, pcfg)
-			p.StartSampling()
-		}
-		return b.Run(w.warmup, w.measure).Throughput
+		// Saturated but not queue-degraded: drop-off load, capped backlog.
+		return throughputAt("apache", map[string]string{
+			"offered": strconv.Itoa(apachesim.DropOffOffered),
+			"backlog": strconv.Itoa(apachesim.FixedBacklog),
+		}, apacheWindow(quick), rate)
 	}
 
 	memBase := memc(0)

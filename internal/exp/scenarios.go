@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dprof/internal/core"
+)
+
+func init() {
+	register("falseshare", "scenario: packed vs padded per-core counters (false sharing, §4.3)", runFalseshareExp)
+	register("conflict", "scenario: aligned vs colored buffer ring (associativity conflicts, §4.2)", runConflictExp)
+	register("trueshare", "scenario: shared vs partitioned job buckets (true sharing + lock contention)", runTrueshareExp)
+	register("alienping", "scenario: remote vs local frees through the SLAB alien caches (§6.1)", runAlienpingExp)
+}
+
+// boolOpt renders a single bool workload option.
+func boolOpt(name string, v bool) map[string]string {
+	return map[string]string{name: strconv.FormatBool(v)}
+}
+
+// missRowFor finds one type's miss-classification row.
+func missRowFor(rows []core.MissClassRow, name string) (core.MissClassRow, bool) {
+	for _, r := range rows {
+		if r.Type.Name == name {
+			return r, true
+		}
+	}
+	return core.MissClassRow{}, false
+}
+
+// runFalseshareExp profiles the falseshare scenario in both layouts: the
+// packed layout shows pkt_stat misses classified as false sharing —
+// invalidation misses without any cross-CPU write to the same object —
+// and padding each counter to its own line removes them.
+func runFalseshareExp(quick bool) Result {
+	w := windowFor("falseshare", quick)
+	side := func(padded bool) (core.RunResult, []core.MissClassRow) {
+		s := mustSession(build("falseshare", boolOpt("padded", padded)), core.SessionConfig{
+			Profiler:    core.Config{SampleRate: 100_000, WatchLen: 8},
+			TypeName:    "pkt_stat",
+			Sets:        1,
+			MaxLifetime: (w.warmup + w.measure) / 2, // counters live forever; truncate so traces exist
+			Warmup:      w.warmup,
+			Measure:     w.measure,
+		})
+		res := s.Run()
+		return res, s.Profiler().MissClassification()
+	}
+	packed, packedRows := side(false)
+	padded, paddedRows := side(true)
+
+	var sb strings.Builder
+	sb.WriteString("--- packed counters (16-byte alignment: 4 per cache line) ---\n")
+	sb.WriteString(packed.Summary + "\n")
+	sb.WriteString(core.RenderMissClassification(packedRows))
+	sb.WriteString("\n--- padded counters (64-byte alignment: one per line) ---\n")
+	sb.WriteString(padded.Summary + "\n")
+	sb.WriteString(core.RenderMissClassification(paddedRows))
+
+	speedup := padded.Values["throughput"] / packed.Values["throughput"]
+	vals := map[string]float64{
+		"tput_packed": packed.Values["throughput"],
+		"tput_padded": padded.Values["throughput"],
+		"speedup":     speedup,
+	}
+	if r, ok := missRowFor(packedRows, "pkt_stat"); ok {
+		vals["packed_false_pct"] = r.FalseSharingPct
+		vals["packed_true_pct"] = r.TrueSharingPct
+	}
+	if r, ok := missRowFor(paddedRows, "pkt_stat"); ok {
+		vals["padded_false_pct"] = r.FalseSharingPct
+	}
+	fmt.Fprintf(&sb, "\npadding speedup: %.2fx; pkt_stat false-sharing share: %.0f%% -> %.0f%%\n",
+		speedup, vals["packed_false_pct"], vals["padded_false_pct"])
+	return Result{Text: sb.String(), Values: vals}
+}
+
+// runConflictExp profiles the conflict scenario in both layouts: the aligned
+// pool overloads a handful of L1 sets (conflict misses while the cache sits
+// nearly empty); coloring the pool spreads them.
+func runConflictExp(quick bool) Result {
+	w := windowFor("conflict", quick)
+	side := func(colored bool) (core.RunResult, *core.WorkingSetView, []core.MissClassRow) {
+		s := mustSession(build("conflict", boolOpt("colored", colored)), core.SessionConfig{
+			Profiler: core.Config{SampleRate: 200_000, WatchLen: 8},
+			Warmup:   w.warmup,
+			Measure:  w.measure,
+		})
+		res := s.Run()
+		return res, s.Profiler().WorkingSet(), s.Profiler().MissClassification()
+	}
+	renderSide := func(sb *strings.Builder, label string, res core.RunResult, ws *core.WorkingSetView, rows []core.MissClassRow) {
+		fmt.Fprintf(sb, "--- %s ---\n%s\n", label, res.Summary)
+		fmt.Fprintf(sb, "mean lines/set %.2f, overloaded sets: %d\n", ws.MeanLines, len(ws.Overloaded))
+		for i, s := range ws.Overloaded {
+			if i == 3 {
+				break
+			}
+			fmt.Fprintf(sb, "  set %d holds %d distinct lines (ways=%d): %v\n",
+				s.Index, s.DistinctLines, ws.Ways, s.ByType)
+		}
+		sb.WriteString(core.RenderMissClassification(rows))
+	}
+
+	aligned, alignedWS, alignedRows := side(false)
+	colored, coloredWS, coloredRows := side(true)
+	var sb strings.Builder
+	renderSide(&sb, "aligned pool (pathological)", aligned, alignedWS, alignedRows)
+	sb.WriteString("\n")
+	renderSide(&sb, "colored pool (fixed)", colored, coloredWS, coloredRows)
+
+	speedup := colored.Values["throughput"] / aligned.Values["throughput"]
+	vals := map[string]float64{
+		"tput_aligned":       aligned.Values["throughput"],
+		"tput_colored":       colored.Values["throughput"],
+		"speedup":            speedup,
+		"aligned_overloaded": float64(len(alignedWS.Overloaded)),
+		"colored_overloaded": float64(len(coloredWS.Overloaded)),
+	}
+	if r, ok := missRowFor(alignedRows, "hot_buf"); ok {
+		vals["aligned_conflict_pct"] = r.ConflictPct
+	}
+	if r, ok := missRowFor(coloredRows, "hot_buf"); ok {
+		vals["colored_conflict_pct"] = r.ConflictPct
+	}
+	fmt.Fprintf(&sb, "\ncoloring speedup: %.2fx; overloaded sets %0.f -> %.0f\n",
+		speedup, vals["aligned_overloaded"], vals["colored_overloaded"])
+	return Result{Text: sb.String(), Values: vals}
+}
+
+// runTrueshareExp contrasts shared job buckets against the partitioned fix:
+// the lock-stat baseline names the contended class, and the job data flow
+// shows every object hopping cores.
+func runTrueshareExp(quick bool) Result {
+	w := windowFor("trueshare", quick)
+
+	// A profiled session on the shared configuration: the data flow view of
+	// the job type shows the producer->consumer hop, and lock-stat names the
+	// bucket lock.
+	s := mustSession(build("trueshare", boolOpt("partition", false)), core.SessionConfig{
+		Profiler: core.DefaultConfig(),
+		TypeName: "job",
+		Sets:     2,
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	profiled := s.Run()
+	g := s.Profiler().DataFlow(s.Target())
+	edges := g.CrossCPUEdges()
+
+	// Clean (unprofiled) runs on both sides, the way the paper reports
+	// fixes; the shared run doubles as the lock-stat baseline.
+	sharedInst := build("trueshare", boolOpt("partition", false))
+	sharedInst.Locks().Reset()
+	shared := sharedInst.Run(w.warmup, w.measure)
+	part := build("trueshare", boolOpt("partition", true)).Run(w.warmup, w.measure)
+	speedup := part.Values["throughput"] / shared.Values["throughput"]
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profiled (shared buckets): %s\n\n", profiled.Summary)
+	sb.WriteString("job data flow (cross-CPU hops):\n")
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+	}
+	vals := map[string]float64{
+		"cross_cpu_edges":  float64(len(edges)),
+		"tput_shared":      shared.Values["throughput"],
+		"tput_partitioned": part.Values["throughput"],
+		"speedup":          speedup,
+	}
+	rep := sharedInst.Locks().BuildReport(w.measure * uint64(sharedInst.Machine().NumCores()))
+	sb.WriteString("\nlock-stat baseline (shared buckets):\n")
+	sb.WriteString(rep.String())
+	for _, row := range rep.Rows {
+		if row.Name == "job lock" {
+			vals["job_lock_overhead_pct"] = row.OverheadPct
+			vals["job_lock_contentions"] = float64(row.Contentions)
+		}
+	}
+	fmt.Fprintf(&sb, "\nshared buckets:  %s\npartitioned:     %s\npartitioning speedup: %.2fx\n",
+		shared.Summary, part.Summary, speedup)
+	return Result{Text: sb.String(), Values: vals}
+}
+
+// runAlienpingExp contrasts remote frees (through the alien caches) against
+// the local-free fix: the data profile of the remote-free run shows the
+// allocator's own bookkeeping types bouncing between cores.
+func runAlienpingExp(quick bool) Result {
+	w := windowFor("alienping", quick)
+
+	pcfg := core.Config{SampleRate: 50_000, WatchLen: 8}
+	s := mustSession(build("alienping", boolOpt("localfree", false)), core.SessionConfig{
+		Profiler: pcfg,
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	profiled := s.Run()
+	dp := s.Profiler().DataProfile()
+
+	remote := build("alienping", boolOpt("localfree", false)).Run(w.warmup, w.measure)
+	local := build("alienping", boolOpt("localfree", true)).Run(w.warmup, w.measure)
+	speedup := local.Values["throughput"] / remote.Values["throughput"]
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profiled (remote free): %s\n\n", profiled.Summary)
+	sb.WriteString(dp.String())
+	vals := map[string]float64{
+		"tput_remote": remote.Values["throughput"],
+		"tput_local":  local.Values["throughput"],
+		"speedup":     speedup,
+	}
+	for _, row := range dp.Rows {
+		switch row.Type.Name {
+		case "ping_obj":
+			vals["ping_obj_misspct"] = row.MissPct
+		case "slab", "array_cache":
+			if row.Bounce {
+				vals[row.Type.Name+"_bounce"] = 1
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "\nremote free: %s\nlocal free:  %s\nlocal-free speedup: %.2fx\n",
+		remote.Summary, local.Summary, speedup)
+	sb.WriteString("(the remote-free run drains alien caches: slab and array_cache lines are written from the wrong core)\n")
+	return Result{Text: sb.String(), Values: vals}
+}

@@ -1,0 +1,63 @@
+package exp
+
+import "testing"
+
+func TestFalseshareExpShape(t *testing.T) {
+	t.Parallel()
+	r := runQuick(t, "falseshare")
+	if r.Values["speedup"] <= 1.1 {
+		t.Errorf("padding speedup = %.2fx, want > 1.1x", r.Values["speedup"])
+	}
+	if r.Values["packed_false_pct"] < 50 {
+		t.Errorf("packed false-sharing share = %.0f%%, want the dominant class", r.Values["packed_false_pct"])
+	}
+	if r.Values["padded_false_pct"] > 1 {
+		t.Errorf("padded layout still shows %.0f%% false sharing", r.Values["padded_false_pct"])
+	}
+}
+
+func TestConflictExpShape(t *testing.T) {
+	t.Parallel()
+	r := runQuick(t, "conflict")
+	if r.Values["speedup"] <= 2 {
+		t.Errorf("coloring speedup = %.2fx, want > 2x", r.Values["speedup"])
+	}
+	if r.Values["aligned_overloaded"] < 1 {
+		t.Error("no overloaded sets in the aligned layout")
+	}
+	if r.Values["colored_overloaded"] >= r.Values["aligned_overloaded"] {
+		t.Errorf("coloring did not reduce overloaded sets: %.0f -> %.0f",
+			r.Values["aligned_overloaded"], r.Values["colored_overloaded"])
+	}
+	if r.Values["aligned_conflict_pct"] < 50 {
+		t.Errorf("aligned conflict share = %.0f%%, want the dominant class", r.Values["aligned_conflict_pct"])
+	}
+}
+
+func TestTrueshareExpShape(t *testing.T) {
+	t.Parallel()
+	r := runQuick(t, "trueshare")
+	if r.Values["speedup"] <= 1.2 {
+		t.Errorf("partitioning speedup = %.2fx, want > 1.2x", r.Values["speedup"])
+	}
+	if r.Values["job_lock_contentions"] == 0 {
+		t.Error("job lock never contended in the shared layout")
+	}
+	if r.Values["cross_cpu_edges"] < 1 {
+		t.Error("job data flow shows no cross-CPU hop")
+	}
+}
+
+func TestAlienpingExpShape(t *testing.T) {
+	t.Parallel()
+	r := runQuick(t, "alienping")
+	if r.Values["speedup"] <= 1.05 {
+		t.Errorf("local-free speedup = %.2fx, want > 1.05x", r.Values["speedup"])
+	}
+	if r.Values["ping_obj_misspct"] == 0 {
+		t.Error("ping_obj missing from the data profile")
+	}
+	if r.Values["slab_bounce"] != 1 && r.Values["array_cache_bounce"] != 1 {
+		t.Error("allocator bookkeeping types do not bounce under remote frees")
+	}
+}
