@@ -8,6 +8,7 @@ package dprof_test
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"dprof/internal/app/memcachedsim"
@@ -101,6 +102,34 @@ func benchScenarioRun(b *testing.B, name string, opts map[string]string) {
 
 func BenchmarkTrueshareRun(b *testing.B) { benchScenarioRun(b, "trueshare", nil) }
 func BenchmarkAlienPingRun(b *testing.B) { benchScenarioRun(b, "alienping", nil) }
+
+// --- NUMA topology: the same workload on a flat 1x16 machine vs the
+// paper's 4x4 multi-socket layout, so BENCH_*.json tracks the socket-aware
+// coherence hot path. The numaremote experiment bench tracks the fix.
+
+func topo(sockets, cps int) map[string]string {
+	return map[string]string{
+		"sockets":          strconv.Itoa(sockets),
+		"cores-per-socket": strconv.Itoa(cps),
+	}
+}
+
+// The numaremote pair holds the consumer count fixed at 3 on both layouts
+// (the 4x4 default is one consumer on each of the three non-producer chips;
+// single-socket placement needs threads-per-socket 3 to match), so the
+// benchmark isolates the NUMA cost rather than consumer parallelism.
+func BenchmarkNumaRemoteRun1x16(b *testing.B) {
+	opts := topo(1, 16)
+	opts["threads-per-socket"] = "3"
+	benchScenarioRun(b, "numaremote", opts)
+}
+func BenchmarkNumaRemoteRun4x4(b *testing.B) { benchScenarioRun(b, "numaremote", topo(4, 4)) }
+func BenchmarkMemcachedRun1x16(b *testing.B) { benchScenarioRun(b, "memcached", topo(1, 16)) }
+func BenchmarkMemcachedRun4x4(b *testing.B)  { benchScenarioRun(b, "memcached", topo(4, 4)) }
+
+// BenchmarkNumaRemoteScenario baselines the numaremote experiment: the
+// speedup metric is node-local allocation's gain over cross-chip pulls.
+func BenchmarkNumaRemoteScenario(b *testing.B) { benchExperiment(b, "numaremote", "speedup") }
 
 // --- ablation: directory vs snoop coherence lookup ---
 

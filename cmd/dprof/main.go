@@ -16,6 +16,9 @@
 //	dprof -workload falseshare -views missclass -rate 100000
 //	dprof -workload trueshare -lockstat
 //	dprof -workload alienping -views dataprofile,dataflow
+//	dprof -workload numaremote -views dataprofile,missclass    # 4x4 NUMA topology
+//	dprof -workload numaremote -sockets 1 -cores-per-socket 16 # flatten it
+//	dprof -workload numaremote -sweep-topology 1x16,2x8,4x4    # compare layouts
 //	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
 package main
 
@@ -31,6 +34,7 @@ import (
 
 	_ "dprof/internal/app/all" // register every workload
 	"dprof/internal/app/workload"
+	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/exp"
 )
@@ -54,6 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		withLS       = fs.Bool("lockstat", false, "also print the lock-stat baseline")
 		withOP       = fs.Bool("oprofile", false, "also print the OProfile baseline")
 		list         = fs.Bool("list-workloads", false, "list registered workloads and their options")
+		sweep        = fs.String("sweep-topology", "", "comma list of SOCKETSxCORES layouts (e.g. 1x16,2x8,4x4): run the workload unprofiled on each topology and compare")
 		experiment   = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
 		quick        = fs.Bool("quick", false, "experiment mode: smaller workloads")
 		parallel     = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
@@ -99,6 +104,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			setOpts[f.Name] = get()
 		}
 	})
+	if *sweep != "" {
+		return runTopologySweep(stdout, stderr, w, setOpts, *sweep, *measure)
+	}
+
 	cfg, err := workload.NewConfig(w, setOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "dprof: %v\n", err)
@@ -145,6 +154,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runTopologySweep rebuilds and runs the workload once per requested socket
+// layout (overriding its sockets / cores-per-socket options) and prints one
+// comparison row per topology. Workloads that do not declare the topology
+// options are rejected with the declared set.
+func runTopologySweep(stdout, stderr io.Writer, w workload.Workload, setOpts map[string]string, sweep string, measureMs uint64) int {
+	fmt.Fprintf(stdout, "%-8s %14s  %s\n", "topology", "throughput", "summary")
+	for _, spec := range strings.Split(sweep, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		topo, err := cache.ParseTopology(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 2
+		}
+		opts := make(map[string]string, len(setOpts)+2)
+		for k, v := range setOpts {
+			opts[k] = v
+		}
+		opts["sockets"] = strconv.Itoa(topo.Sockets)
+		opts["cores-per-socket"] = strconv.Itoa(topo.CoresPerSocket)
+		cfg, err := workload.NewConfig(w, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 2
+		}
+		inst, err := w.Build(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: building %s on %s: %v\n", w.Name(), topo, err)
+			return 1
+		}
+		res := inst.Run(w.Windows(false).Warmup, measureMs*1_000_000)
+		fmt.Fprintf(stdout, "%-8s %14.0f  %s\n", topo, res.Values["throughput"], res.Summary)
+	}
+	return 0
+}
+
 // registerWorkloadFlags declares one typed flag per option declared by any
 // registered workload (names are shared across workloads that declare the
 // same option). It returns, per flag name, a getter serializing the parsed
@@ -171,6 +218,9 @@ func registerWorkloadFlags(fs *flag.FlagSet) map[string]func() string {
 				def, _ := strconv.ParseFloat(orZero(o.Default, "0"), 64)
 				p := fs.Float64(o.Name, def, usage)
 				getters[o.Name] = func() string { return strconv.FormatFloat(*p, 'f', -1, 64) }
+			case workload.Str:
+				p := fs.String(o.Name, o.Default, usage)
+				getters[o.Name] = func() string { return *p }
 			}
 		}
 	}

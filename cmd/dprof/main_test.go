@@ -71,7 +71,37 @@ func TestRunErrors(t *testing.T) {
 			name:       "unknown workload message lists the scenario workloads too",
 			args:       []string{"-workload", "nginx"},
 			wantCode:   2,
-			wantErrOut: []string{"falseshare", "conflict", "trueshare", "alienping"},
+			wantErrOut: []string{"falseshare", "conflict", "trueshare", "alienping", "numaremote"},
+		},
+		{
+			name:       "invalid topology is rejected",
+			args:       []string{"-workload", "numaremote", "-sockets", "9", "-cores-per-socket", "9"},
+			wantCode:   1,
+			wantErrOut: []string{"topology", "9x9"},
+		},
+		{
+			name:       "socket count that does not divide the L3 is a CLI error, not a panic",
+			args:       []string{"-workload", "numaremote", "-sockets", "3", "-cores-per-socket", "4"},
+			wantCode:   1,
+			wantErrOut: []string{"L3 size", "3 sockets"},
+		},
+		{
+			name:       "unknown alloc policy is rejected and lists the valid set",
+			args:       []string{"-workload", "numaremote", "-alloc-policy", "bogus"},
+			wantCode:   1,
+			wantErrOut: []string{"unknown allocation policy", "bogus", "firsttouch", "interleave", "pinned"},
+		},
+		{
+			name:       "workloads without topology options reject -sockets",
+			args:       []string{"-workload", "falseshare", "-sockets", "4"},
+			wantCode:   2,
+			wantErrOut: []string{`workload "falseshare"`, "does not accept", "sockets"},
+		},
+		{
+			name:       "malformed sweep topology is rejected",
+			args:       []string{"-workload", "numaremote", "-sweep-topology", "4by4"},
+			wantCode:   2,
+			wantErrOut: []string{"SOCKETSxCORES"},
 		},
 	}
 	for _, tt := range tests {
@@ -97,7 +127,7 @@ func TestListWorkloads(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
 	}
-	for _, want := range []string{"memcached", "apache", "falseshare", "conflict", "trueshare", "alienping", "-fix", "-offered", "-padded"} {
+	for _, want := range []string{"memcached", "apache", "falseshare", "conflict", "trueshare", "alienping", "numaremote", "-fix", "-offered", "-padded", "-sockets", "-alloc-policy"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("listing missing %q:\n%s", want, out.String())
 		}
@@ -132,6 +162,23 @@ func TestRunMemcachedDataProfile(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== data profile view ==") {
 		t.Errorf("data profile view missing:\n%s", out.String())
+	}
+}
+
+func TestRunTopologySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "numaremote", "-sweep-topology", "1x16,4x4", "-measure-ms", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"topology", "1x16", "4x4", "buffers/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

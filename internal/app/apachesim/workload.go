@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"dprof/internal/app/workload"
+	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/lockstat"
 	"dprof/internal/mem"
@@ -22,12 +23,13 @@ func (wl) Description() string {
 }
 
 func (wl) Options() []workload.Option {
-	return []workload.Option{
+	opts := []workload.Option{
 		{Name: "offered", Kind: workload.Float, Default: strconv.Itoa(PeakOffered),
 			Usage: "offered connections/s/core (see PeakOffered/DropOffOffered)"},
 		{Name: "backlog", Kind: workload.Int, Default: "0",
 			Usage: "accept backlog override (0 = default 511; the §6.2 fix is a small cap)"},
 	}
+	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
 }
 
 func (wl) Windows(quick bool) workload.Windows {
@@ -41,6 +43,12 @@ func (wl) DefaultTarget() string { return "tcp_sock" }
 
 func (wl) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultConfig()
+	if err := workload.ApplyTopology(cfg, &c.Sim, &c.Mem); err != nil {
+		return nil, err
+	}
+	if n := c.Sim.Topology.NumCores(); c.Kern.TxQueues > n {
+		c.Kern.TxQueues = n // one NIC queue pair per core, capped by the machine
+	}
 	c.OfferedPerCore = cfg.Float("offered")
 	if b := cfg.Int("backlog"); b > 0 {
 		c.Backlog = b

@@ -2,6 +2,7 @@ package memcachedsim
 
 import (
 	"dprof/internal/app/workload"
+	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/lockstat"
 	"dprof/internal/mem"
@@ -20,12 +21,13 @@ func (wl) Description() string {
 }
 
 func (wl) Options() []workload.Option {
-	return []workload.Option{
+	opts := []workload.Option{
 		{Name: "fix", Kind: workload.Bool, Default: "false",
 			Usage: "enable driver-local TX queue selection (the §6.1 fix, +57% in the paper)"},
 		{Name: "window", Kind: workload.Int, Default: "4",
 			Usage: "outstanding requests per closed-loop client"},
 	}
+	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
 }
 
 func (wl) Windows(quick bool) workload.Windows {
@@ -39,6 +41,12 @@ func (wl) DefaultTarget() string { return "skbuff" }
 
 func (wl) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultConfig()
+	if err := workload.ApplyTopology(cfg, &c.Sim, &c.Mem); err != nil {
+		return nil, err
+	}
+	if n := c.Sim.Topology.NumCores(); c.Kern.TxQueues > n {
+		c.Kern.TxQueues = n // one NIC queue pair per core, capped by the machine
+	}
 	c.Kern.LocalTxQueue = cfg.Bool("fix")
 	if n := cfg.Int("window"); n > 0 {
 		c.Window = n

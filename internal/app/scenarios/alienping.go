@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dprof/internal/app/workload"
+	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/mem"
 	"dprof/internal/sim"
@@ -166,7 +167,7 @@ func (alienPingWL) Description() string {
 }
 
 func (alienPingWL) Options() []workload.Option {
-	return []workload.Option{
+	opts := []workload.Option{
 		{Name: "localfree", Kind: workload.Bool, Default: "false",
 			Usage: "free on the allocating core instead of the remote reader (the fix)"},
 		{Name: "batch", Kind: workload.Int, Default: "8",
@@ -174,6 +175,7 @@ func (alienPingWL) Options() []workload.Option {
 		{Name: "aliencap", Kind: workload.Int, Default: "12",
 			Usage: "alien cache capacity per (pool, home core); 1 drains on every remote free"},
 	}
+	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
 }
 
 func (alienPingWL) Windows(quick bool) workload.Windows {
@@ -187,6 +189,9 @@ func (alienPingWL) DefaultTarget() string { return "ping_obj" }
 
 func (alienPingWL) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultAlienPingConfig()
+	if err := workload.ApplyTopology(cfg, &c.Sim, &c.Mem); err != nil {
+		return nil, err
+	}
 	c.LocalFree = cfg.Bool("localfree")
 	if n := cfg.Int("batch"); n > 0 {
 		c.Batch = n

@@ -33,7 +33,9 @@ type bench struct {
 func newBench(scfg sim.Config, mcfg mem.Config) *bench {
 	m := sim.New(scfg)
 	locks := lockstat.NewRegistry()
-	return &bench{M: m, A: mem.New(mcfg, m.NumCores(), locks), L: locks}
+	a := mem.New(mcfg, m.NumCores(), locks)
+	a.BindMachine(m)
+	return &bench{M: m, A: a, L: locks}
 }
 
 // Machine, Alloc, and Locks satisfy core.Runnable.

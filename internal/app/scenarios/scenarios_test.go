@@ -3,6 +3,7 @@ package scenarios
 import (
 	"testing"
 
+	"dprof/internal/cache"
 	"dprof/internal/core"
 )
 
@@ -77,6 +78,42 @@ func TestAlienPingLocalFreeHelps(t *testing.T) {
 	}
 }
 
+// TestNumaRemoteLocalAllocHelps is the ISSUE 3 acceptance check: on the 4x4
+// paper topology, cross-chip transfers and remote-node fills dominate the
+// deep misses of the remote-alloc configuration, and node-local allocation
+// eliminates them (and the slowdown they cause).
+func TestNumaRemoteLocalAllocHelps(t *testing.T) {
+	t.Parallel()
+	remote := NewNumaRemote(DefaultNumaRemoteConfig())
+	remoteRes := run(t, remote)
+	cfg := DefaultNumaRemoteConfig()
+	cfg.LocalAlloc = true
+	localRes := run(t, NewNumaRemote(cfg))
+
+	if share := remoteRes.Values["cross_chip_share"]; share < 0.5 {
+		t.Errorf("cross-chip misses do not dominate before the fix: share %.2f", share)
+	}
+	if share := localRes.Values["cross_chip_share"]; share > 0.01 {
+		t.Errorf("cross-chip misses survive the fix: share %.2f", share)
+	}
+	if localRes.Values["throughput"] <= remoteRes.Values["throughput"] {
+		t.Errorf("node-local allocation did not help: remote %.0f/s, local %.0f/s",
+			remoteRes.Values["throughput"], localRes.Values["throughput"])
+	}
+}
+
+// TestNumaRemoteSingleSocketHasNoCrossChip pins the degenerate topology: on
+// 1x16 the same workload sees zero cross-chip traffic by construction.
+func TestNumaRemoteSingleSocketHasNoCrossChip(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultNumaRemoteConfig()
+	cfg.Sim.Topology = cache.SingleSocket(16)
+	res := run(t, NewNumaRemote(cfg))
+	if res.Values["cross_chip_hits"] != 0 || res.Values["remote_dram_fills"] != 0 {
+		t.Errorf("single-socket run saw cross-chip traffic: %+v", res.Values)
+	}
+}
+
 // TestScenariosStopAtHorizon guards against runaway event loops: a primed
 // scenario must stop scheduling work past its horizon, so RunAll terminates.
 func TestScenariosStopAtHorizon(t *testing.T) {
@@ -86,6 +123,7 @@ func TestScenariosStopAtHorizon(t *testing.T) {
 		NewConflict(DefaultConflictConfig()),
 		NewTrueShare(DefaultTrueShareConfig()),
 		NewAlienPing(DefaultAlienPingConfig()),
+		NewNumaRemote(DefaultNumaRemoteConfig()),
 	}
 	for _, inst := range insts {
 		inst.Prime(300_000)

@@ -28,6 +28,9 @@ const (
 	Int
 	// Float options parse decimal floating-point numbers.
 	Float
+	// Str options carry free-form strings (e.g. allocation-policy names);
+	// the workload's Build validates the value.
+	Str
 )
 
 // String names the kind (for usage text).
@@ -39,6 +42,8 @@ func (k Kind) String() string {
 		return "int"
 	case Float:
 		return "float"
+	case Str:
+		return "string"
 	}
 	return "unknown"
 }
@@ -177,6 +182,8 @@ func parseAs(k Kind, v string) error {
 		_, err = strconv.Atoi(v)
 	case Float:
 		_, err = strconv.ParseFloat(v, 64)
+	case Str:
+		// any string parses; Build validates the value
 	}
 	return err
 }
@@ -235,6 +242,11 @@ func (c Config) Float(name string) float64 {
 		panic(fmt.Sprintf("workload: option %q default %q is not a float", name, v))
 	}
 	return f
+}
+
+// Str returns a declared Str option's value.
+func (c Config) Str(name string) string {
+	return c.raw(name, Str)
 }
 
 // --- registry ---

@@ -1,9 +1,13 @@
 // Package cache simulates a multicore CPU cache hierarchy.
 //
 // The model follows the machine used in the DProf paper (a 16-core AMD
-// system): each core has a private, inclusive L1d+L2 pair; all cores share a
-// non-inclusive victim L3 (AMD's L3 is a victim cache); coherence across the
-// private hierarchies is kept with a directory-based MESI protocol. Latencies
+// system): each core has a private, inclusive L1d+L2 pair; the cores on each
+// chip share a non-inclusive victim L3 bank (AMD's L3 is a victim cache);
+// coherence across the private hierarchies is kept with a directory-based
+// MESI protocol. A Topology (sockets x cores-per-socket) splits the machine
+// into chips: foreign transfers between chips and fills from another
+// socket's memory node pay distinct cross-chip latencies, while the default
+// single-socket topology reproduces the flat hierarchy exactly. Latencies
 // are configurable and default to the values the paper reports (3 ns L1 hits,
 // 200 ns foreign-cache transfers, with 1 cycle == 1 ns at the simulated 1 GHz
 // clock).
@@ -27,10 +31,18 @@ const (
 	// L3Hit means the access was satisfied by the shared victim L3.
 	L3Hit
 	// ForeignHit means the line was transferred from another core's
-	// private cache (the expensive cross-core case DProf highlights).
+	// private cache on the same chip (the expensive cross-core case DProf
+	// highlights). On the single-socket topology every foreign transfer is
+	// a ForeignHit.
 	ForeignHit
-	// DRAM means the access went all the way to memory.
+	// ForeignRemote means the line came from a cache on a different chip —
+	// a cross-chip (HyperTransport) transfer, costlier than an on-chip one.
+	ForeignRemote
+	// DRAM means the access went to the socket's local memory node.
 	DRAM
+	// DRAMRemote means the access went to memory homed on a different
+	// socket (a remote NUMA node).
+	DRAMRemote
 	numLevels
 )
 
@@ -45,8 +57,12 @@ func (l Level) String() string {
 		return "L3"
 	case ForeignHit:
 		return "foreign"
+	case ForeignRemote:
+		return "cross-chip"
 	case DRAM:
 		return "DRAM"
+	case DRAMRemote:
+		return "remote-DRAM"
 	}
 	return fmt.Sprintf("Level(%d)", uint8(l))
 }
@@ -70,11 +86,16 @@ type Config struct {
 	L3Ways int
 
 	// Latencies, in cycles, of an access satisfied at each point.
-	LatL1      uint32
-	LatL2      uint32
-	LatL3      uint32
-	LatForeign uint32
-	LatDRAM    uint32
+	// LatForeign and LatDRAM are the on-chip / local-node costs; the
+	// Remote variants price the cross-chip interconnect hop and only
+	// engage on multi-socket topologies.
+	LatL1            uint32
+	LatL2            uint32
+	LatL3            uint32
+	LatForeign       uint32
+	LatForeignRemote uint32
+	LatDRAM          uint32
+	LatDRAMRemote    uint32
 
 	// Snoop switches coherence lookups from the directory to scanning all
 	// other cores' private caches. Results are identical; this exists for
@@ -88,18 +109,20 @@ type Config struct {
 // latencies (1 cycle == 1 ns).
 func DefaultConfig() Config {
 	return Config{
-		LineSize:   64,
-		L1Size:     64 << 10,
-		L1Ways:     2,
-		L2Size:     512 << 10,
-		L2Ways:     16,
-		L3Size:     16 << 20,
-		L3Ways:     32,
-		LatL1:      3,
-		LatL2:      14,
-		LatL3:      38,
-		LatForeign: 200,
-		LatDRAM:    250,
+		LineSize:         64,
+		L1Size:           64 << 10,
+		L1Ways:           2,
+		L2Size:           512 << 10,
+		L2Ways:           16,
+		L3Size:           16 << 20,
+		L3Ways:           32,
+		LatL1:            3,
+		LatL2:            14,
+		LatL3:            38,
+		LatForeign:       200,
+		LatForeignRemote: 300,
+		LatDRAM:          250,
+		LatDRAMRemote:    350,
 	}
 }
 
@@ -265,18 +288,20 @@ func (b *bank) setState(line uint64, st mesi) bool {
 
 // Stats accumulates per-core access counters.
 type Stats struct {
-	Accesses     uint64
-	Writes       uint64
-	L1Hits       uint64
-	L2Hits       uint64
-	L3Hits       uint64
-	ForeignHits  uint64
-	DRAMFills    uint64
-	Upgrades     uint64 // writes that had to invalidate sharers
-	InvalsSent   uint64 // lines invalidated in other cores by this core's writes
-	InvalsRecv   uint64 // lines invalidated in this core by other cores' writes
-	WritebacksL3 uint64 // modified lines evicted from private L2 into L3
-	LatencySum   uint64
+	Accesses          uint64
+	Writes            uint64
+	L1Hits            uint64
+	L2Hits            uint64
+	L3Hits            uint64
+	ForeignHits       uint64 // on-chip foreign-cache transfers
+	ForeignRemoteHits uint64 // cross-chip foreign-cache transfers
+	DRAMFills         uint64 // fills from the local memory node
+	DRAMRemoteFills   uint64 // fills from a remote socket's memory node
+	Upgrades          uint64 // writes that had to invalidate sharers
+	InvalsSent        uint64 // lines invalidated in other cores by this core's writes
+	InvalsRecv        uint64 // lines invalidated in this core by other cores' writes
+	WritebacksL3      uint64 // modified lines evicted from private L2 into L3
+	LatencySum        uint64
 }
 
 // L1Misses is the count of accesses not satisfied by the local L1.
@@ -290,7 +315,9 @@ func (s *Stats) Add(o *Stats) {
 	s.L2Hits += o.L2Hits
 	s.L3Hits += o.L3Hits
 	s.ForeignHits += o.ForeignHits
+	s.ForeignRemoteHits += o.ForeignRemoteHits
 	s.DRAMFills += o.DRAMFills
+	s.DRAMRemoteFills += o.DRAMRemoteFills
 	s.Upgrades += o.Upgrades
 	s.InvalsSent += o.InvalsSent
 	s.InvalsRecv += o.InvalsRecv
@@ -305,45 +332,99 @@ type priv struct {
 	l2 *bank
 }
 
+// HomeGranule is the granularity of NUMA home-node assignment: one 4 KB
+// page, matching the allocator's slab size.
+const HomeGranule = 4096
+
+const homeGranuleShift = 12
+
 // Hierarchy is the full simulated cache system.
 type Hierarchy struct {
 	cfg       Config
+	topo      Topology
 	lineShift uint
 	cores     []priv
-	l3        *bank
+	socket    []int     // core -> socket (cached topo.SocketOf)
+	sockMask  []uint64  // socket -> bitmask of its cores
+	l3s       []*bank   // one victim L3 bank per socket
 	dir       *dirTable // line -> holders bitmask (private caches)
 	stats     []Stats
+	// homes maps HomeGranule-sized pages to the socket whose memory node
+	// owns them. Empty (and never consulted) on single-socket topologies;
+	// unmapped pages count as node-local.
+	homes map[uint64]int
 	// perSetFills counts L1 fills per set index, summed over cores. Used by
 	// tests and the conflict-miss ablation; cheap (one add per fill).
 	perSetFills []uint64
 }
 
-// New builds a hierarchy for n cores. It panics on invalid configuration
-// (configurations are programmer-supplied constants, not runtime input).
+// New builds a single-socket hierarchy for n cores. It panics on invalid
+// configuration (configurations are programmer-supplied constants, not
+// runtime input).
 func New(cfg Config, n int) *Hierarchy {
-	if err := cfg.Validate(); err != nil {
+	return NewTopo(cfg, SingleSocket(n))
+}
+
+// ValidateTopo reports whether the configuration can be banked across the
+// given topology: the machine-total L3 must split evenly into per-socket
+// banks that are themselves a valid geometry. Callers turning runtime input
+// into a topology (CLI flags, sweeps) should check this before NewTopo,
+// which panics on failure.
+func (c Config) ValidateTopo(topo Topology) error {
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	if c.L3Size%uint64(topo.Sockets) != 0 {
+		return fmt.Errorf("cache: L3 size %d does not split across %d sockets", c.L3Size, topo.Sockets)
+	}
+	perSocket := c
+	perSocket.L3Size = c.L3Size / uint64(topo.Sockets)
+	return perSocket.Validate()
+}
+
+// NewTopo builds a hierarchy with the given socket topology. Each socket
+// gets its own L3 victim bank of L3Size/Sockets bytes (the config's L3Size
+// stays the machine total), so the single-socket topology is byte-identical
+// to the pre-topology hierarchy. Cross-chip transfers cost LatForeignRemote
+// and remote-node memory fills LatDRAMRemote; both fall back to their local
+// counterparts when unset.
+func NewTopo(cfg Config, topo Topology) *Hierarchy {
+	if cfg.LatForeignRemote == 0 {
+		cfg.LatForeignRemote = cfg.LatForeign
+	}
+	if cfg.LatDRAMRemote == 0 {
+		cfg.LatDRAMRemote = cfg.LatDRAM
+	}
+	if err := cfg.ValidateTopo(topo); err != nil {
 		panic(err)
 	}
-	if n <= 0 || n > MaxCores {
-		panic(fmt.Sprintf("cache: core count %d out of range [1,%d]", n, MaxCores))
-	}
+	n := topo.NumCores()
 	shift := uint(0)
 	for 1<<shift != cfg.LineSize {
 		shift++
 	}
 	h := &Hierarchy{
 		cfg:       cfg,
+		topo:      topo,
 		lineShift: shift,
 		cores:     make([]priv, n),
-		l3:        newBank(cfg.L3Size, cfg.L3Ways, cfg.LineSize),
+		socket:    make([]int, n),
+		sockMask:  make([]uint64, topo.Sockets),
+		l3s:       make([]*bank, topo.Sockets),
 		dir:       newDirTable(1 << 16),
 		stats:     make([]Stats, n),
+		homes:     make(map[uint64]int),
+	}
+	for s := range h.l3s {
+		h.l3s[s] = newBank(cfg.L3Size/uint64(topo.Sockets), cfg.L3Ways, cfg.LineSize)
 	}
 	for i := range h.cores {
 		h.cores[i] = priv{
 			l1: newBank(cfg.L1Size, cfg.L1Ways, cfg.LineSize),
 			l2: newBank(cfg.L2Size, cfg.L2Ways, cfg.LineSize),
 		}
+		h.socket[i] = topo.SocketOf(i)
+		h.sockMask[h.socket[i]] |= 1 << uint(i)
 	}
 	h.perSetFills = make([]uint64, len(h.cores[0].l1.sets))
 	return h
@@ -352,8 +433,43 @@ func New(cfg Config, n int) *Hierarchy {
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// Topology returns the hierarchy's socket layout.
+func (h *Hierarchy) Topology() Topology { return h.topo }
+
 // NumCores returns the number of private cache pairs.
 func (h *Hierarchy) NumCores() int { return len(h.cores) }
+
+// SetPageHome assigns the HomeGranule-sized page containing addr to a
+// socket's memory node. The allocator calls this as its home-node policy
+// places fresh slabs; accesses to unmapped pages are treated as node-local.
+func (h *Hierarchy) SetPageHome(addr uint64, socket int) {
+	if socket < 0 || socket >= h.topo.Sockets {
+		panic(fmt.Sprintf("cache: page home socket %d out of range [0,%d)", socket, h.topo.Sockets))
+	}
+	if h.topo.Sockets == 1 {
+		return // single memory node; nothing to record
+	}
+	h.homes[addr>>homeGranuleShift] = socket
+}
+
+// HomeOf returns the socket whose memory node owns addr's page, or -1 when
+// no home was assigned (treated as local to every socket).
+func (h *Hierarchy) HomeOf(addr uint64) int {
+	if home, ok := h.homes[addr>>homeGranuleShift]; ok {
+		return home
+	}
+	return -1
+}
+
+// isRemoteHome reports whether addr's page is homed on a socket other than
+// the given one. Unmapped pages (and single-socket machines) are local.
+func (h *Hierarchy) isRemoteHome(addr uint64, socket int) bool {
+	if h.topo.Sockets == 1 {
+		return false
+	}
+	home, ok := h.homes[addr>>homeGranuleShift]
+	return ok && home != socket
+}
 
 // LineOf returns the line address (addr with the offset bits dropped).
 func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
@@ -405,15 +521,16 @@ func (h *Hierarchy) evictPrivate(core int, v way) {
 	}
 	h.cores[core].l1.invalidate(v.line)
 	h.dropHolder(v.line, core)
+	l3 := h.l3s[h.socket[core]] // victims spill into the evicting chip's L3
 	if v.state == modified || v.state == exclusive {
 		// AMD-style victim L3: private evictions (clean-exclusive or
 		// dirty) are installed in L3 so a later miss can hit there.
 		h.stats[core].WritebacksL3++
-		h.l3.insert(v.line, modified)
+		l3.insert(v.line, modified)
 	} else if h.holders(v.line) == 0 {
 		// Last shared copy leaves the private caches; keep the data
 		// reachable in L3 rather than silently dropping it.
-		h.l3.insert(v.line, shared)
+		l3.insert(v.line, shared)
 	}
 }
 
@@ -509,24 +626,31 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		return h.hitUpgrade(core, line, w1, w2, L2Hit, h.cfg.LatL2, write)
 	}
 
-	// Miss in the private hierarchy: consult the other cores.
+	// Miss in the private hierarchy: consult the other cores. A copy on
+	// the same chip supplies the line at the on-chip cost; otherwise the
+	// transfer crosses the chip interconnect.
+	socket := h.socket[core]
 	others := h.holders(line) &^ (1 << uint(core))
 	if others != 0 {
+		lv, lat := ForeignHit, h.cfg.LatForeign
+		if others&h.sockMask[socket] == 0 {
+			lv, lat = ForeignRemote, h.cfg.LatForeignRemote
+		}
 		if write {
 			killed := h.invalidateOthers(core, line)
 			st.InvalsSent += uint64(killed)
-			h.l3.invalidate(line)
+			h.invalidateL3(line)
 			h.fill(core, line, modified)
 		} else {
 			h.downgradeOthers(core, line)
 			h.fill(core, line, shared)
 		}
-		return h.finish(st, ForeignHit, h.cfg.LatForeign)
+		return h.finish(st, lv, lat)
 	}
 
-	// Shared victim L3.
-	if w := h.l3.lookup(line); w != nil {
-		h.l3.invalidate(line) // victim cache: line moves to the private side
+	// The chip's own victim L3.
+	if w := h.l3s[socket].lookup(line); w != nil {
+		h.l3s[socket].invalidate(line) // victim cache: line moves to the private side
 		if write {
 			h.fill(core, line, modified)
 		} else {
@@ -535,13 +659,40 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		return h.finish(st, L3Hit, h.cfg.LatL3)
 	}
 
-	// Memory.
+	// Another chip's victim L3: still a cache-to-cache supply, but the
+	// line crosses the interconnect like any other cross-chip transfer.
+	for s := range h.l3s {
+		if s == socket {
+			continue
+		}
+		if w := h.l3s[s].lookup(line); w != nil {
+			h.l3s[s].invalidate(line)
+			if write {
+				h.fill(core, line, modified)
+			} else {
+				h.fill(core, line, exclusive)
+			}
+			return h.finish(st, ForeignRemote, h.cfg.LatForeignRemote)
+		}
+	}
+
+	// Memory: local node unless the page is homed on another socket.
 	if write {
 		h.fill(core, line, modified)
 	} else {
 		h.fill(core, line, exclusive)
 	}
+	if h.isRemoteHome(addr, socket) {
+		return h.finish(st, DRAMRemote, h.cfg.LatDRAMRemote)
+	}
 	return h.finish(st, DRAM, h.cfg.LatDRAM)
+}
+
+// invalidateL3 removes line from every socket's victim bank.
+func (h *Hierarchy) invalidateL3(line uint64) {
+	for _, b := range h.l3s {
+		b.invalidate(line)
+	}
 }
 
 // finish records the satisfied level in the core's counters.
@@ -556,8 +707,12 @@ func (h *Hierarchy) finish(st *Stats, lv Level, lat uint32) Result {
 		st.L3Hits++
 	case ForeignHit:
 		st.ForeignHits++
+	case ForeignRemote:
+		st.ForeignRemoteHits++
 	case DRAM:
 		st.DRAMFills++
+	case DRAMRemote:
+		st.DRAMRemoteFills++
 	}
 	return Result{Level: lv, Latency: lat}
 }
@@ -578,6 +733,9 @@ func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat
 		}
 		return h.finish(st, lv, lat)
 	default: // shared: upgrade
+		// The invalidation round trip prices like the farthest copy: any
+		// sharer on another chip pushes the upgrade to the cross-chip cost.
+		others := h.holders(line) &^ (1 << uint(core))
 		killed := h.invalidateOthers(core, line)
 		w2.state = modified
 		if w1 != nil {
@@ -588,6 +746,9 @@ func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat
 		l := lat
 		if killed > 0 {
 			l = h.cfg.LatForeign
+			if others&^h.sockMask[h.socket[core]] != 0 {
+				l = h.cfg.LatForeignRemote
+			}
 		}
 		return h.finish(st, lv, l)
 	}
@@ -598,17 +759,29 @@ func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat
 func (h *Hierarchy) Probe(core int, addr uint64) Level {
 	line := addr >> h.lineShift
 	p := &h.cores[core]
+	socket := h.socket[core]
 	if w := p.l1.peek(line); w != nil {
 		return L1Hit
 	}
 	if w := p.l2.peek(line); w != nil {
 		return L2Hit
 	}
-	if h.holders(line)&^(1<<uint(core)) != 0 {
-		return ForeignHit
+	if others := h.holders(line) &^ (1 << uint(core)); others != 0 {
+		if others&h.sockMask[socket] != 0 {
+			return ForeignHit
+		}
+		return ForeignRemote
 	}
-	if w := h.l3.peek(line); w != nil {
+	if w := h.l3s[socket].peek(line); w != nil {
 		return L3Hit
+	}
+	for s := range h.l3s {
+		if s != socket && h.l3s[s].peek(line) != nil {
+			return ForeignRemote
+		}
+	}
+	if h.isRemoteHome(addr, socket) {
+		return DRAMRemote
 	}
 	return DRAM
 }
@@ -629,8 +802,9 @@ func (b *bank) peek(line uint64) *way {
 
 // LineContent describes one resident cache line in a contents snapshot.
 type LineContent struct {
-	Core int    // -1 for the shared L3
-	Addr uint64 // line base address
+	Core   int    // -1 for a socket's L3 bank
+	Socket int    // socket holding the line (the core's chip, or the bank's)
+	Addr   uint64 // line base address
 }
 
 // Contents snapshots every valid line in the hierarchy: the cache-contents
@@ -643,15 +817,57 @@ func (h *Hierarchy) Contents() []LineContent {
 		for _, set := range h.cores[ci].l2.sets {
 			for _, w := range set {
 				if w.state != invalid {
-					out = append(out, LineContent{Core: ci, Addr: w.line << shift})
+					out = append(out, LineContent{Core: ci, Socket: h.socket[ci], Addr: w.line << shift})
 				}
 			}
 		}
 	}
-	for _, set := range h.l3.sets {
-		for _, w := range set {
-			if w.state != invalid {
-				out = append(out, LineContent{Core: -1, Addr: w.line << shift})
+	for s, l3 := range h.l3s {
+		for _, set := range l3.sets {
+			for _, w := range set {
+				if w.state != invalid {
+					out = append(out, LineContent{Core: -1, Socket: s, Addr: w.line << shift})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SocketUsage summarizes one socket's cache occupancy: valid lines in its
+// cores' private caches (counted at L2, the inclusion root) and in its L3
+// victim bank. The working-set view reports it per socket.
+type SocketUsage struct {
+	Socket       int
+	PrivateLines int
+	L3Lines      int
+}
+
+// Lines returns the socket's total valid line count.
+func (u SocketUsage) Lines() int { return u.PrivateLines + u.L3Lines }
+
+// SocketOccupancy counts the valid lines resident on each socket.
+func (h *Hierarchy) SocketOccupancy() []SocketUsage {
+	out := make([]SocketUsage, h.topo.Sockets)
+	for s := range out {
+		out[s].Socket = s
+	}
+	for ci := range h.cores {
+		u := &out[h.socket[ci]]
+		for _, set := range h.cores[ci].l2.sets {
+			for _, w := range set {
+				if w.state != invalid {
+					u.PrivateLines++
+				}
+			}
+		}
+	}
+	for s, l3 := range h.l3s {
+		for _, set := range l3.sets {
+			for _, w := range set {
+				if w.state != invalid {
+					out[s].L3Lines++
+				}
 			}
 		}
 	}
@@ -699,6 +915,10 @@ func (h *Hierarchy) Latency(lv Level) uint32 {
 		return h.cfg.LatL3
 	case ForeignHit:
 		return h.cfg.LatForeign
+	case ForeignRemote:
+		return h.cfg.LatForeignRemote
+	case DRAMRemote:
+		return h.cfg.LatDRAMRemote
 	default:
 		return h.cfg.LatDRAM
 	}

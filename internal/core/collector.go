@@ -21,6 +21,7 @@ type Target struct {
 // Tables 6.7-6.9.
 type CollectStats struct {
 	Type      *mem.Type
+	Cores     int    // core count of the collecting machine
 	Start     uint64 // cycle the first target of this type was armed
 	End       uint64 // cycle the last history of this type completed
 	Histories int
@@ -44,16 +45,18 @@ func (cs *CollectStats) CollectionSeconds() float64 {
 }
 
 // OverheadPct returns total overhead cycles as a percentage of the machine's
-// aggregate CPU time during the collection window.
-func (cs *CollectStats) OverheadPct(cores int) float64 {
-	if cs.End <= cs.Start {
+// aggregate CPU time during the collection window. The core count comes from
+// the machine the collector profiled, so callers can no longer supply a
+// mismatched one.
+func (cs *CollectStats) OverheadPct() float64 {
+	if cs.End <= cs.Start || cs.Cores <= 0 {
 		return 0
 	}
 	var oh uint64
 	for _, v := range cs.Overhead {
 		oh += v
 	}
-	return 100 * float64(oh) / (float64(cs.End-cs.Start) * float64(cores))
+	return 100 * float64(oh) / (float64(cs.End-cs.Start) * float64(cs.Cores))
 }
 
 type activeCollection struct {
@@ -194,7 +197,7 @@ func (col *Collector) AddPairTargets(t *mem.Type, offsets []uint32, sets int) {
 
 func (col *Collector) noteType(t *mem.Type) {
 	if _, ok := col.stats[t]; !ok {
-		col.stats[t] = &CollectStats{Type: t, Overhead: make(map[string]uint64)}
+		col.stats[t] = &CollectStats{Type: t, Cores: col.prof.M.NumCores(), Overhead: make(map[string]uint64)}
 		col.order = append(col.order, t)
 	}
 }

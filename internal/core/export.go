@@ -24,6 +24,12 @@ type dataRowJSON struct {
 	MissPct        float64 `json:"miss_pct"`
 	Bounce         bool    `json:"bounce"`
 	AvgMissLatency float64 `json:"avg_miss_latency_cycles"`
+	// NUMA locality split; exported only when the profile saw cross-chip or
+	// remote-node traffic (mirroring the text renderer), so single-socket
+	// exports are byte-identical to the pre-topology format.
+	OnChipPct     float64 `json:"onchip_pct,omitempty"`
+	CrossChipPct  float64 `json:"cross_chip_pct,omitempty"`
+	RemoteDRAMPct float64 `json:"remote_dram_pct,omitempty"`
 }
 
 // MarshalJSON exports the data profile.
@@ -33,15 +39,108 @@ func (dp *DataProfile) MarshalJSON() ([]byte, error) {
 		TotalMissSamples: dp.TotalMissSamples,
 		UnresolvedPct:    dp.UnresolvedPct,
 	}
+	numa := dp.hasCrossChip()
 	for _, r := range dp.Rows {
-		out.Rows = append(out.Rows, dataRowJSON{
+		row := dataRowJSON{
 			Type:           r.Type.Name,
 			Description:    r.Type.Desc,
 			WorkingSet:     r.WorkingSetBytes,
 			MissPct:        r.MissPct,
 			Bounce:         r.Bounce,
 			AvgMissLatency: r.AvgMissLatency,
+		}
+		if numa {
+			row.OnChipPct = r.OnChipPct
+			row.CrossChipPct = r.CrossChipPct
+			row.RemoteDRAMPct = r.RemoteDRAMPct
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return json.Marshal(out)
+}
+
+type missClassJSON struct {
+	Type            string  `json:"type"`
+	MissSamples     uint64  `json:"miss_samples"`
+	InvalidationPct float64 `json:"invalidation_pct"`
+	TrueSharingPct  float64 `json:"true_sharing_pct"`
+	FalseSharingPct float64 `json:"false_sharing_pct"`
+	ConflictPct     float64 `json:"conflict_pct"`
+	CapacityPct     float64 `json:"capacity_pct"`
+	LocalPct        float64 `json:"local_pct"`
+	OnChipPct       float64 `json:"onchip_pct,omitempty"`
+	CrossChipPct    float64 `json:"cross_chip_pct,omitempty"`
+	RemoteDRAMPct   float64 `json:"remote_dram_pct,omitempty"`
+}
+
+// MarshalJSON exports one miss-classification row (marshal a []MissClassRow
+// for the whole view).
+func (r MissClassRow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(missClassJSON{
+		Type:            r.Type.Name,
+		MissSamples:     r.MissSamples,
+		InvalidationPct: r.InvalidationPct,
+		TrueSharingPct:  r.TrueSharingPct,
+		FalseSharingPct: r.FalseSharingPct,
+		ConflictPct:     r.ConflictPct,
+		CapacityPct:     r.CapacityPct,
+		LocalPct:        r.LocalPct,
+		OnChipPct:       r.OnChipPct,
+		CrossChipPct:    r.CrossChipPct,
+		RemoteDRAMPct:   r.RemoteDRAMPct,
+	})
+}
+
+type geometryJSON struct {
+	LineSize uint64 `json:"line_size"`
+	Sets     int    `json:"sets"`
+	Ways     int    `json:"ways"`
+}
+
+type socketUsageJSON struct {
+	Socket       int `json:"socket"`
+	PrivateLines int `json:"private_lines"`
+	L3Lines      int `json:"l3_lines"`
+}
+
+type workingSetRowJSON struct {
+	Type      string   `json:"type"`
+	PeakBytes uint64   `json:"peak_bytes"`
+	AvgBytes  float64  `json:"avg_bytes"`
+	PeakCount uint64   `json:"peak_objects"`
+	AvgCount  float64  `json:"avg_objects"`
+	TopPaths  []string `json:"top_paths,omitempty"`
+}
+
+type workingSetJSON struct {
+	Geometry       geometryJSON        `json:"geometry"`
+	Rows           []workingSetRowJSON `json:"rows"`
+	MeanLines      float64             `json:"mean_lines_per_set"`
+	OverloadedSets int                 `json:"overloaded_sets"`
+	PerSocket      []socketUsageJSON   `json:"per_socket,omitempty"`
+}
+
+// MarshalJSON exports the working-set view, including the replay geometry
+// (so tooling can reconstruct the view) and per-socket occupancy on
+// multi-socket machines.
+func (v *WorkingSetView) MarshalJSON() ([]byte, error) {
+	out := workingSetJSON{
+		Geometry:       geometryJSON(v.Geometry),
+		MeanLines:      v.MeanLines,
+		OverloadedSets: len(v.Overloaded),
+	}
+	for _, r := range v.Rows {
+		out.Rows = append(out.Rows, workingSetRowJSON{
+			Type:      r.Type.Name,
+			PeakBytes: r.PeakBytes,
+			AvgBytes:  r.AvgBytes,
+			PeakCount: r.PeakCount,
+			AvgCount:  r.AvgCount,
+			TopPaths:  r.TopPaths,
 		})
+	}
+	for _, u := range v.PerSocket {
+		out.PerSocket = append(out.PerSocket, socketUsageJSON(u))
 	}
 	return json.Marshal(out)
 }

@@ -43,7 +43,8 @@ func (s *PathStep) RemoteProb() float64 {
 	if !s.HaveStats {
 		return 0
 	}
-	return s.LevelProb[cache.ForeignHit] + s.LevelProb[cache.DRAM]
+	return s.LevelProb[cache.ForeignHit] + s.LevelProb[cache.ForeignRemote] +
+		s.LevelProb[cache.DRAM] + s.LevelProb[cache.DRAMRemote]
 }
 
 // PathTrace is the combined life history of objects of one type that follow

@@ -171,15 +171,13 @@ func (p *Profiler) DataProfile() *DataProfile {
 }
 
 // WorkingSet builds the working set view (§4.2) using the machine's L1
-// geometry.
+// geometry, plus per-socket occupancy on multi-socket machines.
 func (p *Profiler) WorkingSet() *WorkingSetView {
-	cfg := p.M.Hier.Config()
-	geo := workingSetGeometry{
-		lineSize: cfg.LineSize,
-		sets:     p.M.Hier.L1Sets(),
-		ways:     cfg.L1Ways,
+	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.M.Hier.Config()), 200_000)
+	if p.M.Hier.Topology().Sockets > 1 {
+		v.PerSocket = p.M.Hier.SocketOccupancy()
 	}
-	return BuildWorkingSet(p.AddrSet, p.allTraces(), geo, 200_000)
+	return v
 }
 
 // MissClassification builds the miss classification view (§4.3).

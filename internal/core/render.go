@@ -23,12 +23,31 @@ func fmtBytes(b float64) string {
 	}
 }
 
+// hasCrossChip reports whether any row saw cross-chip or remote-node
+// traffic; the NUMA columns render only then, so single-socket output is
+// unchanged.
+func (dp *DataProfile) hasCrossChip() bool {
+	for _, row := range dp.Rows {
+		if row.CrossChipPct > 0 || row.RemoteDRAMPct > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the data profile like Tables 6.1/6.4/6.5: working set and
-// data profile views side by side.
+// data profile views side by side. Runs on multi-socket topologies grow the
+// NUMA locality columns (shares of each type's misses served on-chip,
+// across chips, and from remote memory nodes).
 func (dp *DataProfile) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-40s %10s %10s %7s\n",
+	numa := dp.hasCrossChip()
+	fmt.Fprintf(&b, "%-16s %-40s %10s %10s %7s",
 		"Type name", "Description", "WS Size", "% L1 miss", "Bounce")
+	if numa {
+		fmt.Fprintf(&b, " %8s %8s %8s", "onchip%", "xchip%", "rdram%")
+	}
+	b.WriteByte('\n')
 	var totalBytes, totalPct float64
 	for _, row := range dp.Rows {
 		if row.MissPct < 0.5 {
@@ -38,8 +57,12 @@ func (dp *DataProfile) String() string {
 		if row.Bounce {
 			bounce = "yes"
 		}
-		fmt.Fprintf(&b, "%-16s %-40s %10s %9.2f%% %7s\n",
+		fmt.Fprintf(&b, "%-16s %-40s %10s %9.2f%% %7s",
 			row.Type.Name, row.Type.Desc, fmtBytes(float64(row.WorkingSetBytes)), row.MissPct, bounce)
+		if numa {
+			fmt.Fprintf(&b, " %7.1f%% %7.1f%% %7.1f%%", row.OnChipPct, row.CrossChipPct, row.RemoteDRAMPct)
+		}
+		b.WriteByte('\n')
 		totalBytes += float64(row.WorkingSetBytes)
 		totalPct += row.MissPct
 	}
@@ -66,6 +89,13 @@ func (v *WorkingSetView) String() string {
 		for _, p := range row.TopPaths {
 			fmt.Fprintf(&b, "    path %s\n", p)
 		}
+	}
+	if len(v.PerSocket) > 1 {
+		b.WriteString("socket occupancy:")
+		for _, u := range v.PerSocket {
+			fmt.Fprintf(&b, "  s%d: %d lines (%d private + %d L3)", u.Socket, u.Lines(), u.PrivateLines, u.L3Lines)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "associativity sets: mean %.1f lines/set, %d overloaded (>2x mean, ways=%d)\n",
 		v.MeanLines, len(v.Overloaded), v.Ways)
@@ -106,15 +136,33 @@ func typeCounts(m map[string]int) string {
 	return strings.Join(parts, ", ")
 }
 
-// RenderMissClassification prints the miss classification view.
+// RenderMissClassification prints the miss classification view. When any
+// row saw cross-chip or remote-node traffic, the NUMA locality columns are
+// appended; single-socket output is unchanged.
 func RenderMissClassification(rows []MissClassRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s %8s\n",
-		"Type name", "misses", "inval%", "true%", "false%", "confl%", "capac%")
+	numa := false
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %8d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+		if r.CrossChipPct > 0 || r.RemoteDRAMPct > 0 {
+			numa = true
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s %8s",
+		"Type name", "misses", "inval%", "true%", "false%", "confl%", "capac%")
+	if numa {
+		fmt.Fprintf(&b, " %8s %8s %8s %8s", "local%", "onchip%", "xchip%", "rdram%")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%",
 			r.Type.Name, r.MissSamples, r.InvalidationPct, r.TrueSharingPct,
 			r.FalseSharingPct, r.ConflictPct, r.CapacityPct)
+		if numa {
+			fmt.Fprintf(&b, " %7.1f%% %7.1f%% %7.1f%% %7.1f%%",
+				r.LocalPct, r.OnChipPct, r.CrossChipPct, r.RemoteDRAMPct)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

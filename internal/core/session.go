@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"dprof/internal/cache"
 	"dprof/internal/lockstat"
 	"dprof/internal/mem"
 	"dprof/internal/oprofile"
@@ -179,6 +180,10 @@ func (s *Session) Run() RunResult {
 // views, differential analysis, or custom collection).
 func (s *Session) Profiler() *Profiler { return s.p }
 
+// Topology returns the socket layout of the machine the session profiles
+// (from the workload's build; the session itself does not choose it).
+func (s *Session) Topology() cache.Topology { return s.w.Machine().Topology() }
+
 // Target returns the resolved dataflow/pathtrace target type (nil when
 // neither view was requested).
 func (s *Session) Target() *mem.Type { return s.target }
@@ -200,6 +205,9 @@ func (s *Session) WriteReport(out io.Writer) {
 		s.Run()
 	}
 	fmt.Fprintln(out, s.result.Summary)
+	if topo := s.Topology(); topo.Sockets > 1 {
+		fmt.Fprintf(out, "topology: %s (%d sockets x %d cores)\n", topo, topo.Sockets, topo.CoresPerSocket)
+	}
 	fmt.Fprintln(out)
 
 	if s.views["dataprofile"] {

@@ -11,7 +11,9 @@ import (
 
 // DataProfileRow is one line of the data profile view: a data type, its
 // working-set size, its share of all L1 misses, and whether its objects
-// bounce between cores (Tables 6.1, 6.4, 6.5).
+// bounce between cores (Tables 6.1, 6.4, 6.5). The locality percentages
+// split this type's misses by where they were satisfied; the cross-chip and
+// remote-DRAM shares are always zero on the single-socket default.
 type DataProfileRow struct {
 	Type            *mem.Type
 	WorkingSetBytes uint64
@@ -20,6 +22,13 @@ type DataProfileRow struct {
 	Samples         uint64
 	MissSamples     uint64
 	AvgMissLatency  float64
+
+	// Locality split of this type's miss samples (percent of MissSamples):
+	// served by an on-chip foreign cache, by a cache on another chip, or by
+	// a remote socket's memory node. The remainder hit local L2/L3/DRAM.
+	OnChipPct     float64
+	CrossChipPct  float64
+	RemoteDRAMPct float64
 }
 
 // DataProfile is the highest-level view: types ranked by cache misses.
@@ -50,6 +59,11 @@ func BuildDataProfile(samples *SampleTable, addrs *AddressSet, col *Collector) *
 			Samples:        agg.Samples,
 			MissSamples:    agg.Misses,
 			AvgMissLatency: agg.AvgMissLatency(),
+		}
+		if agg.Misses > 0 {
+			row.OnChipPct = 100 * float64(agg.Levels[cache.ForeignHit]) / float64(agg.Misses)
+			row.CrossChipPct = 100 * float64(agg.Levels[cache.ForeignRemote]) / float64(agg.Misses)
+			row.RemoteDRAMPct = 100 * float64(agg.Levels[cache.DRAMRemote]) / float64(agg.Misses)
 		}
 		row.WorkingSetBytes = addrs.UsageFor(t).PeakBytes
 		row.Bounce = bounceFor(t, agg, col)
@@ -84,10 +98,10 @@ func bounceFor(t *mem.Type, agg *TypeAggregate, col *Collector) bool {
 	if agg.Samples == 0 {
 		return false
 	}
-	// Foreign-cache transfers are the signature of objects moving between
-	// cores. Multi-core writes alone are not: sixteen per-core sockets
-	// written by sixteen different cores never share a line.
-	foreignFrac := float64(agg.Levels[cache.ForeignHit]) / float64(agg.Samples)
+	// Foreign-cache transfers (on-chip or cross-chip) are the signature of
+	// objects moving between cores. Multi-core writes alone are not: sixteen
+	// per-core sockets written by sixteen different cores never share a line.
+	foreignFrac := float64(agg.Levels[cache.ForeignHit]+agg.Levels[cache.ForeignRemote]) / float64(agg.Samples)
 	return foreignFrac > 0.002
 }
 
@@ -115,32 +129,50 @@ type WorkingSetRow struct {
 
 // WorkingSetView reports what data is in the cache: per-type footprints and
 // the associativity-set histogram DProf builds with its replay simulation
-// (§4.2).
+// (§4.2). On multi-socket machines PerSocket reports each chip's actual
+// cache occupancy.
 type WorkingSetView struct {
 	Rows []WorkingSetRow
 
+	Geometry    Geometry
 	LinesPerSet []int // distinct cache lines that ever mapped to each L1 set
 	MeanLines   float64
 	Ways        int
 	Overloaded  []AssocSetStat // sets holding >2x the mean (conflict suspects)
 
+	// PerSocket is each socket's resident-line count (private caches plus
+	// its L3 bank); empty unless the profiler's machine is multi-socket.
+	PerSocket []cache.SocketUsage
+
 	SampledObjects int
 }
 
-// workingSetGeometry captures the cache parameters the replay needs.
-type workingSetGeometry struct {
-	lineSize uint64
-	sets     int
-	ways     int
+// Geometry captures the L1 cache parameters the working-set replay needs.
+// Derive it with GeometryFromCache so it can never drift from the simulated
+// machine's actual configuration.
+type Geometry struct {
+	LineSize uint64
+	Sets     int
+	Ways     int
+}
+
+// GeometryFromCache derives the replay geometry from a cache configuration.
+func GeometryFromCache(cfg cache.Config) Geometry {
+	return Geometry{
+		LineSize: cfg.LineSize,
+		Sets:     int(cfg.L1Size / cfg.LineSize / uint64(cfg.L1Ways)),
+		Ways:     cfg.L1Ways,
+	}
 }
 
 // BuildWorkingSet replays the address set through the cache geometry:
 // every sampled object contributes the cache lines its accessed offsets
 // (from path traces, or its whole extent without them) map to (§4.2).
-func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo workingSetGeometry, maxObjects int) *WorkingSetView {
+func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo Geometry, maxObjects int) *WorkingSetView {
 	v := &WorkingSetView{
-		LinesPerSet: make([]int, geo.sets),
-		Ways:        geo.ways,
+		Geometry:    geo,
+		LinesPerSet: make([]int, geo.Sets),
+		Ways:        geo.Ways,
 	}
 	for _, u := range addrs.Usage() {
 		v.Rows = append(v.Rows, WorkingSetRow{
@@ -176,7 +208,7 @@ func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo w
 	}
 	rangeCache := make(map[*mem.Type][]offRange)
 
-	perSet := make([]map[uint64]string, geo.sets)
+	perSet := make([]map[uint64]string, geo.Sets)
 	objs := addrs.Objects()
 	step := 1
 	if maxObjects > 0 && len(objs) > maxObjects {
@@ -191,9 +223,9 @@ func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo w
 			rangeCache[rec.Type] = rs
 		}
 		for _, r := range rs {
-			for off := r.lo &^ (geo.lineSize - 1); off < r.hi; off += geo.lineSize {
-				line := (rec.Addr + off) / geo.lineSize
-				set := int(line) & (geo.sets - 1)
+			for off := r.lo &^ (geo.LineSize - 1); off < r.hi; off += geo.LineSize {
+				line := (rec.Addr + off) / geo.LineSize
+				set := int(line) & (geo.Sets - 1)
 				if perSet[set] == nil {
 					perSet[set] = make(map[uint64]string)
 				}
@@ -208,11 +240,11 @@ func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo w
 		v.LinesPerSet[i] = len(m)
 		total += len(m)
 	}
-	v.MeanLines = float64(total) / float64(geo.sets)
+	v.MeanLines = float64(total) / float64(geo.Sets)
 
 	threshold := 2 * v.MeanLines
 	for i, m := range perSet {
-		if float64(len(m)) > threshold && len(m) > geo.ways {
+		if float64(len(m)) > threshold && len(m) > geo.Ways {
 			st := AssocSetStat{Index: i, DistinctLines: len(m), ByType: make(map[string]int)}
 			for _, name := range m {
 				st.ByType[name]++
@@ -301,6 +333,15 @@ type MissClassRow struct {
 	ConflictPct     float64
 	CapacityPct     float64
 	// Compulsory misses are assumed absent (§4.3).
+
+	// Locality split of the same misses by where they were satisfied:
+	// within the core's own chip (local L2/L3/DRAM), an on-chip foreign
+	// cache, a cache on another chip, or a remote memory node. Cross-chip
+	// and remote-DRAM are always zero on the single-socket default.
+	LocalPct      float64
+	OnChipPct     float64
+	CrossChipPct  float64
+	RemoteDRAMPct float64
 }
 
 // BuildMissClassification classifies each type's misses into invalidation
@@ -320,6 +361,11 @@ func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathT
 			continue
 		}
 		row := MissClassRow{Type: t, MissSamples: agg.Misses}
+		misses := float64(agg.Misses)
+		row.OnChipPct = 100 * float64(agg.Levels[cache.ForeignHit]) / misses
+		row.CrossChipPct = 100 * float64(agg.Levels[cache.ForeignRemote]) / misses
+		row.RemoteDRAMPct = 100 * float64(agg.Levels[cache.DRAMRemote]) / misses
+		row.LocalPct = 100 - row.OnChipPct - row.CrossChipPct - row.RemoteDRAMPct
 
 		invalFrac, trueFrac := invalidationFractions(t, traces[t], agg, lineSize)
 		sharesLines := t.ObjSize()%lineSize != 0
@@ -371,7 +417,7 @@ func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathT
 func invalidationFractions(t *mem.Type, traces []*PathTrace, agg *TypeAggregate, lineSize uint64) (inval, trueShare float64) {
 	foreignFrac := 0.0
 	if agg.Misses > 0 {
-		foreignFrac = float64(agg.Levels[cache.ForeignHit]) / float64(agg.Misses)
+		foreignFrac = float64(agg.Levels[cache.ForeignHit]+agg.Levels[cache.ForeignRemote]) / float64(agg.Misses)
 	}
 	if len(traces) == 0 {
 		return foreignFrac, foreignFrac

@@ -88,7 +88,7 @@ func TestWorkingSetReplayCountsLines(t *testing.T) {
 	for i := uint64(0); i < 3; i++ {
 		as.AddStatic(typ, 0x40000000+i*128)
 	}
-	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	v := BuildWorkingSet(as, nil, geo, 0)
 	var total int
 	for _, n := range v.LinesPerSet {
@@ -106,7 +106,7 @@ func TestWorkingSetDetectsOverloadedSets(t *testing.T) {
 	a := testAlloc()
 	typ := a.RegisterType("conflict", 64, "")
 	as := NewAddressSet()
-	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	// 20 objects all mapping to set 5, plus light background in other sets.
 	for i := uint64(0); i < 20; i++ {
 		as.AddStatic(typ, (5+64*i)*64+0x40000000*0) // line index = 5 + 64i -> set 5
@@ -147,7 +147,7 @@ func TestWorkingSetUsesTraceOffsets(t *testing.T) {
 			},
 		}},
 	}
-	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	v := BuildWorkingSet(as, traces, geo, 0)
 	var total int
 	for _, n := range v.LinesPerSet {
@@ -245,7 +245,7 @@ func TestRenderersProduceTables(t *testing.T) {
 	if !strings.Contains(dp.String(), "render") {
 		t.Error("data profile render missing type")
 	}
-	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	ws := BuildWorkingSet(as, nil, geo, 0)
 	if !strings.Contains(ws.String(), "associativity") {
 		t.Error("working set render missing histogram")

@@ -26,7 +26,7 @@ func TestWorkingSetReportsExecutionPaths(t *testing.T) {
 			Steps: []PathStep{{PC: sym.Intern("tx_path"), OffLo: 0, OffHi: 8}},
 		},
 	}}
-	geo := workingSetGeometry{lineSize: 64, sets: 64, ways: 2}
+	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	v := BuildWorkingSet(as, traces, geo, 0)
 	var row *WorkingSetRow
 	for i := range v.Rows {

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+const goldenPath = "testdata/golden_quick.json"
+
+// goldenFast is the subset of experiments cheap enough for -short runs;
+// the full set runs in CI's dedicated golden step and in local full runs.
+var goldenFast = map[string]bool{
+	"table6.1": true, "table6.2": true, "table6.3": true,
+	"fix-memcached": true, "table6.4": true, "table6.6": true,
+	"falseshare": true, "conflict": true, "trueshare": true, "alienping": true,
+}
+
+// TestGoldenProfiles locks down every experiment's exported Values on the
+// single-socket default machine. The goldens were captured before the
+// multi-socket topology refactor, so this test is the guarantee that the
+// default topology reproduces the pre-refactor paper-experiment values
+// byte-identically (ISSUE 3 acceptance criterion). Regenerate deliberately
+// with: go test ./internal/exp -run TestGoldenProfiles -update
+func TestGoldenProfiles(t *testing.T) {
+	want := make(map[string]map[string]float64)
+	if !*updateGolden {
+		raw, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read golden (regenerate with -update): %v", err)
+		}
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("parse golden: %v", err)
+		}
+	}
+
+	got := make(map[string]map[string]float64)
+	for _, name := range Names() {
+		if testing.Short() && !goldenFast[name] {
+			continue
+		}
+		r, err := Run(context.Background(), name, Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = r.Values
+	}
+
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("-update needs the full set; run without -short")
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d experiments)", goldenPath, len(got))
+		return
+	}
+
+	for name, vals := range got {
+		wv, ok := want[name]
+		if !ok {
+			t.Errorf("%s: experiment missing from golden file (regenerate with -update)", name)
+			continue
+		}
+		if diff := diffValues(wv, vals); diff != "" {
+			t.Errorf("%s: values drifted from pre-refactor golden:\n%s", name, diff)
+		}
+	}
+}
+
+// diffValues reports exact (bit-level) float mismatches between golden and
+// observed value maps.
+func diffValues(want, got map[string]float64) string {
+	var out string
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			out += fmt.Sprintf("  missing key %q (golden %v)\n", k, w)
+			continue
+		}
+		if math.Float64bits(w) != math.Float64bits(g) {
+			out += fmt.Sprintf("  %s: golden %v, got %v\n", k, w, g)
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok {
+			out += fmt.Sprintf("  new key %q = %v not in golden\n", k, g)
+		}
+	}
+	return out
+}

@@ -24,7 +24,6 @@ type liveWorkload struct {
 	name  string
 	m     *sim.Machine
 	alloc *mem.Allocator
-	cores int
 }
 
 // newWorkload builds a registered workload at its default operating point
@@ -33,7 +32,7 @@ func newWorkload(app string, horizon uint64) *liveWorkload {
 	inst := build(app, nil)
 	inst.Prime(horizon)
 	m := inst.Machine()
-	return &liveWorkload{name: app, m: m, alloc: inst.Alloc(), cores: m.NumCores()}
+	return &liveWorkload{name: app, m: m, alloc: inst.Alloc()}
 }
 
 // driveUntilDone steps the machine until the collector's queue empties or
@@ -64,7 +63,6 @@ type collectOutcome struct {
 	app       string
 	typ       *mem.Type
 	stats     *core.CollectStats
-	cores     int
 	completed bool
 }
 
@@ -96,7 +94,7 @@ func collectSingles(app string, typeNames []string, sets int, quick bool) []coll
 	for _, t := range types {
 		out = append(out, collectOutcome{
 			app: app, typ: t, stats: p.Collector.StatsFor(t),
-			cores: w.cores, completed: done,
+			completed: done,
 		})
 	}
 	return out
@@ -132,7 +130,7 @@ func runTable67(quick bool) Result {
 	for _, o := range outcomes {
 		cs := o.stats
 		secs := cs.CollectionSeconds()
-		oh := cs.OverheadPct(o.cores)
+		oh := cs.OverheadPct()
 		note := ""
 		if !o.completed {
 			note = " (budget hit)"
@@ -297,7 +295,7 @@ func runTable610(quick bool) Result {
 			t := w.alloc.TypeByName(n)
 			cs := p.Collector.StatsFor(t)
 			secs := cs.CollectionSeconds()
-			oh := cs.OverheadPct(w.cores)
+			oh := cs.OverheadPct()
 			fmt.Fprintf(&sb, "%-10s %-14s %6d %11d/%-2d %10.1f %9.2f%%\n",
 				c.app, t.Name, t.Size, cs.Histories, cs.Sets, 1000*secs, oh)
 			key := c.app + "_" + t.Name

@@ -13,6 +13,7 @@ func init() {
 	register("conflict", "scenario: aligned vs colored buffer ring (associativity conflicts, §4.2)", runConflictExp)
 	register("trueshare", "scenario: shared vs partitioned job buckets (true sharing + lock contention)", runTrueshareExp)
 	register("alienping", "scenario: remote vs local frees through the SLAB alien caches (§6.1)", runAlienpingExp)
+	register("numaremote", "scenario: remote vs node-local allocation on the 4x4 topology (cross-chip misses)", runNumaremoteExp)
 }
 
 // boolOpt renders a single bool workload option.
@@ -181,6 +182,51 @@ func runTrueshareExp(quick bool) Result {
 	}
 	fmt.Fprintf(&sb, "\nshared buckets:  %s\npartitioned:     %s\npartitioning speedup: %.2fx\n",
 		shared.Summary, part.Summary, speedup)
+	return Result{Text: sb.String(), Values: vals}
+}
+
+// runNumaremoteExp contrasts socket-0 allocation against the node-local fix
+// on the paper's 4x4 topology: the data profile's locality columns show
+// numa_buf served almost entirely across chips before the fix, and the
+// throughput comparison shows what that costs.
+func runNumaremoteExp(quick bool) Result {
+	w := windowFor("numaremote", quick)
+
+	s := mustSession(build("numaremote", boolOpt("localalloc", false)), core.SessionConfig{
+		Profiler: core.Config{SampleRate: 50_000, WatchLen: 8},
+		Warmup:   w.warmup,
+		Measure:  w.measure,
+	})
+	profiled := s.Run()
+	dp := s.Profiler().DataProfile()
+	rows := s.Profiler().MissClassification()
+
+	remote := build("numaremote", boolOpt("localalloc", false)).Run(w.warmup, w.measure)
+	local := build("numaremote", boolOpt("localalloc", true)).Run(w.warmup, w.measure)
+	speedup := local.Values["throughput"] / remote.Values["throughput"]
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profiled (remote alloc, topology %s): %s\n\n", s.Topology(), profiled.Summary)
+	sb.WriteString(dp.String())
+	sb.WriteString("\n")
+	sb.WriteString(core.RenderMissClassification(rows))
+	vals := map[string]float64{
+		"tput_remote":        remote.Values["throughput"],
+		"tput_local":         local.Values["throughput"],
+		"speedup":            speedup,
+		"remote_xchip_share": remote.Values["cross_chip_share"],
+		"local_xchip_share":  local.Values["cross_chip_share"],
+	}
+	for _, row := range dp.Rows {
+		if row.Type.Name == "numa_buf" {
+			vals["numa_buf_misspct"] = row.MissPct
+			vals["numa_buf_xchip_pct"] = row.CrossChipPct
+			vals["numa_buf_rdram_pct"] = row.RemoteDRAMPct
+		}
+	}
+	fmt.Fprintf(&sb, "\nremote alloc: %s\nlocal alloc:  %s\nnode-local speedup: %.2fx\n",
+		remote.Summary, local.Summary, speedup)
+	sb.WriteString("(before the fix, consumer chips pull every buffer across the interconnect; after it, the hot loop is node-local)\n")
 	return Result{Text: sb.String(), Values: vals}
 }
 

@@ -48,6 +48,24 @@ func TestTrueshareExpShape(t *testing.T) {
 	}
 }
 
+func TestNumaremoteExpShape(t *testing.T) {
+	t.Parallel()
+	r := runQuick(t, "numaremote")
+	if r.Values["speedup"] <= 2 {
+		t.Errorf("node-local speedup = %.2fx, want > 2x", r.Values["speedup"])
+	}
+	if r.Values["remote_xchip_share"] < 0.5 {
+		t.Errorf("cross-chip share before the fix = %.2f, want dominant", r.Values["remote_xchip_share"])
+	}
+	if r.Values["local_xchip_share"] > 0.01 {
+		t.Errorf("cross-chip share after the fix = %.2f, want ~0", r.Values["local_xchip_share"])
+	}
+	if r.Values["numa_buf_xchip_pct"]+r.Values["numa_buf_rdram_pct"] < 50 {
+		t.Errorf("numa_buf locality split does not show remote traffic: xchip %.0f%% rdram %.0f%%",
+			r.Values["numa_buf_xchip_pct"], r.Values["numa_buf_rdram_pct"])
+	}
+}
+
 func TestAlienpingExpShape(t *testing.T) {
 	t.Parallel()
 	r := runQuick(t, "alienping")

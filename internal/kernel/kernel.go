@@ -88,6 +88,7 @@ func New(m *sim.Machine, acfg mem.Config, kcfg Config) *Kernel {
 	}
 	locks := lockstat.NewRegistry()
 	alloc := mem.New(acfg, m.NumCores(), locks)
+	alloc.BindMachine(m)
 	k := &Kernel{
 		Cfg:      kcfg,
 		M:        m,

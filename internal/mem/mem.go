@@ -17,7 +17,9 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"dprof/internal/cache"
 	"dprof/internal/lockstat"
 	"dprof/internal/sim"
 )
@@ -40,14 +42,65 @@ const (
 	DefaultAlign = 64
 )
 
+// Policy selects the NUMA home node of freshly-allocated slabs on
+// multi-socket machines (it is inert on the single-socket default).
+type Policy int
+
+const (
+	// FirstTouch homes each slab on the socket of the core that grew the
+	// pool — the Linux default, and the policy that keeps per-core slabs
+	// node-local.
+	FirstTouch Policy = iota
+	// Interleave spreads slabs round-robin across sockets.
+	Interleave
+	// Pinned homes every slab on Config.PinnedNode.
+	Pinned
+)
+
+// String names the policy (the -alloc-policy CLI value).
+func (p Policy) String() string {
+	switch p {
+	case FirstTouch:
+		return "firsttouch"
+	case Interleave:
+		return "interleave"
+	case Pinned:
+		return "pinned"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PolicyNames lists the accepted ParsePolicy spellings.
+func PolicyNames() []string { return []string{"firsttouch", "interleave", "pinned"} }
+
+// ParsePolicy parses a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "firsttouch", "first-touch", "local", "":
+		return FirstTouch, nil
+	case "interleave":
+		return Interleave, nil
+	case "pinned":
+		return Pinned, nil
+	}
+	return FirstTouch, fmt.Errorf("mem: unknown allocation policy %q (known: %s)",
+		s, strings.Join(PolicyNames(), ", "))
+}
+
 // Config tunes the allocator's caching behaviour.
 type Config struct {
 	ArrayCacheCap int // per-CPU free-object stack capacity
 	BatchCount    int // objects moved per refill/flush
 	AlienCap      int // alien cache capacity per (pool, home core)
+
+	// Policy and PinnedNode choose slab NUMA homes; see Policy. They take
+	// effect once BindMachine attaches the allocator to a multi-socket
+	// machine.
+	Policy     Policy
+	PinnedNode int
 }
 
-// DefaultConfig mirrors typical Linux SLAB tunables.
+// DefaultConfig mirrors typical Linux SLAB tunables (first-touch homes).
 func DefaultConfig() Config {
 	return Config{ArrayCacheCap: 32, BatchCount: 16, AlienCap: 12}
 }
@@ -138,6 +191,11 @@ type Allocator struct {
 	statics      []ObjRef
 	internalObjs []ObjRef
 
+	// NUMA home binding (nil hier or single-socket topology disables it).
+	hier     *cache.Hierarchy
+	topo     cache.Topology
+	nextNode int // interleave cursor
+
 	onAlloc []EventHook
 	onFree  []EventHook
 	watch   map[*Type][]AllocWatcher
@@ -166,6 +224,50 @@ func New(cfg Config, cores int, locks *lockstat.Registry) *Allocator {
 	a.acType = a.registerRaw("array_cache", 128, "SLAB per-core bookkeeping structure", DefaultAlign, true)
 	a.kcType = a.registerRaw("kmem_cache", 256, "SLAB pool header", DefaultAlign, true)
 	return a
+}
+
+// BindMachine attaches the allocator's home-node policy to a machine: every
+// page the allocator hands out from now on is assigned a NUMA home in the
+// machine's cache hierarchy per Config.Policy. Call it right after New, on
+// the machine the workload runs on; it is a no-op wiring on single-socket
+// machines. (Pages carved before binding stay home-less, i.e. node-local.)
+func (a *Allocator) BindMachine(m *sim.Machine) {
+	topo := m.Topology()
+	if topo.NumCores() != a.cores {
+		panic(fmt.Sprintf("mem: allocator built for %d cores, machine has %d", a.cores, topo.NumCores()))
+	}
+	if a.cfg.Policy == Pinned && (a.cfg.PinnedNode < 0 || a.cfg.PinnedNode >= topo.Sockets) {
+		panic(fmt.Sprintf("mem: pinned node %d out of range [0,%d)", a.cfg.PinnedNode, topo.Sockets))
+	}
+	a.hier = m.Hier
+	a.topo = topo
+}
+
+// assignHome records the NUMA home of the pages in [base, base+size) per the
+// configured policy. core is the allocating core for first-touch, or -1 for
+// boot-time placements (homed on node 0 under first-touch).
+func (a *Allocator) assignHome(base, size uint64, core int) {
+	if a.hier == nil || a.topo.Sockets <= 1 {
+		return
+	}
+	var node int
+	switch a.cfg.Policy {
+	case Pinned:
+		node = a.cfg.PinnedNode
+	case Interleave:
+		// per-page rotation, handled in the loop
+	default: // FirstTouch
+		if core >= 0 {
+			node = a.topo.SocketOf(core)
+		}
+	}
+	for p := base &^ (SlabBytes - 1); p < base+size; p += SlabBytes {
+		if a.cfg.Policy == Interleave {
+			node = a.nextNode
+			a.nextNode = (a.nextNode + 1) % a.topo.Sockets
+		}
+		a.hier.SetPageHome(p, node)
+	}
 }
 
 func (a *Allocator) registerRaw(name string, size uint64, desc string, align uint64, internal bool) *Type {
@@ -235,6 +337,7 @@ func (a *Allocator) StaticArray(name string, objSize uint64, count int, desc str
 	for p := uint64(0); p < pages; p++ {
 		a.slabMap[(base+p*SlabBytes)>>SlabShift] = info
 	}
+	a.assignHome(base, pages*SlabBytes, -1)
 	a.nextStatic += pages * SlabBytes
 	addrs := make([]uint64, count)
 	for i := range addrs {
@@ -270,6 +373,7 @@ func (a *Allocator) StaticStrided(name string, objSize uint64, count int, stride
 		}
 		info := &slabInfo{t: t, base: addr, objSize: t.objSize, nobj: 1, home: -1}
 		a.slabMap[addr>>SlabShift] = info
+		a.assignHome(addr, t.objSize, -1)
 		addrs[i] = addr
 		a.statics = append(a.statics, ObjRef{Type: t, Base: addr})
 	}
@@ -294,6 +398,7 @@ func (a *Allocator) carveInternal(t *Type) uint64 {
 			home:    -1,
 		}
 		a.slabMap[base>>SlabShift] = s
+		a.assignHome(base, SlabBytes, -1)
 		a.carve[t] = s
 	}
 	addr := s.base + uint64(s.inuse)*s.objSize
@@ -397,6 +502,7 @@ func (a *Allocator) growPool(c *sim.Ctx, p *pool, home int) *slabInfo {
 		s.free = append(s.free, base+uint64(i)*s.objSize)
 	}
 	a.slabMap[base>>SlabShift] = s
+	a.assignHome(base, SlabBytes, home)
 	p.partial = append(p.partial, s)
 	p.slabs++
 	c.Compute(600)          // page allocator

@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"testing"
+
+	"dprof/internal/cache"
+	"dprof/internal/lockstat"
+	"dprof/internal/sim"
+)
+
+func numaMachine(t *testing.T, mcfg Config) (*sim.Machine, *Allocator) {
+	t.Helper()
+	scfg := sim.DefaultConfig()
+	scfg.Cores = 0
+	scfg.Topology = cache.Topology{Sockets: 4, CoresPerSocket: 4}
+	m := sim.New(scfg)
+	a := New(mcfg, m.NumCores(), lockstat.NewRegistry())
+	a.BindMachine(m)
+	return m, a
+}
+
+func allocOn(m *sim.Machine, a *Allocator, core int, typ *Type) uint64 {
+	var addr uint64
+	m.Schedule(core, m.MaxCoreTime(), func(c *sim.Ctx) { addr = a.Alloc(c, typ) })
+	m.RunAll()
+	return addr
+}
+
+func TestFirstTouchHomesSlabOnAllocatingSocket(t *testing.T) {
+	m, a := numaMachine(t, DefaultConfig())
+	typ := a.RegisterType("obj", 256, "")
+	for _, core := range []int{0, 5, 14} {
+		addr := allocOn(m, a, core, typ)
+		want := m.Topology().SocketOf(core)
+		if got := m.Hier.HomeOf(addr); got != want {
+			t.Errorf("core %d: object %#x homed on node %d, want %d", core, addr, got, want)
+		}
+	}
+}
+
+func TestPinnedHomesEverySlabOnOneNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Pinned
+	cfg.PinnedNode = 2
+	m, a := numaMachine(t, cfg)
+	typ := a.RegisterType("obj", 256, "")
+	for _, core := range []int{0, 5, 14} {
+		addr := allocOn(m, a, core, typ)
+		if got := m.Hier.HomeOf(addr); got != 2 {
+			t.Errorf("core %d: object %#x homed on node %d, want pinned node 2", core, addr, got)
+		}
+	}
+}
+
+func TestInterleaveRotatesNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Interleave
+	m, a := numaMachine(t, cfg)
+	// Large objects: few per slab, so a handful of allocations span several
+	// slabs and the round-robin shows through.
+	typ := a.RegisterType("big", 2048, "")
+	seen := make(map[int]bool)
+	for i := 0; i < 32; i++ {
+		addr := allocOn(m, a, 0, typ)
+		home := m.Hier.HomeOf(addr)
+		if home < 0 || home >= 4 {
+			t.Fatalf("object %#x has home %d", addr, home)
+		}
+		seen[home] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("interleave used nodes %v, want all 4", seen)
+	}
+}
+
+func TestStaticsGetHomes(t *testing.T) {
+	m, a := numaMachine(t, DefaultConfig())
+	_, addr := a.Static("netdev", 512, "device")
+	if got := m.Hier.HomeOf(addr); got != 0 {
+		t.Errorf("boot-time static homed on %d, want node 0 under first-touch", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"firsttouch", FirstTouch, true},
+		{"first-touch", FirstTouch, true},
+		{"", FirstTouch, true},
+		{"Interleave", Interleave, true},
+		{"pinned", Pinned, true},
+		{"bogus", FirstTouch, false},
+	} {
+		got, err := ParsePolicy(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}

@@ -68,7 +68,7 @@ func (p *Profiler) onAccess(c *sim.Ctx, ev *sim.AccessEvent) {
 	s := p.statsFor(ev.PC)
 	s.accesses++
 	p.total.accesses++
-	if ev.Level == cache.L3Hit || ev.Level == cache.ForeignHit || ev.Level == cache.DRAM {
+	if ev.Level != cache.L1Hit && ev.Level != cache.L2Hit {
 		s.l2Misses++
 		p.total.l2Misses++
 	}

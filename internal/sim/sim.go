@@ -32,11 +32,15 @@ type TaskFunc func(*Ctx)
 // Config describes a machine.
 type Config struct {
 	Cores int
-	Cache cache.Config
-	Seed  int64
+	// Topology is the socket layout. The zero value means one socket
+	// holding Cores cores (the flat pre-NUMA machine). When set, it is
+	// authoritative: Cores must be zero or match Topology.NumCores().
+	Topology cache.Topology
+	Cache    cache.Config
+	Seed     int64
 }
 
-// DefaultConfig returns the paper's 16-core machine.
+// DefaultConfig returns the paper's 16-core machine on a single socket.
 func DefaultConfig() Config {
 	return Config{Cores: 16, Cache: cache.DefaultConfig(), Seed: 1}
 }
@@ -65,6 +69,7 @@ type WorkHook func(c *Ctx, pc sym.PC, cycles uint64)
 // Core is one simulated CPU.
 type Core struct {
 	ID      int
+	Socket  int // the chip this core sits on
 	now     uint64
 	stack   []sym.PC
 	idle    uint64
@@ -158,6 +163,7 @@ func (h *eventHeap) pop() event {
 // Machine is the simulated multicore system.
 type Machine struct {
 	Hier     *cache.Hierarchy
+	topo     cache.Topology
 	lineSize uint64 // cached Hier line size (hot path)
 	cores    []*Core
 	ctxs     []Ctx
@@ -178,19 +184,28 @@ type Machine struct {
 
 // New builds a machine.
 func New(cfg Config) *Machine {
-	if cfg.Cores <= 0 {
-		panic("sim: core count must be positive")
+	topo := cfg.Topology
+	if topo == (cache.Topology{}) {
+		if cfg.Cores <= 0 {
+			panic("sim: core count must be positive")
+		}
+		topo = cache.SingleSocket(cfg.Cores)
+	} else if cfg.Cores != 0 && cfg.Cores != topo.NumCores() {
+		panic(fmt.Sprintf("sim: Cores=%d contradicts topology %s (%d cores)",
+			cfg.Cores, topo, topo.NumCores()))
 	}
+	n := topo.NumCores()
 	m := &Machine{
-		Hier:     cache.New(cfg.Cache, cfg.Cores),
+		Hier:     cache.NewTopo(cfg.Cache, topo),
+		topo:     topo,
 		lineSize: cfg.Cache.LineSize,
 		Overhead: make(map[string]uint64),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
-	m.cores = make([]*Core, cfg.Cores)
-	m.ctxs = make([]Ctx, cfg.Cores)
+	m.cores = make([]*Core, n)
+	m.ctxs = make([]Ctx, n)
 	for i := range m.cores {
-		m.cores[i] = &Core{ID: i, rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
+		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
 		m.ctxs[i] = Ctx{M: m, Core: m.cores[i]}
 	}
 	return m
@@ -198,6 +213,9 @@ func New(cfg Config) *Machine {
 
 // NumCores returns the number of cores.
 func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Topology returns the machine's socket layout.
+func (m *Machine) Topology() cache.Topology { return m.topo }
 
 // Core returns core i.
 func (m *Machine) Core(i int) *Core { return m.cores[i] }
