@@ -7,8 +7,12 @@ package dprof_test
 
 import (
 	"context"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 
 	"dprof/internal/app/memcachedsim"
@@ -18,6 +22,7 @@ import (
 	"dprof/internal/exp"
 	"dprof/internal/lockstat"
 	"dprof/internal/mem"
+	"dprof/internal/serve"
 	"dprof/internal/sim"
 	"dprof/internal/sym"
 )
@@ -130,6 +135,49 @@ func BenchmarkMemcachedRun4x4(b *testing.B)  { benchScenarioRun(b, "memcached", 
 // BenchmarkNumaRemoteScenario baselines the numaremote experiment: the
 // speedup metric is node-local allocation's gain over cross-chip pulls.
 func BenchmarkNumaRemoteScenario(b *testing.B) { benchExperiment(b, "numaremote", "speedup") }
+
+// --- dprofd: cached-profile request throughput ---
+
+// BenchmarkServeCachedProfile measures the dprofd hot path: a POST /profile
+// whose content address is already resident, i.e. full HTTP round trip plus
+// LRU lookup but no simulation. This is the request rate the service
+// sustains once a profile is warm — the serving-layer overhead.
+func BenchmarkServeCachedProfile(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1, Quick: true})
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	const body = `{"workload":"falseshare","views":["dataprofile"],"measure_ms":1,"quick":true}`
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+	if code := post(); code != 200 { // warm the cache: one real simulation
+		b.Fatalf("warmup status %d", code)
+	}
+	if n := s.Simulations(); n != 1 {
+		b.Fatalf("warmup ran %d simulations", n)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if code := post(); code != 200 {
+				b.Fatal("cached request failed")
+			}
+		}
+	})
+	b.StopTimer()
+	if n := s.Simulations(); n != 1 {
+		b.Fatalf("cached requests triggered %d extra simulations", n-1)
+	}
+}
 
 // --- ablation: directory vs snoop coherence lookup ---
 

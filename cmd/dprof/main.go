@@ -63,7 +63,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quick        = fs.Bool("quick", false, "experiment mode: smaller workloads")
 		parallel     = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
 	)
-	optValues := registerWorkloadFlags(fs)
+	optValues := workload.RegisterFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "Usage of dprof:")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "\nFor a long-running HTTP profiling service (cached, deduplicated sessions\nover the same registry), see cmd/dprofd.")
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,12 +103,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Only options the user explicitly set are passed on, so every workload
 	// sees its own defaults — and options the selected workload does not
 	// declare are rejected instead of silently ignored.
-	setOpts := map[string]string{}
-	fs.Visit(func(f *flag.Flag) {
-		if get, ok := optValues[f.Name]; ok {
-			setOpts[f.Name] = get()
-		}
-	})
+	setOpts := optValues.Explicit(fs)
 	if *sweep != "" {
 		return runTopologySweep(stdout, stderr, w, setOpts, *sweep, *measure)
 	}
@@ -190,41 +190,6 @@ func runTopologySweep(stdout, stderr io.Writer, w workload.Workload, setOpts map
 		fmt.Fprintf(stdout, "%-8s %14.0f  %s\n", topo, res.Values["throughput"], res.Summary)
 	}
 	return 0
-}
-
-// registerWorkloadFlags declares one typed flag per option declared by any
-// registered workload (names are shared across workloads that declare the
-// same option). It returns, per flag name, a getter serializing the parsed
-// value back to the registry's string form.
-func registerWorkloadFlags(fs *flag.FlagSet) map[string]func() string {
-	getters := make(map[string]func() string)
-	for _, name := range workload.Names() {
-		w, _ := workload.Get(name)
-		for _, o := range w.Options() {
-			if _, dup := getters[o.Name]; dup {
-				continue
-			}
-			usage := fmt.Sprintf("%s: %s", name, o.Usage)
-			switch o.Kind {
-			case workload.Bool:
-				def, _ := strconv.ParseBool(orZero(o.Default, "false"))
-				p := fs.Bool(o.Name, def, usage)
-				getters[o.Name] = func() string { return strconv.FormatBool(*p) }
-			case workload.Int:
-				def, _ := strconv.Atoi(orZero(o.Default, "0"))
-				p := fs.Int(o.Name, def, usage)
-				getters[o.Name] = func() string { return strconv.Itoa(*p) }
-			case workload.Float:
-				def, _ := strconv.ParseFloat(orZero(o.Default, "0"), 64)
-				p := fs.Float64(o.Name, def, usage)
-				getters[o.Name] = func() string { return strconv.FormatFloat(*p, 'f', -1, 64) }
-			case workload.Str:
-				p := fs.String(o.Name, o.Default, usage)
-				getters[o.Name] = func() string { return *p }
-			}
-		}
-	}
-	return getters
 }
 
 func orZero(v, zero string) string {

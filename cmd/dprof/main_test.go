@@ -127,7 +127,7 @@ func TestListWorkloads(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d, stderr:\n%s", code, errOut.String())
 	}
-	for _, want := range []string{"memcached", "apache", "falseshare", "conflict", "trueshare", "alienping", "numaremote", "-fix", "-offered", "-padded", "-sockets", "-alloc-policy"} {
+	for _, want := range []string{"memcached", "apache", "falseshare", "conflict", "trueshare", "alienping", "numaremote", "-fix", "-offered", "-padded", "-sockets", "-alloc-policy", "-seed"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("listing missing %q:\n%s", want, out.String())
 		}

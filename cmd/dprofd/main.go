@@ -1,0 +1,91 @@
+// Command dprofd serves DProf over HTTP: a long-running profiling service
+// with content-addressed, deduplicated, cached sessions on top of the same
+// workload registry and experiment engine the dprof CLI drives.
+//
+// Endpoints:
+//
+//	GET  /workloads             the workload registry (options, windows)
+//	GET  /experiments           the paper-experiment registry
+//	GET  /experiments/{name}    run one experiment (?quick=1, ?stream=ndjson|sse)
+//	POST /profile               run a profiling session (JSON body; ?stream=...)
+//	GET  /healthz               liveness + cache/worker counters
+//
+// Identical concurrent requests share one simulation (singleflight) and
+// byte-identical responses; repeats are served from an LRU without
+// simulating at all. See the README's dprofd section for curl examples.
+//
+// Usage:
+//
+//	dprofd -addr :7071
+//	dprofd -addr :7071 -workers 4 -cache 512 -quick
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dprof/internal/serve"
+)
+
+func main() {
+	// SIGTERM is what container runtimes send on stop; both signals take
+	// the graceful path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dprofd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":7071", "listen address")
+		workers = fs.Int("workers", 0, "max concurrent simulations (0 = all cores)")
+		entries = fs.Int("cache", 256, "LRU capacity in finished responses")
+		quick   = fs.Bool("quick", false, "default to quick (reduced-fidelity) sessions")
+		maxMs   = fs.Uint64("max-measure-ms", 60_000, "largest measured window a request may ask for, simulated ms")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		CacheEntries: *entries,
+		Quick:        *quick,
+		MaxMeasureMs: *maxMs,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "dprofd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "dprofd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop admitting simulations, then drain handlers.
+	// Running simulations finish (the inner loop is not interruptible), so
+	// give the drain a bounded grace period.
+	fmt.Fprintln(stdout, "dprofd: shutting down")
+	s.Shutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "dprofd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag error:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "dprofd:") {
+		t.Errorf("stderr missing listen error:\n%s", errOut.String())
+	}
+}
+
+// TestRunStartsAndShutsDown drives the full lifecycle: listen on an
+// ephemeral port, then a context cancellation triggers the graceful path.
+func TestRunStartsAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errOut strings.Builder
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errOut) }()
+
+	// Give ListenAndServe a moment to bind, then shut down.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("stdout missing shutdown message:\n%s", out.String())
+	}
+}

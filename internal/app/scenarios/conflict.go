@@ -116,6 +116,7 @@ func (conflictWL) Options() []workload.Option {
 			Usage: "color the pool (a stride off the set period; the fix)"},
 		{Name: "buffers", Kind: workload.Int, Default: "24",
 			Usage: "ring buffers in the pool"},
+		workload.SeedOption(),
 	}
 }
 
@@ -130,6 +131,7 @@ func (conflictWL) DefaultTarget() string { return "hot_buf" }
 
 func (conflictWL) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultConflictConfig()
+	workload.ApplySeed(cfg, &c.Sim)
 	c.Colored = cfg.Bool("colored")
 	if n := cfg.Int("buffers"); n > 0 {
 		c.Buffers = n

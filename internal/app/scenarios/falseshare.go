@@ -133,6 +133,7 @@ func (falseShareWL) Options() []workload.Option {
 	return []workload.Option{
 		{Name: "padded", Kind: workload.Bool, Default: "false",
 			Usage: "pad each counter to its own cache line (the fix)"},
+		workload.SeedOption(),
 	}
 }
 
@@ -147,6 +148,7 @@ func (falseShareWL) DefaultTarget() string { return "pkt_stat" }
 
 func (falseShareWL) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultFalseShareConfig()
+	workload.ApplySeed(cfg, &c.Sim)
 	if cfg.Bool("padded") {
 		c.Align = 64
 	}

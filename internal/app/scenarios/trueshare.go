@@ -190,6 +190,7 @@ func (trueShareWL) Options() []workload.Option {
 			Usage: "per-core buckets and same-core consumption (the fix)"},
 		{Name: "buckets", Kind: workload.Int, Default: "4",
 			Usage: "shared counter/lock buckets (fewer than cores = contention)"},
+		workload.SeedOption(),
 	}
 }
 
@@ -204,6 +205,7 @@ func (trueShareWL) DefaultTarget() string { return "job" }
 
 func (trueShareWL) Build(cfg workload.Config) (core.Runnable, error) {
 	c := DefaultTrueShareConfig()
+	workload.ApplySeed(cfg, &c.Sim)
 	c.Partition = cfg.Bool("partition")
 	if n := cfg.Int("buckets"); n > 0 {
 		c.Buckets = n

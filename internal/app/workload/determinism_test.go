@@ -1,6 +1,8 @@
 package workload_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -35,7 +37,9 @@ func TestRegistryHasRequiredWorkloads(t *testing.T) {
 }
 
 // renderAllViews builds a workload at its defaults and renders every view
-// through a Session, returning the full report text.
+// through a Session, returning the full report text followed by the JSON
+// export of every view — so the byte-stability guarantee the comparison
+// locks covers the API's serialized form, not just the text renderers.
 func renderAllViews(t *testing.T, name string) string {
 	t.Helper()
 	w, err := workload.Lookup(name)
@@ -65,7 +69,34 @@ func renderAllViews(t *testing.T, name string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Report()
+	report := s.Report()
+
+	p := s.Profiler()
+	var b strings.Builder
+	b.WriteString(report)
+	type export struct {
+		name string
+		v    any
+	}
+	exports := []export{
+		{"dataprofile", p.DataProfile()},
+		{"workingset", p.WorkingSet()},
+		{"residency", p.CacheResidency(core.DefaultReplayObjects)},
+		{"missclass", p.MissClassification()},
+	}
+	if tgt := s.Target(); tgt != nil {
+		exports = append(exports,
+			export{"pathtrace", p.PathTraces(tgt)},
+			export{"dataflow", p.DataFlow(tgt)})
+	}
+	for _, e := range exports {
+		raw, err := json.Marshal(e.v)
+		if err != nil {
+			t.Fatalf("%s: marshal %s: %v", name, e.name, err)
+		}
+		fmt.Fprintf(&b, "--- json %s ---\n%s\n", e.name, raw)
+	}
+	return b.String()
 }
 
 // TestRegisteredWorkloadsDeterministic extends the engine's serial-vs-

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+)
+
+// Flag binding for the registry: one typed flag per declared option, shared
+// between every consumer that exposes workloads on a command line. This used
+// to live in cmd/dprof; it moved here so the CLI and the HTTP service parse
+// and canonicalize option values through exactly one code path
+// (Option.Canonicalize) instead of drifting apart.
+
+// FlagValues reads explicitly-set workload option flags back out of a
+// FlagSet in the registry's canonical string form.
+type FlagValues struct {
+	getters map[string]func() string
+}
+
+// RegisterFlags declares one typed flag per option declared by any
+// registered workload (names are shared across workloads that declare the
+// same option; the first workload's default and usage win, which is
+// harmless because only explicitly-set flags are ever passed on). Call it
+// after all workloads have registered and before fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *FlagValues {
+	fv := &FlagValues{getters: make(map[string]func() string)}
+	for _, name := range Names() {
+		w, _ := Get(name)
+		for _, o := range w.Options() {
+			if _, dup := fv.getters[o.Name]; dup {
+				continue
+			}
+			usage := fmt.Sprintf("%s: %s", name, o.Usage)
+			switch o.Kind {
+			case Bool:
+				def, _ := strconv.ParseBool(orKindZero(Bool, o.Default))
+				p := fs.Bool(o.Name, def, usage)
+				fv.getters[o.Name] = func() string { return strconv.FormatBool(*p) }
+			case Int:
+				def, _ := strconv.ParseInt(orKindZero(Int, o.Default), 0, 64)
+				p := fs.Int64(o.Name, def, usage)
+				fv.getters[o.Name] = func() string { return strconv.FormatInt(*p, 10) }
+			case Float:
+				def, _ := strconv.ParseFloat(orKindZero(Float, o.Default), 64)
+				p := fs.Float64(o.Name, def, usage)
+				fv.getters[o.Name] = func() string { return strconv.FormatFloat(*p, 'g', -1, 64) }
+			case Str:
+				p := fs.String(o.Name, o.Default, usage)
+				fv.getters[o.Name] = func() string { return *p }
+			}
+		}
+	}
+	return fv
+}
+
+// Explicit returns the canonical values of the workload option flags the
+// user actually set on the command line. Passing only explicit values on
+// means every workload sees its own declared defaults for the rest — and
+// options the selected workload does not declare are rejected by NewConfig
+// instead of silently ignored.
+func (fv *FlagValues) Explicit(fs *flag.FlagSet) map[string]string {
+	out := make(map[string]string)
+	fs.Visit(func(f *flag.Flag) {
+		if get, ok := fv.getters[f.Name]; ok {
+			out[f.Name] = get()
+		}
+	})
+	return out
+}

@@ -28,6 +28,7 @@ func TopologyOptions(def cache.Topology, policy mem.Policy) []Option {
 			Usage: "slab NUMA home policy: " + strings.Join(mem.PolicyNames(), ", ")},
 		{Name: "pinned-node", Kind: Int, Default: "0",
 			Usage: "home node when -alloc-policy is pinned"},
+		SeedOption(),
 	}
 }
 
@@ -43,6 +44,7 @@ func ApplyTopology(cfg Config, scfg *sim.Config, mcfg *mem.Config) error {
 	}
 	scfg.Topology = topo
 	scfg.Cores = 0 // the topology is authoritative
+	ApplySeed(cfg, scfg)
 	policy, err := mem.ParsePolicy(cfg.Str("alloc-policy"))
 	if err != nil {
 		return err

@@ -123,8 +123,10 @@ func (e *BadValueError) Error() string {
 }
 
 // NewConfig validates vals against w's declared options: unknown names and
-// unparsable values are errors. Undeclared-but-unset options fall back to
-// their declared defaults in the typed getters.
+// unparsable values are errors. Valid values are stored in canonical form
+// (see Option.Canonicalize), so every consumer — CLI flags, HTTP request
+// bodies, cache keys — goes through one parse path. Undeclared-but-unset
+// options fall back to their declared defaults in the typed getters.
 func NewConfig(w Workload, vals map[string]string) (Config, error) {
 	decl := make(map[string]Option)
 	var names []string
@@ -145,13 +147,58 @@ func NewConfig(w Workload, vals map[string]string) (Config, error) {
 		if !ok {
 			return Config{}, &UnknownOptionError{Workload: w.Name(), Option: name, Declared: names}
 		}
-		v := vals[name]
-		if err := parseAs(o.Kind, v); err != nil {
-			return Config{}, &BadValueError{Workload: w.Name(), Option: name, Kind: o.Kind, Value: v}
+		canon, err := o.Canonicalize(vals[name])
+		if err != nil {
+			return Config{}, &BadValueError{Workload: w.Name(), Option: name, Kind: o.Kind, Value: vals[name]}
 		}
-		cfg.vals[name] = v
+		cfg.vals[name] = canon
 	}
 	return cfg, nil
+}
+
+// CanonicalOptions validates vals against w and returns the complete option
+// map: every declared option, with explicitly-set values canonicalized and
+// unset ones filled from their declared defaults. Equal-meaning inputs
+// ("1"/"true"/"TRUE", "0x10"/"16", set-to-default/absent) all map to one
+// canonical form, which makes the result usable as content-address material
+// for cached profiling sessions.
+func CanonicalOptions(w Workload, vals map[string]string) (map[string]string, error) {
+	cfg, err := NewConfig(w, vals)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(cfg.decl))
+	for name, o := range cfg.decl {
+		if v, ok := cfg.vals[name]; ok {
+			out[name] = v
+			continue
+		}
+		canon, err := o.Canonicalize(orKindZero(o.Kind, o.Default))
+		if err != nil {
+			// A declared default that does not parse as its own kind is a
+			// workload bug; the typed getters panic on it, so surface it here
+			// the same way rather than silently poisoning cache keys.
+			panic(fmt.Sprintf("workload: option %q default %q is not a %s", name, o.Default, o.Kind))
+		}
+		out[name] = canon
+	}
+	return out, nil
+}
+
+// orKindZero substitutes a kind's zero literal for an empty default.
+func orKindZero(k Kind, v string) string {
+	if v != "" || k == Str {
+		return v
+	}
+	switch k {
+	case Bool:
+		return "false"
+	case Int:
+		return "0"
+	case Float:
+		return "0"
+	}
+	return v
 }
 
 // Defaults returns a Config with every option at its declared default.
@@ -173,19 +220,37 @@ func (c Config) WithQuick(quick bool) Config {
 // Quick reports whether the build should trade precision for speed.
 func (c Config) Quick() bool { return c.quick }
 
-func parseAs(k Kind, v string) error {
-	var err error
-	switch k {
+// Canonicalize parses v as the option's kind and returns its canonical
+// string form: "true"/"false" for bools, base-10 for ints, shortest-form
+// for floats. Int values accept the same syntax the flag package does
+// (0x1f, 0o17, 0b101, 1_000), so a value that works as a CLI flag works
+// verbatim in an HTTP request body — this parser is the single path both
+// go through.
+func (o Option) Canonicalize(v string) (string, error) {
+	switch o.Kind {
 	case Bool:
-		_, err = strconv.ParseBool(v)
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatBool(b), nil
 	case Int:
-		_, err = strconv.Atoi(v)
+		n, err := strconv.ParseInt(v, 0, 64)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
 	case Float:
-		_, err = strconv.ParseFloat(v, 64)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64), nil
 	case Str:
-		// any string parses; Build validates the value
+		// Any string parses; Build validates the value.
+		return v, nil
 	}
-	return err
+	return "", fmt.Errorf("workload: unknown option kind %d", o.Kind)
 }
 
 // raw returns the set value or the declared default. It panics on undeclared

@@ -112,22 +112,34 @@ type workingSetRowJSON struct {
 	TopPaths  []string `json:"top_paths,omitempty"`
 }
 
+type assocSetJSON struct {
+	Index         int `json:"set"`
+	DistinctLines int `json:"distinct_lines"`
+	// ByType marshals with sorted keys (encoding/json sorts string-keyed
+	// maps), so the export is byte-stable despite the map.
+	ByType map[string]int `json:"by_type"`
+}
+
 type workingSetJSON struct {
 	Geometry       geometryJSON        `json:"geometry"`
 	Rows           []workingSetRowJSON `json:"rows"`
 	MeanLines      float64             `json:"mean_lines_per_set"`
 	OverloadedSets int                 `json:"overloaded_sets"`
+	Overloaded     []assocSetJSON      `json:"overloaded,omitempty"`
+	SampledObjects int                 `json:"sampled_objects"`
 	PerSocket      []socketUsageJSON   `json:"per_socket,omitempty"`
 }
 
 // MarshalJSON exports the working-set view, including the replay geometry
-// (so tooling can reconstruct the view) and per-socket occupancy on
-// multi-socket machines.
+// (so tooling can reconstruct the view), the overloaded associativity sets
+// with their per-type line counts (the conflict suspects the text renderer
+// prints), and per-socket occupancy on multi-socket machines.
 func (v *WorkingSetView) MarshalJSON() ([]byte, error) {
 	out := workingSetJSON{
 		Geometry:       geometryJSON(v.Geometry),
 		MeanLines:      v.MeanLines,
 		OverloadedSets: len(v.Overloaded),
+		SampledObjects: v.SampledObjects,
 	}
 	for _, r := range v.Rows {
 		out.Rows = append(out.Rows, workingSetRowJSON{
@@ -139,8 +151,42 @@ func (v *WorkingSetView) MarshalJSON() ([]byte, error) {
 			TopPaths:  r.TopPaths,
 		})
 	}
+	for _, st := range v.Overloaded {
+		out.Overloaded = append(out.Overloaded, assocSetJSON{
+			Index:         st.Index,
+			DistinctLines: st.DistinctLines,
+			ByType:        st.ByType,
+		})
+	}
 	for _, u := range v.PerSocket {
 		out.PerSocket = append(out.PerSocket, socketUsageJSON(u))
+	}
+	return json.Marshal(out)
+}
+
+type residencyRowJSON struct {
+	Type     string  `json:"type"`
+	AvgLines float64 `json:"avg_lines"`
+	MaxLines int     `json:"max_lines"`
+}
+
+type residencyJSON struct {
+	CapacityLines int                `json:"capacity_lines"`
+	Evictions     uint64             `json:"evictions"`
+	ReplayedObjs  int                `json:"replayed_objects"`
+	Rows          []residencyRowJSON `json:"rows"`
+}
+
+// MarshalJSON exports the §4.2 replayed cache-residency view (the second
+// half of the working-set report, previously text-only).
+func (v *ResidencyView) MarshalJSON() ([]byte, error) {
+	out := residencyJSON{
+		CapacityLines: v.CapacityLines,
+		Evictions:     v.Evictions,
+		ReplayedObjs:  v.ReplayedObjs,
+	}
+	for _, r := range v.Rows {
+		out.Rows = append(out.Rows, residencyRowJSON(r))
 	}
 	return json.Marshal(out)
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWorkingSetJSONOverloadedDetail: the working-set export must carry the
+// overloaded associativity sets (the conflict suspects), not just their
+// count, and the per-type map must marshal byte-stably.
+func TestWorkingSetJSONOverloadedDetail(t *testing.T) {
+	v := &WorkingSetView{
+		Geometry:  Geometry{LineSize: 64, Sets: 64, Ways: 2},
+		MeanLines: 1.5,
+		Overloaded: []AssocSetStat{
+			{Index: 7, DistinctLines: 9, ByType: map[string]int{"skbuff": 6, "hot_buf": 3}},
+		},
+		SampledObjects: 42,
+	}
+	first, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"overloaded_sets":1`, `"set":7`, `"distinct_lines":9`,
+		`"by_type":{"hot_buf":3,"skbuff":6}`, `"sampled_objects":42`} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("working-set JSON missing %s:\n%s", want, first)
+		}
+	}
+	second, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("working-set JSON not byte-stable:\n%s\n%s", first, second)
+	}
+}
+
+// TestResidencyJSON: the replayed cache-residency view (previously
+// text-only) must export and round-trip.
+func TestResidencyJSON(t *testing.T) {
+	v := &ResidencyView{
+		CapacityLines: 4096,
+		Evictions:     12,
+		ReplayedObjs:  100,
+		Rows: []ResidencyRow{
+			{Type: "skbuff", AvgLines: 80.5, MaxLines: 90},
+			{Type: "dst_entry", AvgLines: 2.25, MaxLines: 4},
+		},
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		CapacityLines int `json:"capacity_lines"`
+		Rows          []struct {
+			Type     string  `json:"type"`
+			AvgLines float64 `json:"avg_lines"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CapacityLines != 4096 || len(back.Rows) != 2 || back.Rows[0].Type != "skbuff" || back.Rows[0].AvgLines != 80.5 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+// TestEmptyViewsMarshal: every view the API serves must marshal from its
+// zero value (a workload with no samples yet) without error, so the HTTP
+// layer never 500s on a quiet profile.
+func TestEmptyViewsMarshal(t *testing.T) {
+	for name, v := range map[string]any{
+		"dataprofile": &DataProfile{},
+		"workingset":  &WorkingSetView{},
+		"residency":   &ResidencyView{},
+		"missclass":   []MissClassRow{},
+	} {
+		if _, err := json.Marshal(v); err != nil {
+			t.Errorf("%s: zero-value marshal failed: %v", name, err)
+		}
+	}
+}

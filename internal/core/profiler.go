@@ -173,7 +173,7 @@ func (p *Profiler) DataProfile() *DataProfile {
 // WorkingSet builds the working set view (§4.2) using the machine's L1
 // geometry, plus per-socket occupancy on multi-socket machines.
 func (p *Profiler) WorkingSet() *WorkingSetView {
-	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.M.Hier.Config()), 200_000)
+	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.M.Hier.Config()), DefaultReplayObjects)
 	if p.M.Hier.Topology().Sockets > 1 {
 		v.PerSocket = p.M.Hier.SocketOccupancy()
 	}

@@ -91,6 +91,12 @@ func (c *lruCache) remove(line uint64) {
 	}
 }
 
+// DefaultReplayObjects is the standard sampling bound for the §4.2 replay
+// views (working set and cache residency): every consumer — the Session
+// report, the HTTP API, tests — replays at the same bound so their numbers
+// agree for the same profile.
+const DefaultReplayObjects = 200_000
+
 // CacheResidency runs the §4.2 replay over the profiler's address set. It
 // samples at most maxObjects records (weighted uniformly, as the paper picks
 // address sets randomly) and replays their allocation and free events in

@@ -217,7 +217,7 @@ func (s *Session) WriteReport(out io.Writer) {
 	if s.views["workingset"] {
 		fmt.Fprintln(out, "== working set view ==")
 		fmt.Fprintln(out, s.p.WorkingSet().String())
-		fmt.Fprintln(out, s.p.CacheResidency(200_000).String())
+		fmt.Fprintln(out, s.p.CacheResidency(DefaultReplayObjects).String())
 	}
 	if s.views["missclass"] {
 		fmt.Fprintln(out, "== miss classification view ==")

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,9 +22,16 @@ type Options struct {
 	// so results are identical at any worker count.
 	Workers int
 	// Progress, if non-nil, receives one Event when an experiment starts and
-	// one when it finishes or fails. Calls are serialized; the callback may
-	// be invoked from multiple goroutines' critical sections but never
-	// concurrently.
+	// one when it finishes or fails. Delivery never blocks experiment
+	// execution: events flow through a buffer sized for the whole run and a
+	// single delivery goroutine invokes the callback, so calls are
+	// serialized but may lag the experiments (a stalled consumer — e.g. a
+	// dead SSE client — costs nothing but delayed events). RunAll flushes
+	// every pending event before returning as long as the callback keeps
+	// returning; if the callback is blocked when the run completes, RunAll
+	// waits only until the context ends, then returns and abandons the
+	// undelivered events (the delivery goroutine exits once the callback
+	// comes back).
 	Progress func(Event)
 }
 
@@ -117,17 +125,42 @@ func RunAll(ctx context.Context, names []string, opts Options) ([]Result, error)
 	var (
 		results = make([]Result, len(runners))
 		errs    = make([]error, len(runners))
-		mu      sync.Mutex // serializes Progress callbacks
 		wg      sync.WaitGroup
 		next    = make(chan int)
 	)
+
+	// Progress events are delivered by a dedicated goroutine reading from a
+	// buffered channel, so a slow or blocked consumer can never stall a
+	// worker. A run emits at most two events per experiment (started plus
+	// one terminal), so a 2n buffer makes emit lossless and non-blocking by
+	// construction.
+	var events chan Event
+	var abandoned atomic.Bool
+	drained := make(chan struct{})
+	if opts.Progress != nil {
+		events = make(chan Event, 2*len(runners))
+		go func() {
+			defer close(drained)
+			for ev := range events {
+				if abandoned.Load() {
+					continue // context ended mid-flush: discard, don't deliver late
+				}
+				opts.Progress(ev)
+			}
+		}()
+	} else {
+		close(drained)
+	}
 	emit := func(ev Event) {
-		if opts.Progress == nil {
+		if events == nil {
 			return
 		}
-		mu.Lock()
-		opts.Progress(ev)
-		mu.Unlock()
+		select {
+		case events <- ev:
+		default:
+			// Unreachable while the buffer invariant above holds; dropping
+			// beats blocking a worker if it is ever broken.
+		}
 	}
 
 	runOne := func(i int) {
@@ -183,6 +216,27 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
+	if events != nil {
+		// Flush: every event is already buffered, so a live consumer drains
+		// in bounded time. A consumer stuck inside the callback would block
+		// this forever — the context is the escape hatch, after which
+		// undelivered events are discarded rather than delivered late (at
+		// most the one callback already in flight can still be executing
+		// when RunAll returns).
+		close(events)
+		select {
+		case <-drained:
+			// Fast path first: a consumer that already drained must win even
+			// when the context is also done, so a cancelled-but-complete run
+			// still delivers its terminal events.
+		default:
+			select {
+			case <-drained:
+			case <-ctx.Done():
+				abandoned.Store(true)
+			}
+		}
+	}
 
 	for _, err := range errs {
 		if err != nil {

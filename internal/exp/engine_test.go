@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // determinismNames are the experiments the parallel-vs-serial regression
@@ -125,6 +126,66 @@ func TestRunAllProgressEvents(t *testing.T) {
 			counts[fmt.Sprintf("%s/%d", n, EventFinished)] != 1 {
 			t.Errorf("experiment %s missing started/finished pair: %v", n, counts)
 		}
+	}
+}
+
+// TestRunAllBlockedConsumerDoesNotStallRun is the regression test for the
+// stalled-consumer bug: Progress used to be invoked synchronously under a
+// mutex, so one consumer that never returned (a dead SSE client) wedged
+// every worker. Now delivery is asynchronous: the consumer blocks forever
+// on the first event, and the run must still complete. The consumer cancels
+// the context before blocking (after dispatch has necessarily finished,
+// since the started event is emitted by the worker that already took the
+// job), which is what lets RunAll abandon the flush.
+func TestRunAllBlockedConsumerDoesNotStallRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	block := make(chan struct{})
+	defer close(block) // unblock the delivery goroutine at test exit
+	results, err := RunAll(ctx, []string{"table6.1"}, Options{
+		Quick:   true,
+		Workers: 1,
+		Progress: func(ev Event) {
+			cancel()
+			<-block
+		},
+	})
+	if err != nil {
+		t.Fatalf("run failed under a blocked consumer: %v", err)
+	}
+	if len(results) != 1 || results[0].Name != "table6.1" || results[0].Text == "" {
+		t.Fatalf("result incomplete under a blocked consumer: %+v", results)
+	}
+}
+
+// TestRunAllSlowConsumerGetsEveryEvent: a consumer that is merely slow (not
+// dead) still sees the complete, serialized event stream before RunAll
+// returns, because the buffer holds the whole run.
+func TestRunAllSlowConsumerGetsEveryEvent(t *testing.T) {
+	names := []string{"table6.1", "table6.3"}
+	var got []Event // no mutex needed: delivery is a single goroutine, flushed before return
+	_, err := RunAll(context.Background(), names, Options{
+		Quick:   true,
+		Workers: 2,
+		Progress: func(ev Event) {
+			time.Sleep(10 * time.Millisecond)
+			got = append(got, ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*len(names) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), 2*len(names), got)
+	}
+	starts := 0
+	for _, ev := range got {
+		if ev.Kind == EventStarted {
+			starts++
+		}
+	}
+	if starts != len(names) {
+		t.Errorf("got %d started events, want %d", starts, len(names))
 	}
 }
 

@@ -1,0 +1,568 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.Shutdown()
+		ts.Close()
+	})
+	return s, ts
+}
+
+func postProfile(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// quickProfile is the cheap request most tests use: one simulated
+// millisecond of the falseshare scenario.
+const quickProfile = `{"workload":"falseshare","views":["dataprofile"],"measure_ms":1,"quick":true}`
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []struct {
+		Name    string `json:"name"`
+		Options []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"options"`
+		Windows struct {
+			Measure uint64 `json:"measure_cycles"`
+		} `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, w := range got {
+		names[w.Name] = true
+		if w.Windows.Measure == 0 {
+			t.Errorf("workload %s: zero measure window", w.Name)
+		}
+	}
+	for _, want := range []string{"memcached", "apache", "falseshare", "trueshare", "numaremote"} {
+		if !names[want] {
+			t.Errorf("listing missing workload %q", want)
+		}
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"table6.1", "figure6.2", "falseshare"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("experiment listing missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestProfileErrors mirrors the CLI contract over HTTP: every rejection is
+// a 4xx whose message carries the declared valid set.
+func TestProfileErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tests := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantMsg  []string
+	}{
+		{
+			name:     "unknown workload lists the registered set",
+			body:     `{"workload":"nginx"}`,
+			wantCode: 404,
+			wantMsg:  []string{"unknown workload", "nginx", "memcached", "falseshare"},
+		},
+		{
+			name:     "undeclared option lists the declared set",
+			body:     `{"workload":"falseshare","options":{"offered":"110000"}}`,
+			wantCode: 400,
+			wantMsg:  []string{"does not accept", "offered", "padded", "seed"},
+		},
+		{
+			name:     "bad option value names the kind",
+			body:     `{"workload":"falseshare","options":{"padded":"maybe"}}`,
+			wantCode: 400,
+			wantMsg:  []string{"bad bool value", "maybe"},
+		},
+		{
+			name:     "unknown view lists the known views",
+			body:     `{"workload":"falseshare","views":["dataprofle"]}`,
+			wantCode: 400,
+			wantMsg:  []string{"unknown view", "dataprofle", "dataprofile", "pathtrace"},
+		},
+		{
+			name:     "unknown type lists the workload's types",
+			body:     `{"workload":"falseshare","views":["dataflow"],"type":"skbuf","measure_ms":1,"quick":true}`,
+			wantCode: 400,
+			wantMsg:  []string{"unknown type", "skbuf", "pkt_stat"},
+		},
+		{
+			name:     "oversized window is rejected",
+			body:     `{"workload":"falseshare","measure_ms":9999999}`,
+			wantCode: 400,
+			wantMsg:  []string{"measure_ms", "exceeds"},
+		},
+		{
+			name:     "oversized history-set count is rejected",
+			body:     `{"workload":"falseshare","views":["pathtrace"],"sets":2000000000}`,
+			wantCode: 400,
+			wantMsg:  []string{"sets", "exceeds"},
+		},
+		{
+			name:     "oversized sample rate is rejected",
+			body:     `{"workload":"falseshare","rate":1e12}`,
+			wantCode: 400,
+			wantMsg:  []string{"rate", "exceeds"},
+		},
+		{
+			name:     "bad topology is the client's fault",
+			body:     `{"workload":"numaremote","options":{"sockets":"3","cores-per-socket":"4"},"measure_ms":1,"quick":true}`,
+			wantCode: 400,
+			wantMsg:  []string{"building numaremote", "L3 size"},
+		},
+		{
+			name:     "malformed body",
+			body:     `{"workload":`,
+			wantCode: 400,
+			wantMsg:  []string{"bad request body"},
+		},
+		{
+			name:     "unknown field in body",
+			body:     `{"workload":"falseshare","wiews":["dataprofile"]}`,
+			wantCode: 400,
+			wantMsg:  []string{"bad request body", "wiews"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, raw := postProfile(t, ts, tt.body)
+			if resp.StatusCode != tt.wantCode {
+				t.Fatalf("status = %d, want %d\nbody: %s", resp.StatusCode, tt.wantCode, raw)
+			}
+			for _, want := range tt.wantMsg {
+				if !strings.Contains(string(raw), want) {
+					t.Errorf("body missing %q:\n%s", want, raw)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentBadQuickValue(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/experiments/table6.1?quick=maybe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400\nbody: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "quick") {
+		t.Errorf("body missing field name:\n%s", raw)
+	}
+}
+
+func TestExperimentUnknownName(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/experiments/table9.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d, want 404\nbody: %s", resp.StatusCode, raw)
+	}
+	for _, want := range []string{"unknown experiment", "table9.9", "table6.1"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("body missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestProfileAllViewsStableJSON is the acceptance test for the serving
+// contract: all five views arrive as JSON, a repeat is served from the
+// cache byte-identically without a second simulation, and an independent
+// server produces the same bytes for the same request (stability across
+// same-seed runs, not just within one process).
+func TestProfileAllViewsStableJSON(t *testing.T) {
+	body := `{"workload":"falseshare","measure_ms":2,"quick":true}`
+
+	s, ts := newTestServer(t, Config{})
+	resp, first := postProfile(t, ts, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\nbody: %s", resp.StatusCode, first)
+	}
+	if got := resp.Header.Get("X-DProf-Cache"); got != "miss" {
+		t.Errorf("first request cache disposition = %q, want miss", got)
+	}
+	var parsed struct {
+		Workload string                     `json:"workload"`
+		Options  map[string]string          `json:"options"`
+		Summary  string                     `json:"summary"`
+		Views    map[string]json.RawMessage `json:"views"`
+	}
+	if err := json.Unmarshal(first, &parsed); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, first)
+	}
+	for _, view := range []string{"dataprofile", "workingset", "missclass", "dataflow", "pathtrace"} {
+		raw, ok := parsed.Views[view]
+		if !ok || len(raw) == 0 {
+			t.Errorf("view %q missing from response", view)
+		}
+	}
+	if parsed.Options["padded"] != "false" || parsed.Options["seed"] != "0" {
+		t.Errorf("canonical options not filled in: %v", parsed.Options)
+	}
+	if parsed.Summary == "" {
+		t.Error("empty summary")
+	}
+
+	resp2, second := postProfile(t, ts, body)
+	if resp2.Header.Get("X-DProf-Cache") != "hit" {
+		t.Errorf("repeat not served from cache (%q)", resp2.Header.Get("X-DProf-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached response differs from the original")
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Errorf("simulations = %d, want 1", n)
+	}
+
+	// A fresh server (empty cache) must reproduce the same bytes: the
+	// response is a function of the request, not of the process.
+	_, ts2 := newTestServer(t, Config{})
+	_, independent := postProfile(t, ts2, body)
+	if !bytes.Equal(first, independent) {
+		t.Errorf("same request, different bytes across servers:\n%s\n---\n%s", first, independent)
+	}
+}
+
+// TestProfileContentAddressing: equal-meaning requests (flag-style vs
+// canonical option spellings, explicit defaults vs omitted, shuffled view
+// lists) hit the same cache entry.
+func TestProfileContentAddressing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	a := `{"workload":"falseshare","options":{"padded":"1"},"views":["missclass","dataprofile"],"measure_ms":1,"quick":true}`
+	b := `{"workload":"falseshare","options":{"padded":"true","seed":"0"},"views":["dataprofile","missclass","dataprofile"],"measure_ms":1,"quick":true}`
+
+	_, first := postProfile(t, ts, a)
+	resp, second := postProfile(t, ts, b)
+	if resp.Header.Get("X-DProf-Cache") != "hit" {
+		t.Errorf("equal-meaning request missed the cache (%q)", resp.Header.Get("X-DProf-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("equal-meaning requests returned different bytes")
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Errorf("simulations = %d, want 1", n)
+	}
+}
+
+// TestProfileSingleflight is the dedup acceptance test: 8 identical
+// concurrent requests share exactly one simulation and return
+// byte-identical bodies.
+func TestProfileSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const n = 8
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(quickProfile))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d\nbody: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("request %d body differs from request 0", i)
+		}
+	}
+	if got := s.Simulations(); got != 1 {
+		t.Errorf("simulations = %d, want 1 for %d identical concurrent requests", got, n)
+	}
+	// The counters must add up: one launched computation; every other
+	// request either joined the flight or hit the cache afterwards.
+	if misses := s.misses.Load(); misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if other := s.dedups.Load() + s.hits.Load(); other != n-1 {
+		t.Errorf("dedups+hits = %d, want %d", other, n-1)
+	}
+}
+
+func TestExperimentRunAndCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func() (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + "/experiments/falseshare?quick=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, raw
+	}
+	resp, first := get()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\nbody: %s", resp.StatusCode, first)
+	}
+	var parsed struct {
+		Name   string             `json:"name"`
+		Title  string             `json:"title"`
+		Text   string             `json:"text"`
+		Values map[string]float64 `json:"values"`
+	}
+	if err := json.Unmarshal(first, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "falseshare" || parsed.Text == "" || len(parsed.Values) == 0 {
+		t.Fatalf("incomplete result: %+v", parsed)
+	}
+	resp2, second := get()
+	if resp2.Header.Get("X-DProf-Cache") != "hit" {
+		t.Errorf("repeat not cached (%q)", resp2.Header.Get("X-DProf-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached experiment differs")
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Errorf("simulations = %d, want 1", n)
+	}
+}
+
+// TestExperimentStreamNDJSON: the engine's progress events bridge to the
+// client, terminal event before result.
+func TestExperimentStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/experiments/falseshare?quick=1&stream=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		if line.Event != "" {
+			events = append(events, line.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"started", "finished", "result"}
+	got := strings.Join(events, ",")
+	for _, ev := range want {
+		if !strings.Contains(got, ev) {
+			t.Errorf("stream missing %q event: %s", ev, got)
+		}
+	}
+	if events[len(events)-1] != "result" {
+		t.Errorf("stream did not end with result: %s", got)
+	}
+}
+
+// TestProfileStreamSSE: a streamed profile emits acceptance then the result
+// in SSE framing.
+func TestProfileStreamSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/profile?stream=sse", "application/json", strings.NewReader(quickProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"event: accepted", "event: result", `"summary"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("SSE stream missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestShutdownFailsFast: a request waiting for a worker slot returns 503 as
+// soon as the server's lifetime context ends, instead of hanging behind a
+// simulation it will never get to run.
+func TestShutdownFailsFast(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker slot so the request below must queue.
+	if err := s.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.release()
+
+	type result struct {
+		code int
+		body []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(quickProfile))
+		if err != nil {
+			done <- result{0, []byte(err.Error())}
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		done <- result{resp.StatusCode, raw}
+	}()
+
+	select {
+	case r := <-done:
+		t.Fatalf("request finished before shutdown: %d %s", r.code, r.body)
+	case <-time.After(200 * time.Millisecond):
+		// Queued behind the held slot, as intended.
+	}
+	s.Shutdown()
+	select {
+	case r := <-done:
+		if r.code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503\nbody: %s", r.code, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued request did not fail after shutdown")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["status"] != "ok" || got["workers"] != float64(3) {
+		t.Errorf("healthz = %v", got)
+	}
+}
+
+// --- unit tests for the cache building blocks ---
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes coldest
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup
+	var runs int32
+	release := make(chan struct{})
+	run := func() ([]byte, error) {
+		runs++ // guarded by the barrier below: only one goroutine runs this
+		<-release
+		return []byte("body"), nil
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	leaders := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err, leader := g.do(t.Context(), "k", run)
+			leaders[i] = leader
+			if err != nil || string(body) != "body" {
+				t.Errorf("do = %q, %v", body, err)
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let all callers join the flight
+	close(release)
+	wg.Wait()
+	if runs != 1 {
+		t.Errorf("computation ran %d times, want 1", runs)
+	}
+	nLeaders := 0
+	for _, l := range leaders {
+		if l {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Errorf("%d leaders, want 1", nLeaders)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// streamer writes progress events to a client as either NDJSON (one JSON
+// object per line) or Server-Sent Events, flushing after every event so a
+// watching client sees progress live.
+type streamer struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+}
+
+// newStreamer returns a streamer when the request asked for one —
+// ?stream=ndjson, ?stream=sse, ?stream=1 (NDJSON), or an Accept header of
+// text/event-stream — and nil for a plain request. It writes the response
+// header, so call it before any status code is set.
+func newStreamer(w http.ResponseWriter, r *http.Request) *streamer {
+	mode := r.URL.Query().Get("stream")
+	sse := mode == "sse" || r.Header.Get("Accept") == "text/event-stream"
+	if mode == "" && !sse {
+		return nil
+	}
+	st := &streamer{w: w, sse: sse}
+	st.fl, _ = w.(http.Flusher)
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	st.flush()
+	return st
+}
+
+// event emits one named event. NDJSON: {"event":name,"data":...}\n.
+// SSE: event:/data: framing.
+func (st *streamer) event(name string, data any) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		raw = []byte(fmt.Sprintf("%q", "marshal: "+err.Error()))
+	}
+	if st.sse {
+		fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", name, raw)
+	} else {
+		fmt.Fprintf(st.w, `{"event":%q,"data":%s}`+"\n", name, raw)
+	}
+	st.flush()
+}
+
+// comment emits a keep-alive that carries no event semantics (an SSE
+// comment line, or an NDJSON object with only a "comment" key).
+func (st *streamer) comment(text string) {
+	if st.sse {
+		fmt.Fprintf(st.w, ": %s\n\n", text)
+	} else {
+		fmt.Fprintf(st.w, `{"comment":%q}`+"\n", text)
+	}
+	st.flush()
+}
+
+func (st *streamer) flush() {
+	if st.fl != nil {
+		st.fl.Flush()
+	}
+}
