@@ -132,6 +132,43 @@ func BenchmarkNumaRemoteRun4x4(b *testing.B) { benchScenarioRun(b, "numaremote",
 func BenchmarkMemcachedRun1x16(b *testing.B) { benchScenarioRun(b, "memcached", topo(1, 16)) }
 func BenchmarkMemcachedRun4x4(b *testing.B)  { benchScenarioRun(b, "memcached", topo(4, 4)) }
 
+// --- windowed collection overhead: the same profiled memcached session
+// monolithic (one window) vs split into 1 ms windows with a data-profile
+// snapshot at every boundary, on both the flat and the paper topologies —
+// the cost of the streaming pipeline's boundary merges and snapshots.
+
+func benchWindowedSession(b *testing.B, opts map[string]string, windowCycles uint64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		inst := workload.MustBuild("memcached", opts)
+		s, err := core.NewSession(inst, core.SessionConfig{
+			Profiler:     core.DefaultConfig(),
+			Views:        []string{"dataprofile"},
+			Warmup:       250_000,
+			Measure:      4_000_000,
+			WindowCycles: windowCycles,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+		b.ReportMetric(float64(len(s.Windows())), "windows")
+	}
+}
+
+func BenchmarkWindowedMemcached1x16Mono(b *testing.B) {
+	benchWindowedSession(b, topo(1, 16), 0)
+}
+func BenchmarkWindowedMemcached1x16Windowed(b *testing.B) {
+	benchWindowedSession(b, topo(1, 16), 1_000_000)
+}
+func BenchmarkWindowedMemcached4x4Mono(b *testing.B) {
+	benchWindowedSession(b, topo(4, 4), 0)
+}
+func BenchmarkWindowedMemcached4x4Windowed(b *testing.B) {
+	benchWindowedSession(b, topo(4, 4), 1_000_000)
+}
+
 // BenchmarkNumaRemoteScenario baselines the numaremote experiment: the
 // speedup metric is node-local allocation's gain over cross-chip pulls.
 func BenchmarkNumaRemoteScenario(b *testing.B) { benchExperiment(b, "numaremote", "speedup") }

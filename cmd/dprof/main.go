@@ -19,16 +19,21 @@
 //	dprof -workload numaremote -views dataprofile,missclass    # 4x4 NUMA topology
 //	dprof -workload numaremote -sockets 1 -cores-per-socket 16 # flatten it
 //	dprof -workload numaremote -sweep-topology 1x16,2x8,4x4    # compare layouts
+//	dprof -workload memcached -window-ms 2                     # windowed profiling
+//	dprof -workload falseshare -json > broken.json             # stable JSON (dprofd format)
+//	dprof -workload falseshare -padded -diff broken.json       # rank what the fix changed
 //	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -57,6 +62,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		measure      = fs.Uint64("measure-ms", 12, "measured window, simulated milliseconds")
 		withLS       = fs.Bool("lockstat", false, "also print the lock-stat baseline")
 		withOP       = fs.Bool("oprofile", false, "also print the OProfile baseline")
+		jsonOut      = fs.Bool("json", false, "emit the profile as stable JSON (the same document dprofd's POST /profile returns)")
+		diffPath     = fs.String("diff", "", "diff this run against a saved -json profile (file = baseline A, this run = B) and print the ranked per-type deltas")
 		list         = fs.Bool("list-workloads", false, "list registered workloads and their options")
 		sweep        = fs.String("sweep-topology", "", "comma list of SOCKETSxCORES layouts (e.g. 1x16,2x8,4x4): run the workload unprofiled on each topology and compare")
 		experiment   = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
@@ -127,17 +134,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			needTarget = needTarget || v == "dataflow" || v == "pathtrace"
 		}
 	}
+	if *diffPath != "" && !slices.Contains(viewList, "dataprofile") {
+		// The diff runs on the data profile view; render it even when the
+		// user asked for other views.
+		viewList = append([]string{"dataprofile"}, viewList...)
+	}
 
 	pcfg := core.DefaultConfig()
 	pcfg.SampleRate = *rate
 	scfg := core.SessionConfig{
-		Profiler: pcfg,
-		Views:    viewList,
-		Sets:     *sets,
-		LockStat: *withLS,
-		OProfile: *withOP,
-		Warmup:   w.Windows(false).Warmup,
-		Measure:  *measure * 1_000_000,
+		Profiler:     pcfg,
+		Views:        viewList,
+		Sets:         *sets,
+		LockStat:     *withLS,
+		OProfile:     *withOP,
+		Warmup:       w.Windows(false).Warmup,
+		Measure:      *measure * 1_000_000,
+		WindowCycles: workload.WindowCycles(cfg),
 	}
 	if needTarget {
 		scfg.TypeName = *typeName
@@ -150,8 +163,94 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dprof: %v\n", err)
 		return 2
 	}
+
+	if *jsonOut || *diffPath != "" {
+		s.Run()
+		canon, err := workload.CanonicalOptions(w, setOpts)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err) // unreachable: setOpts already validated
+			return 2
+		}
+		doc, err := core.BuildProfileDocument(s, viewList, w.Name(), canon, false)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 1
+		}
+		if *diffPath != "" {
+			return runDiff(stdout, stderr, doc, *diffPath, *jsonOut)
+		}
+		if err := json.NewEncoder(stdout).Encode(doc); err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	s.WriteReport(stdout)
+	writeWindows(stdout, s.Windows())
 	return 0
+}
+
+// runDiff loads a saved -json profile as the baseline and ranks what
+// changed against the just-finished run.
+func runDiff(stdout, stderr io.Writer, doc *core.ProfileDocument, path string, jsonOut bool) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 2
+	}
+	var saved core.ProfileDocument
+	if err := json.Unmarshal(raw, &saved); err != nil {
+		fmt.Fprintf(stderr, "dprof: parse %s: %v\n", path, err)
+		return 2
+	}
+	rawA, err := saved.DataProfileExport()
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %s: %v\n", path, err)
+		return 2
+	}
+	rawB, err := doc.DataProfileExport()
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 1
+	}
+	d, err := core.DiffExports(rawA, rawB)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		out := core.NewDiffDocument(
+			core.DiffSide{Workload: saved.Workload, Summary: saved.Summary},
+			core.DiffSide{Workload: doc.Workload, Summary: doc.Summary},
+			d,
+		)
+		if err := json.NewEncoder(stdout).Encode(out); err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "A (baseline): %s\nB (this run): %s\n\n", saved.Summary, doc.Summary)
+	fmt.Fprint(stdout, d.String())
+	if top := d.TopSuspect(); top != "" {
+		fmt.Fprintf(stdout, "\ntop suspect: %s (score %.2f)\n", top, d.Rows[0].Score)
+	}
+	return 0
+}
+
+// writeWindows appends a per-window summary to a text report when the run
+// was windowed.
+func writeWindows(out io.Writer, snaps []*core.WindowSnapshot) {
+	if len(snaps) < 2 {
+		return // single-window runs are the monolithic default; nothing to add
+	}
+	fmt.Fprintln(out, "\n== profiling windows ==")
+	fmt.Fprintf(out, "%-8s %14s %14s %10s %10s\n", "window", "start (ms)", "end (ms)", "samples", "misses")
+	for _, ws := range snaps {
+		fmt.Fprintf(out, "%-8d %14.2f %14.2f %10d %10d\n",
+			ws.Index, float64(ws.Start)/1e6, float64(ws.End)/1e6, ws.Samples(), ws.Misses())
+	}
 }
 
 // runTopologySweep rebuilds and runs the workload once per requested socket

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -193,5 +196,124 @@ func TestRunExperimentMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "=== table6.1") {
 		t.Errorf("experiment output missing:\n%s", out.String())
+	}
+}
+
+// TestJSONOutputMatchesDocumentFormat runs a tiny session with -json and
+// checks the output parses as the canonical profile document (the dprofd
+// POST /profile format) with the canonical options filled in.
+func TestJSONOutputMatchesDocumentFormat(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "falseshare", "-rate", "100000", "-measure-ms", "1", "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Workload string                     `json:"workload"`
+		Options  map[string]string          `json:"options"`
+		Topology string                     `json:"topology"`
+		Summary  string                     `json:"summary"`
+		Values   map[string]float64         `json:"values"`
+		Views    map[string]json.RawMessage `json:"views"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &doc); err != nil {
+		t.Fatalf("output is not one JSON document: %v\n%s", err, stdout.String())
+	}
+	if doc.Workload != "falseshare" || doc.Summary == "" || doc.Topology == "" {
+		t.Errorf("document incomplete: %+v", doc)
+	}
+	if doc.Options["padded"] != "false" || doc.Options["seed"] != "0" || doc.Options["window-ms"] != "0" {
+		t.Errorf("canonical options not filled in: %v", doc.Options)
+	}
+	if _, ok := doc.Views["dataprofile"]; !ok {
+		t.Errorf("views missing dataprofile: %v", doc.Views)
+	}
+	if doc.Values["throughput"] <= 0 {
+		t.Errorf("values missing throughput: %v", doc.Values)
+	}
+}
+
+// TestDiffAgainstSavedProfile saves a broken falseshare profile with -json,
+// rediffs the fixed run against it, and checks pkt_stat tops the ranking —
+// the paper's differential-analysis workflow end to end through the CLI.
+func TestDiffAgainstSavedProfile(t *testing.T) {
+	var saved, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "falseshare", "-rate", "100000", "-measure-ms", "1", "-json",
+	}, &saved, &stderr)
+	if code != 0 {
+		t.Fatalf("saving profile: exit %d: %s", code, stderr.String())
+	}
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte(saved.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout strings.Builder
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-workload", "falseshare", "-padded", "-rate", "100000", "-measure-ms", "1",
+		"-diff", path, "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("diff: exit %d: %s", code, stderr.String())
+	}
+	var out struct {
+		Top  string `json:"top"`
+		Diff struct {
+			Rows []struct {
+				Type  string  `json:"type"`
+				Score float64 `json:"score"`
+			} `json:"rows"`
+		} `json:"diff"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &out); err != nil {
+		t.Fatalf("diff output not JSON: %v\n%s", err, stdout.String())
+	}
+	if out.Top != "pkt_stat" {
+		t.Errorf("top suspect = %q, want pkt_stat\n%s", out.Top, stdout.String())
+	}
+
+	// Text mode renders the ranked table with the same suspect on top.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-workload", "falseshare", "-padded", "-rate", "100000", "-measure-ms", "1",
+		"-diff", path,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("text diff: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "top suspect: pkt_stat") {
+		t.Errorf("text diff missing top suspect line:\n%s", stdout.String())
+	}
+
+	// A missing file is a usage error.
+	stderr.Reset()
+	if code := run(context.Background(), []string{
+		"-workload", "falseshare", "-diff", filepath.Join(t.TempDir(), "nope.json"),
+	}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing diff file: exit %d, want 2", code)
+	}
+}
+
+// TestWindowedTextReportListsWindows checks -window-ms adds the per-window
+// summary to the text report.
+func TestWindowedTextReportListsWindows(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "falseshare", "-rate", "100000", "-measure-ms", "3", "-window-ms", "1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "== profiling windows ==") {
+		t.Fatalf("windowed report missing window summary:\n%s", out)
+	}
+	if !strings.Contains(out, "window") || strings.Count(out, "\n") < 5 {
+		t.Errorf("window table too short:\n%s", out)
 	}
 }

@@ -7,7 +7,10 @@
 //	GET  /workloads             the workload registry (options, windows)
 //	GET  /experiments           the paper-experiment registry
 //	GET  /experiments/{name}    run one experiment (?quick=1, ?stream=ndjson|sse)
-//	POST /profile               run a profiling session (JSON body; ?stream=...)
+//	POST /profile               run a profiling session (JSON body; ?stream=...
+//	                            streams window snapshots live on windowed runs)
+//	POST /diff                  diff two profiling sessions' data profiles
+//	GET  /stats                 cache hit/miss/eviction + singleflight counters
 //	GET  /healthz               liveness + cache/worker counters
 //
 // Identical concurrent requests share one simulation (singleflight) and

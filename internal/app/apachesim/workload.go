@@ -29,7 +29,8 @@ func (wl) Options() []workload.Option {
 		{Name: "backlog", Kind: workload.Int, Default: "0",
 			Usage: "accept backlog override (0 = default 511; the §6.2 fix is a small cap)"},
 	}
-	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	opts = append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	return append(opts, workload.WindowOption())
 }
 
 func (wl) Windows(quick bool) workload.Windows {

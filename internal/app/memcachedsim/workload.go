@@ -27,7 +27,8 @@ func (wl) Options() []workload.Option {
 		{Name: "window", Kind: workload.Int, Default: "4",
 			Usage: "outstanding requests per closed-loop client"},
 	}
-	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	opts = append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	return append(opts, workload.WindowOption())
 }
 
 func (wl) Windows(quick bool) workload.Windows {

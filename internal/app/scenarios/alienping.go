@@ -175,7 +175,8 @@ func (alienPingWL) Options() []workload.Option {
 		{Name: "aliencap", Kind: workload.Int, Default: "12",
 			Usage: "alien cache capacity per (pool, home core); 1 drains on every remote free"},
 	}
-	return append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	opts = append(opts, workload.TopologyOptions(cache.SingleSocket(16), mem.FirstTouch)...)
+	return append(opts, workload.WindowOption())
 }
 
 func (alienPingWL) Windows(quick bool) workload.Windows {

@@ -117,6 +117,7 @@ func (conflictWL) Options() []workload.Option {
 		{Name: "buffers", Kind: workload.Int, Default: "24",
 			Usage: "ring buffers in the pool"},
 		workload.SeedOption(),
+		workload.WindowOption(),
 	}
 }
 

@@ -134,6 +134,7 @@ func (falseShareWL) Options() []workload.Option {
 		{Name: "padded", Kind: workload.Bool, Default: "false",
 			Usage: "pad each counter to its own cache line (the fix)"},
 		workload.SeedOption(),
+		workload.WindowOption(),
 	}
 }
 

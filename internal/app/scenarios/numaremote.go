@@ -263,7 +263,8 @@ func (numaRemoteWL) Options() []workload.Option {
 		{Name: "threads-per-socket", Kind: workload.Int, Default: "1",
 			Usage: "consumer threads per socket (0 = one per core)"},
 	}
-	return append(opts, workload.TopologyOptions(cache.PaperTopology(), mem.FirstTouch)...)
+	opts = append(opts, workload.TopologyOptions(cache.PaperTopology(), mem.FirstTouch)...)
+	return append(opts, workload.WindowOption())
 }
 
 func (numaRemoteWL) Windows(quick bool) workload.Windows {

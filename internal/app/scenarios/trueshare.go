@@ -191,6 +191,7 @@ func (trueShareWL) Options() []workload.Option {
 		{Name: "buckets", Kind: workload.Int, Default: "4",
 			Usage: "shared counter/lock buckets (fewer than cores = contention)"},
 		workload.SeedOption(),
+		workload.WindowOption(),
 	}
 }
 

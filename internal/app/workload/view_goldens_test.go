@@ -1,0 +1,147 @@
+package workload_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
+	"dprof/internal/core"
+)
+
+var updateViewGoldens = flag.Bool("update", false, "rewrite testdata golden files")
+
+// runDefaultSession runs one workload at its defaults (quick fidelity)
+// under a profiling session configured the way the HTTP service configures
+// it. windowCycles 0 is the monolithic default; > 0 enables the windowed
+// pipeline.
+func runDefaultSession(t *testing.T, name string, windowCycles uint64) *core.Session {
+	t.Helper()
+	w, err := workload.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Build(workload.Defaults(w).WithQuick(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := w.Windows(true)
+	cfg := core.SessionConfig{
+		Profiler:     core.DefaultConfig(),
+		Views:        core.KnownViews,
+		TypeName:     w.DefaultTarget(),
+		Warmup:       win.Warmup,
+		Measure:      win.Measure,
+		WindowCycles: windowCycles,
+	}
+	s, err := core.NewSession(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	return s
+}
+
+// exportAllViews marshals every view of a finished session with the core
+// marshalers — the byte surface the pre-refactor goldens lock.
+func exportAllViews(t *testing.T, name string, s *core.Session) map[string]json.RawMessage {
+	t.Helper()
+	p := s.Profiler()
+	exports := map[string]any{
+		"dataprofile": p.DataProfile(),
+		"workingset":  p.WorkingSet(),
+		"residency":   p.CacheResidency(core.DefaultReplayObjects),
+		"missclass":   p.MissClassification(),
+	}
+	if tgt := s.Target(); tgt != nil {
+		exports["pathtrace"] = p.PathTraces(tgt)
+		exports["dataflow"] = p.DataFlow(tgt)
+	}
+	out := make(map[string]json.RawMessage, len(exports))
+	for view, v := range exports {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: marshal %s view: %v", name, view, err)
+		}
+		out[view] = raw
+	}
+	return out
+}
+
+// goldenSession runs a default session and returns the JSON export of every
+// view. This is the exact byte surface the windowed-pipeline refactor must
+// preserve for the default single window.
+func goldenSession(t *testing.T, name string, windowCycles uint64) map[string]json.RawMessage {
+	t.Helper()
+	return exportAllViews(t, name, runDefaultSession(t, name, windowCycles))
+}
+
+func viewGoldenPath(name string) string {
+	return filepath.Join("testdata", "view_goldens", name+".json")
+}
+
+// TestViewExportsMatchPreRefactorGoldens locks the JSON export of every view
+// for every registered workload to goldens captured before the streaming
+// windowed pipeline existed. With the default single window the pipeline
+// must reproduce the monolithic end-of-run aggregation byte for byte.
+// Regenerate deliberately with:
+//
+//	go test ./internal/app/workload -run TestViewExportsMatchPreRefactorGoldens -update
+func TestViewExportsMatchPreRefactorGoldens(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := goldenSession(t, name, 0)
+			path := viewGoldenPath(name)
+			if *updateViewGoldens {
+				raw, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d views)", path, len(got))
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			var want map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("parse golden: %v", err)
+			}
+			for view, wantRaw := range want {
+				// The golden file is stored indented; compact before the
+				// byte comparison against the live compact marshal.
+				var buf bytes.Buffer
+				if err := json.Compact(&buf, wantRaw); err != nil {
+					t.Fatalf("compact golden %s: %v", view, err)
+				}
+				gotRaw, ok := got[view]
+				if !ok {
+					t.Errorf("view %s missing from live export", view)
+					continue
+				}
+				if !bytes.Equal(buf.Bytes(), gotRaw) {
+					t.Errorf("%s %s view drifted from pre-refactor golden:\n--- golden ---\n%s\n--- got ---\n%s",
+						name, view, buf.Bytes(), gotRaw)
+				}
+			}
+			for view := range got {
+				if _, ok := want[view]; !ok {
+					t.Errorf("view %s not in golden file (regenerate with -update)", view)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package workload_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	_ "dprof/internal/app/all" // register every workload
+	"dprof/internal/app/workload"
+	"dprof/internal/core"
+)
+
+// TestWindowedEquivalence is the windowed-vs-monolithic guarantee for the
+// whole registry: splitting a run into windows must not change what the
+// profile says. For every registered workload it runs the same seed twice —
+// once monolithic, once split into ~4 windows — and asserts that
+//
+//  1. every view's JSON export at the end of the windowed run is
+//     byte-identical to the monolithic run's,
+//  2. the fold of all per-window sample deltas rebuilds the data profile
+//     byte-identically (the deterministic per-core merge recombines), and
+//  3. the windows partition the run: contiguous intervals, sequential
+//     indices, exactly one final snapshot, deltas summing to every sample.
+func TestWindowedEquivalence(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workload.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			win := w.Windows(true)
+			length := (win.Warmup + win.Measure) / 4
+
+			mono := runDefaultSession(t, name, 0)
+			monoViews := exportAllViews(t, name, mono)
+
+			windowed := runDefaultSession(t, name, length)
+			windowedViews := exportAllViews(t, name, windowed)
+
+			for view, want := range monoViews {
+				got, ok := windowedViews[view]
+				if !ok {
+					t.Errorf("windowed run missing %s view", view)
+					continue
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s view differs between monolithic and windowed runs:\n--- monolithic ---\n%s\n--- windowed ---\n%s",
+						view, want, got)
+				}
+			}
+
+			snaps := windowed.Windows()
+			if len(snaps) < 2 {
+				t.Fatalf("window length %d produced %d windows, want >= 2", length, len(snaps))
+			}
+			var prevEnd uint64
+			var total, misses uint64
+			for i, s := range snaps {
+				if s.Index != i {
+					t.Errorf("window %d has index %d", i, s.Index)
+				}
+				if s.Start != prevEnd {
+					t.Errorf("window %d starts at %d, previous ended at %d", i, s.Start, prevEnd)
+				}
+				if s.End < s.Start {
+					t.Errorf("window %d interval inverted: [%d, %d)", i, s.Start, s.End)
+				}
+				if (i == len(snaps)-1) != s.Final {
+					t.Errorf("window %d Final = %v", i, s.Final)
+				}
+				prevEnd = s.End
+				total += s.Samples()
+				misses += s.Misses()
+			}
+			p := windowed.Profiler()
+			if total != p.Samples.Total || misses != p.Samples.TotalMisses {
+				t.Errorf("window deltas sum to %d samples / %d misses, cumulative table has %d / %d",
+					total, misses, p.Samples.Total, p.Samples.TotalMisses)
+			}
+
+			// Rebuild the data profile from the folded deltas alone: the
+			// merge must reproduce the monolithic export byte for byte.
+			merged := core.MergeWindowDeltas(snaps)
+			dp := core.BuildDataProfile(merged, p.AddrSet, p.Collector)
+			raw, err := json.Marshal(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, monoViews["dataprofile"]) {
+				t.Errorf("data profile rebuilt from merged window deltas differs from monolithic export:\n--- merged ---\n%s\n--- monolithic ---\n%s",
+					raw, monoViews["dataprofile"])
+			}
+
+			// The final snapshot's view exports must match the session's
+			// end-state exports (the stream converges on the final profile).
+			last := snaps[len(snaps)-1]
+			for view, raw := range last.Views {
+				live, err := core.ExportView(p, view, windowed.Target())
+				if err != nil {
+					t.Fatalf("export %s: %v", view, err)
+				}
+				if !bytes.Equal(raw, live) {
+					t.Errorf("final window snapshot's %s view differs from the session's end-state export", view)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffProfilesSelfIsAllZeros locks the diff identity: diffing a profile
+// against itself produces zero deltas and zero scores on every row.
+func TestDiffProfilesSelfIsAllZeros(t *testing.T) {
+	s := runDefaultSession(t, "falseshare", 0)
+	dp := s.Profiler().DataProfile()
+	d := core.DiffProfiles(dp, dp)
+	if len(d.Rows) == 0 {
+		t.Fatal("self-diff produced no rows")
+	}
+	for _, r := range d.Rows {
+		if r.Score != 0 || r.MissDelta != 0 || r.CrossDelta != 0 || r.WSDelta != 0 {
+			t.Errorf("self-diff row %s not all zeros: %+v", r.Type, r)
+		}
+	}
+
+	// The exported form diffs identically: DiffExports over the marshaled
+	// profile agrees with the in-memory diff byte for byte.
+	raw, err := json.Marshal(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromExport, err := core.DiffExports(raw, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(d)
+	b, _ := json.Marshal(fromExport)
+	if !bytes.Equal(a, b) {
+		t.Errorf("DiffExports disagrees with DiffProfiles on identical inputs:\n%s\n%s", a, b)
+	}
+}

@@ -220,6 +220,14 @@ func (c Config) WithQuick(quick bool) Config {
 // Quick reports whether the build should trade precision for speed.
 func (c Config) Quick() bool { return c.quick }
 
+// Declared reports whether the workload declares an option, so shared
+// helpers can probe before reading (the typed getters panic on undeclared
+// names).
+func (c Config) Declared(name string) bool {
+	_, ok := c.decl[name]
+	return ok
+}
+
 // Canonicalize parses v as the option's kind and returns its canonical
 // string form: "true"/"false" for bools, base-10 for ints, shortest-form
 // for floats. Int values accept the same syntax the flag package does

@@ -76,12 +76,25 @@ func (as *AddressSet) usageFor(t *mem.Type) *typeUsage {
 	return u
 }
 
-// advance accrues the live-count integral for a type up to time now.
+// advance accrues the live-count integral for a type up to time now. Only
+// allocation and free events may advance the clock: core clocks are not
+// globally monotonic, so a read fast-forwarding lastTouch past a lagging
+// core's next event would mis-account that event's segment.
 func (u *typeUsage) advance(now uint64) {
 	if now > u.lastTouch {
 		u.liveInt += u.live * (now - u.lastTouch)
 		u.lastTouch = now
 	}
+}
+
+// integralAt returns the live-count integral extended to time now without
+// mutating the accrual state, so views can read usage mid-run (window
+// snapshots) without perturbing later accounting.
+func (u *typeUsage) integralAt(now uint64) uint64 {
+	if now > u.lastTouch {
+		return u.liveInt + u.live*(now-u.lastTouch)
+	}
+	return u.liveInt
 }
 
 // OnAlloc records an allocation (wired to the allocator's hook).
@@ -150,7 +163,6 @@ func (as *AddressSet) Usage() []TypeUsage {
 	span := as.end - as.start
 	out := make([]TypeUsage, 0, len(as.usage))
 	for t, u := range as.usage {
-		u.advance(as.end)
 		tu := TypeUsage{
 			Type:      t,
 			PeakCount: u.peak,
@@ -160,7 +172,7 @@ func (as *AddressSet) Usage() []TypeUsage {
 			Frees:     u.frees,
 		}
 		if span > 0 {
-			tu.AvgCount = float64(u.liveInt) / float64(span)
+			tu.AvgCount = float64(u.integralAt(as.end)) / float64(span)
 			tu.AvgBytes = tu.AvgCount * float64(t.ObjSize())
 		} else {
 			tu.AvgCount = float64(u.live)

@@ -97,6 +97,11 @@ type Collector struct {
 	Done func()
 
 	running bool
+	// finalized marks the per-type accounting as sealed by FinalizeStats;
+	// a repeated finalize must not re-close the windows (it would stretch
+	// End and Overhead over non-collection time). Collection resuming on a
+	// new type clears the seal.
+	finalized bool
 }
 
 func newCollector(p *Profiler) *Collector {
@@ -265,6 +270,7 @@ func (col *Collector) finishType(next *mem.Type) {
 	}
 	col.curType = next
 	if next != nil {
+		col.finalized = false
 		cs := col.stats[next]
 		if cs.Start == 0 {
 			cs.Start = now
@@ -376,8 +382,16 @@ func (col *Collector) finishActive(c *sim.Ctx, truncated bool) {
 
 // FinalizeStats closes the per-type accounting windows. Call it when a run
 // ends before the target queue empties (e.g. a bounded experiment), so
-// collection times and overheads are measured up to "now".
+// collection times and overheads are measured up to "now". It is
+// idempotent: the first call seals the open window, and repeated calls —
+// an experiment finalizing precisely at its budget and a Session finalizing
+// again on the way out — are no-ops rather than double-closes that would
+// stretch End and Overhead over non-collection time.
 func (col *Collector) FinalizeStats() {
+	if col.finalized {
+		return
+	}
+	col.finalized = true
 	col.finishType(nil)
 	col.running = col.Pending() > 0 && col.running
 }

@@ -247,6 +247,7 @@ func TestProfilerEndToEndViews(t *testing.T) {
 		}
 	})
 	m.RunAll()
+	p.Sync()
 	if p.Samples.Total == 0 {
 		t.Fatal("no IBS samples collected")
 	}
@@ -287,6 +288,7 @@ func TestStopSamplingHaltsSampleFlow(t *testing.T) {
 		}
 	})
 	m.RunAll()
+	p.Sync()
 	before := p.Samples.Total
 	p.StopSampling()
 	m.Schedule(0, m.MaxCoreTime(), func(c *sim.Ctx) {
@@ -297,7 +299,63 @@ func TestStopSamplingHaltsSampleFlow(t *testing.T) {
 		}
 	})
 	m.RunAll()
+	p.Sync()
 	if p.Samples.Total != before {
 		t.Fatal("samples kept flowing after StopSampling")
+	}
+}
+
+// TestFinalizeStatsIdempotent guards the accounting windows against
+// double-close: a second FinalizeStats after the machine advanced must not
+// stretch a type's End (and so its collection time and overhead) over
+// non-collection time.
+func TestFinalizeStatsIdempotent(t *testing.T) {
+	m, a, p := collectorWorld(2)
+	typ := a.RegisterType("sealed", 64, "")
+	// Two targets so the run ends with the queue non-empty: the type's
+	// window is still open when FinalizeStats seals it.
+	p.Collector.AddSingleTargetsRange(typ, 0, 4, 2)
+	p.Collector.Start()
+	m.Schedule(0, 0, func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Write(addr, 4)
+		a.Free(c, addr)
+	})
+	m.RunAll()
+
+	p.Collector.FinalizeStats()
+	cs := p.Collector.StatsFor(typ)
+	end := cs.End
+	secs := cs.CollectionSeconds()
+	oh := cs.OverheadPct()
+	if end == 0 {
+		t.Fatal("FinalizeStats did not close the accounting window")
+	}
+
+	// Advance the machine well past the sealed window, then finalize again.
+	m.Schedule(0, end+5_000_000, func(c *sim.Ctx) { c.Compute(1000) })
+	m.RunAll()
+	p.Collector.FinalizeStats()
+	if cs.End != end {
+		t.Errorf("second FinalizeStats moved End: %d -> %d", end, cs.End)
+	}
+	if got := cs.CollectionSeconds(); got != secs {
+		t.Errorf("second FinalizeStats changed CollectionSeconds: %v -> %v", secs, got)
+	}
+	if got := cs.OverheadPct(); got != oh {
+		t.Errorf("second FinalizeStats changed OverheadPct: %v -> %v", oh, got)
+	}
+
+	// Collection resuming reopens accounting (the seal only guards repeated
+	// finalizes, not future collection): a second history arriving after the
+	// seal must still be recorded.
+	m.Schedule(1, m.MaxCoreTime(), func(c *sim.Ctx) {
+		addr := a.Alloc(c, typ)
+		c.Write(addr, 4)
+		a.Free(c, addr)
+	})
+	m.RunAll()
+	if got := len(p.Collector.Histories(typ)); got != 2 {
+		t.Fatalf("collection did not resume after FinalizeStats: %d histories", got)
 	}
 }

@@ -1,62 +1,189 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 )
 
-// DiffRow compares one type between two profiling runs.
+// DiffRow compares one type between two profiling runs (run A = baseline,
+// run B = the suspect run) on the three axes the paper's differential
+// analysis turns on: miss pressure, cross-chip share, and working-set
+// pressure. The absolute axes are all in percentage points of the whole
+// run, so their B-A deltas compose into one rank score.
 type DiffRow struct {
 	Type string
 
-	MissPctA, MissPctB float64
+	// MissPressure is the percentage of ALL sampled accesses in the run
+	// that were L1 misses attributed to this type — miss share scaled by
+	// the run's overall miss rate, so a fix that removes misses outright
+	// registers even when the type keeps its share of the misses that
+	// remain.
+	MissPressureA, MissPressureB float64
+	// CrossChip is the percentage of all sampled accesses that were misses
+	// of this type served by a cache on another chip (zero on
+	// single-socket runs).
+	CrossChipA, CrossChipB float64
+	// WSShare is the percentage of the profiled working set (peak bytes
+	// across all types) owned by this type.
+	WSShareA, WSShareB float64
+
+	// As-reported view values, for rendering and drill-down.
+	MissPctA, MissPctB float64 // share of each run's misses
 	WSBytesA, WSBytesB uint64
 	LatencyA, LatencyB float64 // average miss latency, cycles
 
 	WSGrowth float64 // B/A, 0 when A had no footprint
+
+	// Deltas (B - A) per axis, and the composite rank score
+	// |MissDelta| + |CrossDelta| + |WSDelta|.
+	MissDelta  float64
+	CrossDelta float64
+	WSDelta    float64
+	Score      float64
 }
 
 // ProfileDiff is the differential analysis of §6.2.1: DProf profiles the
 // same workload at two operating points and diffs the views ("we used DProf
 // to perform differential analysis to figure out what went wrong between
-// two different runs").
+// two different runs"). Rows are ranked most-changed first.
 type ProfileDiff struct {
 	Rows []DiffRow
 }
 
-// DiffProfiles compares two data profiles (run A = baseline, run B = the
-// suspect run), ordered by working-set growth.
+// diffInput is the provider-neutral form both diff entry points reduce to:
+// live *DataProfile views and saved JSON exports produce identical inputs,
+// so `dprof -diff` against a file and an in-memory diff agree byte for
+// byte.
+type diffInput struct {
+	totalSamples uint64
+	totalMisses  uint64
+	rows         []diffInputRow
+}
+
+type diffInputRow struct {
+	name         string
+	missPct      float64
+	crossChipPct float64 // percent of this type's misses
+	wsBytes      uint64
+	latency      float64
+}
+
+func profileInput(dp *DataProfile) diffInput {
+	in := diffInput{totalSamples: dp.TotalSamples, totalMisses: dp.TotalMissSamples}
+	for _, r := range dp.Rows {
+		in.rows = append(in.rows, diffInputRow{
+			name:         r.Type.Name,
+			missPct:      r.MissPct,
+			crossChipPct: r.CrossChipPct,
+			wsBytes:      r.WorkingSetBytes,
+			latency:      r.AvgMissLatency,
+		})
+	}
+	return in
+}
+
+// exportInput parses the stable JSON export of the data profile view (the
+// "dataprofile" entry of a saved profile document) into a diff input.
+func exportInput(raw []byte) (diffInput, error) {
+	var doc dataProfileJSON
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return diffInput{}, fmt.Errorf("parse data profile export: %w", err)
+	}
+	in := diffInput{totalSamples: doc.TotalSamples, totalMisses: doc.TotalMissSamples}
+	for _, r := range doc.Rows {
+		in.rows = append(in.rows, diffInputRow{
+			name:         r.Type,
+			missPct:      r.MissPct,
+			crossChipPct: r.CrossChipPct,
+			wsBytes:      r.WorkingSet,
+			latency:      r.AvgMissLatency,
+		})
+	}
+	return in, nil
+}
+
+// DiffProfiles compares two data profiles and ranks every type by how much
+// it moved: the absolute per-axis deltas (miss pressure, cross-chip share,
+// working-set share) sum into the score, ties break toward larger relative
+// working-set growth and then type name. DiffProfiles(p, p) is all zeros.
 func DiffProfiles(a, b *DataProfile) *ProfileDiff {
+	return diffInputs(profileInput(a), profileInput(b))
+}
+
+// DiffExports diffs two saved data-profile JSON exports (the "dataprofile"
+// view of profile documents produced by dprof -json or dprofd), for diffing
+// against profiles captured in earlier runs or on other machines.
+func DiffExports(a, b []byte) (*ProfileDiff, error) {
+	ia, err := exportInput(a)
+	if err != nil {
+		return nil, fmt.Errorf("profile A: %w", err)
+	}
+	ib, err := exportInput(b)
+	if err != nil {
+		return nil, fmt.Errorf("profile B: %w", err)
+	}
+	return diffInputs(ia, ib), nil
+}
+
+func diffInputs(a, b diffInput) *ProfileDiff {
 	byName := make(map[string]*DiffRow)
+	order := []string{}
 	rowFor := func(name string) *DiffRow {
 		r := byName[name]
 		if r == nil {
 			r = &DiffRow{Type: name}
 			byName[name] = r
+			order = append(order, name)
 		}
 		return r
 	}
-	for _, row := range a.Rows {
-		r := rowFor(row.Type.Name)
-		r.MissPctA = row.MissPct
-		r.WSBytesA = row.WorkingSetBytes
-		r.LatencyA = row.AvgMissLatency
+	var wsTotalA, wsTotalB float64
+	for _, row := range a.rows {
+		wsTotalA += float64(row.wsBytes)
 	}
-	for _, row := range b.Rows {
-		r := rowFor(row.Type.Name)
-		r.MissPctB = row.MissPct
-		r.WSBytesB = row.WorkingSetBytes
-		r.LatencyB = row.AvgMissLatency
+	for _, row := range b.rows {
+		wsTotalB += float64(row.wsBytes)
+	}
+	for _, row := range a.rows {
+		r := rowFor(row.name)
+		r.MissPctA = row.missPct
+		r.WSBytesA = row.wsBytes
+		r.LatencyA = row.latency
+		r.MissPressureA = pressure(row.missPct, a.totalMisses, a.totalSamples)
+		r.CrossChipA = r.MissPressureA * row.crossChipPct / 100
+		if wsTotalA > 0 {
+			r.WSShareA = 100 * float64(row.wsBytes) / wsTotalA
+		}
+	}
+	for _, row := range b.rows {
+		r := rowFor(row.name)
+		r.MissPctB = row.missPct
+		r.WSBytesB = row.wsBytes
+		r.LatencyB = row.latency
+		r.MissPressureB = pressure(row.missPct, b.totalMisses, b.totalSamples)
+		r.CrossChipB = r.MissPressureB * row.crossChipPct / 100
+		if wsTotalB > 0 {
+			r.WSShareB = 100 * float64(row.wsBytes) / wsTotalB
+		}
 	}
 	d := &ProfileDiff{}
-	for _, r := range byName {
+	for _, name := range order {
+		r := byName[name]
 		if r.WSBytesA > 0 {
 			r.WSGrowth = float64(r.WSBytesB) / float64(r.WSBytesA)
 		}
+		r.MissDelta = r.MissPressureB - r.MissPressureA
+		r.CrossDelta = r.CrossChipB - r.CrossChipA
+		r.WSDelta = r.WSShareB - r.WSShareA
+		r.Score = abs(r.MissDelta) + abs(r.CrossDelta) + abs(r.WSDelta)
 		d.Rows = append(d.Rows, *r)
 	}
 	sort.Slice(d.Rows, func(i, j int) bool {
+		if d.Rows[i].Score != d.Rows[j].Score {
+			return d.Rows[i].Score > d.Rows[j].Score
+		}
 		if d.Rows[i].WSGrowth != d.Rows[j].WSGrowth {
 			return d.Rows[i].WSGrowth > d.Rows[j].WSGrowth
 		}
@@ -65,25 +192,74 @@ func DiffProfiles(a, b *DataProfile) *ProfileDiff {
 	return d
 }
 
-// String renders the diff, biggest working-set growth first.
+// pressure converts a type's share of a run's misses into its share of all
+// sampled accesses (percentage points).
+func pressure(missPct float64, totalMisses, totalSamples uint64) float64 {
+	if totalSamples == 0 {
+		return 0
+	}
+	return missPct * float64(totalMisses) / float64(totalSamples)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the ranked diff, most-changed type first.
 func (d *ProfileDiff) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %10s %10s %8s %9s %9s %9s %9s\n",
-		"Type name", "WS A", "WS B", "growth", "miss%% A", "miss%% B", "lat A", "lat B")
+	fmt.Fprintf(&b, "%-16s %7s %8s %8s %8s %10s %10s %7s\n",
+		"Type name", "score", "Dmiss", "Dxchip", "Dws", "WS A", "WS B", "growth")
 	for _, r := range d.Rows {
-		if r.WSBytesA < 1024 && r.WSBytesB < 1024 {
+		if r.Score < 0.005 && r.WSBytesA < 1024 && r.WSBytesB < 1024 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-16s %10s %10s %7.1fx %8.2f%% %8.2f%% %9.0f %9.0f\n",
-			r.Type, fmtBytes(float64(r.WSBytesA)), fmtBytes(float64(r.WSBytesB)),
-			r.WSGrowth, r.MissPctA, r.MissPctB, r.LatencyA, r.LatencyB)
+		fmt.Fprintf(&b, "%-16s %7.2f %+7.2fpp %+7.2fpp %+7.2fpp %10s %10s %6.1fx\n",
+			r.Type, r.Score, r.MissDelta, r.CrossDelta, r.WSDelta,
+			fmtBytes(float64(r.WSBytesA)), fmtBytes(float64(r.WSBytesB)), r.WSGrowth)
 	}
 	return b.String()
 }
 
-// Top returns the row with the largest working-set growth (ignoring types
-// with trivial footprints), which is how the Apache case study finds
-// tcp_sock.
+// TopSuspect returns the highest-ranked type that actually moved, or ""
+// for an all-zero diff — the single definition of "top suspect" every
+// surface (dprof -diff, dprofd POST /diff, the diff experiments) reports.
+func (d *ProfileDiff) TopSuspect() string {
+	if len(d.Rows) > 0 && d.Rows[0].Score > 0 {
+		return d.Rows[0].Type
+	}
+	return ""
+}
+
+// DiffSide identifies one side of a diff document. Address is set by
+// dprofd (the side's content address); the CLI leaves it empty.
+type DiffSide struct {
+	Workload string `json:"workload,omitempty"`
+	Address  string `json:"address,omitempty"`
+	Summary  string `json:"summary"`
+}
+
+// DiffDocument is the canonical serialized diff: both sides' identities,
+// the top suspect, and the ranked rows — the same shape whether produced
+// by dprof -diff -json or dprofd's POST /diff.
+type DiffDocument struct {
+	A    DiffSide     `json:"a"`
+	B    DiffSide     `json:"b"`
+	Top  string       `json:"top,omitempty"`
+	Diff *ProfileDiff `json:"diff"`
+}
+
+// NewDiffDocument assembles the canonical diff document.
+func NewDiffDocument(a, b DiffSide, d *ProfileDiff) *DiffDocument {
+	return &DiffDocument{A: a, B: b, Top: d.TopSuspect(), Diff: d}
+}
+
+// Top returns the highest-ranked row with a non-trivial suspect-run
+// footprint (>= 64KB), falling back to the overall top row — how the
+// Apache case study finds tcp_sock.
 func (d *ProfileDiff) Top() (DiffRow, bool) {
 	for _, r := range d.Rows {
 		if r.WSBytesB >= 64*1024 {

@@ -2,6 +2,9 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
 
 	"dprof/internal/cache"
 	"dprof/internal/sym"
@@ -243,6 +246,167 @@ func (tr *PathTrace) MarshalJSON() ([]byte, error) {
 		out.Steps = append(out.Steps, js)
 	}
 	return json.Marshal(out)
+}
+
+type diffRowJSON struct {
+	Type          string  `json:"type"`
+	Score         float64 `json:"score"`
+	MissDelta     float64 `json:"miss_pressure_delta"`
+	CrossDelta    float64 `json:"cross_chip_delta"`
+	WSDelta       float64 `json:"working_set_delta"`
+	MissPressureA float64 `json:"miss_pressure_a"`
+	MissPressureB float64 `json:"miss_pressure_b"`
+	CrossChipA    float64 `json:"cross_chip_a,omitempty"`
+	CrossChipB    float64 `json:"cross_chip_b,omitempty"`
+	WSBytesA      uint64  `json:"working_set_bytes_a"`
+	WSBytesB      uint64  `json:"working_set_bytes_b"`
+	WSGrowth      float64 `json:"working_set_growth"`
+	MissPctA      float64 `json:"miss_pct_a"`
+	MissPctB      float64 `json:"miss_pct_b"`
+	LatencyA      float64 `json:"avg_miss_latency_a,omitempty"`
+	LatencyB      float64 `json:"avg_miss_latency_b,omitempty"`
+}
+
+// MarshalJSON exports the ranked profile diff. Rows keep their rank order,
+// so tooling reads rows[0] as the top suspect.
+func (d *ProfileDiff) MarshalJSON() ([]byte, error) {
+	rows := []diffRowJSON{}
+	for _, r := range d.Rows {
+		rows = append(rows, diffRowJSON{
+			Type:          r.Type,
+			Score:         r.Score,
+			MissDelta:     r.MissDelta,
+			CrossDelta:    r.CrossDelta,
+			WSDelta:       r.WSDelta,
+			MissPressureA: r.MissPressureA,
+			MissPressureB: r.MissPressureB,
+			CrossChipA:    r.CrossChipA,
+			CrossChipB:    r.CrossChipB,
+			WSBytesA:      r.WSBytesA,
+			WSBytesB:      r.WSBytesB,
+			WSGrowth:      r.WSGrowth,
+			MissPctA:      r.MissPctA,
+			MissPctB:      r.MissPctB,
+			LatencyA:      r.LatencyA,
+			LatencyB:      r.LatencyB,
+		})
+	}
+	return json.Marshal(struct {
+		Rows []diffRowJSON `json:"rows"`
+	}{rows})
+}
+
+type windowSnapshotJSON struct {
+	Index      int                        `json:"index"`
+	StartCycle uint64                     `json:"start_cycle"`
+	EndCycle   uint64                     `json:"end_cycle"`
+	Final      bool                       `json:"final,omitempty"`
+	Samples    uint64                     `json:"samples"`
+	Misses     uint64                     `json:"misses"`
+	Views      map[string]json.RawMessage `json:"views,omitempty"`
+}
+
+// MarshalJSON exports a window snapshot: its interval, the window's sample
+// delta counts, and the per-boundary view exports. The raw delta table is
+// internal merge substrate and is not serialized.
+func (s *WindowSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(windowSnapshotJSON{
+		Index:      s.Index,
+		StartCycle: s.Start,
+		EndCycle:   s.End,
+		Final:      s.Final,
+		Samples:    s.Samples(),
+		Misses:     s.Misses(),
+		Views:      s.Views,
+	})
+}
+
+// UnmarshalJSON restores a serialized snapshot — everything except the
+// process-local delta table (Delta stays nil), so saved profile documents
+// with windows round-trip and re-encode faithfully.
+func (s *WindowSnapshot) UnmarshalJSON(raw []byte) error {
+	var w windowSnapshotJSON
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	*s = WindowSnapshot{
+		Index:   w.Index,
+		Start:   w.StartCycle,
+		End:     w.EndCycle,
+		Final:   w.Final,
+		Views:   w.Views,
+		samples: w.Samples,
+		misses:  w.Misses,
+	}
+	return nil
+}
+
+// ProfileDocument is the canonical serialized form of one profiling
+// session: the same bytes whether produced by dprofd's POST /profile or
+// cmd/dprof -json, which is what makes saved profiles diffable against
+// either. Every map marshals with sorted keys and every view export is
+// deterministic, so equal sessions produce byte-identical documents.
+type ProfileDocument struct {
+	Workload string                     `json:"workload"`
+	Options  map[string]string          `json:"options"`
+	Quick    bool                       `json:"quick"`
+	Topology string                     `json:"topology"`
+	Target   string                     `json:"target,omitempty"`
+	Summary  string                     `json:"summary"`
+	Values   map[string]float64         `json:"values"`
+	Views    map[string]json.RawMessage `json:"views"`
+	// Windows carries the boundary snapshots of windowed sessions (absent
+	// on default single-window runs, keeping those documents byte-identical
+	// to the pre-windowing format).
+	Windows []*WindowSnapshot `json:"windows,omitempty"`
+}
+
+// BuildProfileDocument renders a finished session as its canonical
+// document. The caller supplies the registry-level identity (workload name,
+// canonical options, fidelity); the session supplies everything else. views
+// lists the view names to export, in canonical order.
+func BuildProfileDocument(s *Session, views []string, workloadName string, options map[string]string, quick bool) (*ProfileDocument, error) {
+	doc := &ProfileDocument{
+		Workload: workloadName,
+		Options:  options,
+		Quick:    quick,
+		Topology: s.Topology().String(),
+		Summary:  s.Result().Summary,
+		Values:   s.Result().Values,
+		Views:    make(map[string]json.RawMessage, len(views)),
+	}
+	if t := s.Target(); t != nil {
+		doc.Target = t.Name
+	}
+	for _, v := range views {
+		raw, err := ExportView(s.Profiler(), v, s.Target())
+		if err != nil {
+			return nil, err
+		}
+		doc.Views[v] = raw
+	}
+	doc.Windows = s.Windows()
+	return doc, nil
+}
+
+// DataProfileExport returns the document's exported data profile view — the
+// input profile diffs run on — or an error when the document was saved
+// without it.
+func (doc *ProfileDocument) DataProfileExport() (json.RawMessage, error) {
+	raw, ok := doc.Views["dataprofile"]
+	if !ok || len(raw) == 0 || string(raw) == "null" {
+		return nil, fmt.Errorf("profile document has no dataprofile view (views: %s)", strings.Join(docViewNames(doc), ", "))
+	}
+	return raw, nil
+}
+
+func docViewNames(doc *ProfileDocument) []string {
+	names := make([]string, 0, len(doc.Views))
+	for v := range doc.Views {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
 }
 
 type flowNodeJSON struct {

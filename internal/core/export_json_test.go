@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"dprof/internal/cache"
 )
 
 // TestWorkingSetJSONOverloadedDetail: the working-set export must carry the
@@ -82,5 +84,48 @@ func TestEmptyViewsMarshal(t *testing.T) {
 		if _, err := json.Marshal(v); err != nil {
 			t.Errorf("%s: zero-value marshal failed: %v", name, err)
 		}
+	}
+}
+
+// TestWindowSnapshotRoundTrip checks that serialized snapshots parse back
+// with their counts, interval, and views intact (Delta is process-local
+// and stays nil) and re-encode byte-identically.
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	st := NewSampleTable()
+	typ := testAlloc().RegisterType("rt", 64, "")
+	st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, true))
+	st.Add(typ, 8, ev("f", 0, cache.L1Hit, 3, false))
+	orig := &WindowSnapshot{
+		Index: 3, Start: 1000, End: 2000, Final: true,
+		Delta:   st,
+		Views:   map[string]json.RawMessage{"dataprofile": json.RawMessage(`{"rows":null}`)},
+		samples: st.Total, misses: st.TotalMisses,
+	}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WindowSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != 3 || back.Start != 1000 || back.End != 2000 || !back.Final {
+		t.Errorf("interval lost: %+v", back)
+	}
+	if back.Samples() != 2 || back.Misses() != 1 {
+		t.Errorf("counts lost: samples=%d misses=%d", back.Samples(), back.Misses())
+	}
+	if back.Delta != nil {
+		t.Error("Delta should not round-trip")
+	}
+	reraw, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(reraw) {
+		t.Errorf("re-encode differs:\n%s\n%s", raw, reraw)
+	}
+	if MergeWindowDeltas([]*WindowSnapshot{&back, orig}).Total != 2 {
+		t.Error("MergeWindowDeltas should skip nil deltas and fold live ones")
 	}
 }

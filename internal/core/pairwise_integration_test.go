@@ -21,6 +21,7 @@ func TestPairwiseOnMemcached(t *testing.T) {
 	b.M.Run(5_000_000) // sampling warm-up so hot offsets exist
 
 	skb := b.K.SkbType
+	p.Sync()
 	offsets := p.Samples.HotOffsets(skb, 8, 4)
 	if len(offsets) < 2 {
 		t.Fatalf("hot offsets = %v; sampling should find several", offsets)

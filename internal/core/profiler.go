@@ -23,6 +23,13 @@ func DefaultConfig() Config {
 }
 
 // Profiler is one DProf session attached to a machine and its allocator.
+//
+// The sample path is a streaming pipeline: the IBS interrupt handler appends
+// each resolved sample to the interrupted core's delta buffer, and the
+// buffers merge into the cumulative table in core-ID order — at every window
+// boundary when windowing is on (StartWindows), and lazily via Sync before
+// any read otherwise. The merge order is fixed, so a windowed run and a
+// monolithic run of the same seed produce byte-identical views.
 type Profiler struct {
 	M     *sim.Machine
 	Alloc *mem.Allocator
@@ -37,7 +44,22 @@ type Profiler struct {
 	cfg      Config
 	sampling bool
 
+	// pending holds each core's samples since the last merge, in delivery
+	// order (the per-core deltas of the windowed pipeline).
+	pending [][]pendingSample
+	pipe    *windowPipeline
+
 	traceCache map[*mem.Type][]*PathTrace
+}
+
+// pendingSample is one IBS sample buffered in a core's delta: resolved to
+// (type, offset) at delivery time — resolution must not wait for the merge,
+// the object could be freed by then — with the event copied out of the
+// core's scratch space.
+type pendingSample struct {
+	t   *mem.Type
+	off uint32
+	ev  sim.AccessEvent
 }
 
 // Attach wires a profiler to the machine: it creates the IBS and
@@ -64,6 +86,7 @@ func Attach(m *sim.Machine, alloc *mem.Allocator, cfg Config) *Profiler {
 	p.AddrSet.MaxObjects = cfg.MaxAddrRecords
 	p.Collector = newCollector(p)
 	p.Collector.WatchLen = cfg.WatchLen
+	p.pending = make([][]pendingSample, m.NumCores())
 
 	for _, s := range alloc.Statics() {
 		p.AddrSet.AddStatic(s.Type, s.Base)
@@ -92,12 +115,33 @@ func (p *Profiler) StartSampling() {
 	p.sampling = true
 	p.IBS.Start(p.cfg.SampleRate, func(c *sim.Ctx, s hw.Sample) {
 		t, base, ok := p.Alloc.Resolve(s.Ev.Addr)
-		if !ok {
-			p.Samples.Add(nil, 0, &s.Ev)
-			return
+		var off uint32
+		if ok {
+			off = uint32(s.Ev.Addr - base)
+		} else {
+			t = nil
 		}
-		p.Samples.Add(t, uint32(s.Ev.Addr-base), &s.Ev)
+		p.pending[s.Ev.Core] = append(p.pending[s.Ev.Core], pendingSample{t: t, off: off, ev: s.Ev})
 	})
+}
+
+// Sync merges the per-core sample deltas into the cumulative table (and the
+// open window's delta, when windowing is on), in core-ID order. Every view
+// builder calls it, so reads through the Profiler API always see a fully
+// merged table; code reading the Samples field directly after driving the
+// machine itself must call Sync first.
+func (p *Profiler) Sync() {
+	for coreID := range p.pending {
+		buf := p.pending[coreID]
+		for i := range buf {
+			s := &buf[i]
+			p.Samples.Add(s.t, s.off, &s.ev)
+			if p.pipe != nil && p.pipe.delta != nil {
+				p.pipe.delta.Add(s.t, s.off, &s.ev)
+			}
+		}
+		p.pending[coreID] = buf[:0]
+	}
 }
 
 // StopSampling turns IBS off.
@@ -124,6 +168,7 @@ func (p *Profiler) CollectHistories(sets int, types ...*mem.Type) {
 // members").
 func (p *Profiler) CollectPairwise(t *mem.Type, offsets []uint32, sets, maxOffsets int) {
 	if offsets == nil {
+		p.Sync()
 		offsets = p.Samples.HotOffsets(t, p.cfg.WatchLen, maxOffsets)
 	}
 	if len(offsets) < 2 {
@@ -143,6 +188,7 @@ func (p *Profiler) PathTraces(t *mem.Type) []*PathTrace {
 	if tr, ok := p.traceCache[t]; ok {
 		return tr
 	}
+	p.Sync()
 	tr := BuildPathTraces(t, p.Collector.Histories(t), p.Samples)
 	p.traceCache[t] = tr
 	return tr
@@ -167,6 +213,7 @@ func (p *Profiler) allTraces() map[*mem.Type][]*PathTrace {
 
 // DataProfile builds the data profile view (§4.1).
 func (p *Profiler) DataProfile() *DataProfile {
+	p.Sync()
 	return BuildDataProfile(p.Samples, p.AddrSet, p.Collector)
 }
 
@@ -182,6 +229,7 @@ func (p *Profiler) WorkingSet() *WorkingSetView {
 
 // MissClassification builds the miss classification view (§4.3).
 func (p *Profiler) MissClassification() []MissClassRow {
+	p.Sync()
 	return BuildMissClassification(p.Samples, p.allTraces(), p.WorkingSet(), p.M.Hier.Config().LineSize)
 }
 

@@ -102,6 +102,34 @@ func (st *SampleTable) Add(t *mem.Type, offset uint32, ev *sim.AccessEvent) {
 // Get returns the stats for a key, or nil.
 func (st *SampleTable) Get(k SampleKey) *SampleStats { return st.byKey[k] }
 
+// Merge folds another table's aggregates into st. Every per-key statistic
+// is a sum or a bitwise union, so merging is commutative and associative
+// over table contents — the property that makes per-window sample deltas
+// recombine into exactly the monolithic table no matter how a run was
+// windowed.
+func (st *SampleTable) Merge(d *SampleTable) {
+	for k, s := range d.byKey {
+		dst := st.byKey[k]
+		if dst == nil {
+			dst = &SampleStats{}
+			st.byKey[k] = dst
+		}
+		dst.Count += s.Count
+		dst.Writes += s.Writes
+		dst.Misses += s.Misses
+		for i := range s.Levels {
+			dst.Levels[i] += s.Levels[i]
+		}
+		dst.LatencySum += s.LatencySum
+		dst.MissLatencySum += s.MissLatencySum
+		dst.CPUMask |= s.CPUMask
+		dst.WriteCPUs |= s.WriteCPUs
+	}
+	st.Total += d.Total
+	st.TotalMisses += d.TotalMisses
+	st.Unresolved += d.Unresolved
+}
+
 // Keys returns all keys, most-sampled first.
 func (st *SampleTable) Keys() []SampleKey {
 	out := make([]SampleKey, 0, len(st.byKey))

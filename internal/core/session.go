@@ -93,6 +93,16 @@ type SessionConfig struct {
 	// Warmup and Measure are the run windows in simulated cycles.
 	Warmup  uint64
 	Measure uint64
+	// WindowCycles splits the profiling run into accounting windows of this
+	// many simulated cycles: per-core sample deltas merge deterministically
+	// at each boundary and every requested view snapshots there. Zero means
+	// one window covering the whole run — exactly the monolithic end-of-run
+	// aggregation.
+	WindowCycles uint64
+	// OnWindow, if set, receives each window snapshot as its boundary
+	// closes (the streaming half of the windowed pipeline). Called on the
+	// simulating goroutine; it must not retain the snapshot's tables.
+	OnWindow func(*WindowSnapshot)
 	// MaxTraces caps how many path traces the pathtrace view prints
 	// (default 3).
 	MaxTraces int
@@ -166,15 +176,31 @@ func NewSession(w Runnable, cfg SessionConfig) (*Session, error) {
 }
 
 // Run executes the workload's warmup and measured windows and returns the
-// run result. It may be called once.
+// run result. It may be called once. When the session is windowed
+// (WindowCycles > 0, or an OnWindow sink is set), per-core sample deltas
+// merge at every boundary and each requested view snapshots there; the
+// final partial window closes when the run ends.
 func (s *Session) Run() RunResult {
 	if s.ran {
 		panic("core: Session.Run called twice")
 	}
 	s.ran = true
+	windowed := s.cfg.WindowCycles > 0 || s.cfg.OnWindow != nil
+	if windowed {
+		s.p.StartWindows(s.cfg.WindowCycles, s.cfg.Views, s.target, s.cfg.OnWindow)
+	}
 	s.result = s.w.Run(s.cfg.Warmup, s.cfg.Measure)
+	if windowed {
+		s.p.FinishWindows()
+	}
+	s.p.Sync()
+	s.p.Collector.FinalizeStats()
 	return s.result
 }
+
+// Windows returns the window snapshots of a windowed session (nil before
+// Run, and for single-window sessions configured without an OnWindow sink).
+func (s *Session) Windows() []*WindowSnapshot { return s.p.Windows() }
 
 // Profiler exposes the attached DProf profiler (for consumers that need raw
 // views, differential analysis, or custom collection).

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dprof/internal/mem"
+)
+
+// WindowSnapshot is one closed accounting window of a windowed profiling
+// session: the half-open cycle interval it covers, the per-window sample
+// delta merged from the per-core buffers at the boundary, and the JSON
+// export of every requested view built from the profile accumulated so far.
+type WindowSnapshot struct {
+	Index int    // 0-based window number
+	Start uint64 // first cycle of the window
+	End   uint64 // boundary cycle (exclusive)
+
+	// Delta is this window's sample contribution: exactly the samples the
+	// per-core buffers held when the boundary closed, merged in core-ID
+	// order. Folding every window's Delta in order reproduces the
+	// cumulative sample table (the windowed-vs-monolithic equivalence
+	// guarantee, locked by TestWindowedEquivalence). The delta table is
+	// process-local merge substrate: it is not serialized, so snapshots
+	// parsed back from a saved document carry a nil Delta (their counts
+	// and views survive the round trip).
+	Delta *SampleTable
+
+	// Views maps each requested view name to its stable JSON export built
+	// from the cumulative profile at this boundary — the same bytes the
+	// monolithic run would export if it ended here.
+	Views map[string]json.RawMessage
+
+	// Final marks the snapshot taken when the session run ends (its End is
+	// the last core clock, not a configured boundary).
+	Final bool
+
+	samples uint64
+	misses  uint64
+}
+
+// Samples reports the window delta's sample count (valid on parsed
+// snapshots too, where Delta itself is gone).
+func (s *WindowSnapshot) Samples() uint64 { return s.samples }
+
+// Misses reports the window delta's L1-miss sample count.
+func (s *WindowSnapshot) Misses() uint64 { return s.misses }
+
+// viewReducer is one view of the windowed pipeline: a named render function
+// over the incrementally merged profile state. Reducers are stateless —
+// all incremental state lives in the shared tables the per-core merge
+// maintains — so snapshotting at a boundary and at run end go through
+// exactly the same code as the monolithic views.
+type viewReducer struct {
+	name string
+	// needsTarget marks reducers that render nothing without a
+	// dataflow/pathtrace target type.
+	needsTarget bool
+	render      func(p *Profiler, target *mem.Type) (any, error)
+}
+
+// reducers lists the windowed pipeline's view reducers in KnownViews order.
+// The rendered shapes are the service's stable JSON surface (ExportView).
+var reducers = []viewReducer{
+	{name: "dataprofile", render: func(p *Profiler, _ *mem.Type) (any, error) {
+		return p.DataProfile(), nil
+	}},
+	{name: "workingset", render: func(p *Profiler, _ *mem.Type) (any, error) {
+		return struct {
+			WorkingSet *WorkingSetView `json:"working_set"`
+			Residency  *ResidencyView  `json:"residency"`
+		}{p.WorkingSet(), p.CacheResidency(DefaultReplayObjects)}, nil
+	}},
+	{name: "missclass", render: func(p *Profiler, _ *mem.Type) (any, error) {
+		return p.MissClassification(), nil
+	}},
+	{name: "dataflow", needsTarget: true, render: func(p *Profiler, target *mem.Type) (any, error) {
+		g := p.DataFlow(target)
+		type edgeJSON struct {
+			From  string `json:"from"`
+			To    string `json:"to"`
+			Count uint64 `json:"count"`
+		}
+		edges := []edgeJSON{}
+		for _, e := range g.CrossCPUEdges() {
+			edges = append(edges, edgeJSON{From: e.From, To: e.To, Count: e.Count})
+		}
+		return struct {
+			Graph    *FlowGraph `json:"graph"`
+			CrossCPU []edgeJSON `json:"cross_cpu"`
+		}{g, edges}, nil
+	}},
+	{name: "pathtrace", needsTarget: true, render: func(p *Profiler, target *mem.Type) (any, error) {
+		return p.PathTraces(target), nil
+	}},
+}
+
+// ExportView renders one named view of a profiler as its stable JSON form —
+// the single serializer the HTTP service, the CLI -json flag, and window
+// snapshots all share, so every consumer emits byte-identical documents for
+// the same profile. target is required for the dataflow and pathtrace views
+// (nil renders them as JSON null, mirroring an absent target).
+func ExportView(p *Profiler, view string, target *mem.Type) (json.RawMessage, error) {
+	for _, r := range reducers {
+		if r.name != view {
+			continue
+		}
+		if r.needsTarget && target == nil {
+			return json.RawMessage("null"), nil
+		}
+		v, err := r.render(p, target)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("marshal %s view: %w", view, err)
+		}
+		return raw, nil
+	}
+	return nil, &UnknownViewError{Name: view}
+}
+
+// windowPipeline drives a profiler's windowed collection: it owns the open
+// window's delta table and closes windows at machine boundary ticks.
+type windowPipeline struct {
+	p      *Profiler
+	views  []string
+	target *mem.Type
+	onSnap func(*WindowSnapshot)
+
+	index int
+	start uint64
+	delta *SampleTable
+
+	snaps []*WindowSnapshot
+}
+
+// StartWindows switches the profiler into windowed collection: every length
+// cycles (when length > 0) the per-core deltas merge, the open window
+// closes, and a WindowSnapshot carrying the requested views is appended to
+// Windows (and delivered to onSnap, when set). length 0 configures a single
+// window covering the whole run — the monolithic default — whose one
+// snapshot is taken by FinishWindows. views may be nil (snapshots then carry
+// only the sample deltas).
+func (p *Profiler) StartWindows(length uint64, views []string, target *mem.Type, onSnap func(*WindowSnapshot)) {
+	if p.pipe != nil {
+		panic("core: StartWindows called twice")
+	}
+	p.Sync() // samples delivered before windowing started belong to window 0
+	pipe := &windowPipeline{
+		p:      p,
+		views:  views,
+		target: target,
+		onSnap: onSnap,
+		delta:  NewSampleTable(),
+	}
+	p.pipe = pipe
+	if length > 0 {
+		p.M.SetWindowTicks(length, pipe.close)
+	}
+}
+
+// Windows returns the snapshots of every closed window so far (nil when the
+// profiler is not windowed).
+func (p *Profiler) Windows() []*WindowSnapshot {
+	if p.pipe == nil {
+		return nil
+	}
+	return p.pipe.snaps
+}
+
+// FinishWindows closes the final (possibly partial) window at the current
+// machine time and stops boundary ticks. It returns the full snapshot list.
+// Calling it when windowing was never started is a no-op returning nil;
+// calling it twice returns the same snapshots without closing a new window.
+func (p *Profiler) FinishWindows() []*WindowSnapshot {
+	if p.pipe == nil {
+		return nil
+	}
+	if pipe := p.pipe; pipe.delta != nil {
+		p.M.SetWindowTicks(0, nil)
+		pipe.closeFinal(p.M.MaxCoreTime())
+	}
+	return p.pipe.snaps
+}
+
+// close seals the open window at a boundary tick.
+func (pipe *windowPipeline) close(boundary uint64) { pipe.seal(boundary, false) }
+
+// closeFinal seals the last window when the run ends. End never precedes
+// Start even if no core advanced past the previous boundary.
+func (pipe *windowPipeline) closeFinal(now uint64) {
+	if now < pipe.start {
+		now = pipe.start
+	}
+	pipe.seal(now, true)
+	pipe.delta = nil // mark finished; further FinishWindows calls are no-ops
+}
+
+// seal merges the per-core deltas, snapshots the requested views from the
+// cumulative profile, and opens the next window.
+func (pipe *windowPipeline) seal(end uint64, final bool) {
+	p := pipe.p
+	p.Sync()
+	snap := &WindowSnapshot{
+		Index:   pipe.index,
+		Start:   pipe.start,
+		End:     end,
+		Delta:   pipe.delta,
+		Final:   final,
+		samples: pipe.delta.Total,
+		misses:  pipe.delta.TotalMisses,
+	}
+	// Open the next window before rendering: the view builders call Sync,
+	// and a stale open delta must not receive this window's samples twice.
+	pipe.index++
+	pipe.start = end
+	pipe.delta = NewSampleTable()
+
+	if len(pipe.views) > 0 {
+		// Histories and samples accumulated since the last boundary;
+		// memoized traces are stale.
+		p.InvalidateTraceCache()
+		snap.Views = make(map[string]json.RawMessage, len(pipe.views))
+		for _, v := range pipe.views {
+			raw, err := ExportView(p, v, pipe.target)
+			if err != nil {
+				// View names were validated at session construction; an
+				// error here is a marshaling bug, not user input.
+				panic(fmt.Sprintf("core: window snapshot %s: %v", v, err))
+			}
+			snap.Views[v] = raw
+		}
+	}
+	pipe.snaps = append(pipe.snaps, snap)
+	if pipe.onSnap != nil {
+		pipe.onSnap(snap)
+	}
+}
+
+// MergeWindowDeltas folds the sample deltas of a snapshot sequence into one
+// cumulative table — the deterministic merge the equivalence suite checks
+// against a monolithic run's table. Snapshots parsed from a saved document
+// carry no delta tables and contribute nothing.
+func MergeWindowDeltas(snaps []*WindowSnapshot) *SampleTable {
+	out := NewSampleTable()
+	for _, s := range snaps {
+		if s.Delta != nil {
+			out.Merge(s.Delta)
+		}
+	}
+	return out
+}

@@ -123,6 +123,7 @@ func runExtPEBS(quick bool) Result {
 	pIBS := core.Attach(ibsRun.Machine(), ibsRun.Alloc(), core.Config{SampleRate: rate})
 	pIBS.StartSampling()
 	ibsRun.Run(w.warmup, w.measure)
+	pIBS.Sync() // drain the per-core delta buffers before the direct read
 	ibsMissFrac := float64(pIBS.Samples.TotalMisses) / float64(pIBS.Samples.Total)
 
 	pebsRun := buildMemcached(false)
@@ -198,6 +199,7 @@ func runAblationMerge(quick bool) Result {
 	p.CollectPairwise(skb, []uint32{0, 8, 16, 24}, 1, 4) // also starts the collector
 	driveUntilDone(w, p.Collector, budget)
 
+	p.Sync()
 	all := p.Collector.Histories(skb)
 	var singles []*core.History
 	for _, h := range all {

@@ -9,10 +9,11 @@ import (
 // lru is the profile store: finished response bodies keyed by content
 // address. Bodies are immutable once inserted, so readers share the slice.
 type lru struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
 }
 
 type lruItem struct {
@@ -50,7 +51,16 @@ func (c *lru) put(key string, body []byte) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruItem).key)
+		c.evictions++
 	}
+}
+
+// evicted reports how many bodies have been pushed out of the cold end
+// (for GET /stats).
+func (c *lru) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // len reports the resident entry count (for /healthz).

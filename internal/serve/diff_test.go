@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postDiff(t *testing.T, ts string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts+"/diff", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestDiffEndpoint runs the falseshare scenario broken vs fixed through
+// POST /diff and checks that the known bottleneck type tops the ranking and
+// that repeats are cache hits costing no new simulations.
+func TestDiffEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	body := `{
+		"a": {"workload":"falseshare","views":["dataprofile"],"rate":100000,"measure_ms":1,"quick":true},
+		"b": {"workload":"falseshare","options":{"padded":"true"},"views":["dataprofile"],"rate":100000,"measure_ms":1,"quick":true}
+	}`
+	resp, raw := postDiff(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		A struct {
+			Workload string `json:"workload"`
+			Address  string `json:"address"`
+			Summary  string `json:"summary"`
+		} `json:"a"`
+		Top  string `json:"top"`
+		Diff struct {
+			Rows []struct {
+				Type  string  `json:"type"`
+				Score float64 `json:"score"`
+			} `json:"rows"`
+		} `json:"diff"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("parse: %v\n%s", err, raw)
+	}
+	if out.Top != "pkt_stat" {
+		t.Errorf("top suspect = %q, want pkt_stat\n%s", out.Top, raw)
+	}
+	if len(out.Diff.Rows) == 0 || out.Diff.Rows[0].Type != "pkt_stat" {
+		t.Errorf("rows[0] should be pkt_stat: %s", raw)
+	}
+	if out.A.Workload != "falseshare" || out.A.Address == "" || out.A.Summary == "" {
+		t.Errorf("side identity incomplete: %+v", out.A)
+	}
+	if got := s.Simulations(); got != 2 {
+		t.Errorf("diff ran %d simulations, want 2 (one per side)", got)
+	}
+
+	// Repeat: the diff body itself is content-addressed, so no new
+	// simulation and byte-identical bytes.
+	resp2, raw2 := postDiff(t, ts.URL, body)
+	if resp2.Header.Get("X-DProf-Cache") != "hit" {
+		t.Errorf("repeat disposition = %q, want hit", resp2.Header.Get("X-DProf-Cache"))
+	}
+	if string(raw) != string(raw2) {
+		t.Error("repeated diff bodies differ")
+	}
+	if got := s.Simulations(); got != 2 {
+		t.Errorf("repeat diff ran simulations: %d", got)
+	}
+
+	// A side that was already profiled is reused: diffing A against itself
+	// costs zero new simulations and reports an all-zero top.
+	self := `{
+		"a": {"workload":"falseshare","views":["dataprofile"],"rate":100000,"measure_ms":1,"quick":true},
+		"b": {"workload":"falseshare","views":["dataprofile"],"rate":100000,"measure_ms":1,"quick":true}
+	}`
+	_, rawSelf := postDiff(t, ts.URL, self)
+	var outSelf struct {
+		Top  string `json:"top"`
+		Diff struct {
+			Rows []struct {
+				Score float64 `json:"score"`
+			} `json:"rows"`
+		} `json:"diff"`
+	}
+	if err := json.Unmarshal(rawSelf, &outSelf); err != nil {
+		t.Fatalf("parse self diff: %v", err)
+	}
+	if outSelf.Top != "" {
+		t.Errorf("self diff has top suspect %q, want none", outSelf.Top)
+	}
+	for _, r := range outSelf.Diff.Rows {
+		if r.Score != 0 {
+			t.Errorf("self diff row has score %v", r.Score)
+		}
+	}
+	if got := s.Simulations(); got != 2 {
+		t.Errorf("self diff resimulated: %d simulations", got)
+	}
+}
+
+// TestDiffErrors mirrors the /profile error contract per side.
+func TestDiffErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+		contains   string
+	}{
+		{"unknown workload", `{"a":{"workload":"nope"},"b":{"workload":"falseshare"}}`,
+			http.StatusNotFound, "profile a"},
+		{"bad option", `{"a":{"workload":"falseshare"},"b":{"workload":"falseshare","options":{"padded":"maybe"}}}`,
+			http.StatusBadRequest, "profile b"},
+		{"unknown field", `{"c":{}}`, http.StatusBadRequest, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postDiff(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Errorf("status = %d, want %d (%s)", resp.StatusCode, tc.status, raw)
+			}
+			if !strings.Contains(string(raw), tc.contains) {
+				t.Errorf("body %s does not mention %q", raw, tc.contains)
+			}
+		})
+	}
+}
+
+// TestStatsEndpoint checks the cache/singleflight counters surface.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheEntries: 4})
+	// One miss, then one hit.
+	postProfileURL(t, ts.URL, quickProfile)
+	postProfileURL(t, ts.URL, quickProfile)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Cache struct {
+			Entries   int    `json:"entries"`
+			Capacity  int    `json:"capacity"`
+			Hits      int64  `json:"hits"`
+			Misses    int64  `json:"misses"`
+			Evictions uint64 `json:"evictions"`
+		} `json:"cache"`
+		Singleflight struct {
+			Deduplicated int64 `json:"deduplicated"`
+		} `json:"singleflight"`
+		Simulations int64 `json:"simulations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache.Misses != 1 || out.Cache.Hits < 1 {
+		t.Errorf("cache counters: %+v", out.Cache)
+	}
+	if out.Cache.Entries != 1 || out.Cache.Capacity != 4 {
+		t.Errorf("cache occupancy: %+v", out.Cache)
+	}
+	if out.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1", out.Simulations)
+	}
+}
+
+func postProfileURL(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/profile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// TestProfileWindowStreaming asks for a windowed session over NDJSON and
+// checks that window snapshots arrive as live events before the result,
+// partition the run, and converge on the final profile.
+func TestProfileWindowStreaming(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"workload":"falseshare","options":{"window-ms":"1"},"views":["dataprofile"],"measure_ms":3,"quick":true}`
+	resp, err := http.Post(ts.URL+"/profile?stream=ndjson", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type event struct {
+		Event string          `json:"event"`
+		Data  json.RawMessage `json:"data"`
+	}
+	var windows []json.RawMessage
+	var result json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "window":
+			if result != nil {
+				t.Error("window event after result")
+			}
+			windows = append(windows, ev.Data)
+		case "result":
+			result = ev.Data
+		case "error":
+			t.Fatalf("stream error: %s", ev.Data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if result == nil {
+		t.Fatal("stream ended without a result")
+	}
+	if len(windows) < 2 {
+		t.Fatalf("got %d window events, want >= 2 (3ms run, 1ms windows)", len(windows))
+	}
+	type snap struct {
+		Index int                        `json:"index"`
+		Start uint64                     `json:"start_cycle"`
+		End   uint64                     `json:"end_cycle"`
+		Final bool                       `json:"final"`
+		Views map[string]json.RawMessage `json:"views"`
+	}
+	var prevEnd uint64
+	var last snap
+	for i, raw := range windows {
+		var ws snap
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			t.Fatal(err)
+		}
+		if ws.Index != i || ws.Start != prevEnd {
+			t.Errorf("window %d not contiguous: %+v", i, ws)
+		}
+		prevEnd = ws.End
+		last = ws
+	}
+	if !last.Final {
+		t.Error("last window event not marked final")
+	}
+
+	// The final window's data profile equals the result document's.
+	var doc struct {
+		Views   map[string]json.RawMessage `json:"views"`
+		Windows []json.RawMessage          `json:"windows"`
+	}
+	if err := json.Unmarshal(result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(last.Views["dataprofile"]) != string(doc.Views["dataprofile"]) {
+		t.Error("final window snapshot's dataprofile differs from the result document's")
+	}
+	if len(doc.Windows) != len(windows) {
+		t.Errorf("result document has %d windows, stream delivered %d", len(doc.Windows), len(windows))
+	}
+	if got := s.Simulations(); got != 1 {
+		t.Errorf("simulations = %d, want 1", got)
+	}
+
+	// A plain (non-streaming) repeat of the same windowed request is a
+	// cache hit with the same document.
+	raw := postProfileURL(t, ts.URL, body)
+	if string(raw) != string(result)+"\n" && string(raw) != string(result) {
+		t.Error("cached windowed document differs from streamed result")
+	}
+	if got := s.Simulations(); got != 1 {
+		t.Errorf("cached repeat resimulated: %d", got)
+	}
+}
+
+// TestWindowCountCapped rejects window-ms values that would explode the
+// per-boundary snapshot count (the window axis of the request-cost
+// ceilings).
+func TestWindowCountCapped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"workload":"falseshare","options":{"window-ms":"1"},"measure_ms":60000,"quick":true}`
+	resp, raw := postDiffOrProfile(t, ts.URL+"/profile", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "windows") || !strings.Contains(string(raw), "exceeds") {
+		t.Errorf("error should name the windows ceiling: %s", raw)
+	}
+}
+
+func postDiffOrProfile(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}

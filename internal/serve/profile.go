@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"slices"
+	"strconv"
 
 	"dprof/internal/app/workload"
 	"dprof/internal/core"
@@ -135,6 +136,14 @@ func (s *Server) normalize(req *ProfileRequest) (profileKey, error) {
 		}
 		k.MeasureCycles = req.MeasureMs * 1_000_000
 	}
+	// Windowed sessions re-render every requested view at each boundary and
+	// embed every snapshot in the response, so the window count is a cost
+	// amplifier the same way sets and rate are: cap it.
+	if wms, err := strconv.ParseUint(k.Options["window-ms"], 10, 64); err == nil && wms > 0 {
+		if n := (k.WarmupCycles + k.MeasureCycles) / (wms * 1_000_000); n > maxWindows {
+			return profileKey{}, &TooLargeError{Field: "windows", Value: n, Max: maxWindows}
+		}
+	}
 	return k, nil
 }
 
@@ -143,8 +152,9 @@ func (s *Server) normalize(req *ProfileRequest) (profileKey, error) {
 // allocates per set, and the sample rate bounds per-cycle profiler work.
 // MaxMeasureMs (configurable) covers the third axis, the window length.
 const (
-	maxSets = 64
-	maxRate = 1_000_000 // samples/s/core; the paper sweeps up to 18,000
+	maxSets    = 64
+	maxRate    = 1_000_000 // samples/s/core; the paper sweeps up to 18,000
+	maxWindows = 256       // boundary snapshots per session
 )
 
 // TooLargeError reports a request parameter past the server's configured
@@ -171,25 +181,15 @@ func (e *BuildError) Error() string { return fmt.Sprintf("building %s: %v", e.Wo
 
 func (e *BuildError) Unwrap() error { return e.Err }
 
-// profileResponse is the POST /profile result body. Every map marshals with
-// sorted keys and every view export is deterministic, so same-address
-// responses are byte-identical.
-type profileResponse struct {
-	Workload string                     `json:"workload"`
-	Options  map[string]string          `json:"options"`
-	Quick    bool                       `json:"quick"`
-	Topology string                     `json:"topology"`
-	Target   string                     `json:"target,omitempty"`
-	Summary  string                     `json:"summary"`
-	Values   map[string]float64         `json:"values"`
-	Views    map[string]json.RawMessage `json:"views"`
-}
-
 // runProfile executes one normalized profiling session end to end: bounded
 // by the worker pool, built through the registry's shared option path, run
-// under a core.Session, and rendered as the canonical response bytes. It is
-// only ever called inside a flight, under the server's lifetime context.
-func (s *Server) runProfile(k profileKey) ([]byte, error) {
+// under a core.Session, and rendered as the canonical core.ProfileDocument
+// bytes (the same serializer cmd/dprof -json uses). It is only ever called
+// inside a flight, under the server's lifetime context. onWindow, when
+// non-nil and the session is windowed (window-ms > 0), receives every
+// window snapshot as its boundary closes — the live half of the streaming
+// pipeline.
+func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) ([]byte, error) {
 	if err := s.acquire(); err != nil {
 		return nil, err
 	}
@@ -210,14 +210,19 @@ func (s *Server) runProfile(k profileKey) ([]byte, error) {
 
 	pcfg := core.DefaultConfig()
 	pcfg.SampleRate = k.Rate
-	sess, err := core.NewSession(inst, core.SessionConfig{
-		Profiler: pcfg,
-		Views:    k.Views,
-		TypeName: k.Type,
-		Sets:     k.Sets,
-		Warmup:   k.WarmupCycles,
-		Measure:  k.MeasureCycles,
-	})
+	scfg := core.SessionConfig{
+		Profiler:     pcfg,
+		Views:        k.Views,
+		TypeName:     k.Type,
+		Sets:         k.Sets,
+		Warmup:       k.WarmupCycles,
+		Measure:      k.MeasureCycles,
+		WindowCycles: workload.WindowCycles(cfg),
+	}
+	if onWindow != nil && scfg.WindowCycles > 0 {
+		scfg.OnWindow = onWindow
+	}
+	sess, err := core.NewSession(inst, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -226,54 +231,9 @@ func (s *Server) runProfile(k profileKey) ([]byte, error) {
 	s.simulations.Add(1)
 	sess.Run()
 
-	resp := profileResponse{
-		Workload: k.Workload,
-		Options:  k.Options,
-		Quick:    k.Quick,
-		Topology: sess.Topology().String(),
-		Summary:  sess.Result().Summary,
-		Values:   sess.Result().Values,
-		Views:    make(map[string]json.RawMessage, len(k.Views)),
+	doc, err := core.BuildProfileDocument(sess, k.Views, k.Workload, k.Options, k.Quick)
+	if err != nil {
+		return nil, err
 	}
-	if t := sess.Target(); t != nil {
-		resp.Target = t.Name
-	}
-	p := sess.Profiler()
-	for _, v := range k.Views {
-		var view any
-		switch v {
-		case "dataprofile":
-			view = p.DataProfile()
-		case "workingset":
-			view = struct {
-				WorkingSet *core.WorkingSetView `json:"working_set"`
-				Residency  *core.ResidencyView  `json:"residency"`
-			}{p.WorkingSet(), p.CacheResidency(core.DefaultReplayObjects)}
-		case "missclass":
-			view = p.MissClassification()
-		case "pathtrace":
-			view = p.PathTraces(sess.Target())
-		case "dataflow":
-			g := p.DataFlow(sess.Target())
-			type edgeJSON struct {
-				From  string `json:"from"`
-				To    string `json:"to"`
-				Count uint64 `json:"count"`
-			}
-			edges := []edgeJSON{}
-			for _, e := range g.CrossCPUEdges() {
-				edges = append(edges, edgeJSON{From: e.From, To: e.To, Count: e.Count})
-			}
-			view = struct {
-				Graph    *core.FlowGraph `json:"graph"`
-				CrossCPU []edgeJSON      `json:"cross_cpu"`
-			}{g, edges}
-		}
-		raw, err := json.Marshal(view)
-		if err != nil {
-			return nil, fmt.Errorf("marshal %s view: %w", v, err)
-		}
-		resp.Views[v] = raw
-	}
-	return json.Marshal(resp)
+	return json.Marshal(doc)
 }

@@ -1,12 +1,14 @@
 // Package serve implements dprofd: DProf as a long-running HTTP service.
 //
 // The service exposes the whole stack — the workload registry, profiling
-// sessions, and the paper-experiment engine — behind four endpoints:
+// sessions, profile diffing, and the paper-experiment engine:
 //
 //	GET  /workloads          the registry: workloads, options, windows
 //	GET  /experiments        the experiment registry, in paper order
 //	GET  /experiments/{name} run one paper experiment (cached)
 //	POST /profile            run a workload profiling session (cached)
+//	POST /diff               diff two sessions' data profiles (cached)
+//	GET  /stats              cache hit/miss/eviction + singleflight counters
 //	GET  /healthz            liveness plus cache/worker counters
 //
 // Profiling is deterministic — same workload, same canonical options, same
@@ -16,8 +18,10 @@
 // responses. Simulations run detached from any one request on a bounded
 // worker pool, so a client disconnecting neither cancels work other clients
 // share nor loses the result for the cache. Progress streams to clients as
-// NDJSON or SSE (?stream=ndjson|sse), bridged from the experiment engine's
-// events.
+// NDJSON or SSE (?stream=ndjson|sse): experiment runs bridge the engine's
+// events, and windowed profiling sessions (the shared window-ms option)
+// stream every window snapshot as its boundary closes, so a watching client
+// sees the profile converge live instead of waiting for the whole run.
 package serve
 
 import (
@@ -89,10 +93,12 @@ func New(cfg Config) *Server {
 	s.ctx, s.stop = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /profile", s.handleProfile)
+	s.mux.HandleFunc("POST /diff", s.handleDiff)
 	return s
 }
 
@@ -251,6 +257,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleStats exposes the profile store's operational counters: cache
+// hits/misses/evictions and how many requests the singleflight layer
+// deduplicated onto a shared simulation — the observability surface for
+// tuning CacheEntries and verifying the dedup contract in production.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"cache": map[string]any{
+			"entries":   s.cache.len(),
+			"capacity":  s.cfg.CacheEntries,
+			"hits":      s.hits.Load(),
+			"misses":    s.misses.Load(),
+			"evictions": s.cache.evicted(),
+		},
+		"singleflight": map[string]any{
+			"deduplicated": s.dedups.Load(),
+		},
+		"simulations": s.simulations.Load(),
+		"workers":     s.cfg.Workers,
+	})
+}
+
 // --- profiling sessions ---
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -281,23 +308,77 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st != nil {
-		st.event("accepted", map[string]any{"address": addr, "workload": k.Workload})
+		s.streamProfile(st, r, k, addr)
+		return
 	}
 
-	body, disposition, err := s.compute(r, st, addr, func() ([]byte, error) { return s.runProfile(k) })
+	body, disposition, err := s.compute(r, addr, func() ([]byte, error) { return s.runProfile(k, nil) })
 	if err != nil {
-		if st != nil {
-			st.event("error", map[string]any{"error": err.Error(), "status": statusFor(err)})
-			return
-		}
 		writeError(w, err)
 		return
 	}
-	if st != nil {
-		st.event("result", json.RawMessage(body))
-		return
-	}
 	writeBody(w, body, disposition)
+}
+
+// streamProfile runs a profiling session through the singleflight layer,
+// bridging window snapshots to the client as live "window" events and
+// emitting the result (or error) as the final event. Only the flight
+// leader gets live snapshots — a streaming client joining someone else's
+// in-progress run receives keep-alives and then the shared result — and
+// the simulation runs detached under the server's lifetime, so the
+// cache/dedup/disconnect semantics are identical to a plain POST /profile.
+func (s *Server) streamProfile(st *streamer, r *http.Request, k profileKey, addr string) {
+	st.event("accepted", map[string]any{"address": addr, "workload": k.Workload})
+	snaps := make(chan json.RawMessage, 8)
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		body, err, leader := s.flights.do(r.Context(), addr, s.cachedRun(addr, nil, func() ([]byte, error) {
+			return s.runProfile(k, func(ws *core.WindowSnapshot) {
+				raw, err := json.Marshal(ws)
+				if err != nil {
+					return
+				}
+				select {
+				case snaps <- raw:
+				default: // this handler may be gone; never block the simulation
+				}
+			})
+		}))
+		if !leader {
+			s.dedups.Add(1)
+		}
+		done <- outcome{body, err}
+	}()
+	for {
+		select {
+		case raw := <-snaps:
+			st.event("window", raw)
+		case out := <-done:
+			// Drain snapshots emitted before the run finished, so the
+			// stream always shows the final window before the result.
+			for {
+				select {
+				case raw := <-snaps:
+					st.event("window", raw)
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				st.event("error", map[string]any{"error": out.err.Error(), "status": statusFor(out.err)})
+				return
+			}
+			st.event("result", json.RawMessage(out.body))
+			return
+		case <-time.After(15 * time.Second):
+			st.comment("running")
+		}
+	}
 }
 
 // compute runs a cacheable computation through the singleflight layer:
@@ -308,38 +389,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // simulation). The returned disposition reports what actually happened —
 // "miss" (this request launched the computation), "hit" (the in-flight
 // re-check found a just-cached body), or "dedup" (joined another request's
-// flight). While waiting, a streaming client gets periodic keep-alive
-// comments so idle-timeout proxies do not sever it mid-simulation; plain
-// requests wait inline with no timer scaffolding.
-func (s *Server) compute(r *http.Request, st *streamer, addr string, run func() ([]byte, error)) (body []byte, disposition string, err error) {
+// flight). Streaming requests go through streamProfile/streamExperiment
+// instead, which add live events and keep-alives on the same flight path.
+func (s *Server) compute(r *http.Request, addr string, run func() ([]byte, error)) (body []byte, disposition string, err error) {
 	var fromCache bool
 	wrapped := s.cachedRun(addr, &fromCache, run)
-
-	var leader bool
-	if st == nil {
-		body, err, leader = s.flights.do(r.Context(), addr, wrapped)
-	} else {
-		type outcome struct {
-			body   []byte
-			err    error
-			leader bool
-		}
-		done := make(chan outcome, 1)
-		go func() {
-			b, e, l := s.flights.do(r.Context(), addr, wrapped)
-			done <- outcome{b, e, l}
-		}()
-	wait:
-		for {
-			select {
-			case out := <-done:
-				body, err, leader = out.body, out.err, out.leader
-				break wait
-			case <-time.After(15 * time.Second):
-				st.comment("running")
-			}
-		}
-	}
+	body, err, leader := s.flights.do(r.Context(), addr, wrapped)
 	switch {
 	case err != nil:
 		return nil, "", err
@@ -427,7 +482,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.streamExperiment(st, r, name, quick, addr)
 		return
 	}
-	body, disposition, err := s.compute(r, nil, addr, func() ([]byte, error) {
+	body, disposition, err := s.compute(r, addr, func() ([]byte, error) {
 		return s.runExperiment(s.ctx, name, quick, nil)
 	})
 	if err != nil {

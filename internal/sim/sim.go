@@ -175,6 +175,12 @@ type Machine struct {
 	accessHooks []AccessHook
 	workHooks   []WorkHook
 
+	// Window boundary ticks: winFn fires at every multiple of winLen before
+	// any event at or past that boundary is dispatched (see SetWindowTicks).
+	winLen  uint64
+	winNext uint64
+	winFn   func(boundary uint64)
+
 	// Overhead tallies profiling costs by category; Table 6.9 reports the
 	// breakdown. Categories used: "interrupt", "memory", "communication".
 	Overhead map[string]uint64
@@ -248,6 +254,26 @@ func (m *Machine) AddAccessHook(h AccessHook) { m.accessHooks = append(m.accessH
 // AddWorkHook registers a hook over compute-cycle charging.
 func (m *Machine) AddWorkHook(h WorkHook) { m.workHooks = append(m.workHooks, h) }
 
+// SetWindowTicks installs a periodic boundary callback: fn fires once per
+// multiple of length cycles, in order, before any event scheduled at or past
+// that boundary is dispatched. A task that starts before a boundary may run
+// past it — boundaries align with the dispatch watermark, not with per-access
+// times — which keeps the tick deterministic without slicing tasks. fn must
+// not schedule events or issue simulated accesses; it is an observation
+// point (profilers merge their accounting there). length 0 (or nil fn)
+// removes the ticks.
+func (m *Machine) SetWindowTicks(length uint64, fn func(boundary uint64)) {
+	if length == 0 || fn == nil {
+		m.winLen, m.winNext, m.winFn = 0, 0, nil
+		return
+	}
+	m.winLen = length
+	m.winFn = fn
+	// Resume from the watermark so mid-run installation never replays
+	// boundaries the run already passed.
+	m.winNext = (m.now/length + 1) * length
+}
+
 // Schedule queues fn to run on core at absolute time t (or as soon as the
 // core is free, if later).
 func (m *Machine) Schedule(core int, t uint64, fn TaskFunc) {
@@ -268,6 +294,14 @@ func (m *Machine) Run(until uint64) int {
 	for len(m.events) > 0 {
 		if m.events[0].t > until {
 			break
+		}
+		// Fire window boundaries the next event is about to cross. An event
+		// at exactly the boundary belongs to the new window, so the tick
+		// runs first.
+		for m.winLen > 0 && m.events[0].t >= m.winNext {
+			b := m.winNext
+			m.winNext += m.winLen
+			m.winFn(b)
 		}
 		ev := m.events.pop()
 		core := m.cores[ev.core]

@@ -309,3 +309,44 @@ func TestScheduleBadCorePanics(t *testing.T) {
 	}()
 	m.Schedule(5, 0, func(c *Ctx) {})
 }
+
+func TestWindowTicksFireAtBoundaries(t *testing.T) {
+	m := testMachine(2)
+	var boundaries []uint64
+	m.SetWindowTicks(100, func(b uint64) { boundaries = append(boundaries, b) })
+	// Events at 50, 100 (exactly a boundary: belongs to window 1), 250.
+	var order []string
+	m.Schedule(0, 50, func(c *Ctx) { order = append(order, "e50") })
+	m.Schedule(1, 100, func(c *Ctx) { order = append(order, "e100") })
+	m.Schedule(0, 250, func(c *Ctx) { order = append(order, "e250") })
+	m.RunAll()
+	if want := []uint64{100, 200}; len(boundaries) != len(want) ||
+		boundaries[0] != want[0] || boundaries[1] != want[1] {
+		t.Fatalf("boundaries = %v, want %v", boundaries, want)
+	}
+	if len(order) != 3 || order[0] != "e50" || order[1] != "e100" || order[2] != "e250" {
+		t.Fatalf("dispatch order = %v", order)
+	}
+}
+
+func TestWindowTicksInstallMidRunSkipsPastBoundaries(t *testing.T) {
+	m := testMachine(1)
+	m.Schedule(0, 550, func(c *Ctx) {})
+	m.Run(600)
+	var boundaries []uint64
+	m.SetWindowTicks(100, func(b uint64) { boundaries = append(boundaries, b) })
+	m.Schedule(0, 750, func(c *Ctx) {})
+	m.RunAll()
+	// Installed at watermark 550: the first boundary is 600, and boundaries
+	// 100..500 are never replayed.
+	if want := []uint64{600, 700}; len(boundaries) != 2 ||
+		boundaries[0] != want[0] || boundaries[1] != want[1] {
+		t.Fatalf("boundaries = %v, want %v", boundaries, want)
+	}
+	m.SetWindowTicks(0, nil)
+	m.Schedule(0, 1950, func(c *Ctx) {})
+	m.RunAll()
+	if len(boundaries) != 2 {
+		t.Fatalf("ticks fired after removal: %v", boundaries)
+	}
+}
