@@ -7,13 +7,18 @@ package dprof_test
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"dprof/internal/app/memcachedsim"
 	"dprof/internal/app/workload"
@@ -357,4 +362,118 @@ func BenchmarkMemcachedSteadyState(b *testing.B) {
 		st := bench.Run(500_000, 2_000_000)
 		b.ReportMetric(float64(st.Completed), "requests")
 	}
+}
+
+// --- sharded simulation: the same 4x4 memcached run unsharded, sharded but
+// executed one part at a time, and sharded with all parts concurrent. The
+// serial/parallel pair shares one build shape, so the wall-clock ratio is the
+// intra-run parallel speedup; the unsharded row anchors it to the classic
+// single-machine simulator.
+
+// buildShardedMemcached4x4 builds the paper topology split into one shard per
+// socket, in the requested execution mode.
+func buildShardedMemcached4x4(tb testing.TB, sequential bool) core.Runnable {
+	tb.Helper()
+	opts := topo(4, 4)
+	opts["parallel-shards"] = "4"
+	inst, err := workload.Build("memcached", opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	inst.(*core.ShardSet).SetSequential(sequential)
+	return inst
+}
+
+func benchShardedMemcached(b *testing.B, sequential bool) {
+	for i := 0; i < b.N; i++ {
+		inst := buildShardedMemcached4x4(b, sequential)
+		r := inst.Run(250_000, 1_500_000)
+		b.ReportMetric(r.Values["throughput"], "sim_tput")
+	}
+}
+
+func BenchmarkShardedMemcached4x4Serial(b *testing.B)   { benchShardedMemcached(b, true) }
+func BenchmarkShardedMemcached4x4Parallel(b *testing.B) { benchShardedMemcached(b, false) }
+func BenchmarkShardedMemcached4x4Unsharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst := workload.MustBuild("memcached", topo(4, 4))
+		r := inst.Run(250_000, 1_500_000)
+		b.ReportMetric(r.Values["throughput"], "sim_tput")
+	}
+}
+
+// --- machine-readable bench results ---
+
+// benchArtifact is the schema of a BENCH_*.json file: one benchmark family,
+// wall-clock seconds per variant, and enough host context to interpret the
+// ratios (a 1-CPU runner honestly reports ~1x parallel speedup).
+type benchArtifact struct {
+	Benchmark    string             `json:"benchmark"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	HostCPUs     int                `json:"host_cpus"`
+	Iterations   int                `json:"iterations"`
+	WarmupCycles uint64             `json:"warmup_cycles"`
+	MeasureCycle uint64             `json:"measure_cycles"`
+	Shards       int                `json:"shards"`
+	WallSeconds  map[string]float64 `json:"wall_seconds"`
+	Speedups     map[string]float64 `json:"speedups"`
+}
+
+// TestWriteShardBenchArtifact measures the sharded-memcached family and
+// writes BENCH_shard_parallel.json at the repo root. It is the bench-harness
+// entry point CI and release runs use to track the perf trajectory across
+// commits; ordinary test runs skip it. Enable with:
+//
+//	DPROF_BENCH_JSON=1 go test -run TestWriteShardBenchArtifact -count=1 .
+func TestWriteShardBenchArtifact(t *testing.T) {
+	if os.Getenv("DPROF_BENCH_JSON") == "" {
+		t.Skip("set DPROF_BENCH_JSON=1 to measure and write BENCH_shard_parallel.json")
+	}
+	const warmup, measure = 250_000, 1_500_000
+	const iters = 3
+	timeRun := func(build func() core.Runnable) float64 {
+		best := math.Inf(1) // min-of-N: the least-disturbed measurement
+		for i := 0; i < iters; i++ {
+			inst := build()
+			start := time.Now()
+			inst.Run(warmup, measure)
+			if s := time.Since(start).Seconds(); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	wall := map[string]float64{
+		"unsharded": timeRun(func() core.Runnable {
+			return workload.MustBuild("memcached", topo(4, 4))
+		}),
+		"sharded_serial": timeRun(func() core.Runnable {
+			return buildShardedMemcached4x4(t, true)
+		}),
+		"sharded_parallel": timeRun(func() core.Runnable {
+			return buildShardedMemcached4x4(t, false)
+		}),
+	}
+	art := benchArtifact{
+		Benchmark:    "memcached-4x4-sharded",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		HostCPUs:     runtime.NumCPU(),
+		Iterations:   iters,
+		WarmupCycles: warmup,
+		MeasureCycle: measure,
+		Shards:       4,
+		WallSeconds:  wall,
+		Speedups: map[string]float64{
+			"parallel_vs_serial":    wall["sharded_serial"] / wall["sharded_parallel"],
+			"parallel_vs_unsharded": wall["unsharded"] / wall["sharded_parallel"],
+		},
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard_parallel.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("parallel vs serial on %d CPUs: %.2fx", art.HostCPUs, art.Speedups["parallel_vs_serial"])
 }

@@ -118,6 +118,7 @@ func (conflictWL) Options() []workload.Option {
 			Usage: "ring buffers in the pool"},
 		workload.SeedOption(),
 		workload.WindowOption(),
+		workload.ShardOption(),
 	}
 }
 

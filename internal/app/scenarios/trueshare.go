@@ -192,6 +192,7 @@ func (trueShareWL) Options() []workload.Option {
 			Usage: "shared counter/lock buckets (fewer than cores = contention)"},
 		workload.SeedOption(),
 		workload.WindowOption(),
+		workload.ShardOption(),
 	}
 }
 

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+
+	"dprof/internal/cache"
+	"dprof/internal/core"
+	"dprof/internal/sim"
+)
+
+// Sharded builds. The shared parallel-shards option splits one logical
+// workload into K independent per-domain parts — each a complete build of
+// the workload on 1/K of the topology, with 1/K of the L3 and its own
+// deterministically derived seed — that run concurrently and merge into one
+// profile. The option is semantics-bearing (a sharded profile is a different
+// document than an unsharded one), so it canonicalizes into cache keys like
+// any other option; whether the parts execute concurrently or one at a time
+// is runtime state with no bearing on the bytes produced.
+
+// ShardOption is the shared sharding knob. The zero default keeps the
+// classic single-machine build, so declaring it never changes a workload's
+// default behavior.
+func ShardOption() Option {
+	return Option{Name: "parallel-shards", Kind: Int, Default: "0",
+		Usage: "split the run into N independent shards simulated in parallel (0 or 1 = one machine); profiles merge deterministically"}
+}
+
+// ShardCount reads the sharding option (1 when undeclared or unset).
+func ShardCount(cfg Config) int {
+	if !cfg.Declared("parallel-shards") {
+		return 1
+	}
+	if n := cfg.Int("parallel-shards"); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// shardTopology slices a global topology into one shard's domain: whole
+// sockets when the socket count divides, else an even split of a single
+// socket's cores.
+func shardTopology(t cache.Topology, k int) (cache.Topology, error) {
+	switch {
+	case t.Sockets%k == 0:
+		return cache.Topology{Sockets: t.Sockets / k, CoresPerSocket: t.CoresPerSocket}, nil
+	case t.Sockets == 1 && t.CoresPerSocket%k == 0:
+		return cache.Topology{Sockets: 1, CoresPerSocket: t.CoresPerSocket / k}, nil
+	}
+	return cache.Topology{}, fmt.Errorf(
+		"workload: topology %s does not split into %d shards (sockets must divide by the shard count, or a single socket's cores must)",
+		t, k)
+}
+
+// applyShard slices a machine configuration down to the config's shard
+// domain. ApplySeed calls it after base-seed resolution, so every workload
+// Build — direct ApplySeed callers and ApplyTopology callers alike — honors
+// sharding through the hook it already uses. Infeasible splits panic:
+// BuildInstance validates the split against the probe build before any
+// sharded config exists, so a panic here is a programming error.
+func applyShard(cfg Config, scfg *sim.Config) {
+	k := cfg.shardCount
+	if k <= 1 {
+		return
+	}
+	if scfg.Topology != (cache.Topology{}) {
+		t, err := shardTopology(scfg.Topology, k)
+		if err != nil {
+			panic(err)
+		}
+		scfg.Topology = t
+	} else {
+		if scfg.Cores%k != 0 {
+			panic(fmt.Sprintf("workload: %d cores do not split into %d shards", scfg.Cores, k))
+		}
+		scfg.Cores /= k
+	}
+	if scfg.Cache.L3Size%uint64(k) != 0 {
+		panic(fmt.Sprintf("workload: L3 size %d does not split into %d shards", scfg.Cache.L3Size, k))
+	}
+	scfg.Cache.L3Size /= uint64(k)
+	scfg.Seed = sim.DeriveShardSeed(scfg.Seed, cfg.shardIndex)
+}
+
+// BuildInstance constructs a runnable instance honoring the shared sharding
+// option: an ordinary single-machine build when it is 0 or 1, else a
+// core.ShardSet of K per-domain builds. It first builds an unsharded probe
+// to learn the workload's global shape (options may steer topology), then
+// validates the split where flag input enters — a bad shard count must be a
+// friendly error, not a build panic.
+func BuildInstance(w Workload, cfg Config) (core.Runnable, error) {
+	k := ShardCount(cfg)
+	if k <= 1 {
+		return w.Build(cfg)
+	}
+	probe, err := w.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	topo := probe.Machine().Topology()
+	gcfg := probe.Machine().Hier.Config()
+	dtopo, err := shardTopology(topo, k)
+	if err != nil {
+		return nil, fmt.Errorf("workload %q: %w", w.Name(), err)
+	}
+	if gcfg.L3Size%uint64(k) != 0 {
+		return nil, fmt.Errorf("workload %q: L3 size %d does not split into %d shards", w.Name(), gcfg.L3Size, k)
+	}
+	dcfg := gcfg
+	dcfg.L3Size /= uint64(k)
+	if err := dcfg.ValidateTopo(dtopo); err != nil {
+		return nil, fmt.Errorf("workload %q: %d shards: %w", w.Name(), k, err)
+	}
+	parts := make([]core.Runnable, k)
+	for d := 0; d < k; d++ {
+		part, err := w.Build(cfg.withShard(d, k))
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: shard %d: %w", w.Name(), d, err)
+		}
+		parts[d] = part
+	}
+	return core.NewShardSet(parts, topo, gcfg), nil
+}

@@ -89,6 +89,12 @@ type Config struct {
 	quick bool
 	vals  map[string]string
 	decl  map[string]Option
+
+	// shardIndex/shardCount mark a config handed to one shard's Build by
+	// BuildInstance; applyShard slices the machine shape and seed from them.
+	// Zero values mean an ordinary unsharded build.
+	shardIndex int
+	shardCount int
 }
 
 // UnknownOptionError reports an option the selected workload does not
@@ -219,6 +225,13 @@ func (c Config) WithQuick(quick bool) Config {
 
 // Quick reports whether the build should trade precision for speed.
 func (c Config) Quick() bool { return c.quick }
+
+// withShard returns a copy marked as shard d of k, for BuildInstance's
+// per-part builds.
+func (c Config) withShard(d, k int) Config {
+	c.shardIndex, c.shardCount = d, k
+	return c
+}
 
 // Declared reports whether the workload declares an option, so shared
 // helpers can probe before reading (the typed getters panic on undeclared
@@ -387,7 +400,7 @@ func Build(name string, vals map[string]string) (core.Runnable, error) {
 	if err != nil {
 		return nil, err
 	}
-	return w.Build(cfg)
+	return BuildInstance(w, cfg)
 }
 
 // MustBuild is Build for callers whose workload names and options are

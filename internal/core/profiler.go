@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dprof/internal/cache"
 	"dprof/internal/hw"
 	"dprof/internal/mem"
 	"dprof/internal/sim"
@@ -49,7 +50,49 @@ type Profiler struct {
 	pending [][]pendingSample
 	pipe    *windowPipeline
 
+	// env, when non-nil, supplies the machine-derived view parameters for a
+	// profiler with no machine (M == nil): the merged profiler of a sharded
+	// run, whose samples came from several machines. View builders read the
+	// environment through the accessors below, never M directly.
+	env *profileEnv
+
 	traceCache map[*mem.Type][]*PathTrace
+}
+
+// profileEnv is the machine-shaped context a merged profiler renders views
+// against: the global cache configuration (machine-total capacities), the
+// global topology, and the combined per-socket occupancy.
+type profileEnv struct {
+	cacheCfg  cache.Config
+	topo      cache.Topology
+	occupancy []cache.SocketUsage
+}
+
+// cacheConfig returns the cache configuration views should use.
+func (p *Profiler) cacheConfig() cache.Config {
+	if p.env != nil {
+		return p.env.cacheCfg
+	}
+	return p.M.Hier.Config()
+}
+
+// topology returns the (global) topology views should use.
+func (p *Profiler) topology() cache.Topology {
+	if p.env != nil {
+		return p.env.topo
+	}
+	return p.M.Topology()
+}
+
+// viewCores returns the core count views should scale by.
+func (p *Profiler) viewCores() int { return p.topology().NumCores() }
+
+// socketOccupancy returns per-socket cache occupancy for the working set.
+func (p *Profiler) socketOccupancy() []cache.SocketUsage {
+	if p.env != nil {
+		return p.env.occupancy
+	}
+	return p.M.Hier.SocketOccupancy()
 }
 
 // pendingSample is one IBS sample buffered in a core's delta: resolved to
@@ -220,9 +263,9 @@ func (p *Profiler) DataProfile() *DataProfile {
 // WorkingSet builds the working set view (§4.2) using the machine's L1
 // geometry, plus per-socket occupancy on multi-socket machines.
 func (p *Profiler) WorkingSet() *WorkingSetView {
-	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.M.Hier.Config()), DefaultReplayObjects)
-	if p.M.Hier.Topology().Sockets > 1 {
-		v.PerSocket = p.M.Hier.SocketOccupancy()
+	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.cacheConfig()), DefaultReplayObjects)
+	if p.topology().Sockets > 1 {
+		v.PerSocket = p.socketOccupancy()
 	}
 	return v
 }
@@ -230,7 +273,7 @@ func (p *Profiler) WorkingSet() *WorkingSetView {
 // MissClassification builds the miss classification view (§4.3).
 func (p *Profiler) MissClassification() []MissClassRow {
 	p.Sync()
-	return BuildMissClassification(p.Samples, p.allTraces(), p.WorkingSet(), p.M.Hier.Config().LineSize)
+	return BuildMissClassification(p.Samples, p.allTraces(), p.WorkingSet(), p.cacheConfig().LineSize)
 }
 
 // DataFlow builds the data flow view for one type (§4.4).

@@ -102,8 +102,8 @@ const DefaultReplayObjects = 200_000
 // address sets randomly) and replays their allocation and free events in
 // time order through a cache of the machine's combined capacity.
 func (p *Profiler) CacheResidency(maxObjects int) *ResidencyView {
-	cfg := p.M.Hier.Config()
-	capLines := int((cfg.L2Size*uint64(p.M.NumCores()) + cfg.L3Size) / cfg.LineSize)
+	cfg := p.cacheConfig()
+	capLines := int((cfg.L2Size*uint64(p.viewCores()) + cfg.L3Size) / cfg.LineSize)
 	v := &ResidencyView{CapacityLines: capLines}
 
 	objs := p.AddrSet.Objects()

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"dprof/internal/cache"
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/oprofile"
+)
+
+// Sharded-profile merging. Each part of a ShardSet profiles an independent
+// per-domain simulation with part-local identities: core IDs starting at 0,
+// its own *mem.Type pointers, and its own (reused) address space. Merging
+// relabels those identities into the global namespace — deterministically,
+// in shard order — and sums what is summable:
+//
+//   - types map onto one canonical *mem.Type per name (shard 0's pointer
+//     when it has the type, first-seen otherwise);
+//   - core IDs shift by the part's cumulative core offset (CPU masks shift
+//     as bit masks; the global machine never exceeds cache.MaxCores = 64);
+//   - object addresses shift by (shard << 48): every part's simulated
+//     address space, user base included, fits below 2^47, so shifted spaces
+//     are disjoint, and the stride is line- and set-aligned so per-line and
+//     per-set view arithmetic is unaffected;
+//   - socket numbers shift by the part's cumulative socket offset (only
+//     rendered when the global topology is multi-socket).
+//
+// PCs need no remapping: symbol interning is global and name-keyed, so every
+// part interns the same function names to the same PCs.
+
+// addrStride returns the address-space offset of shard d in merged views.
+func addrStride(d int) uint64 { return uint64(d) << 48 }
+
+// canonTypes maps every part's type pointers onto one canonical pointer per
+// type name, in shard order (shard 0 wins; first-seen otherwise).
+func (sh *shardedSession) canonTypes() map[*mem.Type]*mem.Type {
+	byName := make(map[string]*mem.Type)
+	canon := map[*mem.Type]*mem.Type{nil: nil}
+	for _, part := range sh.parts {
+		for _, t := range part.w.Alloc().Types() {
+			c, ok := byName[t.Name]
+			if !ok {
+				byName[t.Name] = t
+				c = t
+			}
+			canon[t] = c
+		}
+	}
+	return canon
+}
+
+func canonOf(canon map[*mem.Type]*mem.Type, t *mem.Type) *mem.Type {
+	if c, ok := canon[t]; ok {
+		return c
+	}
+	return t
+}
+
+// remapSamplesInto folds src into dst with canonical types and core IDs
+// shifted by coreOff. Per-key statistics are sums and bit-ORs, so the map
+// iteration order does not affect the result.
+func remapSamplesInto(dst, src *SampleTable, canon map[*mem.Type]*mem.Type, coreOff int) {
+	for k, s := range src.byKey {
+		nk := SampleKey{Type: canonOf(canon, k.Type), Offset: k.Offset, PC: k.PC}
+		d := dst.byKey[nk]
+		if d == nil {
+			d = &SampleStats{}
+			dst.byKey[nk] = d
+		}
+		d.Count += s.Count
+		d.Writes += s.Writes
+		d.Misses += s.Misses
+		for i := range s.Levels {
+			d.Levels[i] += s.Levels[i]
+		}
+		d.LatencySum += s.LatencySum
+		d.MissLatencySum += s.MissLatencySum
+		d.CPUMask |= s.CPUMask << uint(coreOff)
+		d.WriteCPUs |= s.WriteCPUs << uint(coreOff)
+	}
+	dst.Total += src.Total
+	dst.TotalMisses += src.TotalMisses
+	dst.Unresolved += src.Unresolved
+}
+
+// mergeAddrSetInto appends src's object records — addresses strided into the
+// shard's disjoint address range, alloc cores shifted — and folds its
+// per-type usage accounting. The merged set is read-only view substrate:
+// liveIdx stays empty and MaxObjects stays unlimited. Peak live counts are
+// summed across parts (each part's peak is exact for its domain; the global
+// peak of a true single-machine run could be lower, since the parts need not
+// peak at the same instant).
+func mergeAddrSetInto(dst, src *AddressSet, canon map[*mem.Type]*mem.Type, coreOff int, stride uint64) {
+	for _, r := range src.objects {
+		r.Type = canonOf(canon, r.Type)
+		r.Addr += stride
+		if r.AllocCore >= 0 {
+			r.AllocCore += int32(coreOff)
+		}
+		dst.objects = append(dst.objects, r)
+	}
+	for t, u := range src.usage {
+		cu := dst.usageFor(canonOf(canon, t))
+		cu.live += u.live
+		cu.peak += u.peak
+		cu.allocs += u.allocs
+		cu.frees += u.frees
+		cu.liveInt += u.integralAt(src.end)
+	}
+	if src.start != 0 && (dst.start == 0 || src.start < dst.start) {
+		dst.start = src.start
+	}
+	if src.end > dst.end {
+		dst.end = src.end
+	}
+	dst.dropped += src.dropped
+}
+
+// mergeCollectorInto deep-copies src's finished histories with global core
+// IDs and canonical types, in shard order, and folds its per-type collection
+// statistics. History sets keep their part-local Set numbers: downstream
+// ordering is a stable sort over the concatenation order, so the merged
+// sequence is deterministic, and path-trace identity uses relabeled CPUs,
+// which renumbering cannot change.
+func mergeCollectorInto(dst *Collector, src *Collector, canon map[*mem.Type]*mem.Type, coreOff, globalCores int) {
+	for _, t := range src.order {
+		ct := canonOf(canon, t)
+		cs := dst.stats[ct]
+		if cs == nil {
+			cs = &CollectStats{Type: ct, Cores: globalCores, Overhead: make(map[string]uint64)}
+			dst.stats[ct] = cs
+			dst.order = append(dst.order, ct)
+		}
+		ps := src.stats[t]
+		cs.Histories += ps.Histories
+		cs.Sets += ps.Sets
+		cs.Elements += ps.Elements
+		cs.Truncated += ps.Truncated
+		if ps.Start != 0 && (cs.Start == 0 || ps.Start < cs.Start) {
+			cs.Start = ps.Start
+		}
+		if ps.End > cs.End {
+			cs.End = ps.End
+		}
+		for k, v := range ps.Overhead {
+			cs.Overhead[k] += v
+		}
+		for _, h := range src.byType[t] {
+			nh := &History{
+				Type:      ct,
+				Offsets:   append([]uint32(nil), h.Offsets...),
+				WatchLen:  h.WatchLen,
+				Set:       h.Set,
+				AllocCore: h.AllocCore + int32(coreOff),
+				Lifetime:  h.Lifetime,
+				Truncated: h.Truncated,
+				Elems:     make([]HistElem, len(h.Elems)),
+			}
+			for i, e := range h.Elems {
+				e.CPU += int32(coreOff)
+				nh.Elems[i] = e
+			}
+			dst.byType[ct] = append(dst.byType[ct], nh)
+		}
+	}
+}
+
+// mergedOccupancy combines the parts' per-socket cache occupancy under
+// global socket numbers. Only meaningful (and only rendered) when the global
+// topology is multi-socket.
+func (sh *shardedSession) mergedOccupancy() []cache.SocketUsage {
+	if sh.set.topo.Sockets <= 1 {
+		return nil
+	}
+	occ := make([]cache.SocketUsage, sh.set.topo.Sockets)
+	for s := range occ {
+		occ[s].Socket = s
+	}
+	for d, part := range sh.parts {
+		for _, u := range part.w.Machine().Hier.SocketOccupancy() {
+			g := &occ[sh.set.sockOff[d]+u.Socket]
+			g.PrivateLines += u.PrivateLines
+			g.L3Lines += u.L3Lines
+		}
+	}
+	return occ
+}
+
+// mergedProfiler builds a machine-less profiler holding the union of every
+// part's cumulative profile at this instant, relabeled into the global
+// namespace. Callers invoke it only at merge points, where every part is
+// frozen (parked at the window rendezvous, or finished), so the same states
+// merge whether the parts ran concurrently or one at a time.
+func (sh *shardedSession) mergedProfiler() *Profiler {
+	canon := sh.canonTypes()
+	p := &Profiler{
+		Alloc:      sh.parts[0].w.Alloc(),
+		Samples:    NewSampleTable(),
+		AddrSet:    NewAddressSet(),
+		cfg:        sh.parts[0].p.cfg,
+		env:        &profileEnv{cacheCfg: sh.set.cacheCfg, topo: sh.set.topo, occupancy: sh.mergedOccupancy()},
+		traceCache: make(map[*mem.Type][]*PathTrace),
+	}
+	col := newCollector(p)
+	col.finalized = true
+	col.WatchLen = sh.parts[0].p.Collector.WatchLen
+	p.Collector = col
+	globalCores := sh.set.topo.NumCores()
+	for d, part := range sh.parts {
+		off := sh.set.coreOff[d]
+		remapSamplesInto(p.Samples, part.p.Samples, canon, off)
+		mergeAddrSetInto(p.AddrSet, part.p.AddrSet, canon, off, addrStride(d))
+		mergeCollectorInto(col, part.p.Collector, canon, off, globalCores)
+	}
+	for _, u := range p.AddrSet.usage {
+		u.lastTouch = p.AddrSet.end
+	}
+	return p
+}
+
+// mergedLocks folds every part's lock registry into one, in shard order.
+func (sh *shardedSession) mergedLocks() *lockstat.Registry {
+	reg := lockstat.NewRegistry()
+	for _, part := range sh.parts {
+		reg.Merge(part.w.Locks())
+	}
+	return reg
+}
+
+// mergedOProfile folds the per-part code-profiler baselines into shard 0's.
+func (sh *shardedSession) mergedOProfile() *oprofile.Profiler {
+	op := sh.parts[0].op
+	for _, part := range sh.parts[1:] {
+		op.Absorb(part.op)
+	}
+	return op
+}

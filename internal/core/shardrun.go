@@ -1,0 +1,348 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dprof/internal/mem"
+	"dprof/internal/oprofile"
+	"dprof/internal/sim"
+)
+
+// shardedSession is the Session state for a ShardSet instance: one attached
+// profiler stack per part, plus the merged window snapshots the boundary
+// rendezvous produces.
+type shardedSession struct {
+	set   *ShardSet
+	parts []*shardPart
+
+	windows      []*WindowSnapshot
+	lastBoundary uint64
+}
+
+// shardPart is one part's attached profiling state.
+type shardPart struct {
+	w      Runnable
+	p      *Profiler
+	op     *oprofile.Profiler
+	target *mem.Type
+	result RunResult
+
+	// finalSnap is the part's final (run-end) window snapshot; its delta is
+	// consumed by the first boundary merge after the part finishes, or by
+	// the session-final snapshot, so every sample lands in exactly one
+	// merged delta.
+	finalSnap     *WindowSnapshot
+	finalConsumed bool
+}
+
+// attachSharded wires one profiler stack per part, mirroring the serial
+// attach exactly: same sampling start, same history targets, same baselines.
+// Part 0's resolved target doubles as the merged views' canonical target.
+func (s *Session) attachSharded(set *ShardSet, cfg SessionConfig) error {
+	sh := &shardedSession{set: set}
+	if (s.views["dataflow"] || s.views["pathtrace"]) && cfg.TypeName == "" {
+		return &UnknownTypeError{Name: "", Known: TypeNames(set.parts[0].Alloc())}
+	}
+	for _, pw := range set.parts {
+		part := &shardPart{w: pw}
+		alloc := pw.Alloc()
+		part.p = Attach(pw.Machine(), alloc, cfg.Profiler)
+		part.p.StartSampling()
+		if cfg.MaxLifetime > 0 {
+			part.p.Collector.MaxLifetime = cfg.MaxLifetime
+		}
+		if cfg.TypeName != "" {
+			t := alloc.TypeByName(cfg.TypeName)
+			if t == nil {
+				return &UnknownTypeError{Name: cfg.TypeName, Known: TypeNames(alloc)}
+			}
+			part.target = t
+			part.p.Collector.WatchLen = 8
+			hi := cfg.WatchRange
+			if hi == 0 {
+				hi = watchRange(t)
+			}
+			part.p.Collector.AddSingleTargetsRange(t, 0, hi, cfg.Sets)
+			part.p.Collector.Start()
+		}
+		if cfg.OProfile {
+			part.op = oprofile.Attach(pw.Machine())
+			part.op.Start()
+		}
+		sh.parts = append(sh.parts, part)
+	}
+	s.sh = sh
+	s.target = sh.parts[0].target
+	return nil
+}
+
+// runSharded executes every part to completion and produces the merged
+// profile. Windowed sessions rendezvous at each boundary: every part parks
+// there (or has finished), the last arriver merges the frozen states, and
+// only then do the parts continue — which is why the merged snapshots are
+// byte-identical between concurrent and sequential execution.
+//
+// Concurrent mode bounds cycle skew with a sim.Group (horizon = the window
+// length when windowed, else the default). Sequential mode runs the same
+// goroutine-and-rendezvous machinery with a width-1 baton so exactly one
+// part simulates at a time; no skew group is attached there, since a parked
+// gate would never be released.
+func (s *Session) runSharded() RunResult {
+	sh := s.sh
+	cfg := s.cfg
+	windowed := cfg.WindowCycles > 0 || cfg.OnWindow != nil
+	bar := newShardBarrier(s)
+
+	var baton chan struct{}
+	var group *sim.Group
+	if sh.set.sequential {
+		baton = make(chan struct{}, 1)
+		baton <- struct{}{}
+	} else {
+		var horizon uint64
+		if cfg.WindowCycles > 0 {
+			horizon = cfg.WindowCycles
+		}
+		group = sim.NewGroup(horizon)
+		for _, part := range sh.parts {
+			group.Add(part.w.Machine())
+		}
+	}
+
+	var wg sync.WaitGroup
+	for d, part := range sh.parts {
+		d, part := d, part
+		if windowed {
+			part.p.StartWindows(cfg.WindowCycles, nil, nil, func(snap *WindowSnapshot) {
+				if snap.Final {
+					part.finalSnap = snap
+					return
+				}
+				// Publish the boundary as this part's watermark before
+				// parking: peers may need to simulate up to it to arrive.
+				if group != nil {
+					group.Publish(d, snap.End)
+				}
+				if baton != nil {
+					baton <- struct{}{}
+				}
+				bar.arrive(d, snap)
+				if baton != nil {
+					<-baton
+				}
+			})
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if baton != nil {
+				<-baton
+			}
+			part.result = part.w.Run(cfg.Warmup, cfg.Measure)
+			if windowed {
+				part.p.FinishWindows()
+			}
+			part.p.Sync()
+			part.p.Collector.FinalizeStats()
+			if group != nil {
+				group.Done(d)
+			}
+			if baton != nil {
+				baton <- struct{}{}
+			}
+			bar.finish(d)
+		}()
+	}
+	wg.Wait()
+
+	if windowed {
+		sh.sealFinal(s)
+	}
+	s.p = sh.mergedProfiler()
+	if cfg.OProfile {
+		s.op = sh.mergedOProfile()
+	}
+	results := make([]RunResult, len(sh.parts))
+	for d, part := range sh.parts {
+		results[d] = part.result
+	}
+	return mergeRunResults(results)
+}
+
+// mergeBoundary closes one merged window at boundary b from the parts'
+// frozen states: the cohort's deltas (in shard order) plus the final deltas
+// of parts that finished since the previous boundary. Called with the
+// barrier lock held — every part is parked or done.
+func (sh *shardedSession) mergeBoundary(s *Session, b uint64, cohort map[int]*WindowSnapshot, done []bool) {
+	canon := sh.canonTypes()
+	delta := NewSampleTable()
+	for d, part := range sh.parts {
+		if snap, ok := cohort[d]; ok {
+			remapSamplesInto(delta, snap.Delta, canon, sh.set.coreOff[d])
+		} else if done[d] && part.finalSnap != nil && !part.finalConsumed {
+			remapSamplesInto(delta, part.finalSnap.Delta, canon, sh.set.coreOff[d])
+			part.finalConsumed = true
+		}
+	}
+	snap := &WindowSnapshot{
+		Index:   len(sh.windows),
+		Start:   sh.lastBoundary,
+		End:     b,
+		Delta:   delta,
+		samples: delta.Total,
+		misses:  delta.TotalMisses,
+	}
+	sh.renderSnapViews(s, snap)
+	sh.windows = append(sh.windows, snap)
+	sh.lastBoundary = b
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(snap)
+	}
+}
+
+// sealFinal closes the merged session-final window after every part has
+// finished: any final deltas no boundary consumed, covering the tail from
+// the last merged boundary to the latest part end.
+func (sh *shardedSession) sealFinal(s *Session) {
+	canon := sh.canonTypes()
+	delta := NewSampleTable()
+	start := sh.lastBoundary
+	end := start
+	for d, part := range sh.parts {
+		if part.finalSnap == nil {
+			continue
+		}
+		if part.finalSnap.End > end {
+			end = part.finalSnap.End
+		}
+		if !part.finalConsumed {
+			remapSamplesInto(delta, part.finalSnap.Delta, canon, sh.set.coreOff[d])
+			part.finalConsumed = true
+		}
+	}
+	snap := &WindowSnapshot{
+		Index:   len(sh.windows),
+		Start:   start,
+		End:     end,
+		Delta:   delta,
+		Final:   true,
+		samples: delta.Total,
+		misses:  delta.TotalMisses,
+	}
+	sh.renderSnapViews(s, snap)
+	sh.windows = append(sh.windows, snap)
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(snap)
+	}
+}
+
+// renderSnapViews renders the session's requested views from a fresh merged
+// profiler — the cumulative global profile at this instant.
+func (sh *shardedSession) renderSnapViews(s *Session, snap *WindowSnapshot) {
+	if len(s.cfg.Views) == 0 {
+		return
+	}
+	mp := sh.mergedProfiler()
+	snap.Views = make(map[string]json.RawMessage, len(s.cfg.Views))
+	for _, v := range s.cfg.Views {
+		raw, err := ExportView(mp, v, s.target)
+		if err != nil {
+			panic(fmt.Sprintf("core: sharded window snapshot %s: %v", v, err))
+		}
+		snap.Views[v] = raw
+	}
+}
+
+// shardBarrier is the window-boundary rendezvous. Parts arrive with their
+// boundary snapshots; when every unfinished part has arrived at a boundary,
+// the last arriver merges it (holding the lock, with every other part parked
+// in Wait or finished) and wakes the cohort. Boundaries merge in ascending
+// order; a part finishing mid-run re-checks pending boundaries, since its
+// absence may make them ready.
+type shardBarrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	s    *Session
+
+	arrived map[uint64]map[int]*WindowSnapshot
+	merged  map[uint64]bool
+	done    []bool
+}
+
+func newShardBarrier(s *Session) *shardBarrier {
+	b := &shardBarrier{
+		s:       s,
+		arrived: make(map[uint64]map[int]*WindowSnapshot),
+		merged:  make(map[uint64]bool),
+		done:    make([]bool, len(s.sh.parts)),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// arrive parks part d at boundary snap.End until that boundary merges.
+func (b *shardBarrier) arrive(d int, snap *WindowSnapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bd := snap.End
+	m := b.arrived[bd]
+	if m == nil {
+		m = make(map[int]*WindowSnapshot)
+		b.arrived[bd] = m
+	}
+	m[d] = snap
+	b.mergeReady()
+	for !b.merged[bd] {
+		b.cond.Wait()
+	}
+}
+
+// finish marks part d complete and re-checks pending boundaries.
+func (b *shardBarrier) finish(d int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.done[d] = true
+	b.mergeReady()
+}
+
+// mergeReady merges every pending boundary that is ready, in ascending
+// order, and broadcasts if any merged.
+func (b *shardBarrier) mergeReady() {
+	if len(b.arrived) == 0 {
+		return
+	}
+	bds := make([]uint64, 0, len(b.arrived))
+	for bd := range b.arrived {
+		bds = append(bds, bd)
+	}
+	sort.Slice(bds, func(i, j int) bool { return bds[i] < bds[j] })
+	any := false
+	for _, bd := range bds {
+		if !b.ready(bd) {
+			break // later boundaries must wait for earlier ones
+		}
+		b.s.sh.mergeBoundary(b.s, bd, b.arrived[bd], b.done)
+		delete(b.arrived, bd)
+		b.merged[bd] = true
+		any = true
+	}
+	if any {
+		b.cond.Broadcast()
+	}
+}
+
+// ready reports whether every part has arrived at bd or finished.
+func (b *shardBarrier) ready(bd uint64) bool {
+	for d := range b.done {
+		if b.done[d] {
+			continue
+		}
+		if _, ok := b.arrived[bd][d]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dprof/internal/cache"
+	"dprof/internal/lockstat"
+	"dprof/internal/mem"
+	"dprof/internal/sim"
+)
+
+// ShardSet is a sharded workload instance: K independent per-domain parts of
+// one logical workload, each with its own machine, allocator, and kernel
+// stack, that a Session runs concurrently (or sequentially, for the
+// byte-equivalence gate) and whose profiles merge deterministically.
+//
+// The parts never interact: the workload layer slices the global topology
+// into K disjoint core domains at build time, so each part is a complete,
+// deterministic simulation of its slice. All cross-part combination happens
+// at merge points — window boundaries and run end — where every part is
+// frozen, which is what makes the parallel run byte-identical to the
+// sequential one.
+type ShardSet struct {
+	parts []Runnable
+
+	// coreOff[d] is part d's global core-ID offset: part-local core c is
+	// global core coreOff[d]+c in merged views. sockOff is the same for
+	// socket numbers (socket-split shardings).
+	coreOff []int
+	sockOff []int
+
+	topo     cache.Topology // the unsharded global topology
+	cacheCfg cache.Config   // the unsharded cache configuration (machine-total L3)
+
+	sequential bool
+}
+
+// NewShardSet combines per-domain parts into one sharded instance. topo and
+// gcfg describe the unsharded machine the parts were sliced from; merged
+// views render against them.
+func NewShardSet(parts []Runnable, topo cache.Topology, gcfg cache.Config) *ShardSet {
+	if len(parts) < 2 {
+		panic("core: a ShardSet needs at least two parts")
+	}
+	s := &ShardSet{parts: parts, topo: topo, cacheCfg: gcfg}
+	cores, socks := 0, 0
+	for _, p := range parts {
+		s.coreOff = append(s.coreOff, cores)
+		s.sockOff = append(s.sockOff, socks)
+		cores += p.Machine().NumCores()
+		socks += p.Machine().Topology().Sockets
+	}
+	return s
+}
+
+// Parts returns the per-domain parts in shard order.
+func (s *ShardSet) Parts() []Runnable { return s.parts }
+
+// NumShards returns the shard count.
+func (s *ShardSet) NumShards() int { return len(s.parts) }
+
+// SetSequential switches Run (and Session runs over this instance) between
+// concurrent part execution (the default) and one-part-at-a-time execution.
+// Both produce byte-identical profiles; the sequential mode exists so the
+// equivalence suite can prove it. It is runtime state, not a workload
+// option: it must never influence option canonicalization or cache keys.
+func (s *ShardSet) SetSequential(v bool) { s.sequential = v }
+
+// Sequential reports the current execution mode.
+func (s *ShardSet) Sequential() bool { return s.sequential }
+
+// Topology returns the unsharded global topology.
+func (s *ShardSet) Topology() cache.Topology { return s.topo }
+
+// CacheConfig returns the unsharded global cache configuration.
+func (s *ShardSet) CacheConfig() cache.Config { return s.cacheCfg }
+
+// Machine returns shard 0's machine. A sharded instance has no single
+// machine; this exists to satisfy Runnable for code paths that only need
+// sample-rate-style scalars. Profiling attach and view rendering must go
+// through a Session, which shards explicitly.
+func (s *ShardSet) Machine() *sim.Machine { return s.parts[0].Machine() }
+
+// Alloc returns shard 0's allocator (the canonical type registry: merged
+// views resolve every part's types onto shard 0's by name).
+func (s *ShardSet) Alloc() *mem.Allocator { return s.parts[0].Alloc() }
+
+// Locks returns shard 0's lock registry. Session reports merge all parts'
+// registries instead.
+func (s *ShardSet) Locks() *lockstat.Registry { return s.parts[0].Locks() }
+
+// Prime is not supported on a sharded instance: incremental external driving
+// of K machines has no deterministic merge story outside a Session.
+func (s *ShardSet) Prime(horizon uint64) {
+	panic("core: ShardSet does not support Prime; drive it through Run or a Session")
+}
+
+// Run executes every part — concurrently under a bounded-skew group, or one
+// at a time in sequential mode — and folds the per-part results into one
+// RunResult. This is the unprofiled path (benchmarks, plain workload runs);
+// profiled runs go through Session, which adds the windowed merge pipeline.
+func (s *ShardSet) Run(warmup, measure uint64) RunResult {
+	results := make([]RunResult, len(s.parts))
+	if s.sequential {
+		for d, p := range s.parts {
+			results[d] = p.Run(warmup, measure)
+		}
+		return mergeRunResults(results)
+	}
+	group := sim.NewGroup(0)
+	for _, p := range s.parts {
+		group.Add(p.Machine())
+	}
+	var wg sync.WaitGroup
+	for d, p := range s.parts {
+		wg.Add(1)
+		go func(d int, p Runnable) {
+			defer wg.Done()
+			results[d] = p.Run(warmup, measure)
+			group.Done(d)
+		}(d, p)
+	}
+	wg.Wait()
+	return mergeRunResults(results)
+}
+
+// mergeRunResults sums the parts' named values and joins their summaries in
+// shard order.
+func mergeRunResults(results []RunResult) RunResult {
+	out := RunResult{Values: make(map[string]float64)}
+	var summaries []string
+	for _, r := range results {
+		summaries = append(summaries, r.Summary)
+		for k, v := range r.Values {
+			out.Values[k] += v
+		}
+	}
+	out.Summary = fmt.Sprintf("%d shards: %s", len(results), strings.Join(summaries, " | "))
+	return out
+}

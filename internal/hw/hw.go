@@ -100,7 +100,7 @@ func (u *IBS) Start(samplesPerSecPerCore float64, h IBSHandler) {
 	u.enabled = true
 	for i := range u.next {
 		// Desynchronize cores so samples do not arrive in lockstep.
-		u.next[i] = u.m.Core(i).Now() + uint64(u.m.Rand().Int63n(int64(u.interval)+1))
+		u.next[i] = u.m.Core(i).Now() + uint64(u.m.Core(i).Rand().Int63n(int64(u.interval)+1))
 	}
 }
 

@@ -56,7 +56,7 @@ func (p *PEBS) Start(armsPerSecPerCore float64, threshold uint32, h IBSHandler) 
 	p.handler = h
 	p.enabled = true
 	for i := range p.next {
-		p.next[i] = p.m.Core(i).Now() + uint64(p.m.Rand().Int63n(int64(p.interval)+1))
+		p.next[i] = p.m.Core(i).Now() + uint64(p.m.Core(i).Rand().Int63n(int64(p.interval)+1))
 	}
 }
 

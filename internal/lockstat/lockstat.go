@@ -74,6 +74,24 @@ func (r *Registry) Class(name string) *Class {
 // Classes returns all classes in registration order.
 func (r *Registry) Classes() []*Class { return append([]*Class(nil), r.order...) }
 
+// Merge folds another registry's statistics into r, matching classes by
+// name (creating any r lacks, in o's registration order). Every statistic
+// is a sum, so merging the per-shard registries of a sharded run is
+// order-insensitive over totals while the class order stays that of shard 0
+// plus first-seen order of the rest — deterministic for a fixed shard order.
+func (r *Registry) Merge(o *Registry) {
+	for _, oc := range o.order {
+		c := r.Class(oc.Name)
+		c.Acquisitions += oc.Acquisitions
+		c.Contentions += oc.Contentions
+		c.WaitCycles += oc.WaitCycles
+		c.HoldCycles += oc.HoldCycles
+		for pc, n := range oc.sites {
+			c.sites[pc] += n
+		}
+	}
+}
+
 // Reset zeroes all statistics but keeps the classes.
 func (r *Registry) Reset() {
 	for _, c := range r.order {

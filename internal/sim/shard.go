@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultSkewHorizon is the cycle-skew bound for unwindowed sharded runs:
+// how far a shard's dispatch clock may run ahead of the slowest active shard
+// before it must wait. Windowed runs use the window length instead, so a
+// shard can never race past the boundary its peers still have to reach.
+const DefaultSkewHorizon uint64 = 1_000_000
+
+// Group is the skew gate of a sharded run: a set of machines (one per shard)
+// advancing concurrently, each blocking whenever its next dispatch time would
+// exceed the slowest active member's watermark by more than the horizon.
+//
+// The gate only bounds divergence; it never orders events across shards.
+// Shards in a group share no simulated state — determinism comes from each
+// shard being a self-contained deterministic machine, and the gate merely
+// keeps their wall-clock progress (and so their memory footprint for pending
+// profiling deltas) aligned.
+//
+// The slowest shard's own watermark is always within the horizon of itself,
+// so the minimum member never blocks and the group as a whole always makes
+// progress. A shard parked at a window rendezvous publishes the boundary as
+// its watermark first (Publish), so peers still short of the boundary can
+// run up to it and the rendezvous always completes.
+type Group struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	horizon uint64
+	next    []uint64 // per-shard next-dispatch watermark
+	active  []bool
+}
+
+// NewGroup builds a skew gate with the given horizon in cycles (0 means
+// DefaultSkewHorizon).
+func NewGroup(horizon uint64) *Group {
+	if horizon == 0 {
+		horizon = DefaultSkewHorizon
+	}
+	g := &Group{horizon: horizon}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Add registers m as the group's next shard and returns its shard index.
+// Machines must be added before any of them runs.
+func (g *Group) Add(m *Machine) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m.group != nil {
+		panic("sim: machine already belongs to a shard group")
+	}
+	m.group = g
+	m.shard = len(g.next)
+	g.next = append(g.next, 0)
+	g.active = append(g.active, true)
+	return m.shard
+}
+
+// minActive returns the slowest active shard's watermark; ok is false when
+// every shard is done.
+func (g *Group) minActive() (min uint64, ok bool) {
+	min = ^uint64(0)
+	for i, a := range g.active {
+		if a {
+			ok = true
+			if g.next[i] < min {
+				min = g.next[i]
+			}
+		}
+	}
+	return min, ok
+}
+
+// gate publishes shard's next dispatch time and blocks while it is more than
+// the horizon ahead of the slowest active shard.
+func (g *Group) gate(shard int, t uint64) {
+	g.mu.Lock()
+	if t > g.next[shard] {
+		g.next[shard] = t
+		g.cond.Broadcast()
+	}
+	for {
+		min, ok := g.minActive()
+		if !ok || t <= min+g.horizon {
+			break
+		}
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Publish advances a shard's watermark without blocking. A shard about to
+// park at a window rendezvous at boundary b calls Publish(shard, b): it has
+// no work left before b, so logically it sits at b, and lagging peers must
+// not wait on its last dispatched event time.
+func (g *Group) Publish(shard int, t uint64) {
+	g.mu.Lock()
+	if shard < 0 || shard >= len(g.next) {
+		g.mu.Unlock()
+		panic(fmt.Sprintf("sim: publish for shard %d of %d", shard, len(g.next)))
+	}
+	if t > g.next[shard] {
+		g.next[shard] = t
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Done deactivates a shard once its run has completed, removing it from the
+// skew minimum so finished shards never hold the others back.
+func (g *Group) Done(shard int) {
+	g.mu.Lock()
+	g.active[shard] = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// --- window-boundary edge cases ---
+
+func TestWindowTicksZeroLengthClears(t *testing.T) {
+	m := testMachine(1)
+	var boundaries []uint64
+	m.SetWindowTicks(100, func(b uint64) { boundaries = append(boundaries, b) })
+	// Length 0 clears even with a non-nil callback.
+	m.SetWindowTicks(0, func(b uint64) { boundaries = append(boundaries, b) })
+	m.Schedule(0, 450, func(c *Ctx) {})
+	m.RunAll()
+	if len(boundaries) != 0 {
+		t.Fatalf("cleared ticks still fired: %v", boundaries)
+	}
+}
+
+func TestWindowTicksBeyondRunEnd(t *testing.T) {
+	m := testMachine(1)
+	var boundaries []uint64
+	m.SetWindowTicks(1000, func(b uint64) { boundaries = append(boundaries, b) })
+	// Every event finishes before the first boundary: no tick may fire, and
+	// in particular none fires retroactively when the queue drains.
+	m.Schedule(0, 300, func(c *Ctx) {})
+	m.Schedule(0, 700, func(c *Ctx) {})
+	m.RunAll()
+	if len(boundaries) != 0 {
+		t.Fatalf("boundary past run end fired: %v", boundaries)
+	}
+}
+
+func TestWindowTicksBoundaryAtFinalEvent(t *testing.T) {
+	m := testMachine(1)
+	var boundaries []uint64
+	var dispatched bool
+	m.SetWindowTicks(100, func(b uint64) {
+		if b == 300 && dispatched {
+			t.Error("boundary 300 fired after the event scheduled at 300")
+		}
+		boundaries = append(boundaries, b)
+	})
+	// The final event sits exactly on a boundary: the tick belongs to the
+	// closing window, so it fires before the event dispatches.
+	m.Schedule(0, 300, func(c *Ctx) { dispatched = true })
+	m.RunAll()
+	if want := []uint64{100, 200, 300}; len(boundaries) != len(want) ||
+		boundaries[0] != want[0] || boundaries[1] != want[1] || boundaries[2] != want[2] {
+		t.Fatalf("boundaries = %v, want %v", boundaries, want)
+	}
+}
+
+func TestWindowTicksReArmMidRun(t *testing.T) {
+	m := testMachine(1)
+	var first []uint64
+	m.SetWindowTicks(100, func(b uint64) { first = append(first, b) })
+	m.Schedule(0, 250, func(c *Ctx) {})
+	m.RunAll()
+	if want := []uint64{100, 200}; len(first) != 2 || first[0] != want[0] || first[1] != want[1] {
+		t.Fatalf("first arm boundaries = %v, want %v", first, want)
+	}
+	m.SetWindowTicks(0, nil)
+	// Re-arming at watermark 250 resumes from the next multiple, 300; the
+	// already-fired 100 and 200 are not replayed.
+	var second []uint64
+	m.SetWindowTicks(100, func(b uint64) { second = append(second, b) })
+	m.Schedule(0, 460, func(c *Ctx) {})
+	m.RunAll()
+	if want := []uint64{300, 400}; len(second) != 2 || second[0] != want[0] || second[1] != want[1] {
+		t.Fatalf("re-armed boundaries = %v, want %v", second, want)
+	}
+}
+
+// --- shard seeds and per-core streams ---
+
+func TestDeriveShardSeedDistinct(t *testing.T) {
+	const base = 42
+	seen := map[int64]int{base: -1}
+	for d := 0; d < 8; d++ {
+		s := DeriveShardSeed(base, d)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shard %d seed %d collides with shard %d (base %d)", d, s, prev, base)
+		}
+		seen[s] = d
+		if s != DeriveShardSeed(base, d) {
+			t.Fatalf("shard %d seed not deterministic", d)
+		}
+	}
+}
+
+func TestPerCoreRandStreams(t *testing.T) {
+	draw := func(m *Machine) [][]int64 {
+		out := make([][]int64, m.NumCores())
+		for i := range out {
+			r := m.Core(i).Rand()
+			for j := 0; j < 4; j++ {
+				out[i] = append(out[i], r.Int63())
+			}
+		}
+		return out
+	}
+	a, b := draw(testMachine(2)), draw(testMachine(2))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("core %d draw %d not reproducible: %d vs %d", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	if a[0][0] == a[1][0] {
+		t.Fatal("cores 0 and 1 share a stream")
+	}
+}
+
+// --- skew-gate semantics ---
+
+// waitOrFail waits for ch with a deadline, failing the test on timeout.
+func waitOrFail(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// stillBlocked reports whether ch has not closed after a short grace period —
+// a heuristic (a scheduler stall could mask a bug) but never a flaky failure:
+// the positive cases use real deadlines.
+func stillBlocked(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return false
+	case <-time.After(20 * time.Millisecond):
+		return true
+	}
+}
+
+func TestGroupGateBlocksBeyondHorizon(t *testing.T) {
+	g := NewGroup(100)
+	g.Add(testMachine(1)) // shard 0: watermark 0
+	m1 := testMachine(1)
+	g.Add(m1)
+
+	passed := make(chan struct{})
+	go func() {
+		g.gate(1, 500) // 500 > 0+100: must park until shard 0 catches up
+		close(passed)
+	}()
+	if !stillBlocked(passed) {
+		t.Fatal("gate passed while 500 cycles ahead of a horizon-100 group")
+	}
+	g.Publish(0, 250) // still short: 500 > 250+100
+	if !stillBlocked(passed) {
+		t.Fatal("gate passed while still beyond the horizon")
+	}
+	g.Publish(0, 400) // 500 <= 400+100: within horizon
+	waitOrFail(t, passed, "gate release after the slow shard caught up")
+}
+
+func TestGroupGateWithinHorizonNeverBlocks(t *testing.T) {
+	g := NewGroup(100)
+	g.Add(testMachine(1))
+	g.Add(testMachine(1))
+	done := make(chan struct{})
+	go func() {
+		g.gate(1, 100) // exactly at the horizon: passes
+		close(done)
+	}()
+	waitOrFail(t, done, "gate at exactly the horizon")
+}
+
+func TestGroupDoneRemovesShardFromMinimum(t *testing.T) {
+	g := NewGroup(100)
+	g.Add(testMachine(1))
+	g.Add(testMachine(1))
+	passed := make(chan struct{})
+	go func() {
+		g.gate(1, 10_000)
+		close(passed)
+	}()
+	if !stillBlocked(passed) {
+		t.Fatal("gate passed while the lagging shard was still active")
+	}
+	g.Done(0) // shard 1 is now the only active member: never blocks on itself
+	waitOrFail(t, passed, "gate release after the lagging shard finished")
+}
+
+func TestGroupedRunFiresBoundariesBeforeParking(t *testing.T) {
+	// A windowed shard far ahead of its peer must reach its boundary callback
+	// even though its next dispatch is beyond the gate horizon — boundaries
+	// fire before the gate, which is what lets a window rendezvous form while
+	// the peer is still running. The callback publishes the boundary, mirroring
+	// how the profiling layer keeps a parked shard from stalling the group.
+	g := NewGroup(100)
+	fast := testMachine(1)
+	s0 := g.Add(fast)
+	g.Add(testMachine(1)) // peer stays at watermark 0
+
+	reached := make(chan struct{})
+	fast.SetWindowTicks(300, func(b uint64) {
+		if b == 300 {
+			close(reached)
+		}
+		g.Publish(s0, b)
+	})
+	finished := make(chan struct{})
+	fast.Schedule(0, 900, func(c *Ctx) {})
+	go func() {
+		fast.RunAll()
+		close(finished)
+	}()
+	waitOrFail(t, reached, "window boundary on the fast shard")
+	if !stillBlocked(finished) {
+		t.Fatal("fast shard ran 900 cycles ahead through a horizon-100 gate")
+	}
+	g.Done(1)
+	waitOrFail(t, finished, "fast shard completion after peer finished")
+}

@@ -8,9 +8,15 @@
 // accesses through hooks, exactly as real PMU hardware observes retired
 // instructions, and charges its interrupt costs to the interrupted core.
 //
-// The simulation is sequential and deterministic (seeded), which is what
-// makes the paper's statistical profiler reproducible here: two runs of a
-// workload with the same seed produce identical access streams.
+// The simulation is deterministic (seeded): two runs of a workload with the
+// same seed produce identical access streams, which is what makes the
+// paper's statistical profiler reproducible here. A run is either one
+// machine dispatching its event wheel sequentially, or — for sharded
+// parallel runs — several independent machines (one per shard, each with its
+// own wheel, hierarchy, and derived seed) advancing concurrently under a
+// Group skew gate. Shards share no simulated state, so their interleaving
+// cannot affect any shard's event stream and parallel runs stay
+// bit-reproducible.
 package sim
 
 import (
@@ -81,6 +87,12 @@ type Core struct {
 	// path allocation-free (hooks that retain event data must copy fields).
 	ev AccessEvent
 }
+
+// Rand returns the core's own deterministic RNG stream, derived from the
+// machine seed and the core ID. Every source of simulated randomness draws
+// from a per-core stream, so the draw sequence of one core never depends on
+// what other cores (or other shards of a sharded run) have consumed.
+func (c *Core) Rand() *rand.Rand { return c.rng }
 
 // Now returns the core's cycle clock (its TSC).
 func (c *Core) Now() uint64 { return c.now }
@@ -160,6 +172,53 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// eventWheel is the scheduling state of one shard: its event heap, the
+// sequence counter that breaks same-cycle ties, the dispatch watermark, and
+// the window-tick state. It used to live inline in Machine; it is a separate
+// type so a sharded run is visibly N independent wheels advancing under one
+// skew gate (Group), with no shared scheduling state between them.
+type eventWheel struct {
+	events eventHeap
+	seq    uint64
+	now    uint64 // time of the most recently dispatched event
+
+	// Window boundary ticks: winFn fires at every multiple of winLen before
+	// any event at or past that boundary is dispatched (see SetWindowTicks).
+	winLen  uint64
+	winNext uint64
+	winFn   func(boundary uint64)
+}
+
+// schedule queues fn for core at absolute time t.
+func (w *eventWheel) schedule(t uint64, core int, fn TaskFunc) {
+	w.seq++
+	w.events.push(event{t: t, seq: w.seq, core: core, fn: fn})
+}
+
+// setWindowTicks installs or clears the periodic boundary callback.
+func (w *eventWheel) setWindowTicks(length uint64, fn func(boundary uint64)) {
+	if length == 0 || fn == nil {
+		w.winLen, w.winNext, w.winFn = 0, 0, nil
+		return
+	}
+	w.winLen = length
+	w.winFn = fn
+	// Resume from the watermark so mid-run installation never replays
+	// boundaries the run already passed.
+	w.winNext = (w.now/length + 1) * length
+}
+
+// fireBoundaries fires, in order, every window tick the next dispatch (at
+// time next) is about to cross. An event at exactly the boundary belongs to
+// the new window, so ticks at or before next fire first.
+func (w *eventWheel) fireBoundaries(next uint64) {
+	for w.winLen > 0 && next >= w.winNext {
+		b := w.winNext
+		w.winNext += w.winLen
+		w.winFn(b)
+	}
+}
+
 // Machine is the simulated multicore system.
 type Machine struct {
 	Hier     *cache.Hierarchy
@@ -168,24 +227,19 @@ type Machine struct {
 	cores    []*Core
 	ctxs     []Ctx
 
-	events eventHeap
-	seq    uint64
-	now    uint64 // time of the most recently dispatched event
+	wheel eventWheel
+
+	// group, when non-nil, is the skew gate this machine advances under as
+	// one shard of a parallel run (see Group).
+	group *Group
+	shard int
 
 	accessHooks []AccessHook
 	workHooks   []WorkHook
 
-	// Window boundary ticks: winFn fires at every multiple of winLen before
-	// any event at or past that boundary is dispatched (see SetWindowTicks).
-	winLen  uint64
-	winNext uint64
-	winFn   func(boundary uint64)
-
 	// Overhead tallies profiling costs by category; Table 6.9 reports the
 	// breakdown. Categories used: "interrupt", "memory", "communication".
 	Overhead map[string]uint64
-
-	rng *rand.Rand
 }
 
 // New builds a machine.
@@ -206,7 +260,6 @@ func New(cfg Config) *Machine {
 		topo:     topo,
 		lineSize: cfg.Cache.LineSize,
 		Overhead: make(map[string]uint64),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	m.cores = make([]*Core, n)
 	m.ctxs = make([]Ctx, n)
@@ -230,12 +283,17 @@ func (m *Machine) Core(i int) *Core { return m.cores[i] }
 // drivers and tests; scheduled tasks receive it as an argument).
 func (m *Machine) Ctx(i int) *Ctx { return &m.ctxs[i] }
 
-// Rand returns the machine's seeded RNG.
-func (m *Machine) Rand() *rand.Rand { return m.rng }
+// DeriveShardSeed derives the deterministic seed for one shard of a sharded
+// run from the run's base seed. The multiplier is the 64-bit golden-ratio
+// constant, so nearby shard indices map to well-separated seeds and shard 0
+// of a sharded run never collides with the unsharded seed.
+func DeriveShardSeed(base int64, shard int) int64 {
+	return base ^ (int64(shard+1) * -0x61C8864680B583EB) // 0x9E3779B97F4A7C15
+}
 
 // Now returns the dispatch watermark: the scheduled time of the most recently
 // started task.
-func (m *Machine) Now() uint64 { return m.now }
+func (m *Machine) Now() uint64 { return m.wheel.now }
 
 // MaxCoreTime returns the furthest-advanced core clock.
 func (m *Machine) MaxCoreTime() uint64 {
@@ -263,15 +321,7 @@ func (m *Machine) AddWorkHook(h WorkHook) { m.workHooks = append(m.workHooks, h)
 // point (profilers merge their accounting there). length 0 (or nil fn)
 // removes the ticks.
 func (m *Machine) SetWindowTicks(length uint64, fn func(boundary uint64)) {
-	if length == 0 || fn == nil {
-		m.winLen, m.winNext, m.winFn = 0, 0, nil
-		return
-	}
-	m.winLen = length
-	m.winFn = fn
-	// Resume from the watermark so mid-run installation never replays
-	// boundaries the run already passed.
-	m.winNext = (m.now/length + 1) * length
+	m.wheel.setWindowTicks(length, fn)
 }
 
 // Schedule queues fn to run on core at absolute time t (or as soon as the
@@ -280,36 +330,41 @@ func (m *Machine) Schedule(core int, t uint64, fn TaskFunc) {
 	if core < 0 || core >= len(m.cores) {
 		panic(fmt.Sprintf("sim: schedule on core %d of %d", core, len(m.cores)))
 	}
-	m.seq++
-	m.events.push(event{t: t, seq: m.seq, core: core, fn: fn})
+	m.wheel.schedule(t, core, fn)
 }
 
 // Pending returns the number of queued events.
-func (m *Machine) Pending() int { return len(m.events) }
+func (m *Machine) Pending() int { return len(m.wheel.events) }
 
 // Run dispatches events in time order until the queue is empty or the next
 // event is scheduled after `until`. It returns the number of tasks run.
+//
+// When the machine is a member of a Group, each dispatch first fires any due
+// window boundaries (so a shard always reaches its window rendezvous before
+// it can park) and then waits in the group's skew gate until the dispatch
+// time is within the group's horizon of the slowest active shard.
 func (m *Machine) Run(until uint64) int {
 	n := 0
-	for len(m.events) > 0 {
-		if m.events[0].t > until {
+	w := &m.wheel
+	for len(w.events) > 0 {
+		t := w.events[0].t
+		if t > until {
 			break
 		}
-		// Fire window boundaries the next event is about to cross. An event
-		// at exactly the boundary belongs to the new window, so the tick
-		// runs first.
-		for m.winLen > 0 && m.events[0].t >= m.winNext {
-			b := m.winNext
-			m.winNext += m.winLen
-			m.winFn(b)
+		// Fire window boundaries the next event is about to cross; the gate
+		// comes after so boundary callbacks (which may block on a cross-shard
+		// rendezvous) always run before this shard can park in the gate.
+		w.fireBoundaries(t)
+		if m.group != nil {
+			m.group.gate(m.shard, t)
 		}
-		ev := m.events.pop()
+		ev := w.events.pop()
 		core := m.cores[ev.core]
 		if core.now < ev.t {
 			core.idle += ev.t - core.now
 			core.now = ev.t
 		}
-		m.now = ev.t
+		w.now = ev.t
 		ev.fn(&m.ctxs[ev.core])
 		n++
 	}
