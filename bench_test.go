@@ -25,6 +25,7 @@ import (
 	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/exp"
+	"dprof/internal/loadgen"
 	"dprof/internal/lockstat"
 	"dprof/internal/mem"
 	"dprof/internal/serve"
@@ -185,7 +186,10 @@ func BenchmarkNumaRemoteScenario(b *testing.B) { benchExperiment(b, "numaremote"
 // LRU lookup but no simulation. This is the request rate the service
 // sustains once a profile is warm — the serving-layer overhead.
 func BenchmarkServeCachedProfile(b *testing.B) {
-	s := serve.New(serve.Config{Workers: 1, Quick: true})
+	s, err := serve.New(serve.Config{Workers: 1, Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Shutdown()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -218,6 +222,52 @@ func BenchmarkServeCachedProfile(b *testing.B) {
 	b.StopTimer()
 	if n := s.Simulations(); n != 1 {
 		b.Fatalf("cached requests triggered %d extra simulations", n-1)
+	}
+}
+
+// BenchmarkServeDiskWarmProfile measures the restart-warm path: the LRU is
+// too small to retain both hot documents (capacity 1, two addresses
+// alternating), so every request reads the document off the disk store —
+// full HTTP round trip plus store checksum-verify, zero simulation. This
+// is the floor a restarted replica serves at before its LRU re-warms.
+func BenchmarkServeDiskWarmProfile(b *testing.B) {
+	s, err := serve.New(serve.Config{Workers: 1, Quick: true, CacheEntries: 1, StoreDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	bodies := []string{
+		`{"workload":"falseshare","views":["dataprofile"],"measure_ms":1,"quick":true}`,
+		`{"workload":"trueshare","views":["dataprofile"],"measure_ms":1,"quick":true}`,
+	}
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+	for _, body := range bodies { // warm the disk: one simulation each
+		if code := post(body); code != 200 {
+			b.Fatalf("warmup status %d", code)
+		}
+	}
+	warmed := s.Simulations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := post(bodies[i%2]); code != 200 {
+			b.Fatal("disk-warm request failed")
+		}
+	}
+	b.StopTimer()
+	if n := s.Simulations(); n != warmed {
+		b.Fatalf("disk-warm requests triggered %d extra simulations", n-warmed)
 	}
 }
 
@@ -476,4 +526,125 @@ func TestWriteShardBenchArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("parallel vs serial on %d CPUs: %.2fx", art.HostCPUs, art.Speedups["parallel_vs_serial"])
+}
+
+// TestWriteDprofdLoadBenchArtifact drives the Zipf load harness through the
+// three serving regimes — cold single replica (every distinct key simulates
+// once), warm restart (same store directory, zero simulation work), and a
+// three-replica consistent-hash fleet — and writes BENCH_dprofd_load.json at
+// the repo root. Like TestWriteShardBenchArtifact, it is the bench-harness
+// entry point; ordinary test runs skip it. Enable with:
+//
+//	DPROF_BENCH_JSON=1 go test -run TestWriteDprofdLoadBenchArtifact -count=1 .
+func TestWriteDprofdLoadBenchArtifact(t *testing.T) {
+	if os.Getenv("DPROF_BENCH_JSON") == "" {
+		t.Skip("set DPROF_BENCH_JSON=1 to measure and write BENCH_dprofd_load.json")
+	}
+	cfg := loadgen.Config{
+		Requests:    120,
+		Concurrency: 8,
+		Keys:        24,
+		ZipfS:       1.2,
+		ZipfV:       1,
+		Seed:        7,
+	}
+	storeDir := t.TempDir()
+	ctx := context.Background()
+	art := loadgen.NewArtifact(cfg)
+
+	// Phase 1: cold — empty LRU, empty store; the Zipf head warms fast but
+	// every distinct key pays one simulation.
+	{
+		s, err := serve.New(serve.Config{Workers: 2, Quick: true, StoreDir: storeDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		cfg.Targets = []string{ts.URL}
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art.Phases["cold"] = res
+		t.Logf("cold: %.1f req/s, %d simulations", res.Throughput, s.Simulations())
+		// Backfill the deck tail: Zipf draws may skip a few cold keys, so
+		// touch every entry once to make the store fully resident before
+		// the warm phase asserts zero simulation work.
+		for _, req := range loadgen.Deck(cfg.Keys, cfg.Seed) {
+			resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(string(req.Body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		ts.Close()
+		s.Shutdown()
+	}
+
+	// Phase 2: warm restart — a fresh process on the same store directory.
+	// Every document is already on disk, so the whole run must complete
+	// with zero simulation work (the acceptance criterion for the store).
+	{
+		s, err := serve.New(serve.Config{Workers: 2, Quick: true, StoreDir: storeDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		cfg.Targets = []string{ts.URL}
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := s.Simulations(); n != 0 {
+			t.Fatalf("warm phase ran %d simulations; want 0 (store misses)", n)
+		}
+		art.Phases["warm"] = res
+		t.Logf("warm: %.1f req/s, 0 simulations", res.Throughput)
+		ts.Close()
+		s.Shutdown()
+	}
+
+	// Phase 3: multi_replica — three fresh replicas in a consistent-hash
+	// ring, empty stores; routing concentrates each key on its owner, so
+	// fleet-wide simulations stay at one per distinct key.
+	{
+		const n = 3
+		servers := make([]*serve.Server, n)
+		tss := make([]*httptest.Server, n)
+		urls := make([]string, n)
+		for i := range servers {
+			s, err := serve.New(serve.Config{Workers: 2, Quick: true, StoreDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			servers[i] = s
+			tss[i] = httptest.NewServer(s.Handler())
+			urls[i] = tss[i].URL
+		}
+		for i, s := range servers {
+			if err := s.SetPeers(urls[i], urls); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cfg.Targets = urls
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sims int64
+		for _, s := range servers {
+			sims += s.Simulations()
+		}
+		art.Phases["multi_replica"] = res
+		t.Logf("multi_replica: %.1f req/s, %d fleet simulations", res.Throughput, sims)
+		for i := range servers {
+			tss[i].Close()
+			servers[i].Shutdown()
+		}
+	}
+
+	if err := art.Write("BENCH_dprofd_load.json"); err != nil {
+		t.Fatal(err)
+	}
 }

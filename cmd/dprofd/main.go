@@ -10,17 +10,25 @@
 //	POST /profile               run a profiling session (JSON body; ?stream=...
 //	                            streams window snapshots live on windowed runs)
 //	POST /diff                  diff two profiling sessions' data profiles
-//	GET  /stats                 cache hit/miss/eviction + singleflight counters
+//	GET  /object/{addr}         a stored document by content address (peer fetch)
+//	GET  /stats                 cache/store/peer + singleflight counters
 //	GET  /healthz               liveness + cache/worker counters
 //
 // Identical concurrent requests share one simulation (singleflight) and
 // byte-identical responses; repeats are served from an LRU without
-// simulating at all. See the README's dprofd section for curl examples.
+// simulating at all. With -store-dir, finished documents also persist in a
+// disk content-addressed store, so a restarted daemon serves warm profiles
+// without simulating. With -self/-peers, a replica fleet consistent-hashes
+// every request to one owner, making the dedup guarantee fleet-wide. See
+// the README's dprofd and "Scaling dprofd" sections for curl examples.
 //
 // Usage:
 //
 //	dprofd -addr :7071
-//	dprofd -addr :7071 -workers 4 -cache 512 -quick
+//	dprofd -addr :7071 -workers 4 -cache-entries 512 -quick
+//	dprofd -addr :7071 -store-dir /var/lib/dprofd
+//	dprofd -addr :7071 -store-dir /var/lib/dprofd \
+//	       -self http://a:7071 -peers http://a:7071,http://b:7071,http://c:7071
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,22 +59,47 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dprofd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":7071", "listen address")
-		workers = fs.Int("workers", 0, "max concurrent simulations (0 = all cores)")
-		entries = fs.Int("cache", 256, "LRU capacity in finished responses")
-		quick   = fs.Bool("quick", false, "default to quick (reduced-fidelity) sessions")
-		maxMs   = fs.Uint64("max-measure-ms", 60_000, "largest measured window a request may ask for, simulated ms")
+		addr     = fs.String("addr", ":7071", "listen address")
+		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = all cores)")
+		entries  = fs.Int("cache-entries", 256, "LRU capacity in finished responses")
+		quick    = fs.Bool("quick", false, "default to quick (reduced-fidelity) sessions")
+		maxMs    = fs.Uint64("max-measure-ms", 60_000, "largest measured window a request may ask for, simulated ms")
+		storeDir = fs.String("store-dir", "", "disk profile store directory (empty = in-memory LRU only)")
+		self     = fs.String("self", "", "this replica's URL as peers reach it (required with -peers)")
+		peers    = fs.String("peers", "", "comma-separated replica URLs forming the consistent-hash ring")
 	)
+	fs.IntVar(entries, "cache", 256, "deprecated alias for -cache-entries")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	var replicas []string
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(stderr, "dprofd: -peers requires -self (this replica's URL as peers reach it)")
+			return 2
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				replicas = append(replicas, p)
+			}
+		}
+	}
 
-	s := serve.New(serve.Config{
+	s, err := serve.New(serve.Config{
 		Workers:      *workers,
 		CacheEntries: *entries,
 		Quick:        *quick,
 		MaxMeasureMs: *maxMs,
+		StoreDir:     *storeDir,
+		Self:         *self,
+		Peers:        replicas,
 	})
+	if err != nil {
+		// An unwritable store dir or a malformed ring fails here, at
+		// startup, with the reason — not on the first request.
+		fmt.Fprintf(stderr, "dprofd: %v\n", err)
+		return 1
+	}
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -24,6 +26,47 @@ func TestRunBadAddr(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "dprofd:") {
 		t.Errorf("stderr missing listen error:\n%s", errOut.String())
+	}
+}
+
+// TestRunRejectsUnwritableStoreDir: a store directory that cannot be
+// created fails at startup with a clear error, not on the first write.
+func TestRunRejectsUnwritableStoreDir(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-store-dir", filepath.Join(f, "store")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"dprofd:", "store"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+func TestRunPeersRequireSelf(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-peers", "http://a:7071,http://b:7071"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-self") {
+		t.Errorf("stderr missing -self hint:\n%s", errOut.String())
+	}
+}
+
+func TestRunRejectsMalformedPeer(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-self", "http://a:7071", "-peers", "http://a:7071,not-a-url"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "replica") {
+		t.Errorf("stderr missing replica error:\n%s", errOut.String())
 	}
 }
 

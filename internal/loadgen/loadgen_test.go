@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"dprof/internal/serve"
+)
+
+func TestDeckDeterministicAndDistinct(t *testing.T) {
+	a := Deck(40, 7)
+	b := Deck(40, 7)
+	if len(a) != 40 {
+		t.Fatalf("deck size = %d", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if string(a[i].Body) != string(b[i].Body) || a[i].Name != b[i].Name {
+			t.Fatalf("deck entry %d differs across same-seed builds", i)
+		}
+		if seen[string(a[i].Body)] {
+			t.Fatalf("deck entry %d (%s) duplicates an earlier body", i, a[i].Name)
+		}
+		seen[string(a[i].Body)] = true
+	}
+	// Different seeds draw from disjoint option ranges.
+	c := Deck(40, 8)
+	for i := range c {
+		if seen[string(c[i].Body)] {
+			t.Fatalf("seed-8 deck entry %d collides with the seed-7 deck", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Targets: []string{"http://x"}},
+		{Targets: []string{"http://x"}, Requests: 8, ZipfS: 0.5},
+		{Targets: []string{"http://x"}, Requests: 8, ZipfV: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestRunAgainstServer drives the real serving stack: every request
+// succeeds, the dispositions account for every response, and repeats hit
+// the cache (Zipf reuse means far fewer simulations than requests).
+func TestRunAgainstServer(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := Config{
+		Targets:     []string{ts.URL},
+		Requests:    48,
+		Concurrency: 4,
+		Keys:        8,
+		Seed:        3,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 48 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d: %+v", res.Requests, res.Errors, res)
+	}
+	if res.Statuses["200"] != 48 {
+		t.Errorf("statuses = %v, want 48 x 200", res.Statuses)
+	}
+	total := 0
+	for _, n := range res.Dispositions {
+		total += n
+	}
+	if total != 48 {
+		t.Errorf("dispositions sum = %d, want 48: %v", total, res.Dispositions)
+	}
+	if res.Throughput <= 0 || res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 {
+		t.Errorf("implausible measurements: %+v", res)
+	}
+	// Closed-loop over 8 keys: at most 8 simulations, the rest cache work.
+	if n := s.Simulations(); n < 1 || n > 8 {
+		t.Errorf("simulations = %d, want 1..8", n)
+	}
+	if res.Dispositions["hit"]+res.Dispositions["dedup"] == 0 {
+		t.Errorf("no cache reuse under a Zipf mix: %v", res.Dispositions)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	l := percentiles([]float64{4, 1, 3, 2, 5, 6, 7, 8, 9, 10})
+	if l.P50 != 5 || l.P99 != 10 || l.Max != 10 || l.Mean != 5.5 {
+		t.Errorf("percentiles = %+v", l)
+	}
+	if z := percentiles(nil); z != (Latency{}) {
+		t.Errorf("empty percentiles = %+v", z)
+	}
+}

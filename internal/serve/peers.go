@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Multi-replica mode: a fleet of dprofd replicas shares the work of
+// producing profiles by consistent-hashing every content address onto one
+// owning replica. Non-owners forward plain requests to the owner (the
+// routed header stops a misconfigured ring from bouncing a request twice),
+// so the owner's in-process singleflight becomes a fleet-wide one: N
+// identical concurrent requests anywhere in the fleet collapse onto one
+// simulation. On a cold miss the owner also peer-fetches the stored
+// document from the other replicas' disks (GET /object/{addr}) before
+// simulating — a replica that joined or changed ring position can adopt
+// objects produced under an older ownership map instead of re-running
+// them. Every peer interaction fails soft: a dead or draining peer means
+// the local replica simulates itself, trading strict exactly-once for
+// availability.
+
+const (
+	// routedHeader marks a request already forwarded by a replica: the
+	// receiver must handle it locally, never re-route.
+	routedHeader = "X-DProf-Routed"
+	// replicaHeader reports which replica produced a routed response.
+	replicaHeader = "X-DProf-Replica"
+
+	// vnodesPerReplica smooths the ring: more virtual nodes, more even
+	// key spread across replicas.
+	vnodesPerReplica = 64
+
+	// peerObjectTimeout bounds a stored-document fetch; /object never
+	// simulates, so a healthy peer answers in milliseconds.
+	peerObjectTimeout = 3 * time.Second
+
+	// maxPeerBody caps what a replica will read from a peer response.
+	maxPeerBody = 64 << 20
+)
+
+type vnode struct {
+	hash uint64
+	url  string
+}
+
+// peerSet is a consistent-hash ring over the replica fleet.
+type peerSet struct {
+	self   string
+	all    []string // every replica, self included, normalized
+	others []string // every replica but self
+	ring   []vnode  // sorted by hash
+	client *http.Client
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// normalizeReplica validates one replica URL and strips the trailing
+// slash so ring membership comparisons are exact.
+func normalizeReplica(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("replica %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("replica %q: want http(s)://host[:port]", raw)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// newPeerSet builds the ring. self is added to replicas if absent, so
+// "-peers" can list either the whole fleet or just the others.
+func newPeerSet(self string, replicas []string) (*peerSet, error) {
+	selfURL, err := normalizeReplica(self)
+	if err != nil {
+		return nil, fmt.Errorf("serve: self %w", err)
+	}
+	p := &peerSet{self: selfURL, client: &http.Client{}}
+	seen := map[string]bool{}
+	for _, r := range append(slices.Clone(replicas), self) {
+		u, err := normalizeReplica(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		p.all = append(p.all, u)
+		if u != selfURL {
+			p.others = append(p.others, u)
+		}
+		for i := 0; i < vnodesPerReplica; i++ {
+			p.ring = append(p.ring, vnode{hash: hash64(fmt.Sprintf("%s#%d", u, i)), url: u})
+		}
+	}
+	slices.Sort(p.all)
+	slices.Sort(p.others)
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].hash != p.ring[j].hash {
+			return p.ring[i].hash < p.ring[j].hash
+		}
+		return p.ring[i].url < p.ring[j].url
+	})
+	return p, nil
+}
+
+// owner maps a content address onto the replica that owns it: the first
+// virtual node at or past the address hash, wrapping at the top.
+func (p *peerSet) owner(addr string) string {
+	h := hash64(addr)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].url
+}
+
+// SetPeers switches the server into multi-replica mode: self is this
+// replica's URL as its peers reach it, replicas the fleet (self included
+// or not — it is added). Call before serving traffic.
+func (s *Server) SetPeers(self string, replicas []string) error {
+	p, err := newPeerSet(self, replicas)
+	if err != nil {
+		return err
+	}
+	s.peers = p
+	return nil
+}
+
+// routeOwner decides whether a request must be forwarded: multi-replica
+// mode is on, the request did not already arrive routed, and the content
+// address hashes to another replica.
+func (s *Server) routeOwner(r *http.Request, addr string) (string, bool) {
+	if s.peers == nil || r.Header.Get(routedHeader) != "" {
+		return "", false
+	}
+	owner := s.peers.owner(addr)
+	if owner == s.peers.self {
+		return "", false
+	}
+	return owner, true
+}
+
+// proxyCompute forwards a computable request to the owning replica,
+// deduplicated through the same in-process flight group as local
+// computations — a burst of identical requests on a non-owner costs one
+// upstream call, and that call collapses with any concurrent local
+// compute for the same address. The upstream request runs under the
+// server's lifetime, detached from any one client; the response body
+// lands in the local LRU so repeats on this replica never leave the
+// process. Any upstream failure (network error, non-200) is returned for
+// the caller to fall back on local simulation.
+func (s *Server) proxyCompute(ctx context.Context, owner, addr, method, uri string, rawBody []byte) (body []byte, disposition string, err error) {
+	var src string
+	body, err, leader := s.flights.do(ctx, addr, func() ([]byte, error) {
+		if b, ok := s.cache.get(addr); ok {
+			s.hits.Add(1)
+			src = "hit"
+			return b, nil
+		}
+		var rd io.Reader
+		if rawBody != nil {
+			rd = bytes.NewReader(rawBody)
+		}
+		req, err := http.NewRequestWithContext(s.ctx, method, owner+uri, rd)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: %w", owner, err)
+		}
+		req.Header.Set(routedHeader, "1")
+		if rawBody != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := s.peers.client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: %w", owner, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: %w", owner, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("peer %s: status %d: %s", owner, resp.StatusCode, bytes.TrimSpace(b))
+		}
+		b = bytes.TrimSuffix(b, []byte("\n"))
+		s.peerProxied.Add(1)
+		s.cache.put(addr, b)
+		if d := resp.Header.Get("X-DProf-Cache"); d != "" {
+			src = "proxy:" + d
+		} else {
+			src = "proxy"
+		}
+		return b, nil
+	})
+	switch {
+	case err != nil:
+		return nil, "", err
+	case !leader:
+		s.dedups.Add(1)
+		return body, "dedup", nil
+	case src != "":
+		return body, src, nil
+	}
+	return body, "proxy", nil
+}
+
+// peerObject asks the other replicas for an already-stored document —
+// LRU or disk only, never a simulation — and adopts a hit into the local
+// cache and store. It runs on the owner-side miss path, so a fleet whose
+// ring membership changed serves relocated objects at network speed
+// instead of re-simulating them.
+func (s *Server) peerObject(addr string) ([]byte, bool) {
+	if s.peers == nil {
+		return nil, false
+	}
+	for _, peer := range s.peers.others {
+		body, ok := s.fetchObject(peer, addr)
+		if !ok {
+			continue
+		}
+		s.peerFetches.Add(1)
+		s.cache.put(addr, body)
+		s.persist(addr, body)
+		return body, true
+	}
+	return nil, false
+}
+
+func (s *Server) fetchObject(peer, addr string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(s.ctx, peerObjectTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/object/"+addr, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := s.peers.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	body = bytes.TrimSuffix(body, []byte("\n"))
+	if len(body) == 0 {
+		return nil, false
+	}
+	return body, true
+}
+
+// handleObject serves GET /object/{addr...}: the stored document for a
+// content address if this replica already has it (LRU or disk), 404
+// otherwise. It never computes and never re-routes, so peer fetches
+// cannot recurse or deadlock across the fleet.
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	addr := r.PathValue("addr")
+	if body, ok := s.cache.get(addr); ok {
+		s.objectsServed.Add(1)
+		writeBody(w, body, "hit")
+		return
+	}
+	if s.store != nil {
+		if body, ok := s.store.Get(addr); ok {
+			s.cache.put(addr, body)
+			s.objectsServed.Add(1)
+			writeBody(w, body, "disk")
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	json.NewEncoder(w).Encode(map[string]string{"error": "object not stored: " + addr})
+}

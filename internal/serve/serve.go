@@ -8,7 +8,8 @@
 //	GET  /experiments/{name} run one paper experiment (cached)
 //	POST /profile            run a workload profiling session (cached)
 //	POST /diff               diff two sessions' data profiles (cached)
-//	GET  /stats              cache hit/miss/eviction + singleflight counters
+//	GET  /object/{addr}      a stored document by content address (peers)
+//	GET  /stats              cache/store/peer + singleflight counters
 //	GET  /healthz            liveness plus cache/worker counters
 //
 // Profiling is deterministic — same workload, same canonical options, same
@@ -22,13 +23,23 @@
 // events, and windowed profiling sessions (the shared window-ms option)
 // stream every window snapshot as its boundary closes, so a watching client
 // sees the profile converge live instead of waiting for the whole run.
+//
+// Two scaling layers stack on top (see the README's "Scaling dprofd"):
+// Config.StoreDir backs the LRU with a disk content-addressed store
+// (internal/store) so finished documents survive restarts, and
+// Config.Self/Peers (or SetPeers) joins a replica fleet — a
+// consistent-hash ring routes every content address to one owning
+// replica, turning the owner's in-process singleflight into a fleet-wide
+// guarantee that each distinct profile simulates exactly once.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"slices"
@@ -40,6 +51,7 @@ import (
 	"dprof/internal/app/workload"
 	"dprof/internal/core"
 	"dprof/internal/exp"
+	"dprof/internal/store"
 )
 
 // Config tunes a Server.
@@ -54,6 +66,15 @@ type Config struct {
 	// MaxMeasureMs caps the requested measured window (default 60000
 	// simulated milliseconds) so one request cannot wedge a worker.
 	MaxMeasureMs uint64
+	// StoreDir, when non-empty, backs the LRU with a disk content-addressed
+	// store: finished documents persist across restarts and the LRU becomes
+	// a read-through layer in front of it.
+	StoreDir string
+	// Self and Peers, when Peers is non-empty, switch the server into
+	// multi-replica mode (see SetPeers): Self is this replica's URL as
+	// peers reach it, Peers the fleet's replica URLs.
+	Self  string
+	Peers []string
 }
 
 // Server is the dprofd HTTP service. Construct with New, mount Handler,
@@ -62,6 +83,8 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	cache   *lru
+	store   *store.Store // nil = memory only
+	peers   *peerSet     // nil = single-replica mode
 	flights flightGroup
 	mux     *http.ServeMux
 
@@ -72,10 +95,17 @@ type Server struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	dedups      atomic.Int64
+
+	peerProxied   atomic.Int64 // requests this replica forwarded to their owner
+	peerFetches   atomic.Int64 // stored documents adopted from a peer's store
+	peerFallbacks atomic.Int64 // proxy failures served by local simulation
+	objectsServed atomic.Int64 // GET /object hits served to peers
 }
 
-// New builds a Server with its worker pool and cache.
-func New(cfg Config) *Server {
+// New builds a Server with its worker pool, cache, and (when configured)
+// disk store and replica ring. An unusable store directory fails here, at
+// startup, not on the first write.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -90,6 +120,18 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.Workers),
 		cache: newLRU(cfg.CacheEntries),
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		if err := s.SetPeers(cfg.Self, cfg.Peers); err != nil {
+			return nil, err
+		}
+	}
 	s.ctx, s.stop = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -99,7 +141,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /profile", s.handleProfile)
 	s.mux.HandleFunc("POST /diff", s.handleDiff)
-	return s
+	s.mux.HandleFunc("GET /object/{addr...}", s.handleObject)
+	return s, nil
 }
 
 // Handler returns the route table.
@@ -257,12 +300,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats exposes the profile store's operational counters: cache
-// hits/misses/evictions and how many requests the singleflight layer
-// deduplicated onto a shared simulation — the observability surface for
-// tuning CacheEntries and verifying the dedup contract in production.
+// handleStats exposes every layer's operational counters — LRU
+// hits/misses/evictions, the disk store's hit/miss/bytes counters, the
+// replica ring's proxy/fetch/fallback counters, and how many requests the
+// singleflight layer deduplicated onto a shared simulation — the
+// observability surface for tuning CacheEntries, sizing the fleet, and
+// verifying the dedup contract in production. The combined schema is
+// documented in the README's "Scaling dprofd" section.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"cache": map[string]any{
 			"entries":   s.cache.len(),
 			"capacity":  s.cfg.CacheEntries,
@@ -275,13 +321,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"simulations": s.simulations.Load(),
 		"workers":     s.cfg.Workers,
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		out["store"] = map[string]any{
+			"dir":                 st.Dir,
+			"entries":             st.Entries,
+			"hits":                st.Hits,
+			"misses":              st.Misses,
+			"puts":                st.Puts,
+			"write_once_rejected": st.Rejected,
+			"corrupt_dropped":     st.Corrupt,
+			"bytes_written":       st.BytesWritten,
+			"bytes_read":          st.BytesRead,
+		}
+	}
+	if s.peers != nil {
+		out["peers"] = map[string]any{
+			"self":           s.peers.self,
+			"replicas":       len(s.peers.all),
+			"proxied":        s.peerProxied.Load(),
+			"peer_fetches":   s.peerFetches.Load(),
+			"fallbacks":      s.peerFallbacks.Load(),
+			"objects_served": s.objectsServed.Load(),
+		}
+	}
+	writeJSON(w, out)
 }
 
 // --- profiling sessions ---
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// The raw body is kept around so a non-owning replica can forward the
+	// request verbatim: normalization is deterministic, so the owner derives
+	// the identical content address from the identical bytes.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var req ProfileRequest
 	if err := dec.Decode(&req); err != nil {
@@ -308,8 +389,23 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st != nil {
+		// Streamed sessions always run where they land: live window events
+		// cannot cross a proxy hop. The flight body still reads through the
+		// disk store and the peers' stores before simulating.
 		s.streamProfile(st, r, k, addr)
 		return
+	}
+
+	if owner, ok := s.routeOwner(r, addr); ok {
+		body, disposition, err := s.proxyCompute(r.Context(), owner, addr, http.MethodPost, "/profile", raw)
+		if err == nil {
+			w.Header().Set(replicaHeader, owner)
+			writeBody(w, body, disposition)
+			return
+		}
+		// The owner is dead or draining: availability beats strict
+		// ownership, so this replica simulates locally.
+		s.peerFallbacks.Add(1)
 	}
 
 	body, disposition, err := s.compute(r, addr, func() ([]byte, error) { return s.runProfile(k, nil) })
@@ -388,12 +484,14 @@ func (s *Server) streamProfile(st *streamer, r *http.Request, k profileKey, addr
 // lost the race to a just-finished flight must not relaunch the
 // simulation). The returned disposition reports what actually happened —
 // "miss" (this request launched the computation), "hit" (the in-flight
-// re-check found a just-cached body), or "dedup" (joined another request's
-// flight). Streaming requests go through streamProfile/streamExperiment
-// instead, which add live events and keep-alives on the same flight path.
+// re-check found a just-cached body), "disk" (the body came off the local
+// store), "peer" (a peer's store had it), or "dedup" (joined another
+// request's flight). Streaming requests go through
+// streamProfile/streamExperiment instead, which add live events and
+// keep-alives on the same flight path.
 func (s *Server) compute(r *http.Request, addr string, run func() ([]byte, error)) (body []byte, disposition string, err error) {
-	var fromCache bool
-	wrapped := s.cachedRun(addr, &fromCache, run)
+	var src string
+	wrapped := s.cachedRun(addr, &src, run)
 	body, err, leader := s.flights.do(r.Context(), addr, wrapped)
 	switch {
 	case err != nil:
@@ -401,32 +499,59 @@ func (s *Server) compute(r *http.Request, addr string, run func() ([]byte, error
 	case !leader:
 		s.dedups.Add(1)
 		return body, "dedup", nil
-	case fromCache:
-		return body, "hit", nil
+	case src != "":
+		return body, src, nil
 	}
 	return body, "miss", nil
 }
 
-// cachedRun wraps a flight body with the in-flight cache re-check and the
-// miss/hit accounting: a miss counts a launched computation, never a joined
-// or just-missed one. fromCache (optional) reports the re-check outcome;
+// cachedRun wraps a flight body with the layered read path — LRU, then the
+// disk store (promoting a hit into the LRU), then the peers' stores, then
+// the computation — and the miss/hit accounting: a miss counts a launched
+// computation, never a joined or just-missed one. A computed body lands in
+// both the LRU and the store, so it survives a restart. source (optional)
+// reports where the body came from ("hit", "disk", "peer", "" = computed);
 // the flight-completion channel orders the write before any waiter reads it.
-func (s *Server) cachedRun(addr string, fromCache *bool, run func() ([]byte, error)) func() ([]byte, error) {
+func (s *Server) cachedRun(addr string, source *string, run func() ([]byte, error)) func() ([]byte, error) {
+	setSrc := func(v string) {
+		if source != nil {
+			*source = v
+		}
+	}
 	return func() ([]byte, error) {
 		if body, ok := s.cache.get(addr); ok {
 			s.hits.Add(1)
-			if fromCache != nil {
-				*fromCache = true
+			setSrc("hit")
+			return body, nil
+		}
+		if s.store != nil {
+			if body, ok := s.store.Get(addr); ok {
+				s.cache.put(addr, body)
+				setSrc("disk")
+				return body, nil
 			}
+		}
+		if body, ok := s.peerObject(addr); ok {
+			setSrc("peer")
 			return body, nil
 		}
 		s.misses.Add(1)
 		body, err := run()
 		if err == nil {
 			s.cache.put(addr, body)
+			s.persist(addr, body)
 		}
 		return body, err
 	}
+}
+
+// persist writes a finished body through to the disk store, best-effort:
+// persistence failing must not fail the request the body answers.
+func (s *Server) persist(addr string, body []byte) {
+	if s.store == nil {
+		return
+	}
+	s.store.Put(addr, body)
 }
 
 // --- experiments ---
@@ -481,6 +606,16 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if st != nil {
 		s.streamExperiment(st, r, name, quick, addr)
 		return
+	}
+	if owner, ok := s.routeOwner(r, addr); ok {
+		uri := fmt.Sprintf("/experiments/%s?quick=%t", name, quick)
+		body, disposition, err := s.proxyCompute(r.Context(), owner, addr, http.MethodGet, uri, nil)
+		if err == nil {
+			w.Header().Set(replicaHeader, owner)
+			writeBody(w, body, disposition)
+			return
+		}
+		s.peerFallbacks.Add(1)
 	}
 	body, disposition, err := s.compute(r, addr, func() ([]byte, error) {
 		return s.runExperiment(s.ctx, name, quick, nil)

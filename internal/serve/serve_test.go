@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -15,7 +18,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		s.Shutdown()
@@ -445,7 +451,10 @@ func TestProfileStreamSSE(t *testing.T) {
 // soon as the server's lifetime context ends, instead of hanging behind a
 // simulation it will never get to run.
 func TestShutdownFailsFast(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -501,6 +510,136 @@ func TestHealthz(t *testing.T) {
 	}
 	if got["status"] != "ok" || got["workers"] != float64(3) {
 		t.Errorf("healthz = %v", got)
+	}
+}
+
+// --- the disk store read-through layer ---
+
+// TestStoreWarmRestartServesWithoutSimulating is the persistence
+// acceptance test: a fresh server over a warm store directory (cold LRU,
+// warm disk) answers a repeat byte-identically with zero simulation work,
+// and the disposition + /stats counters say the disk served it.
+func TestStoreWarmRestartServesWithoutSimulating(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir})
+	resp1, first := postProfile(t, ts1, quickProfile)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp1.StatusCode, first)
+	}
+	if n := s1.Simulations(); n != 1 {
+		t.Fatalf("simulations = %d, want 1", n)
+	}
+	s1.Shutdown()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp2, second := postProfile(t, ts2, quickProfile)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("restart status %d: %s", resp2.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("restarted server served different bytes")
+	}
+	if d := resp2.Header.Get("X-DProf-Cache"); d != "disk" {
+		t.Errorf("disposition = %q, want disk", d)
+	}
+	if n := s2.Simulations(); n != 0 {
+		t.Errorf("restarted server ran %d simulations, want 0", n)
+	}
+
+	// Promoted into the LRU: the next repeat never touches the disk.
+	resp3, _ := postProfile(t, ts2, quickProfile)
+	if d := resp3.Header.Get("X-DProf-Cache"); d != "hit" {
+		t.Errorf("second repeat disposition = %q, want hit", d)
+	}
+
+	var stats struct {
+		Store struct {
+			Entries   int64 `json:"entries"`
+			Hits      int64 `json:"hits"`
+			Puts      int64 `json:"puts"`
+			BytesRead int64 `json:"bytes_read"`
+		} `json:"store"`
+	}
+	resp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Entries != 1 || stats.Store.Hits != 1 || stats.Store.BytesRead == 0 {
+		t.Errorf("store stats = %+v", stats.Store)
+	}
+}
+
+// TestStoreCorruptEntryFallsBackToSimulate: a torn object on disk reads
+// as a miss, the request re-simulates to the same bytes, and the entry is
+// repaired in place.
+func TestStoreCorruptEntryFallsBackToSimulate(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir})
+	_, first := postProfile(t, ts1, quickProfile)
+	s1.Shutdown()
+	ts1.Close()
+
+	// Truncate the single stored object.
+	var object string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			object = path
+		}
+		return err
+	})
+	if err != nil || object == "" {
+		t.Fatalf("no stored object found: %v", err)
+	}
+	raw, err := os.ReadFile(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(object, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp, second := postProfile(t, ts2, quickProfile)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("re-simulated bytes differ from the original")
+	}
+	if n := s2.Simulations(); n != 1 {
+		t.Errorf("simulations = %d, want 1 (corrupt entry must re-simulate)", n)
+	}
+
+	// Repaired: a third server serves from disk again.
+	s3, ts3 := newTestServer(t, Config{StoreDir: dir})
+	resp3, third := postProfile(t, ts3, quickProfile)
+	if d := resp3.Header.Get("X-DProf-Cache"); d != "disk" {
+		t.Errorf("post-repair disposition = %q, want disk", d)
+	}
+	if !bytes.Equal(first, third) {
+		t.Error("repaired entry differs from the original")
+	}
+	if n := s3.Simulations(); n != 0 {
+		t.Errorf("post-repair simulations = %d, want 0", n)
+	}
+}
+
+func TestNewRejectsUnusableStoreDir(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{StoreDir: filepath.Join(f, "store")})
+	if err == nil {
+		t.Fatal("New accepted a store dir under a regular file")
+	}
+	if !strings.Contains(err.Error(), "store") {
+		t.Errorf("error does not name the store: %v", err)
 	}
 }
 

@@ -1,0 +1,243 @@
+// Package store is dprofd's disk layer: a content-addressed, write-once
+// object store for finished profile documents.
+//
+// Profiles are deterministic and immutable — the same canonical request
+// always produces the same bytes — so cache-forever is correct and the
+// store never updates an entry in place. Each object lives in its own
+// file under the store directory, named by the SHA-256 of its content
+// address and prefixed with a JSON header carrying the address, length,
+// and a SHA-256 checksum of the body. Writes are crash-safe: the object
+// is written to a temp file in the final directory, fsync'd, and then
+// hard-linked into place, so a reader never observes a partial object and
+// the first complete write wins every race. A corrupt or truncated file
+// (torn write, bit rot) fails its checksum on Get, is dropped on the
+// spot, and the caller's re-simulation repairs the entry with its next
+// Put.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Store is a disk-backed content-addressed object store. All methods are
+// safe for concurrent use; the filesystem provides the synchronization
+// (atomic link for writes, whole-file reads for gets).
+type Store struct {
+	dir string
+
+	entries  atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	puts     atomic.Int64
+	rejected atomic.Int64 // write-once: Put on an existing object
+	corrupt  atomic.Int64 // checksum/length failures dropped on Get
+	bytesIn  atomic.Int64 // body bytes written
+	bytesOut atomic.Int64 // body bytes served
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Dir          string `json:"dir"`
+	Entries      int64  `json:"entries"`
+	Hits         int64  `json:"hits"`
+	Misses       int64  `json:"misses"`
+	Puts         int64  `json:"puts"`
+	Rejected     int64  `json:"write_once_rejected"`
+	Corrupt      int64  `json:"corrupt_dropped"`
+	BytesWritten int64  `json:"bytes_written"`
+	BytesRead    int64  `json:"bytes_read"`
+}
+
+// header is the first line of every object file. Len and SHA256 cover the
+// body that follows the newline; Address ties the file back to the cache
+// key it serves (and guards against a file landing under the wrong name).
+type header struct {
+	V       int    `json:"v"`
+	Address string `json:"address"`
+	Len     int    `json:"len"`
+	SHA256  string `json:"sha256"`
+}
+
+const tmpPrefix = ".tmp-"
+
+// Open creates (if needed) and validates the store directory. It probes
+// writability up front so a misconfigured deployment fails at startup
+// with a clear error instead of on the first Put, sweeps temp files left
+// by a crashed writer, and counts the resident objects.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: directory %s is not usable: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, []byte("ok\n"), 0o644); err != nil {
+		return nil, fmt.Errorf("store: directory %s is not writable: %w", dir, err)
+	}
+	os.Remove(probe)
+
+	s := &Store{dir: dir}
+	var n int64
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), tmpPrefix) {
+			os.Remove(path) // a crashed writer's leftovers; never linked
+			return nil
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	s.entries.Store(n)
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports the resident object count.
+func (s *Store) Len() int64 { return s.entries.Load() }
+
+// path maps a content address onto disk: objects shard into 256 prefix
+// directories by the first byte of the address hash, so no single
+// directory grows unboundedly.
+func (s *Store) path(address string) string {
+	sum := sha256.Sum256([]byte(address))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, name[:2], name)
+}
+
+// Get returns the stored body for a content address. A file that fails
+// validation — short, torn, flipped bits, or written under the wrong
+// name — is deleted so the next Put can repair the entry, and reported
+// as a miss; the caller falls back to recomputing.
+func (s *Store) Get(address string) ([]byte, bool) {
+	p := s.path(address)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	body, ok := decode(raw, address)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		if os.Remove(p) == nil {
+			s.entries.Add(-1)
+		}
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesOut.Add(int64(len(body)))
+	return body, true
+}
+
+// decode splits an object file into header and body and validates both.
+func decode(raw []byte, address string) ([]byte, bool) {
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	var h header
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		return nil, false
+	}
+	body := raw[nl+1:]
+	if h.V != 1 || h.Address != address || h.Len != len(body) {
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != h.SHA256 {
+		return nil, false
+	}
+	return body, true
+}
+
+// Put stores a body under its content address, write-once: if the object
+// already exists the call is a no-op (the store trusts the first complete
+// write — contents are deterministic, so racers carry identical bytes).
+// The write path is crash-safe: temp file in the final directory, fsync,
+// hard link into place (link fails atomically if another writer won),
+// then a directory fsync so the name survives a crash.
+func (s *Store) Put(address string, body []byte) error {
+	p := s.path(address)
+	if _, err := os.Stat(p); err == nil {
+		s.rejected.Add(1)
+		return nil
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	sum := sha256.Sum256(body)
+	hdr, err := json.Marshal(header{V: 1, Address: address, Len: len(body), SHA256: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(append(hdr, '\n'), body...)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	if err := os.Link(tmp.Name(), p); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			s.rejected.Add(1) // lost the race; the winner's bytes are identical
+			return nil
+		}
+		return fmt.Errorf("store: put %s: %w", address, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.puts.Add(1)
+	s.entries.Add(1)
+	s.bytesIn.Add(int64(len(body)))
+	return nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Dir:          s.dir,
+		Entries:      s.entries.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Rejected:     s.rejected.Load(),
+		Corrupt:      s.corrupt.Load(),
+		BytesWritten: s.bytesIn.Load(),
+		BytesRead:    s.bytesOut.Load(),
+	}
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTripAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	body := []byte(`{"workload":"falseshare","views":{"dataprofile":[1,2,3]}}`)
+	if err := s.Put("profile/abc", body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("profile/abc")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+
+	// A new Store over the same directory — a daemon restart — serves the
+	// identical bytes and counts the resident object.
+	s2 := open(t, dir)
+	if n := s2.Len(); n != 1 {
+		t.Errorf("restarted Len = %d, want 1", n)
+	}
+	got2, ok := s2.Get("profile/abc")
+	if !ok || !bytes.Equal(got2, body) {
+		t.Fatalf("restarted Get = %q, %v", got2, ok)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats after restart get: %+v", st)
+	}
+}
+
+func TestWriteOnce(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Put("k", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// A second Put — even with different bytes, which deterministic content
+	// addressing makes impossible in practice — must not replace the object.
+	if err := s.Put("k", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "first" {
+		t.Fatalf("Get = %q, %v; want the first write preserved", got, ok)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Rejected != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v; want 1 put, 1 rejected, 1 entry", st)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	s := open(t, t.TempDir())
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get on an empty store succeeded")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// corruptions enumerates the failure modes a disk file can present; each
+// must read as a miss, drop the bad file, and let a re-Put repair it.
+func TestCorruptObjectsFallBackAndRepair(t *testing.T) {
+	body := []byte("a perfectly good profile document")
+	tests := []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"truncated body", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, raw[:len(raw)-5], 0o644)
+		}},
+		{"flipped body byte", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[len(raw)-1] ^= 0x40
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"mangled header", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[0] = '#'
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"empty file", func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		}},
+		{"header only, no newline", func(p string) error {
+			return os.WriteFile(p, []byte(`{"v":1}`), 0o644)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := open(t, t.TempDir())
+			addr := "profile/" + tt.name
+			if err := s.Put(addr, body); err != nil {
+				t.Fatal(err)
+			}
+			if err := tt.corrupt(s.path(addr)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(addr); ok {
+				t.Fatalf("corrupt object served: %q", got)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if _, err := os.Stat(s.path(addr)); !os.IsNotExist(err) {
+				t.Error("corrupt file not dropped")
+			}
+			// The caller re-simulates and Puts again: the entry is repaired.
+			if err := s.Put(addr, body); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s.Get(addr)
+			if !ok || !bytes.Equal(got, body) {
+				t.Fatalf("repaired Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestWrongAddressFile: a file whose header names a different address
+// (e.g. restored into the wrong place) must not be served.
+func TestWrongAddressFile(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Put("right", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path("right"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path("wrong")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("wrong"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("wrong"); ok {
+		t.Fatal("served an object under the wrong address")
+	}
+}
+
+func TestOpenRejectsUnusableDir(t *testing.T) {
+	// A path whose parent is a regular file cannot become a directory: the
+	// misconfiguration surfaces at Open, not on the first Put.
+	f := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(f, "store")); err == nil {
+		t.Fatal("Open under a regular file succeeded")
+	}
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open with an empty dir succeeded")
+	}
+}
+
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put("live", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that crashed between CreateTemp and Link.
+	stale := filepath.Join(dir, "ab", tmpPrefix+"123")
+	if err := os.MkdirAll(filepath.Dir(stale), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	if n := s2.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1 (temp file must not count)", n)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file not swept")
+	}
+}
+
+// TestConcurrentGetPut hammers one hot key plus a spread of cold keys from
+// many goroutines; run under -race in CI. Every successful Get must return
+// the exact bytes some Put wrote for that key.
+func TestConcurrentGetPut(t *testing.T) {
+	s := open(t, t.TempDir())
+	body := func(k int) []byte { return []byte(fmt.Sprintf("body-%d", k)) }
+	const workers, rounds, keys = 8, 50, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				addr := fmt.Sprintf("key-%d", k)
+				if w%2 == 0 {
+					if err := s.Put(addr, body(k)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+				if got, ok := s.Get(addr); ok && !bytes.Equal(got, body(k)) {
+					t.Errorf("Get(%s) = %q", addr, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries != keys {
+		t.Errorf("entries = %d, want %d", st.Entries, keys)
+	}
+	if st.Corrupt != 0 {
+		t.Errorf("corrupt = %d, want 0", st.Corrupt)
+	}
+	for k := 0; k < keys; k++ {
+		got, ok := s.Get(fmt.Sprintf("key-%d", k))
+		if !ok || !bytes.Equal(got, body(k)) {
+			t.Errorf("final Get(key-%d) = %q, %v", k, got, ok)
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := bytes.Repeat([]byte("x"), 64<<10)
+	if err := s.Put("bench", body); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get("bench"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
