@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -456,9 +457,14 @@ func BenchmarkShardedMemcached4x4Unsharded(b *testing.B) {
 
 // benchArtifact is the schema of a BENCH_*.json file: one benchmark family,
 // wall-clock seconds per variant, and enough host context to interpret the
-// ratios (a 1-CPU runner honestly reports ~1x parallel speedup).
+// ratios (a 1-CPU runner honestly reports ~1x parallel speedup). GitCommit
+// and WrittenAt come from the DPROF_GIT_COMMIT / DPROF_WRITTEN_AT env vars
+// the bench harness (CI) injects, tying a checked-in artifact to the commit
+// and time that produced it.
 type benchArtifact struct {
 	Benchmark    string             `json:"benchmark"`
+	GitCommit    string             `json:"git_commit,omitempty"`
+	WrittenAt    string             `json:"written_at,omitempty"`
 	GoMaxProcs   int                `json:"gomaxprocs"`
 	HostCPUs     int                `json:"host_cpus"`
 	Iterations   int                `json:"iterations"`
@@ -506,6 +512,8 @@ func TestWriteShardBenchArtifact(t *testing.T) {
 	}
 	art := benchArtifact{
 		Benchmark:    "memcached-4x4-sharded",
+		GitCommit:    os.Getenv("DPROF_GIT_COMMIT"),
+		WrittenAt:    os.Getenv("DPROF_WRITTEN_AT"),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		HostCPUs:     runtime.NumCPU(),
 		Iterations:   iters,
@@ -646,5 +654,235 @@ func TestWriteDprofdLoadBenchArtifact(t *testing.T) {
 
 	if err := art.Write("BENCH_dprofd_load.json"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// hotpathScenario is one row of the hot-path artifact: how many simulated
+// memory accesses the scenario retired and the wall cost per access.
+type hotpathScenario struct {
+	Accesses       uint64  `json:"accesses"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	NsPerAccess    float64 `json:"ns_per_access"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+}
+
+// hotpathArtifact is the BENCH_hotpath.json schema: the engine-benchmark
+// wall clock optimized vs the retained reference paths (access counts are
+// invariant between the modes — the equivalence suite proves byte identity
+// — so the wall ratio IS the accesses/sec speedup), per-scenario ns/access
+// rows, and the serving layer's cold-phase load throughput.
+//
+// The reference mode retains only the pre-PR *dispatch* semantics; the
+// cache-internal structural work (packed ways, fused directory probes, the
+// L3 presence table) applies in both modes, so engine_speedup understates
+// the gain over the pre-PR tree. engine_pre_pr_speedup is the honest
+// headline: the same engine subset, same flags, same Go toolchain, run
+// through a binary built from the pre-PR commit on the same host. The
+// harness points DPROF_PRE_PR_BIN at that binary (and names its commit in
+// DPROF_PRE_PR_COMMIT); the test interleaves its runs with the optimized
+// in-process runs so both minimums share machine state.
+type hotpathArtifact struct {
+	Benchmark          string                     `json:"benchmark"`
+	GitCommit          string                     `json:"git_commit,omitempty"`
+	WrittenAt          string                     `json:"written_at,omitempty"`
+	GoMaxProcs         int                        `json:"gomaxprocs"`
+	HostCPUs           int                        `json:"host_cpus"`
+	Iterations         int                        `json:"iterations"`
+	EngineExperiments  []string                   `json:"engine_experiments"`
+	EngineWallSeconds  map[string]float64         `json:"engine_wall_seconds"`
+	EngineSpeedup      float64                    `json:"engine_speedup"`
+	PrePRCommit        string                     `json:"pre_pr_commit,omitempty"`
+	EnginePrePRSpeedup float64                    `json:"engine_pre_pr_speedup,omitempty"`
+	Scenarios          map[string]hotpathScenario `json:"scenarios"`
+	LoadgenColdRPS     float64                    `json:"loadgen_cold_throughput_rps"`
+}
+
+// TestWriteHotpathBenchArtifact measures the simulator hot paths (MRU fast
+// path, armed hook dispatch, bypass-slot event wheel) against the retained
+// reference paths and writes BENCH_hotpath.json at the repo root. Like the
+// other artifact writers it is a bench-harness entry point; ordinary test
+// runs skip it. Enable with:
+//
+//	DPROF_BENCH_JSON=1 go test -run TestWriteHotpathBenchArtifact -count=1 .
+//
+// It must not run in parallel with other tests: the reference half flips
+// the package-global default mode for machines built inside the engine.
+func TestWriteHotpathBenchArtifact(t *testing.T) {
+	if os.Getenv("DPROF_BENCH_JSON") == "" {
+		t.Skip("set DPROF_BENCH_JSON=1 to measure and write BENCH_hotpath.json")
+	}
+	const iters = 5
+	minOf := func(run func()) float64 {
+		best := math.Inf(1) // min-of-N: the least-disturbed measurement
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			run()
+			if s := time.Since(start).Seconds(); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+
+	// Engine benchmarks, both modes. Workers=1 keeps the measurement a
+	// serial wall clock rather than a scheduling artifact.
+	engineNames := []string{"table6.1", "figure6.1", "table6.2", "table6.3"}
+	runEngine := func() {
+		if _, err := exp.RunAll(context.Background(), engineNames, exp.Options{Quick: true, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-PR comparison: DPROF_PRE_PR_BIN names a dprof binary built from
+	// the pre-PR commit with the same toolchain. Its runs are interleaved
+	// with the optimized in-process runs so both sides see the same machine
+	// state — background load shifts hit both mins alike, which a number
+	// measured minutes apart would not guarantee.
+	var wallOpt, wallPre float64
+	if bin := os.Getenv("DPROF_PRE_PR_BIN"); bin != "" {
+		wallOpt, wallPre = math.Inf(1), math.Inf(1)
+		preArgs := []string{"-experiment", strings.Join(engineNames, ","), "-quick", "-parallel", "1"}
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			cmd := exec.Command(bin, preArgs...)
+			cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("pre-PR binary %s: %v", bin, err)
+			}
+			if s := time.Since(start).Seconds(); s < wallPre {
+				wallPre = s
+			}
+			start = time.Now()
+			runEngine()
+			if s := time.Since(start).Seconds(); s < wallOpt {
+				wallOpt = s
+			}
+		}
+	} else {
+		wallOpt = minOf(runEngine)
+	}
+	sim.SetDefaultReference(true)
+	wallRef := minOf(runEngine)
+	sim.SetDefaultReference(false)
+
+	// Per-scenario ns/access: retired accesses over the whole run (warmup
+	// included — both phases exercise the same hot path) divided into the
+	// run's wall clock.
+	countAccesses := func(inst core.Runnable) uint64 {
+		machines := []*sim.Machine{inst.Machine()}
+		if set, ok := inst.(*core.ShardSet); ok {
+			machines = machines[:0]
+			for _, p := range set.Parts() {
+				machines = append(machines, p.Machine())
+			}
+		}
+		var n uint64
+		for _, m := range machines {
+			for i := 0; i < m.NumCores(); i++ {
+				n += m.Core(i).Retired()
+			}
+		}
+		return n
+	}
+	const warmup, measure = 250_000, 1_500_000
+	scenario := func(build func() core.Runnable, profiled bool) hotpathScenario {
+		var accesses uint64
+		wall := minOf(func() {
+			inst := build()
+			if profiled {
+				s, err := core.NewSession(inst, core.SessionConfig{
+					Profiler: core.DefaultConfig(),
+					Views:    []string{"dataprofile"},
+					Warmup:   warmup,
+					Measure:  measure,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Run()
+			} else {
+				inst.Run(warmup, measure)
+			}
+			accesses = countAccesses(inst)
+		})
+		if accesses == 0 {
+			t.Fatal("scenario retired no accesses")
+		}
+		return hotpathScenario{
+			Accesses:       accesses,
+			WallSeconds:    wall,
+			NsPerAccess:    wall * 1e9 / float64(accesses),
+			AccessesPerSec: float64(accesses) / wall,
+		}
+	}
+	scenarios := map[string]hotpathScenario{
+		"memcached_4x4_monolithic": scenario(func() core.Runnable {
+			return workload.MustBuild("memcached", topo(4, 4))
+		}, false),
+		"memcached_4x4_profiled": scenario(func() core.Runnable {
+			return workload.MustBuild("memcached", topo(4, 4))
+		}, true),
+		"memcached_4x4_sharded": scenario(func() core.Runnable {
+			return buildShardedMemcached4x4(t, false)
+		}, false),
+	}
+
+	// Cold-phase loadgen throughput: a fresh server, every distinct key
+	// simulating once — the serving regime the hot paths speed up most.
+	var coldRPS float64
+	{
+		s, err := serve.New(serve.Config{Workers: 2, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			Targets:     []string{ts.URL},
+			Requests:    60,
+			Concurrency: 4,
+			Keys:        12,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRPS = res.Throughput
+		ts.Close()
+		s.Shutdown()
+	}
+
+	engineWall := map[string]float64{"optimized": wallOpt, "reference": wallRef}
+	art := hotpathArtifact{
+		Benchmark:         "simulator-hotpath",
+		GitCommit:         os.Getenv("DPROF_GIT_COMMIT"),
+		WrittenAt:         os.Getenv("DPROF_WRITTEN_AT"),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		HostCPUs:          runtime.NumCPU(),
+		Iterations:        iters,
+		EngineExperiments: engineNames,
+		EngineWallSeconds: engineWall,
+		EngineSpeedup:     wallRef / wallOpt,
+		PrePRCommit:       os.Getenv("DPROF_PRE_PR_COMMIT"),
+		Scenarios:         scenarios,
+		LoadgenColdRPS:    coldRPS,
+	}
+	if wallPre != 0 && !math.IsInf(wallPre, 1) {
+		engineWall["pre_pr"] = wallPre
+		art.EnginePrePRSpeedup = wallPre / wallOpt
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("engine speedup optimized vs reference: %.2fx (%.2fs -> %.2fs)",
+		art.EngineSpeedup, wallRef, wallOpt)
+	if art.EnginePrePRSpeedup != 0 {
+		t.Logf("engine speedup vs pre-PR binary %s: %.2fx (%.2fs -> %.2fs)",
+			art.PrePRCommit, art.EnginePrePRSpeedup, engineWall["pre_pr"], wallOpt)
+	}
+	for name, sc := range scenarios {
+		t.Logf("%s: %.1f ns/access (%.2fM accesses/s)", name, sc.NsPerAccess, sc.AccessesPerSec/1e6)
 	}
 }

@@ -22,6 +22,7 @@
 //	dprof -workload memcached -window-ms 2                     # windowed profiling
 //	dprof -workload falseshare -json > broken.json             # stable JSON (dprofd format)
 //	dprof -workload falseshare -padded -diff broken.json       # rank what the fix changed
+//	dprof -workload falseshare -cpuprofile cpu.pprof -memprofile heap.pprof
 //	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
 package main
 
@@ -33,6 +34,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -69,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		experiment   = fs.String("experiment", "", "run paper experiments instead of a workload (name, comma list, or 'all')")
 		quick        = fs.Bool("quick", false, "experiment mode: smaller workloads")
 		parallel     = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of this run to the given file (go tool pprof)")
+		memProfile   = fs.String("memprofile", "", "write a heap profile at exit to the given file (go tool pprof)")
 	)
 	optValues := workload.RegisterFlags(fs)
 	fs.Usage = func() {
@@ -78,6 +83,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Self-profiling: the simulator is CPU-bound, so its own hot paths are
+	// tuned with the same tooling it models. The CPU profile covers the
+	// whole run; the heap profile snapshots live objects at exit.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "dprof: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {

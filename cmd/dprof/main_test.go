@@ -106,6 +106,18 @@ func TestRunErrors(t *testing.T) {
 			wantCode:   2,
 			wantErrOut: []string{"SOCKETSxCORES"},
 		},
+		{
+			name:       "unwritable cpuprofile path is a usage error",
+			args:       []string{"-workload", "falseshare", "-cpuprofile", filepath.Join("no", "such", "dir", "cpu.pprof")},
+			wantCode:   2,
+			wantErrOut: []string{"dprof:", "cpu.pprof"},
+		},
+		{
+			name:       "unwritable memprofile path is a usage error",
+			args:       []string{"-workload", "falseshare", "-memprofile", filepath.Join("no", "such", "dir", "heap.pprof")},
+			wantCode:   2,
+			wantErrOut: []string{"dprof:", "heap.pprof"},
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -296,6 +308,37 @@ func TestDiffAgainstSavedProfile(t *testing.T) {
 		"-workload", "falseshare", "-diff", filepath.Join(t.TempDir(), "nope.json"),
 	}, &stdout, &stderr); code != 2 {
 		t.Errorf("missing diff file: exit %d, want 2", code)
+	}
+}
+
+// TestSelfProfilingFlagsWriteProfiles runs a tiny session with -cpuprofile
+// and -memprofile and checks both files land as parseable pprof data (gzip
+// magic) without disturbing the run's own output.
+func TestSelfProfilingFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), []string{
+		"-workload", "falseshare", "-rate", "100000", "-measure-ms", "1",
+		"-cpuprofile", cpu, "-memprofile", heap,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== data profile view ==") {
+		t.Errorf("profiled run lost its report:\n%s", stdout.String())
+	}
+	for _, path := range []string{cpu, heap} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		// pprof files are gzip-compressed protobufs; the magic is enough to
+		// know the writer ran and flushed.
+		if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+			t.Errorf("%s is not a gzip pprof profile (%d bytes)", path, len(raw))
+		}
 	}
 }
 

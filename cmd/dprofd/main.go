@@ -27,6 +27,7 @@
 //	dprofd -addr :7071
 //	dprofd -addr :7071 -workers 4 -cache-entries 512 -quick
 //	dprofd -addr :7071 -store-dir /var/lib/dprofd
+//	dprofd -addr :7071 -store-dir /var/lib/dprofd -store-max-bytes 268435456
 //	dprofd -addr :7071 -store-dir /var/lib/dprofd \
 //	       -self http://a:7071 -peers http://a:7071,http://b:7071,http://c:7071
 package main
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "default to quick (reduced-fidelity) sessions")
 		maxMs    = fs.Uint64("max-measure-ms", 60_000, "largest measured window a request may ask for, simulated ms")
 		storeDir = fs.String("store-dir", "", "disk profile store directory (empty = in-memory LRU only)")
+		storeMax = fs.Int64("store-max-bytes", 0, "disk store byte budget; over-budget writes sweep the oldest profiles (0 = unbounded)")
 		self     = fs.String("self", "", "this replica's URL as peers reach it (required with -peers)")
 		peers    = fs.String("peers", "", "comma-separated replica URLs forming the consistent-hash ring")
 	)
@@ -85,14 +87,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *storeMax > 0 && *storeDir == "" {
+		fmt.Fprintln(stderr, "dprofd: -store-max-bytes requires -store-dir")
+		return 2
+	}
 	s, err := serve.New(serve.Config{
-		Workers:      *workers,
-		CacheEntries: *entries,
-		Quick:        *quick,
-		MaxMeasureMs: *maxMs,
-		StoreDir:     *storeDir,
-		Self:         *self,
-		Peers:        replicas,
+		Workers:       *workers,
+		CacheEntries:  *entries,
+		Quick:         *quick,
+		MaxMeasureMs:  *maxMs,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+		Self:          *self,
+		Peers:         replicas,
 	})
 	if err != nil {
 		// An unwritable store dir or a malformed ring fails here, at

@@ -48,6 +48,19 @@ func TestRunRejectsUnwritableStoreDir(t *testing.T) {
 	}
 }
 
+// TestRunStoreMaxBytesRequiresStoreDir: a byte budget without a store to
+// bound is a usage error, caught before the server starts.
+func TestRunStoreMaxBytesRequiresStoreDir(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-store-max-bytes", "1048576"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-store-dir") {
+		t.Errorf("stderr missing -store-dir hint:\n%s", errOut.String())
+	}
+}
+
 func TestRunPeersRequireSelf(t *testing.T) {
 	var out, errOut strings.Builder
 	code := run(context.Background(), []string{"-peers", "http://a:7071,http://b:7071"}, &out, &errOut)

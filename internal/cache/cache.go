@@ -18,7 +18,10 @@
 // capacity misses from finite total size.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Level classifies where an access was satisfied.
 type Level uint8
@@ -167,39 +170,66 @@ const (
 	modified
 )
 
+// way is one cache way, packed to 16 bytes: the MESI state lives in the low
+// two bits of tag and the line address (addr >> lineShift) in the rest, so
+// tag == line<<2 | state and a zero tag means invalid. Halving a 16-way L2
+// set scan from six cache lines to four (and an L3 scan proportionally) is
+// worth the two-bit shift on every tag compare — the set scans are among
+// the hottest loops in the simulator.
 type way struct {
-	line  uint64 // line address (addr >> lineShift); tag and index combined
-	state mesi
-	lru   uint64
+	tag uint64
+	lru uint64
 }
 
-// bank is one set-associative cache array. The L3 carries a presence index
-// so the common miss case is one hash probe instead of a scan over every
-// way; the narrower L1/L2 are cheaper to scan directly (see indexedWaysMin).
+// wayTag builds the packed tag for line held in state st.
+func wayTag(line uint64, st mesi) uint64 { return line<<2 | uint64(st) }
+
+func (w way) line() uint64 { return w.tag >> 2 }
+func (w way) state() mesi  { return mesi(w.tag & 3) }
+
+// matches reports whether the way holds line in any valid state. base must
+// be line<<2; the xor folds the line compare and the state!=invalid check
+// into one branch (xor result 0 would mean "line matches but invalid", 1-3
+// "matches, valid", ≥4 "different line").
+func (w way) matches(base uint64) bool { return (w.tag^base)-1 < 3 }
+
+func (w *way) setState(st mesi) { w.tag = w.tag&^3 | uint64(st) }
+
+// bank is one set-associative cache array. Ways are stored flat — set i
+// occupies ways[i*nways : (i+1)*nways] — so a set probe is one indexed load
+// into a single contiguous allocation instead of a pointer chase through a
+// slice of slices; the hot fastHit slot-0 probe and every set scan benefit.
+// Banks carry no presence index of their own (see newBank); the hierarchy's
+// l3pres table answers L3 presence for all sockets with one probe.
 type bank struct {
-	sets    [][]way
+	ways    []way
 	setMask uint64
+	nways   uint64
 	tick    uint64
-	idx     *lineSet // nil for narrow banks
 }
 
-// Only the L3 is indexed: its lookups and invalidates are overwhelmingly
-// misses (a line in any private cache is not in the victim L3), so the probe
-// almost always replaces a full 32-way scan. The L2 is hit-heavy — every L1
-// miss that hits L2 would pay the probe on top of the scan, and every fill
-// would pay the index maintenance.
-const indexedWaysMin = 32
+// set returns the ways of line's set.
+func (b *bank) set(line uint64) []way {
+	base := (line & b.setMask) * b.nways
+	return b.ways[base : base+b.nways]
+}
 
-func newBank(size uint64, ways int, lineSize uint64) *bank {
+// nsets is the number of sets in the bank.
+func (b *bank) nsets() int { return int(b.setMask + 1) }
+
+// No bank carries its own presence index. The L2 is hit-heavy — every L1
+// miss that hits L2 would pay the probe on top of the scan, and every fill
+// would pay the index maintenance (measured as a clear loss). The L3 banks
+// used to carry one, but the hierarchy-wide l3pres table now answers "which
+// socket's L3 holds this line" in a single probe, so every per-bank L3 call
+// is already known to hit and a local index would only add overhead.
+func newBank(size uint64, ways int, lineSize uint64) bank {
 	nsets := size / lineSize / uint64(ways)
-	b := &bank{sets: make([][]way, nsets), setMask: nsets - 1}
-	for i := range b.sets {
-		b.sets[i] = make([]way, ways)
+	return bank{
+		ways:    make([]way, nsets*uint64(ways)),
+		setMask: nsets - 1,
+		nways:   uint64(ways),
 	}
-	if ways >= indexedWaysMin {
-		b.idx = newLineSet()
-	}
-	return b
 }
 
 // lookup returns the way holding line, or nil. A hit is swapped to slot 0
@@ -207,12 +237,10 @@ func newBank(size uint64, ways int, lineSize uint64) *bank {
 // scanning the whole set; eviction order is unaffected because LRU is
 // tracked by the lru tick, not by position.
 func (b *bank) lookup(line uint64) *way {
-	if b.idx != nil && !b.idx.has(line) {
-		return nil
-	}
-	set := b.sets[line&b.setMask]
+	set := b.set(line)
+	base := line << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != invalid {
+		if set[i].matches(base) {
 			b.tick++
 			set[i].lru = b.tick
 			if i != 0 {
@@ -228,28 +256,27 @@ func (b *bank) lookup(line uint64) *way {
 // insert places line into its set with the given state and returns the evicted
 // victim (state != invalid) if one was displaced.
 func (b *bank) insert(line uint64, st mesi) (victim way) {
-	set := b.sets[line&b.setMask]
+	set := b.set(line)
 	b.tick++
-	// Prefer an invalid slot; otherwise evict the LRU way.
+	// Prefer an invalid slot; otherwise evict the LRU way. minLRU is kept
+	// in a register so the scan does one load per way, not two.
 	vi := 0
-	for i := range set {
-		if set[i].state == invalid {
-			vi = i
-			break
-		}
-		if set[i].lru < set[vi].lru {
-			vi = i
+	minLRU := set[0].lru
+	if set[0].tag&3 != 0 {
+		for i := 1; i < len(set); i++ {
+			if set[i].tag&3 == 0 {
+				vi = i
+				break
+			}
+			if set[i].lru < minLRU {
+				minLRU = set[i].lru
+				vi = i
+			}
 		}
 	}
 	victim = set[vi]
-	set[vi] = way{line: line, state: st, lru: b.tick}
-	if b.idx != nil {
-		if victim.state != invalid {
-			b.idx.del(victim.line)
-		}
-		b.idx.add(line)
-	}
-	if victim.state == invalid {
+	set[vi] = way{tag: wayTag(line, st), lru: b.tick}
+	if victim.tag&3 == 0 {
 		return way{}
 	}
 	return victim
@@ -257,17 +284,12 @@ func (b *bank) insert(line uint64, st mesi) (victim way) {
 
 // invalidate removes line if present and returns its previous state.
 func (b *bank) invalidate(line uint64) mesi {
-	if b.idx != nil && !b.idx.has(line) {
-		return invalid
-	}
-	set := b.sets[line&b.setMask]
+	set := b.set(line)
+	base := line << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != invalid {
-			st := set[i].state
-			set[i].state = invalid
-			if b.idx != nil {
-				b.idx.del(line)
-			}
+		if set[i].matches(base) {
+			st := set[i].state()
+			set[i].tag &^= 3
 			return st
 		}
 	}
@@ -276,10 +298,11 @@ func (b *bank) invalidate(line uint64) mesi {
 
 // setState updates the state of line if present.
 func (b *bank) setState(line uint64, st mesi) bool {
-	set := b.sets[line&b.setMask]
+	set := b.set(line)
+	base := line << 2
 	for i := range set {
-		if set[i].state != invalid && set[i].line == line {
-			set[i].state = st
+		if set[i].matches(base) {
+			set[i].setState(st)
 			return true
 		}
 	}
@@ -327,9 +350,12 @@ func (s *Stats) Add(o *Stats) {
 
 // priv is one core's private L1+L2 pair. Inclusion: every valid L1 line is
 // also present in L2 (same state, conservatively).
+// priv is one core's private cache pair. The banks are stored by value so
+// the hot probes reach the way arrays through one indirection (the cores
+// slice) instead of chasing per-bank pointers.
 type priv struct {
-	l1 *bank
-	l2 *bank
+	l1 bank
+	l2 bank
 }
 
 // HomeGranule is the granularity of NUMA home-node assignment: one 4 KB
@@ -337,6 +363,17 @@ type priv struct {
 const HomeGranule = 4096
 
 const homeGranuleShift = 12
+
+// mruLine is one core's private-line MRU filter entry: the line address the
+// core most recently hit in its private hierarchy. The fast path itself
+// self-validates against the L1/L2 sets (see fastHit), so the filter is a
+// precisely-maintained invariant rather than the gate: any foreign access
+// to the line — invalidation, downgrade to Shared — and any eviction from
+// the core's own L2 clears it, which the fastpath tests verify directly.
+type mruLine struct {
+	line  uint64
+	valid bool
+}
 
 // Hierarchy is the full simulated cache system.
 type Hierarchy struct {
@@ -346,13 +383,36 @@ type Hierarchy struct {
 	cores     []priv
 	socket    []int     // core -> socket (cached topo.SocketOf)
 	sockMask  []uint64  // socket -> bitmask of its cores
-	l3s       []*bank   // one victim L3 bank per socket
+	l3s       []bank    // one victim L3 bank per socket
 	dir       *dirTable // line -> holders bitmask (private caches)
-	stats     []Stats
+	// l3pres indexes all L3 banks at once: line -> bitmask of sockets whose
+	// victim bank holds the line. The miss path consults every socket's L3,
+	// and on the dominant DRAM-bound misses each per-bank probe is a cache
+	// miss of its own; one probe here answers for all sockets. It is a pure
+	// presence index — the banks stay the source of truth, and entries are
+	// maintained at the four places L3 contents change (victim spill, the
+	// two migrate-on-hit paths, and invalidateL3).
+	l3pres *dirTable
+	stats  []Stats
+	// mru is the per-core private-line MRU filter (see mruLine); reference
+	// disables it (and keeps it cleared) so the equivalence suite can run
+	// the unfiltered paths.
+	mru       []mruLine
+	reference bool
+	// lat caches the per-level latency so hot paths index a table instead of
+	// switching, and hitCtr[core][lv] points at the Stats counter a hit at
+	// that level bumps (stats is allocated once and ResetStats overwrites
+	// elements in place, so the pointers stay valid for the hierarchy's
+	// lifetime).
+	lat    [NumLevels]uint32
+	hitCtr [][NumLevels]*uint64
 	// homes maps HomeGranule-sized pages to the socket whose memory node
-	// owns them. Empty (and never consulted) on single-socket topologies;
-	// unmapped pages count as node-local.
-	homes map[uint64]int
+	// owns them (stored as socket+1 in a dirTable so 0 keeps meaning
+	// "unmapped"). Empty (and never consulted) on single-socket topologies;
+	// unmapped pages count as node-local. An open-addressed table rather
+	// than a Go map because the DRAM-bound misses that dominate the slow
+	// path consult it on every fill.
+	homes *dirTable
 	// perSetFills counts L1 fills per set index, summed over cores. Used by
 	// tests and the conflict-miss ablation; cheap (one add per fill).
 	perSetFills []uint64
@@ -410,10 +470,34 @@ func NewTopo(cfg Config, topo Topology) *Hierarchy {
 		cores:     make([]priv, n),
 		socket:    make([]int, n),
 		sockMask:  make([]uint64, topo.Sockets),
-		l3s:       make([]*bank, topo.Sockets),
+		l3s:       make([]bank, topo.Sockets),
 		dir:       newDirTable(1 << 16),
+		l3pres:    newDirTable(1 << 12),
 		stats:     make([]Stats, n),
-		homes:     make(map[uint64]int),
+		mru:       make([]mruLine, n),
+		homes:     newDirTable(1 << 10),
+	}
+	h.lat = [NumLevels]uint32{
+		L1Hit:         cfg.LatL1,
+		L2Hit:         cfg.LatL2,
+		L3Hit:         cfg.LatL3,
+		ForeignHit:    cfg.LatForeign,
+		ForeignRemote: cfg.LatForeignRemote,
+		DRAM:          cfg.LatDRAM,
+		DRAMRemote:    cfg.LatDRAMRemote,
+	}
+	h.hitCtr = make([][NumLevels]*uint64, n)
+	for i := range h.hitCtr {
+		st := &h.stats[i]
+		h.hitCtr[i] = [NumLevels]*uint64{
+			L1Hit:         &st.L1Hits,
+			L2Hit:         &st.L2Hits,
+			L3Hit:         &st.L3Hits,
+			ForeignHit:    &st.ForeignHits,
+			ForeignRemote: &st.ForeignRemoteHits,
+			DRAM:          &st.DRAMFills,
+			DRAMRemote:    &st.DRAMRemoteFills,
+		}
 	}
 	for s := range h.l3s {
 		h.l3s[s] = newBank(cfg.L3Size/uint64(topo.Sockets), cfg.L3Ways, cfg.LineSize)
@@ -426,7 +510,7 @@ func NewTopo(cfg Config, topo Topology) *Hierarchy {
 		h.socket[i] = topo.SocketOf(i)
 		h.sockMask[h.socket[i]] |= 1 << uint(i)
 	}
-	h.perSetFills = make([]uint64, len(h.cores[0].l1.sets))
+	h.perSetFills = make([]uint64, h.cores[0].l1.nsets())
 	return h
 }
 
@@ -449,14 +533,14 @@ func (h *Hierarchy) SetPageHome(addr uint64, socket int) {
 	if h.topo.Sockets == 1 {
 		return // single memory node; nothing to record
 	}
-	h.homes[addr>>homeGranuleShift] = socket
+	h.homes.set(addr>>homeGranuleShift, uint64(socket)+1)
 }
 
 // HomeOf returns the socket whose memory node owns addr's page, or -1 when
 // no home was assigned (treated as local to every socket).
 func (h *Hierarchy) HomeOf(addr uint64) int {
-	if home, ok := h.homes[addr>>homeGranuleShift]; ok {
-		return home
+	if v := h.homes.get(addr >> homeGranuleShift); v != 0 {
+		return int(v - 1)
 	}
 	return -1
 }
@@ -467,15 +551,15 @@ func (h *Hierarchy) isRemoteHome(addr uint64, socket int) bool {
 	if h.topo.Sockets == 1 {
 		return false
 	}
-	home, ok := h.homes[addr>>homeGranuleShift]
-	return ok && home != socket
+	v := h.homes.get(addr >> homeGranuleShift)
+	return v != 0 && int(v-1) != socket
 }
 
 // LineOf returns the line address (addr with the offset bits dropped).
 func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
 
 // L1Sets returns the number of associativity sets in each L1.
-func (h *Hierarchy) L1Sets() int { return len(h.cores[0].l1.sets) }
+func (h *Hierarchy) L1Sets() int { return h.cores[0].l1.nsets() }
 
 // L1SetOf returns the L1 associativity set index addr maps to.
 func (h *Hierarchy) L1SetOf(addr uint64) int {
@@ -496,94 +580,129 @@ func (h *Hierarchy) holders(line uint64) uint64 {
 	return mask
 }
 
-func (h *Hierarchy) setHolders(line uint64, mask uint64) {
-	if h.cfg.Snoop {
-		return
-	}
-	h.dir.set(line, mask)
-}
-
 // dropHolder removes core from line's holder set.
 func (h *Hierarchy) dropHolder(line uint64, core int) {
 	if h.cfg.Snoop {
 		return
 	}
-	m := h.dir.get(line) &^ (1 << uint(core))
-	h.setHolders(line, m)
+	h.dir.andNot(line, 1<<uint(core))
 }
 
 // evictPrivate handles a victim displaced from a core's private L2: the L1
 // copy must go too (inclusion), the directory forgets the core, and modified
 // data spills into the shared victim L3.
 func (h *Hierarchy) evictPrivate(core int, v way) {
-	if v.state == invalid {
+	if v.state() == invalid {
 		return
 	}
-	h.cores[core].l1.invalidate(v.line)
-	h.dropHolder(v.line, core)
-	l3 := h.l3s[h.socket[core]] // victims spill into the evicting chip's L3
-	if v.state == modified || v.state == exclusive {
+	if h.mru[core].line == v.line() {
+		// The evicted line leaves this core's private hierarchy entirely;
+		// its MRU filter entry (if it names this line) is no longer a hit.
+		h.mru[core].valid = false
+	}
+	h.cores[core].l1.invalidate(v.line())
+	var rest uint64
+	if h.cfg.Snoop {
+		rest = h.holders(v.line()) &^ (1 << uint(core))
+	} else {
+		// One directory probe both forgets the core and reports who is
+		// left, replacing the drop-then-recheck pair of probes.
+		rest = h.dir.andNot(v.line(), 1<<uint(core))
+	}
+	l3 := &h.l3s[h.socket[core]] // victims spill into the evicting chip's L3
+	if v.state() == modified || v.state() == exclusive {
 		// AMD-style victim L3: private evictions (clean-exclusive or
 		// dirty) are installed in L3 so a later miss can hit there.
 		h.stats[core].WritebacksL3++
-		l3.insert(v.line, modified)
-	} else if h.holders(v.line) == 0 {
+		h.spillL3(h.socket[core], l3, v.line(), modified)
+	} else if rest == 0 {
 		// Last shared copy leaves the private caches; keep the data
 		// reachable in L3 rather than silently dropping it.
-		l3.insert(v.line, shared)
+		h.spillL3(h.socket[core], l3, v.line(), shared)
 	}
+}
+
+// spillL3 installs a victim line into socket's L3 bank and keeps the global
+// presence index in step: the new line gains the socket's bit, and a line
+// the insert displaced (dropped to memory) loses it.
+func (h *Hierarchy) spillL3(socket int, l3 *bank, line uint64, st mesi) {
+	if v := l3.insert(line, st); v.state() != invalid && v.line() != line {
+		h.l3pres.andNot(v.line(), 1<<uint(socket))
+	}
+	h.l3pres.or(line, 1<<uint(socket))
 }
 
 // fill installs line into core's L1+L2 with state st, handling evictions.
 func (h *Hierarchy) fill(core int, line uint64, st mesi) {
 	p := &h.cores[core]
-	if v := p.l2.insert(line, st); v.state != invalid && v.line != line {
+	if v := p.l2.insert(line, st); v.state() != invalid && v.line() != line {
 		h.evictPrivate(core, v)
 	}
-	if v := p.l1.insert(line, st); v.state != invalid && v.line != line {
+	if v := p.l1.insert(line, st); v.state() != invalid && v.line() != line {
 		// L1 victim remains in L2 (inclusive); nothing else to do. If it
 		// was modified, L2 already tracks the line; keep its state.
 		_ = v
 	}
 	h.perSetFills[line&p.l1.setMask]++
-	if !h.cfg.Snoop {
-		h.dir.or(line, 1<<uint(core))
-	}
+	// The directory already reflects this fill: slowAccess's fused miss
+	// probe (dir.swap / dir.fetchOr) wrote the core into the holder set
+	// before any fill path runs.
 }
 
-// invalidateOthers removes line from every private cache except core's,
-// returning how many copies were killed.
-func (h *Hierarchy) invalidateOthers(core int, line uint64) int {
-	mask := h.holders(line) &^ (1 << uint(core))
+// invalidateOthers removes line from every private cache in mask (the
+// holder set excluding the accessing core), returning how many copies were
+// killed. It touches only the banks: both callers write the line's final
+// holder set — the accessing core alone — with a single dir.swap probe, so
+// no per-holder directory update happens here.
+func (h *Hierarchy) invalidateOthers(line uint64, mask uint64) int {
 	killed := 0
-	for i := 0; mask != 0; i++ {
-		if mask&(1<<uint(i)) == 0 {
-			continue
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << uint(i)
+		if h.mru[i].line == line {
+			// Foreign write: the holder's fast-path filter must drop the
+			// line before its copy is killed.
+			h.mru[i].valid = false
 		}
-		mask &^= 1 << uint(i)
 		p := &h.cores[i]
 		p.l1.invalidate(line)
 		if st := p.l2.invalidate(line); st != invalid {
 			killed++
 			h.stats[i].InvalsRecv++
 		}
-		h.dropHolder(line, i)
 	}
 	return killed
 }
 
-// downgradeOthers moves other cores' copies of line to shared state (a remote
-// read of a modified/exclusive line).
-func (h *Hierarchy) downgradeOthers(core int, line uint64) {
-	mask := h.holders(line) &^ (1 << uint(core))
+// downgradeOthers moves the copies of line held by mask (the holder set
+// excluding the accessing core, precomputed by the caller) to shared state
+// (a remote read of a modified/exclusive line).
+func (h *Hierarchy) downgradeOthers(line uint64, mask uint64) {
 	for i := 0; mask != 0; i++ {
 		if mask&(1<<uint(i)) == 0 {
 			continue
 		}
 		mask &^= 1 << uint(i)
+		if h.mru[i].line == line {
+			// Foreign read: the holder drops to Shared, which the fast path
+			// must not claim as a private M/E hit.
+			h.mru[i].valid = false
+		}
 		p := &h.cores[i]
 		p.l1.setState(line, shared)
 		p.l2.setState(line, shared)
+	}
+}
+
+// SetReference switches the hierarchy between the MRU-filtered fast path and
+// the retained reference path. Both produce identical results and identical
+// internal state evolution; reference mode exists for the equivalence suite.
+func (h *Hierarchy) SetReference(on bool) {
+	h.reference = on
+	if on {
+		for i := range h.mru {
+			h.mru[i] = mruLine{}
+		}
 	}
 }
 
@@ -592,6 +711,81 @@ func (h *Hierarchy) downgradeOthers(core int, line uint64) {
 // split multi-line accesses (see sim.Ctx).
 func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	line := addr >> h.lineShift
+	if !h.reference {
+		if r, ok := h.fastHit(core, line, write); ok {
+			return r
+		}
+	}
+	return h.slowAccess(core, addr, line, write)
+}
+
+// fastHit is the hot-line fast path: one probe of slot 0 of the line's L1
+// set — slot 0 is where every slow-path hit leaves a line, via
+// move-to-front — decides whether the bank scans, directory probe, and
+// coherence branches of the slow path can matter. On a probe hit it replays
+// exactly the mutations the slow path would make: the per-bank LRU tick
+// bumps, the M-state transitions, the counters, and the MRU filter arming.
+// Reads are served from any valid state — an L1 read hit is state-blind,
+// and a line invalidated under a foreign write fails the state check.
+// Writes additionally need Modified/Exclusive at slot 0 of both levels (a
+// Shared write must pay the slow path's upgrade, and a write whose line
+// sits deeper in a set must pay the scans that move it up). The probe is
+// self-validating — correctness never depends on the MRU filter, which the
+// foreign-access paths nonetheless invalidate precisely so that it is a
+// checkable invariant (see MRUArmed and the fastpath tests). Any check
+// failing falls back to the slow path with no state touched.
+func (h *Hierarchy) fastHit(core int, line uint64, write bool) (Result, bool) {
+	p := &h.cores[core]
+	base := line << 2
+	w1 := &p.l1.ways[(line&p.l1.setMask)*p.l1.nways]
+	if !w1.matches(base) {
+		return Result{}, false
+	}
+	st := &h.stats[core]
+	if !write {
+		st.Accesses++
+		p.l1.tick++
+		w1.lru = p.l1.tick
+		h.mru[core] = mruLine{line: line, valid: true}
+		st.L1Hits++
+		st.LatencySum += uint64(h.lat[L1Hit])
+		return Result{Level: L1Hit, Latency: h.lat[L1Hit]}, true
+	}
+	// A write needs Modified or Exclusive (tag low bits 2 or 3) at slot 0
+	// of both levels; xor against base leaves exactly those two values.
+	if (w1.tag^base)-2 > 1 {
+		return Result{}, false
+	}
+	w2 := &p.l2.ways[(line&p.l2.setMask)*p.l2.nways]
+	if (w2.tag^base)-2 > 1 {
+		return Result{}, false
+	}
+	st.Accesses++
+	st.Writes++
+	p.l1.tick++
+	w1.lru = p.l1.tick
+	p.l2.tick++
+	w2.lru = p.l2.tick
+	w1.tag |= 3 // Exclusive or Modified -> Modified
+	w2.tag |= 3
+	h.mru[core] = mruLine{line: line, valid: true}
+	st.L1Hits++
+	st.LatencySum += uint64(h.lat[L1Hit])
+	return Result{Level: L1Hit, Latency: h.lat[L1Hit]}, true
+}
+
+// noteMRU records that core just completed a private hit on line in state st,
+// arming the fast-path filter for any valid state (fastHit itself gates
+// writes on Modified/Exclusive). Callers guarantee the line is at slot 0 of
+// the core's L1 set (move-to-front).
+func (h *Hierarchy) noteMRU(core int, line uint64, st mesi) {
+	if !h.reference && st != invalid {
+		h.mru[core] = mruLine{line: line, valid: true}
+	}
+}
+
+// slowAccess is the full access path (and, verbatim, the reference path).
+func (h *Hierarchy) slowAccess(core int, addr uint64, line uint64, write bool) Result {
 	p := &h.cores[core]
 	st := &h.stats[core]
 	st.Accesses++
@@ -599,80 +793,119 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		st.Writes++
 	}
 
-	if w1 := p.l1.lookup(line); w1 != nil {
-		if !write {
-			// Fast path: a read hit in L1 is the overwhelmingly common case
-			// and, as on real hardware, is invisible to L2 (no LRU touch —
-			// the L1 filters it). Inclusion keeps states in sync on the
-			// write paths, which still consult L2.
-			st.L1Hits++
-			st.LatencySum += uint64(h.cfg.LatL1)
-			return Result{Level: L1Hit, Latency: h.cfg.LatL1}
+	// One directory probe up front settles everything the private lookups
+	// and the old per-path probes used to establish separately. The access
+	// always ends with core holding the line, so the directory's final
+	// state is known before any bank is touched: a write leaves core the
+	// sole holder (swap — correct for hits, upgrades, and misses alike), a
+	// read adds core to the holder set (fetchOr, a no-op when core already
+	// holds it). The returned old mask answers two questions at once:
+	// whether core's own L1/L2 can hold the line (self bit — if clear, both
+	// private scans are skipped; the directory tracks L2, the inclusion
+	// root), and who the foreign sharers are (threaded to the upgrade and
+	// miss paths, which no longer re-probe). Snoop mode has no directory
+	// and keeps the scan-everything shape.
+	selfBit := uint64(1) << uint(core)
+	var others uint64
+	private := true
+	if !h.cfg.Snoop {
+		var old uint64
+		if write {
+			old = h.dir.swap(line, selfBit)
+		} else {
+			old = h.dir.fetchOr(line, selfBit)
 		}
-		w2 := p.l2.lookup(line) // inclusive: always present
-		if w2 == nil {
-			w2 = w1 // defensive: treat L1 as authority
-		}
-		return h.hitUpgrade(core, line, w1, w2, L1Hit, h.cfg.LatL1, write)
+		others = old &^ selfBit
+		private = old&selfBit != 0
 	}
-	if w2 := p.l2.lookup(line); w2 != nil {
-		// Promote into L1.
-		stCopy := w2.state
-		if v := p.l1.insert(line, stCopy); v.state != invalid && v.line != line {
-			_ = v // victim stays in L2 (inclusive)
+	if private {
+		if w1 := p.l1.lookup(line); w1 != nil {
+			if !write {
+				// A read hit in L1 is the overwhelmingly common case and, as
+				// on real hardware, is invisible to L2 (no LRU touch — the
+				// L1 filters it). Inclusion keeps states in sync on the
+				// write paths, which still consult L2.
+				h.noteMRU(core, line, w1.state())
+				st.L1Hits++
+				st.LatencySum += uint64(h.cfg.LatL1)
+				return Result{Level: L1Hit, Latency: h.cfg.LatL1}
+			}
+			w2 := p.l2.lookup(line) // inclusive: always present
+			if w2 == nil {
+				w2 = w1 // defensive: treat L1 as authority
+			}
+			return h.hitUpgrade(core, line, w1, w2, L1Hit, h.cfg.LatL1, write, others)
 		}
-		h.perSetFills[line&p.l1.setMask]++
-		w1 := p.l1.lookup(line)
-		return h.hitUpgrade(core, line, w1, w2, L2Hit, h.cfg.LatL2, write)
+		if w2 := p.l2.lookup(line); w2 != nil {
+			// Promote into L1.
+			stCopy := w2.state()
+			if v := p.l1.insert(line, stCopy); v.state() != invalid && v.line() != line {
+				_ = v // victim stays in L2 (inclusive)
+			}
+			h.perSetFills[line&p.l1.setMask]++
+			w1 := p.l1.lookup(line)
+			return h.hitUpgrade(core, line, w1, w2, L2Hit, h.cfg.LatL2, write, others)
+		}
 	}
 
 	// Miss in the private hierarchy: consult the other cores. A copy on
 	// the same chip supplies the line at the on-chip cost; otherwise the
 	// transfer crosses the chip interconnect.
 	socket := h.socket[core]
-	others := h.holders(line) &^ (1 << uint(core))
+	if h.cfg.Snoop {
+		others = h.holders(line) &^ selfBit
+	}
 	if others != 0 {
 		lv, lat := ForeignHit, h.cfg.LatForeign
 		if others&h.sockMask[socket] == 0 {
 			lv, lat = ForeignRemote, h.cfg.LatForeignRemote
 		}
 		if write {
-			killed := h.invalidateOthers(core, line)
+			killed := h.invalidateOthers(line, others)
 			st.InvalsSent += uint64(killed)
 			h.invalidateL3(line)
 			h.fill(core, line, modified)
 		} else {
-			h.downgradeOthers(core, line)
+			h.downgradeOthers(line, others)
 			h.fill(core, line, shared)
 		}
-		return h.finish(st, lv, lat)
+		return h.finish(core, st, lv, lat)
 	}
 
-	// The chip's own victim L3.
-	if w := h.l3s[socket].lookup(line); w != nil {
-		h.l3s[socket].invalidate(line) // victim cache: line moves to the private side
-		if write {
-			h.fill(core, line, modified)
-		} else {
-			h.fill(core, line, exclusive)
-		}
-		return h.finish(st, L3Hit, h.cfg.LatL3)
-	}
-
-	// Another chip's victim L3: still a cache-to-cache supply, but the
-	// line crosses the interconnect like any other cross-chip transfer.
-	for s := range h.l3s {
-		if s == socket {
-			continue
-		}
-		if w := h.l3s[s].lookup(line); w != nil {
-			h.l3s[s].invalidate(line)
-			if write {
-				h.fill(core, line, modified)
-			} else {
-				h.fill(core, line, exclusive)
+	// The victim L3s, located with one probe of the global presence index
+	// instead of a per-socket probe cascade (on the DRAM-bound misses that
+	// dominate this path, every skipped probe is a skipped cache miss).
+	// The banks remain authoritative: a set presence bit still goes through
+	// the bank's own lookup, which performs the LRU touch a hit implies.
+	if l3mask := h.l3pres.get(line); l3mask != 0 {
+		// The chip's own victim L3.
+		if l3mask&(1<<uint(socket)) != 0 {
+			if w := h.l3s[socket].lookup(line); w != nil {
+				h.l3s[socket].invalidate(line) // victim cache: line moves to the private side
+				h.l3pres.andNot(line, 1<<uint(socket))
+				if write {
+					h.fill(core, line, modified)
+				} else {
+					h.fill(core, line, exclusive)
+				}
+				return h.finish(core, st, L3Hit, h.cfg.LatL3)
 			}
-			return h.finish(st, ForeignRemote, h.cfg.LatForeignRemote)
+		}
+		// Another chip's victim L3: still a cache-to-cache supply, but the
+		// line crosses the interconnect like any other cross-chip transfer.
+		for m := l3mask &^ (1 << uint(socket)); m != 0; {
+			s := bits.TrailingZeros64(m)
+			m &^= 1 << uint(s)
+			if w := h.l3s[s].lookup(line); w != nil {
+				h.l3s[s].invalidate(line)
+				h.l3pres.andNot(line, 1<<uint(s))
+				if write {
+					h.fill(core, line, modified)
+				} else {
+					h.fill(core, line, exclusive)
+				}
+				return h.finish(core, st, ForeignRemote, h.cfg.LatForeignRemote)
+			}
 		}
 	}
 
@@ -683,63 +916,70 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		h.fill(core, line, exclusive)
 	}
 	if h.isRemoteHome(addr, socket) {
-		return h.finish(st, DRAMRemote, h.cfg.LatDRAMRemote)
+		return h.finish(core, st, DRAMRemote, h.cfg.LatDRAMRemote)
 	}
-	return h.finish(st, DRAM, h.cfg.LatDRAM)
+	return h.finish(core, st, DRAM, h.cfg.LatDRAM)
 }
 
-// invalidateL3 removes line from every socket's victim bank.
+// invalidateL3 removes line from every socket's victim bank. The presence
+// index names the holding sockets (usually none), so the common case is one
+// probe and no bank touches at all.
 func (h *Hierarchy) invalidateL3(line uint64) {
-	for _, b := range h.l3s {
-		b.invalidate(line)
+	m := h.l3pres.get(line)
+	if m == 0 {
+		return
 	}
+	for mm := m; mm != 0; mm &= mm - 1 {
+		h.l3s[bits.TrailingZeros64(mm)].invalidate(line)
+	}
+	h.l3pres.set(line, 0)
 }
 
-// finish records the satisfied level in the core's counters.
-func (h *Hierarchy) finish(st *Stats, lv Level, lat uint32) Result {
+// finish records the satisfied level in the core's counters. The level
+// switch is flattened to one load through the precomputed per-core counter
+// table (see hitCtr).
+func (h *Hierarchy) finish(core int, st *Stats, lv Level, lat uint32) Result {
 	st.LatencySum += uint64(lat)
-	switch lv {
-	case L1Hit:
-		st.L1Hits++
-	case L2Hit:
-		st.L2Hits++
-	case L3Hit:
-		st.L3Hits++
-	case ForeignHit:
-		st.ForeignHits++
-	case ForeignRemote:
-		st.ForeignRemoteHits++
-	case DRAM:
-		st.DRAMFills++
-	case DRAMRemote:
-		st.DRAMRemoteFills++
-	}
+	*h.hitCtr[core][lv]++
 	return Result{Level: lv, Latency: lat}
 }
 
 // hitUpgrade completes a private-cache hit. A write to a Shared line must
 // still invalidate the other copies ("upgrade"), which costs a coherence
 // round trip.
-func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat uint32, write bool) Result {
+// hitUpgrade completes a private-cache hit. others is the holder set
+// excluding core that slowAccess's up-front directory probe returned;
+// under Snoop there is no directory and the (rare) shared-upgrade branch
+// scans for sharers itself.
+func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat uint32, write bool, others uint64) Result {
 	st := &h.stats[core]
 	if !write {
-		return h.finish(st, lv, lat)
-	}
-	switch w2.state {
-	case modified, exclusive:
-		w2.state = modified
 		if w1 != nil {
-			w1.state = modified
+			h.noteMRU(core, line, w2.state())
 		}
-		return h.finish(st, lv, lat)
+		return h.finish(core, st, lv, lat)
+	}
+	switch w2.state() {
+	case modified, exclusive:
+		w2.setState(modified)
+		if w1 != nil {
+			w1.setState(modified)
+			h.noteMRU(core, line, modified)
+		}
+		return h.finish(core, st, lv, lat)
 	default: // shared: upgrade
 		// The invalidation round trip prices like the farthest copy: any
 		// sharer on another chip pushes the upgrade to the cross-chip cost.
-		others := h.holders(line) &^ (1 << uint(core))
-		killed := h.invalidateOthers(core, line)
-		w2.state = modified
+		// The directory already holds the post-upgrade state (core as sole
+		// holder) from slowAccess's swap; only the losers' banks remain.
+		if h.cfg.Snoop {
+			others = h.holders(line) &^ (1 << uint(core))
+		}
+		killed := h.invalidateOthers(line, others)
+		w2.setState(modified)
 		if w1 != nil {
-			w1.state = modified
+			w1.setState(modified)
+			h.noteMRU(core, line, modified)
 		}
 		st.Upgrades++
 		st.InvalsSent += uint64(killed)
@@ -750,7 +990,7 @@ func (h *Hierarchy) hitUpgrade(core int, line uint64, w1, w2 *way, lv Level, lat
 				l = h.cfg.LatForeignRemote
 			}
 		}
-		return h.finish(st, lv, l)
+		return h.finish(core, st, lv, l)
 	}
 }
 
@@ -788,12 +1028,10 @@ func (h *Hierarchy) Probe(core int, addr uint64) Level {
 
 // peek is lookup without LRU side effects.
 func (b *bank) peek(line uint64) *way {
-	if b.idx != nil && !b.idx.has(line) {
-		return nil
-	}
-	set := b.sets[line&b.setMask]
+	set := b.set(line)
+	base := line << 2
 	for i := range set {
-		if set[i].state != invalid && set[i].line == line {
+		if set[i].matches(base) {
 			return &set[i]
 		}
 	}
@@ -814,20 +1052,17 @@ func (h *Hierarchy) Contents() []LineContent {
 	var out []LineContent
 	shift := h.lineShift
 	for ci := range h.cores {
-		for _, set := range h.cores[ci].l2.sets {
-			for _, w := range set {
-				if w.state != invalid {
-					out = append(out, LineContent{Core: ci, Socket: h.socket[ci], Addr: w.line << shift})
-				}
+		for _, w := range h.cores[ci].l2.ways {
+			if w.state() != invalid {
+				out = append(out, LineContent{Core: ci, Socket: h.socket[ci], Addr: w.line() << shift})
 			}
 		}
 	}
-	for s, l3 := range h.l3s {
-		for _, set := range l3.sets {
-			for _, w := range set {
-				if w.state != invalid {
-					out = append(out, LineContent{Core: -1, Socket: s, Addr: w.line << shift})
-				}
+	for s := range h.l3s {
+		l3 := &h.l3s[s]
+		for _, w := range l3.ways {
+			if w.state() != invalid {
+				out = append(out, LineContent{Core: -1, Socket: s, Addr: w.line() << shift})
 			}
 		}
 	}
@@ -854,20 +1089,17 @@ func (h *Hierarchy) SocketOccupancy() []SocketUsage {
 	}
 	for ci := range h.cores {
 		u := &out[h.socket[ci]]
-		for _, set := range h.cores[ci].l2.sets {
-			for _, w := range set {
-				if w.state != invalid {
-					u.PrivateLines++
-				}
+		for _, w := range h.cores[ci].l2.ways {
+			if w.state() != invalid {
+				u.PrivateLines++
 			}
 		}
 	}
-	for s, l3 := range h.l3s {
-		for _, set := range l3.sets {
-			for _, w := range set {
-				if w.state != invalid {
-					out[s].L3Lines++
-				}
+	for s := range h.l3s {
+		l3 := &h.l3s[s]
+		for _, w := range l3.ways {
+			if w.state() != invalid {
+				out[s].L3Lines++
 			}
 		}
 	}
@@ -904,24 +1136,13 @@ func (h *Hierarchy) PerSetFills() []uint64 {
 	return out
 }
 
-// Latency returns the configured latency for a level.
+// Latency returns the configured latency for a level (a precomputed table
+// lookup; out-of-range levels price as local DRAM, as before).
 func (h *Hierarchy) Latency(lv Level) uint32 {
-	switch lv {
-	case L1Hit:
-		return h.cfg.LatL1
-	case L2Hit:
-		return h.cfg.LatL2
-	case L3Hit:
-		return h.cfg.LatL3
-	case ForeignHit:
-		return h.cfg.LatForeign
-	case ForeignRemote:
-		return h.cfg.LatForeignRemote
-	case DRAMRemote:
-		return h.cfg.LatDRAMRemote
-	default:
-		return h.cfg.LatDRAM
+	if int(lv) < NumLevels {
+		return h.lat[lv]
 	}
+	return h.cfg.LatDRAM
 }
 
 // checkInvariants validates MESI single-writer and inclusion properties.
@@ -937,22 +1158,18 @@ func (h *Hierarchy) checkInvariants() error {
 	}
 	lines := make(map[uint64][]holder)
 	for c := range h.cores {
-		for _, set := range h.cores[c].l2.sets {
-			for _, w := range set {
-				if w.state != invalid {
-					lines[w.line] = append(lines[w.line], holder{c, w.state})
-				}
+		for _, w := range h.cores[c].l2.ways {
+			if w.state() != invalid {
+				lines[w.line()] = append(lines[w.line()], holder{c, w.state()})
 			}
 		}
 		// Inclusion: every L1 line must be in L2.
-		for _, set := range h.cores[c].l1.sets {
-			for _, w := range set {
-				if w.state == invalid {
-					continue
-				}
-				if h.cores[c].l2.peek(w.line) == nil {
-					return fmt.Errorf("inclusion violated: core %d L1 holds line %#x not in L2", c, w.line)
-				}
+		for _, w := range h.cores[c].l1.ways {
+			if w.state() == invalid {
+				continue
+			}
+			if h.cores[c].l2.peek(w.line()) == nil {
+				return fmt.Errorf("inclusion violated: core %d L1 holds line %#x not in L2", c, w.line())
 			}
 		}
 	}

@@ -90,6 +90,75 @@ func (d *dirTable) set(line uint64, mask uint64) {
 	}
 }
 
+// andNot clears bits from line's holder mask in one probe — the combined
+// form of get-then-set the eviction and invalidation paths want — deleting
+// the entry if the mask empties. It returns the new mask (0 if the entry is
+// gone or was never present).
+func (d *dirTable) andNot(line uint64, bits uint64) uint64 {
+	key := line + 1
+	for i := d.slot(key); ; i = (i + 1) & d.mask {
+		e := &d.entries[i]
+		if e.key == key {
+			e.mask &^= bits
+			if e.mask == 0 {
+				d.del(i)
+				return 0
+			}
+			return e.mask
+		}
+		if e.key == 0 {
+			return 0
+		}
+	}
+}
+
+// fetchOr merges bits into line's holder mask in one probe, creating the
+// entry if needed, and returns the prior mask (0 if absent). It fuses the
+// get-then-or pair the read-miss path performs on the same key.
+func (d *dirTable) fetchOr(line uint64, bits uint64) uint64 {
+	key := line + 1
+	for i := d.slot(key); ; i = (i + 1) & d.mask {
+		e := &d.entries[i]
+		if e.key == key {
+			old := e.mask
+			e.mask |= bits
+			return old
+		}
+		if e.key == 0 {
+			e.key, e.mask = key, bits
+			d.n++
+			if uint64(d.n)*4 > uint64(len(d.entries))*3 {
+				d.grow()
+			}
+			return 0
+		}
+	}
+}
+
+// swap replaces line's holder mask in one probe, creating the entry if
+// needed, and returns the prior mask (0 if absent). mask must be non-zero.
+// It fuses the get / clear-others / add-self probe triple the write paths
+// perform on the same key.
+func (d *dirTable) swap(line uint64, mask uint64) uint64 {
+	key := line + 1
+	for i := d.slot(key); ; i = (i + 1) & d.mask {
+		e := &d.entries[i]
+		if e.key == key {
+			old := e.mask
+			e.mask = mask
+			return old
+		}
+		if e.key == 0 {
+			e.key, e.mask = key, mask
+			d.n++
+			if uint64(d.n)*4 > uint64(len(d.entries))*3 {
+				d.grow()
+			}
+			return 0
+		}
+	}
+}
+
 // or merges bits into line's holder mask, creating the entry if needed.
 func (d *dirTable) or(line uint64, bits uint64) {
 	key := line + 1

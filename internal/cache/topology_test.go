@@ -179,12 +179,12 @@ func TestPerSocketL3Split(t *testing.T) {
 	h := NewTopo(cfg, Topology{4, 4})
 	perSocketLines := int(cfg.L3Size / uint64(4) / cfg.LineSize)
 	for s, b := range h.l3s {
-		if got := len(b.sets) * cfg.L3Ways; got != perSocketLines {
+		if got := len(b.ways); got != perSocketLines {
 			t.Fatalf("socket %d L3 holds %d lines, want %d", s, got, perSocketLines)
 		}
 	}
 	flat := New(cfg, 16)
-	if got := len(flat.l3s[0].sets) * cfg.L3Ways; got != perSocketLines*4 {
+	if got := len(flat.l3s[0].ways); got != perSocketLines*4 {
 		t.Fatalf("flat L3 holds %d lines, want %d", got, perSocketLines*4)
 	}
 }

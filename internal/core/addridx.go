@@ -1,0 +1,109 @@
+package core
+
+// addrIdx maps live object addresses to their record index in the address
+// set. It is an open-addressed, linear-probing table (keys stored as addr+1
+// so the zero entry means empty, fibonacci multiplicative hashing, grow at
+// 3/4 occupancy, backward-shift deletion) — the same layout the simulator's
+// directory uses. The profiler consults it on every allocation and free, so
+// it replaces a Go map on the hot path.
+type addrIdx struct {
+	keys  []uint64 // addr+1; 0 = empty
+	vals  []int
+	mask  uint64
+	shift uint
+	n     int
+}
+
+const addrHashMul = 0x9E3779B97F4A7C15
+
+func newAddrIdx() *addrIdx {
+	const size = 1 << 12
+	return &addrIdx{
+		keys:  make([]uint64, size),
+		vals:  make([]int, size),
+		mask:  size - 1,
+		shift: addrShiftFor(size),
+	}
+}
+
+func addrShiftFor(size uint64) uint {
+	s := uint(64)
+	for size > 1 {
+		size >>= 1
+		s--
+	}
+	return s
+}
+
+func (t *addrIdx) slot(key uint64) uint64 { return (key * addrHashMul) >> t.shift }
+
+// set stores idx for addr, overwriting any previous entry.
+func (t *addrIdx) set(addr uint64, idx int) {
+	key := addr + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == key {
+			t.vals[i] = idx
+			return
+		}
+		if k == 0 {
+			t.keys[i], t.vals[i] = key, idx
+			t.n++
+			if uint64(t.n)*4 > uint64(len(t.keys))*3 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+// take removes addr's entry and returns its index, or ok=false if absent.
+func (t *addrIdx) take(addr uint64) (idx int, ok bool) {
+	key := addr + 1
+	i := t.slot(key)
+	for {
+		k := t.keys[i]
+		if k == key {
+			break
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+	idx = t.vals[i]
+	t.n--
+	// Backward-shift deletion keeps probe chains contiguous, no tombstones.
+	for {
+		t.keys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			k := t.keys[j]
+			if k == 0 {
+				return idx, true
+			}
+			ideal := t.slot(k)
+			if (j-ideal)&t.mask >= (j-i)&t.mask {
+				t.keys[i], t.vals[i] = k, t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (t *addrIdx) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	size := uint64(len(oldKeys)) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]int, size)
+	t.mask = size - 1
+	t.shift = addrShiftFor(size)
+	t.n = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			t.set(k-1, oldVals[i])
+		}
+	}
+}

@@ -35,9 +35,11 @@ type typeUsage struct {
 // associativity sets and to estimate working-set contents.
 type AddressSet struct {
 	objects []ObjRecord
-	liveIdx map[uint64]int // addr -> index of the live record
+	liveIdx *addrIdx // addr -> index of the live record
 
-	usage map[*mem.Type]*typeUsage
+	// usage is a move-to-front list rather than a map: a run touches a few
+	// dozen types at most, and the lookup runs on every alloc and free.
+	usage []typeUsageEntry
 
 	start uint64
 	end   uint64
@@ -48,18 +50,20 @@ type AddressSet struct {
 	dropped    uint64
 }
 
+type typeUsageEntry struct {
+	t *mem.Type
+	u *typeUsage
+}
+
 // NewAddressSet returns an empty address set.
 func NewAddressSet() *AddressSet {
-	return &AddressSet{
-		liveIdx: make(map[uint64]int, 1<<12),
-		usage:   make(map[*mem.Type]*typeUsage),
-	}
+	return &AddressSet{liveIdx: newAddrIdx()}
 }
 
 // AddStatic records a static (always-live) object.
 func (as *AddressSet) AddStatic(t *mem.Type, addr uint64) {
 	as.objects = append(as.objects, ObjRecord{Type: t, Addr: addr, AllocCore: -1})
-	as.liveIdx[addr] = len(as.objects) - 1
+	as.liveIdx.set(addr, len(as.objects)-1)
 	u := as.usageFor(t)
 	u.live++
 	if u.live > u.peak {
@@ -68,11 +72,17 @@ func (as *AddressSet) AddStatic(t *mem.Type, addr uint64) {
 }
 
 func (as *AddressSet) usageFor(t *mem.Type) *typeUsage {
-	u := as.usage[t]
-	if u == nil {
-		u = &typeUsage{}
-		as.usage[t] = u
+	s := as.usage
+	for i := range s {
+		if s[i].t == t {
+			if i > 0 {
+				s[0], s[i] = s[i], s[0]
+			}
+			return s[0].u
+		}
 	}
+	u := &typeUsage{}
+	as.usage = append(s, typeUsageEntry{t, u})
 	return u
 }
 
@@ -121,7 +131,7 @@ func (as *AddressSet) OnAlloc(c *sim.Ctx, t *mem.Type, addr uint64) {
 		AllocAt:   now,
 		AllocCore: int32(c.Core.ID),
 	})
-	as.liveIdx[addr] = len(as.objects) - 1
+	as.liveIdx.set(addr, len(as.objects)-1)
 }
 
 // OnFree records a deallocation.
@@ -134,9 +144,8 @@ func (as *AddressSet) OnFree(c *sim.Ctx, t *mem.Type, addr uint64) {
 	if u.live > 0 {
 		u.live--
 	}
-	if i, ok := as.liveIdx[addr]; ok {
+	if i, ok := as.liveIdx.take(addr); ok {
 		as.objects[i].FreeAt = now
-		delete(as.liveIdx, addr)
 	}
 }
 
@@ -162,7 +171,8 @@ type TypeUsage struct {
 func (as *AddressSet) Usage() []TypeUsage {
 	span := as.end - as.start
 	out := make([]TypeUsage, 0, len(as.usage))
-	for t, u := range as.usage {
+	for _, e := range as.usage {
+		t, u := e.t, e.u
 		tu := TypeUsage{
 			Type:      t,
 			PeakCount: u.peak,

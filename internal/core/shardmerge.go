@@ -98,7 +98,8 @@ func mergeAddrSetInto(dst, src *AddressSet, canon map[*mem.Type]*mem.Type, coreO
 		}
 		dst.objects = append(dst.objects, r)
 	}
-	for t, u := range src.usage {
+	for _, e := range src.usage {
+		t, u := e.t, e.u
 		cu := dst.usageFor(canonOf(canon, t))
 		cu.live += u.live
 		cu.peak += u.peak
@@ -211,8 +212,8 @@ func (sh *shardedSession) mergedProfiler() *Profiler {
 		mergeAddrSetInto(p.AddrSet, part.p.AddrSet, canon, off, addrStride(d))
 		mergeCollectorInto(col, part.p.Collector, canon, off, globalCores)
 	}
-	for _, u := range p.AddrSet.usage {
-		u.lastTouch = p.AddrSet.end
+	for _, e := range p.AddrSet.usage {
+		e.u.lastTouch = p.AddrSet.end
 	}
 	return p
 }

@@ -82,8 +82,19 @@ func NewIBS(m *sim.Machine) *IBS {
 		next:            make([]uint64, m.NumCores()),
 		InterruptCycles: IBSInterruptCycles,
 	}
-	m.AddAccessHook(u.onAccess)
+	// Armed registration: between sample deadlines the machine skips event
+	// population and the call entirely; onAccess keeps its own guard, which
+	// is what runs on the reference path.
+	m.AddArmedAccessHook(u.onAccess, sim.HookArm{NextTime: u.nextArm})
 	return u
+}
+
+// nextArm reports the core-local cycle of the next sample deadline.
+func (u *IBS) nextArm(core int) uint64 {
+	if !u.enabled {
+		return sim.ArmNever
+	}
+	return u.next[core]
 }
 
 // Start enables sampling at the given rate (samples per second per core) and
@@ -102,10 +113,14 @@ func (u *IBS) Start(samplesPerSecPerCore float64, h IBSHandler) {
 		// Desynchronize cores so samples do not arrive in lockstep.
 		u.next[i] = u.m.Core(i).Now() + uint64(u.m.Core(i).Rand().Int63n(int64(u.interval)+1))
 	}
+	u.m.Rearm()
 }
 
 // Stop disables sampling.
-func (u *IBS) Stop() { u.enabled = false }
+func (u *IBS) Stop() {
+	u.enabled = false
+	u.m.Rearm()
+}
 
 // Delivered returns the number of samples delivered since creation.
 func (u *IBS) Delivered() uint64 { return u.delivered }
@@ -161,8 +176,24 @@ type DebugRegs struct {
 // NewDebugRegs attaches a debug-register unit to the machine.
 func NewDebugRegs(m *sim.Machine) *DebugRegs {
 	d := &DebugRegs{m: m, TrapCycles: DebugTrapCycles}
-	m.AddAccessHook(d.onAccess)
+	// Range-armed registration: watchpoints are address-gated, not
+	// time-gated, so the unit publishes its active windows and the machine
+	// only dispatches accesses overlapping one (the overlap predicate is the
+	// same one onAccess applies per register).
+	m.AddArmedAccessHook(d.onAccess, sim.HookArm{Ranges: d.activeRanges})
 	return d
+}
+
+// activeRanges publishes the installed watchpoints as machine watch ranges.
+func (d *DebugRegs) activeRanges() []sim.WatchRange {
+	if d.inUse == 0 {
+		return nil
+	}
+	out := make([]sim.WatchRange, d.inUse)
+	for i := 0; i < d.inUse; i++ {
+		out[i] = sim.WatchRange{Addr: d.watches[i].Addr, Len: d.watches[i].Len}
+	}
+	return out
 }
 
 // SetAll installs the given watchpoints on every core, replacing any previous
@@ -198,6 +229,7 @@ func (d *DebugRegs) SetAll(c *sim.Ctx, watches []Watch, h DebugHandler) {
 	}
 	copy(d.watches[:], watches)
 	d.handler = h
+	d.m.Rearm()
 }
 
 // ClearAll removes all watchpoints. Clearing rides the next natural IPI and
@@ -205,6 +237,7 @@ func (d *DebugRegs) SetAll(c *sim.Ctx, watches []Watch, h DebugHandler) {
 func (d *DebugRegs) ClearAll() {
 	d.inUse = 0
 	d.handler = nil
+	d.m.Rearm()
 }
 
 // Active returns the number of installed watchpoints.

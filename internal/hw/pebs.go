@@ -38,8 +38,19 @@ func NewPEBS(m *sim.Machine) *PEBS {
 		next:            make([]uint64, m.NumCores()),
 		InterruptCycles: PEBSInterruptCycles,
 	}
-	m.AddAccessHook(p.onAccess)
+	// Armed registration mirrors IBS. A below-threshold armed access does
+	// not re-arm (next stays in the past), so the machine keeps delivering
+	// every access until one qualifies — exactly the hardware's behavior.
+	m.AddArmedAccessHook(p.onAccess, sim.HookArm{NextTime: p.nextArm})
 	return p
+}
+
+// nextArm reports the core-local cycle of the next armed sample.
+func (p *PEBS) nextArm(core int) uint64 {
+	if !p.enabled {
+		return sim.ArmNever
+	}
+	return p.next[core]
 }
 
 // Start enables sampling: the unit arms at the given rate and delivers the
@@ -58,10 +69,14 @@ func (p *PEBS) Start(armsPerSecPerCore float64, threshold uint32, h IBSHandler) 
 	for i := range p.next {
 		p.next[i] = p.m.Core(i).Now() + uint64(p.m.Core(i).Rand().Int63n(int64(p.interval)+1))
 	}
+	p.m.Rearm()
 }
 
 // Stop disables sampling.
-func (p *PEBS) Stop() { p.enabled = false }
+func (p *PEBS) Stop() {
+	p.enabled = false
+	p.m.Rearm()
+}
 
 // Delivered returns delivered (above-threshold) samples.
 func (p *PEBS) Delivered() uint64 { return p.delivered }

@@ -272,8 +272,13 @@ func percentiles(ms []float64) Latency {
 
 // Artifact is the BENCH_dprofd_load.json schema: run configuration, host
 // context, and one Result per phase (e.g. cold / warm / multi_replica).
+// GitCommit and WrittenAt come from the DPROF_GIT_COMMIT / DPROF_WRITTEN_AT
+// environment variables the bench harness (CI) injects, so a checked-in
+// artifact says which commit produced it and when.
 type Artifact struct {
 	Benchmark        string            `json:"benchmark"`
+	GitCommit        string            `json:"git_commit,omitempty"`
+	WrittenAt        string            `json:"written_at,omitempty"`
 	GoMaxProcs       int               `json:"gomaxprocs"`
 	HostCPUs         int               `json:"host_cpus"`
 	Keys             int               `json:"keys"`
@@ -289,6 +294,8 @@ func NewArtifact(cfg Config) Artifact {
 	cfg.defaults()
 	return Artifact{
 		Benchmark:        "dprofd-load",
+		GitCommit:        os.Getenv("DPROF_GIT_COMMIT"),
+		WrittenAt:        os.Getenv("DPROF_WRITTEN_AT"),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		HostCPUs:         runtime.NumCPU(),
 		Keys:             cfg.Keys,

@@ -31,18 +31,50 @@ type Class struct {
 	WaitCycles   uint64
 	HoldCycles   uint64
 
-	sites map[sym.PC]uint64
+	// sites is a move-to-front list rather than a map: a class is acquired
+	// from a handful of call sites, and the bump on every Acquire sits on
+	// the simulator's hot path where a short scan beats map hashing.
+	sites []siteCount
+}
+
+type siteCount struct {
+	pc sym.PC
+	n  uint64
+}
+
+// bumpSite adds n acquisitions from pc, keeping the hottest site in front.
+func (c *Class) bumpSite(pc sym.PC, n uint64) {
+	s := c.sites
+	for i := range s {
+		if s[i].pc == pc {
+			s[i].n += n
+			if i > 0 {
+				s[0], s[i] = s[i], s[0]
+			}
+			return
+		}
+	}
+	c.sites = append(s, siteCount{pc, n})
+}
+
+func (c *Class) siteCountOf(pc sym.PC) uint64 {
+	for _, sc := range c.sites {
+		if sc.pc == pc {
+			return sc.n
+		}
+	}
+	return 0
 }
 
 // Sites returns the acquiring functions ordered by acquisition count.
 func (c *Class) Sites() []sym.PC {
 	out := make([]sym.PC, 0, len(c.sites))
-	for pc := range c.sites {
-		out = append(out, pc)
+	for _, sc := range c.sites {
+		out = append(out, sc.pc)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if c.sites[out[i]] != c.sites[out[j]] {
-			return c.sites[out[i]] > c.sites[out[j]]
+		if ci, cj := c.siteCountOf(out[i]), c.siteCountOf(out[j]); ci != cj {
+			return ci > cj
 		}
 		return sym.Name(out[i]) < sym.Name(out[j])
 	})
@@ -65,7 +97,7 @@ func (r *Registry) Class(name string) *Class {
 	if c, ok := r.classes[name]; ok {
 		return c
 	}
-	c := &Class{Name: name, sites: make(map[sym.PC]uint64)}
+	c := &Class{Name: name}
 	r.classes[name] = c
 	r.order = append(r.order, c)
 	return c
@@ -86,8 +118,8 @@ func (r *Registry) Merge(o *Registry) {
 		c.Contentions += oc.Contentions
 		c.WaitCycles += oc.WaitCycles
 		c.HoldCycles += oc.HoldCycles
-		for pc, n := range oc.sites {
-			c.sites[pc] += n
+		for _, sc := range oc.sites {
+			c.bumpSite(sc.pc, sc.n)
 		}
 	}
 }
@@ -96,7 +128,7 @@ func (r *Registry) Merge(o *Registry) {
 func (r *Registry) Reset() {
 	for _, c := range r.order {
 		c.Acquisitions, c.Contentions, c.WaitCycles, c.HoldCycles = 0, 0, 0, 0
-		c.sites = make(map[sym.PC]uint64)
+		c.sites = nil
 	}
 }
 
@@ -158,7 +190,7 @@ func (l *Lock) Acquire(c *sim.Ctx) {
 	}
 	c.Write(l.addr, 8) // the winning atomic exchange
 	l.class.Acquisitions++
-	l.class.sites[pc]++
+	l.class.bumpSite(pc, 1)
 	l.held = true
 	l.holder = c.Core.ID
 	l.holdFrom = c.Now()

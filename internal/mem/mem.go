@@ -174,7 +174,7 @@ type Allocator struct {
 	types     map[string]*Type
 	typeOrder []*Type
 
-	slabMap    map[uint64]*slabInfo // page number -> slab
+	slabMap    *pageTable // page number -> slab
 	nextSlab   uint64
 	nextMeta   uint64
 	nextStatic uint64
@@ -212,7 +212,7 @@ func New(cfg Config, cores int, locks *lockstat.Registry) *Allocator {
 		cores:      cores,
 		locks:      locks,
 		types:      make(map[string]*Type),
-		slabMap:    make(map[uint64]*slabInfo, 1<<12),
+		slabMap:    newPageTable(),
 		nextSlab:   slabBase,
 		nextMeta:   internalBase,
 		nextStatic: staticBase,
@@ -335,7 +335,7 @@ func (a *Allocator) StaticArray(name string, objSize uint64, count int, desc str
 	pages := (total + SlabBytes - 1) / SlabBytes
 	info := &slabInfo{t: t, base: base, objSize: t.objSize, nobj: count, home: -1}
 	for p := uint64(0); p < pages; p++ {
-		a.slabMap[(base+p*SlabBytes)>>SlabShift] = info
+		a.slabMap.set((base+p*SlabBytes)>>SlabShift, info)
 	}
 	a.assignHome(base, pages*SlabBytes, -1)
 	a.nextStatic += pages * SlabBytes
@@ -372,7 +372,7 @@ func (a *Allocator) StaticStrided(name string, objSize uint64, count int, stride
 			panic(fmt.Sprintf("mem: strided object %d of %q straddles a page", i, name))
 		}
 		info := &slabInfo{t: t, base: addr, objSize: t.objSize, nobj: 1, home: -1}
-		a.slabMap[addr>>SlabShift] = info
+		a.slabMap.set(addr>>SlabShift, info)
 		a.assignHome(addr, t.objSize, -1)
 		addrs[i] = addr
 		a.statics = append(a.statics, ObjRef{Type: t, Base: addr})
@@ -397,7 +397,7 @@ func (a *Allocator) carveInternal(t *Type) uint64 {
 			nobj:    int(SlabBytes / t.objSize),
 			home:    -1,
 		}
-		a.slabMap[base>>SlabShift] = s
+		a.slabMap.set(base>>SlabShift, s)
 		a.assignHome(base, SlabBytes, -1)
 		a.carve[t] = s
 	}
@@ -434,14 +434,11 @@ func (a *Allocator) LiveObjects() []ObjRef {
 		}
 	}
 	var out []ObjRef
-	pages := make([]uint64, 0, len(a.slabMap))
-	for pg := range a.slabMap {
-		pages = append(pages, pg)
-	}
+	pages := a.slabMap.pages()
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	seen := make(map[*slabInfo]bool)
 	for _, pg := range pages {
-		s := a.slabMap[pg]
+		s := a.slabMap.get(pg)
 		if seen[s] || s.t.pool == nil {
 			seen[s] = true
 			continue
@@ -501,7 +498,7 @@ func (a *Allocator) growPool(c *sim.Ctx, p *pool, home int) *slabInfo {
 	for i := nobj - 1; i >= 0; i-- {
 		s.free = append(s.free, base+uint64(i)*s.objSize)
 	}
-	a.slabMap[base>>SlabShift] = s
+	a.slabMap.set(base>>SlabShift, s)
 	a.assignHome(base, SlabBytes, home)
 	p.partial = append(p.partial, s)
 	p.slabs++
@@ -556,13 +553,23 @@ func (a *Allocator) refill(c *sim.Ctx, p *pool, ac *arrayCache) {
 // returnToSlab gives one object back to its slab's freelist (caller holds the
 // pool lock).
 func (a *Allocator) returnToSlab(c *sim.Ctx, p *pool, obj uint64) {
-	s := a.slabMap[obj>>SlabShift]
+	s := a.slabMap.get(obj >> SlabShift)
 	s.free = append(s.free, obj)
 	s.inuse--
 	c.Write(s.metaAddr, 16)
 	if len(s.free) == 1 {
 		p.partial = append(p.partial, s)
 	}
+}
+
+// slabSeen reports whether s is already in the batch's touched list.
+func slabSeen(touched []*slabInfo, s *slabInfo) bool {
+	for _, t := range touched {
+		if t == s {
+			return true
+		}
+	}
+	return false
 }
 
 // flushLocal spills a batch from an over-full local array cache back to the
@@ -575,15 +582,17 @@ func (a *Allocator) flushLocal(c *sim.Ctx, p *pool, ac *arrayCache) {
 		n = len(ac.objs)
 	}
 	c.Write(ac.addr, 8)
-	touched := make(map[*slabInfo]bool, 4)
+	// touched is a linear-scan list, not a map: a batch spans a handful of
+	// distinct slabs and this runs on the free hot path.
+	var touched []*slabInfo
 	var metas []uint64
 	for i := 0; i < n; i++ {
 		obj := ac.objs[i]
-		s := a.slabMap[obj>>SlabShift]
+		s := a.slabMap.get(obj >> SlabShift)
 		s.free = append(s.free, obj)
 		s.inuse--
-		if !touched[s] {
-			touched[s] = true
+		if !slabSeen(touched, s) {
+			touched = append(touched, s)
 			metas = append(metas, s.metaAddr)
 		}
 		if len(s.free) == 1 {
@@ -614,14 +623,14 @@ func (a *Allocator) drainAlien(c *sim.Ctx, p *pool, alien *arrayCache) {
 	// other cores behind this drain).
 	p.lock.Acquire(c)
 	c.Write(alien.addr, 8)
-	touched := make(map[*slabInfo]bool, 4)
+	var touched []*slabInfo
 	var metas []uint64
 	for _, obj := range objs {
-		s := a.slabMap[obj>>SlabShift]
+		s := a.slabMap.get(obj >> SlabShift)
 		s.free = append(s.free, obj)
 		s.inuse--
-		if !touched[s] {
-			touched[s] = true
+		if !slabSeen(touched, s) {
+			touched = append(touched, s)
 			metas = append(metas, s.metaAddr)
 		}
 		if len(s.free) == 1 {
@@ -670,7 +679,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, t *Type) uint64 {
 // Free returns an object to its pool. Objects freed on a core other than the
 // slab's home core go through the alien cache.
 func (a *Allocator) Free(c *sim.Ctx, addr uint64) {
-	s := a.slabMap[addr>>SlabShift]
+	s := a.slabMap.get(addr >> SlabShift)
 	if s == nil || s.t.pool == nil {
 		panic(fmt.Sprintf("mem: Free of unknown address %#x", addr))
 	}
@@ -714,7 +723,7 @@ type ObjRef struct {
 // object's type, base address, and whether the address is typed at all.
 // This is DProf's memory-type resolver (§5.2).
 func (a *Allocator) Resolve(addr uint64) (t *Type, base uint64, ok bool) {
-	s := a.slabMap[addr>>SlabShift]
+	s := a.slabMap.get(addr >> SlabShift)
 	if s == nil {
 		return nil, 0, false
 	}

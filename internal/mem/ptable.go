@@ -1,0 +1,101 @@
+package mem
+
+// pageTable maps SlabBytes-aligned page numbers to their slab bookkeeping.
+// It is an open-addressed, linear-probing table (same layout rules as the
+// cache package's directory: keys stored as page+1 so the zero entry means
+// empty, fibonacci multiplicative hashing, grow at 3/4 occupancy). The
+// allocator consults it on every Free and ownership resolution — on the
+// simulator's hot path — where it replaces a Go map and its generic hash
+// and bucket machinery with a single probe in the common case. Slabs are
+// never unmapped, so the table needs no deletion.
+type pageTable struct {
+	keys  []uint64 // page+1; 0 = empty
+	vals  []*slabInfo
+	mask  uint64
+	shift uint
+	n     int
+}
+
+const pageHashMul = 0x9E3779B97F4A7C15
+
+func newPageTable() *pageTable {
+	const size = 1 << 12
+	return &pageTable{
+		keys:  make([]uint64, size),
+		vals:  make([]*slabInfo, size),
+		mask:  size - 1,
+		shift: pageShiftFor(size),
+	}
+}
+
+func pageShiftFor(size uint64) uint {
+	s := uint(64)
+	for size > 1 {
+		size >>= 1
+		s--
+	}
+	return s
+}
+
+func (t *pageTable) slot(key uint64) uint64 { return (key * pageHashMul) >> t.shift }
+
+// get returns the slab owning page, or nil.
+func (t *pageTable) get(pg uint64) *slabInfo {
+	key := pg + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i]
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+// set stores s for page, overwriting any previous entry.
+func (t *pageTable) set(pg uint64, s *slabInfo) {
+	key := pg + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == key {
+			t.vals[i] = s
+			return
+		}
+		if k == 0 {
+			t.keys[i], t.vals[i] = key, s
+			t.n++
+			if uint64(t.n)*4 > uint64(len(t.keys))*3 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+func (t *pageTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	size := uint64(len(oldKeys)) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]*slabInfo, size)
+	t.mask = size - 1
+	t.shift = pageShiftFor(size)
+	t.n = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			t.set(k-1, oldVals[i])
+		}
+	}
+}
+
+// pages returns every mapped page number, in table order (callers that need
+// determinism must sort).
+func (t *pageTable) pages() []uint64 {
+	out := make([]uint64, 0, t.n)
+	for _, k := range t.keys {
+		if k != 0 {
+			out = append(out, k-1)
+		}
+	}
+	return out
+}

@@ -35,16 +35,32 @@ type Profiler struct {
 // Attach hooks the profiler into the machine. It starts disabled.
 func Attach(m *sim.Machine) *Profiler {
 	p := &Profiler{m: m, fns: make(map[sym.PC]*fnStats, 256)}
-	m.AddAccessHook(p.onAccess)
+	// Armed on enablement: while stopped, the machine skips access-event
+	// dispatch for this hook entirely.
+	m.AddArmedAccessHook(p.onAccess, sim.HookArm{NextTime: p.nextArm})
 	m.AddWorkHook(p.onWork)
 	return p
 }
 
+// nextArm arms the access hook while collection is enabled.
+func (p *Profiler) nextArm(int) uint64 {
+	if p.enabled {
+		return sim.ArmAlways
+	}
+	return sim.ArmNever
+}
+
 // Start enables collection.
-func (p *Profiler) Start() { p.enabled = true }
+func (p *Profiler) Start() {
+	p.enabled = true
+	p.m.Rearm()
+}
 
 // Stop disables collection.
-func (p *Profiler) Stop() { p.enabled = false }
+func (p *Profiler) Stop() {
+	p.enabled = false
+	p.m.Rearm()
+}
 
 // Reset clears all counters.
 func (p *Profiler) Reset() {

@@ -70,6 +70,10 @@ type Config struct {
 	// store: finished documents persist across restarts and the LRU becomes
 	// a read-through layer in front of it.
 	StoreDir string
+	// StoreMaxBytes bounds the disk store's resident bytes (0 = unbounded):
+	// a write that lands over the budget sweeps the oldest objects until the
+	// store fits. Swept profiles re-simulate on their next miss.
+	StoreMaxBytes int64
 	// Self and Peers, when Peers is non-empty, switch the server into
 	// multi-replica mode (see SetPeers): Self is this replica's URL as
 	// peers reach it, Peers the fleet's replica URLs.
@@ -124,6 +128,11 @@ func New(cfg Config) (*Server, error) {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.StoreMaxBytes > 0 {
+			// Applied before serving starts: a restart with a tightened
+			// budget converges here, not on the first Put.
+			st.SetMaxBytes(cfg.StoreMaxBytes)
 		}
 		s.store = st
 	}
@@ -334,6 +343,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"corrupt_dropped":     st.Corrupt,
 			"bytes_written":       st.BytesWritten,
 			"bytes_read":          st.BytesRead,
+			"max_bytes":           st.MaxBytes,
+			"bytes_resident":      st.BytesResident,
+			"sweeps":              st.Sweeps,
+			"swept_objects":       st.SweptObjects,
+			"swept_bytes":         st.SweptBytes,
 		}
 	}
 	if s.peers != nil {

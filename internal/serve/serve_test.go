@@ -574,6 +574,93 @@ func TestStoreWarmRestartServesWithoutSimulating(t *testing.T) {
 	}
 }
 
+// TestStoreByteBudgetSweepsOldest: with StoreMaxBytes set, a write that
+// lands over budget evicts the oldest stored profile; the /stats store
+// section reports the budget and the sweep counters, and the evicted
+// profile simply re-simulates on its next request.
+func TestStoreByteBudgetSweepsOldest(t *testing.T) {
+	const secondProfile = `{"workload":"trueshare","views":["dataprofile"],"measure_ms":1,"quick":true}`
+	type storeStats struct {
+		Entries       int64 `json:"entries"`
+		MaxBytes      int64 `json:"max_bytes"`
+		BytesResident int64 `json:"bytes_resident"`
+		Sweeps        int64 `json:"sweeps"`
+		SweptObjects  int64 `json:"swept_objects"`
+		SweptBytes    int64 `json:"swept_bytes"`
+	}
+	readStats := func(ts *httptest.Server) storeStats {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Store storeStats `json:"store"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Store
+	}
+
+	// Learn both documents' on-disk sizes with an unbounded server.
+	s1, ts1 := newTestServer(t, Config{StoreDir: t.TempDir()})
+	resp1, first := postProfile(t, ts1, quickProfile)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp1.StatusCode, first)
+	}
+	size1 := readStats(ts1).BytesResident
+	postProfile(t, ts1, secondProfile)
+	total := readStats(ts1).BytesResident
+	if size1 == 0 || total <= size1 {
+		t.Fatalf("store sizes not tracked: first %d, total %d", size1, total)
+	}
+	s1.Shutdown()
+	ts1.Close()
+
+	// A budget that fits either document alone but not both: the second Put
+	// must sweep the first (older) one.
+	budget := total - 1
+	dir := t.TempDir()
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir, StoreMaxBytes: budget})
+	if resp, body := postProfile(t, ts2, quickProfile); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postProfile(t, ts2, secondProfile); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	st := readStats(ts2)
+	if st.MaxBytes != budget {
+		t.Errorf("max_bytes = %d, want %d", st.MaxBytes, budget)
+	}
+	if st.Entries != 1 || st.Sweeps != 1 || st.SweptObjects != 1 || st.SweptBytes == 0 {
+		t.Errorf("store stats after over-budget put: %+v", st)
+	}
+	if st.BytesResident > budget {
+		t.Errorf("bytes_resident = %d over budget %d after sweep", st.BytesResident, budget)
+	}
+
+	// The survivor serves from disk on a restart; the swept profile pays
+	// one re-simulation and nothing is lost.
+	s2.Shutdown()
+	ts2.Close()
+	s3, ts3 := newTestServer(t, Config{StoreDir: dir, StoreMaxBytes: budget})
+	if resp, _ := postProfile(t, ts3, secondProfile); resp.Header.Get("X-DProf-Cache") != "disk" {
+		t.Errorf("survivor disposition = %q, want disk", resp.Header.Get("X-DProf-Cache"))
+	}
+	resp4, again := postProfile(t, ts3, quickProfile)
+	if resp4.StatusCode != 200 {
+		t.Fatalf("re-simulated status %d", resp4.StatusCode)
+	}
+	if !bytes.Equal(first, again) {
+		t.Error("re-simulated profile differs from the original bytes")
+	}
+	if n := s3.Simulations(); n != 1 {
+		t.Errorf("restarted server ran %d simulations, want 1 (the swept profile)", n)
+	}
+}
+
 // TestStoreCorruptEntryFallsBackToSimulate: a torn object on disk reads
 // as a miss, the request re-simulates to the same bytes, and the entry is
 // repaired in place.

@@ -22,6 +22,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"dprof/internal/cache"
 	"dprof/internal/sym"
@@ -68,6 +69,34 @@ type AccessEvent struct {
 // simulated memory accesses (hardware does not recurse).
 type AccessHook func(*Ctx, *AccessEvent)
 
+// Arm sentinels for HookArm.NextTime: ArmAlways requests every access,
+// ArmNever requests none (until the hook re-arms and the machine Rearms).
+const (
+	ArmAlways = uint64(0)
+	ArmNever  = ^uint64(0)
+)
+
+// WatchRange is an address window an armed hook wants to observe regardless
+// of its time-based arming (debug-register watchpoints).
+type WatchRange struct {
+	Addr uint64
+	Len  uint32
+}
+
+// HookArm declares when an armed access hook next needs to see an event, so
+// the machine can skip AccessEvent population and the indirect call for
+// accesses no hook cares about. NextTime(core) returns the core-local cycle
+// at or after which the hook wants the next access (ArmAlways / ArmNever);
+// Ranges returns address windows that must always be delivered. Either field
+// may be nil; a HookArm with both nil is an always-on hook. Hooks whose
+// arming state changes outside a delivered access (Start/Stop, SetAll) must
+// call Machine.Rearm; after every delivered dispatch the machine re-reads the
+// dispatching core's arm times itself.
+type HookArm struct {
+	NextTime func(core int) uint64
+	Ranges   func() []WatchRange
+}
+
 // WorkHook observes compute cycles attributed to a function (used by the
 // OProfile baseline for cycle accounting).
 type WorkHook func(c *Ctx, pc sym.PC, cycles uint64)
@@ -81,6 +110,11 @@ type Core struct {
 	idle    uint64
 	retired uint64 // accesses completed
 	inHook  bool
+	// hookArm is the earliest core-local cycle any armed access hook wants
+	// the next access delivered at (ArmNever when no hook is armed). The
+	// access hot path compares the clock against it instead of calling into
+	// every hook.
+	hookArm uint64
 	rng     *rand.Rand
 	// ev is scratch space for hook dispatch. Hooks receive a pointer into it
 	// for the duration of the call only; reusing it keeps the per-access hot
@@ -182,6 +216,20 @@ type eventWheel struct {
 	seq    uint64
 	now    uint64 // time of the most recently dispatched event
 
+	// next is the bypass slot: the single earliest pending event, held
+	// outside the heap. The dominant scheduling pattern is a task spawning
+	// its own continuation (consecutive same-core tasks), which without the
+	// slot costs a heap push plus a heap pop per task; with it, the
+	// continuation drops into the slot and is popped back out untouched.
+	// Invariant: when hasNext is set, next is less (by (t, seq)) than every
+	// heap entry, so pop order is exactly the reference heap order.
+	next    event
+	hasNext bool
+
+	// reference disables the bypass slot (every event goes through the
+	// heap), for the optimized-vs-reference equivalence suite.
+	reference bool
+
 	// Window boundary ticks: winFn fires at every multiple of winLen before
 	// any event at or past that boundary is dispatched (see SetWindowTicks).
 	winLen  uint64
@@ -192,7 +240,70 @@ type eventWheel struct {
 // schedule queues fn for core at absolute time t.
 func (w *eventWheel) schedule(t uint64, core int, fn TaskFunc) {
 	w.seq++
-	w.events.push(event{t: t, seq: w.seq, core: core, fn: fn})
+	e := event{t: t, seq: w.seq, core: core, fn: fn}
+	if w.reference {
+		w.events.push(e)
+		return
+	}
+	if w.hasNext {
+		if e.less(w.next) {
+			// The newcomer is the new minimum; demote the old slot holder.
+			w.events.push(w.next)
+			w.next = e
+		} else {
+			w.events.push(e)
+		}
+		return
+	}
+	if len(w.events) == 0 || e.less(w.events[0]) {
+		w.next, w.hasNext = e, true
+		return
+	}
+	w.events.push(e)
+}
+
+// pending returns the number of queued events, bypass slot included.
+func (w *eventWheel) pending() int {
+	n := len(w.events)
+	if w.hasNext {
+		n++
+	}
+	return n
+}
+
+// peekTime returns the earliest pending event time.
+func (w *eventWheel) peekTime() (uint64, bool) {
+	if w.hasNext {
+		return w.next.t, true
+	}
+	if len(w.events) > 0 {
+		return w.events[0].t, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the earliest pending event. The slot, when
+// occupied, is always the minimum (schedule maintains that invariant).
+func (w *eventWheel) pop() event {
+	if w.hasNext {
+		e := w.next
+		w.next = event{}
+		w.hasNext = false
+		return e
+	}
+	return w.events.pop()
+}
+
+// setReference switches the wheel between bypass-slot and pure-heap
+// scheduling. Enabling reference mode drains the slot into the heap so no
+// pending event is lost.
+func (w *eventWheel) setReference(on bool) {
+	w.reference = on
+	if on && w.hasNext {
+		w.events.push(w.next)
+		w.next = event{}
+		w.hasNext = false
+	}
 }
 
 // setWindowTicks installs or clears the periodic boundary callback.
@@ -235,12 +346,31 @@ type Machine struct {
 	shard int
 
 	accessHooks []AccessHook
+	armers      []HookArm // parallel to accessHooks
+	alwaysOn    int       // access hooks with no arming declaration
+	ranges      []WatchRange
 	workHooks   []WorkHook
+
+	// reference selects the retained pre-optimization dispatch paths: every
+	// access dispatches to every hook, and the event wheel runs pure-heap.
+	// The differential equivalence suite runs both modes and requires
+	// byte-identical output.
+	reference bool
 
 	// Overhead tallies profiling costs by category; Table 6.9 reports the
 	// breakdown. Categories used: "interrupt", "memory", "communication".
 	Overhead map[string]uint64
 }
+
+// defaultReference, when set, makes every subsequently built Machine start in
+// reference mode (see SetReference). It exists so harnesses that build
+// machines deep inside other packages (the experiment engine) can select the
+// reference path without threading a flag through every constructor.
+var defaultReference atomic.Bool
+
+// SetDefaultReference selects the dispatch mode of machines built after the
+// call. It does not affect already-built machines.
+func SetDefaultReference(on bool) { defaultReference.Store(on) }
 
 // New builds a machine.
 func New(cfg Config) *Machine {
@@ -264,11 +394,29 @@ func New(cfg Config) *Machine {
 	m.cores = make([]*Core, n)
 	m.ctxs = make([]Ctx, n)
 	for i := range m.cores {
-		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
+		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), hookArm: ArmNever, rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
 		m.ctxs[i] = Ctx{M: m, Core: m.cores[i]}
+	}
+	if defaultReference.Load() {
+		m.SetReference(true)
 	}
 	return m
 }
+
+// SetReference switches the machine (and its hierarchy and event wheel)
+// between the optimized hot paths and the retained reference paths. Both
+// produce byte-identical simulations; reference mode exists so the
+// equivalence suite and benchmarks can prove and measure that. It is runtime
+// state, not configuration: it must never influence results.
+func (m *Machine) SetReference(on bool) {
+	m.reference = on
+	m.wheel.setReference(on)
+	m.Hier.SetReference(on)
+	m.Rearm()
+}
+
+// Reference reports whether the machine runs the reference paths.
+func (m *Machine) Reference() bool { return m.reference }
 
 // NumCores returns the number of cores.
 func (m *Machine) NumCores() int { return len(m.cores) }
@@ -306,11 +454,87 @@ func (m *Machine) MaxCoreTime() uint64 {
 	return mx
 }
 
-// AddAccessHook registers a hook over all memory accesses.
-func (m *Machine) AddAccessHook(h AccessHook) { m.accessHooks = append(m.accessHooks, h) }
+// AddAccessHook registers an always-on hook over all memory accesses.
+func (m *Machine) AddAccessHook(h AccessHook) { m.AddArmedAccessHook(h, HookArm{}) }
+
+// AddArmedAccessHook registers an access hook together with its arming
+// declaration. When every registered hook is armed, accesses before the
+// earliest arm time (and outside every watch range) skip hook dispatch
+// entirely — no AccessEvent population, no indirect calls — which is the
+// sampling hardware's actual behavior: untagged accesses cost nothing.
+// Dispatch order is registration order, and when any access is delivered it
+// is delivered to all hooks (each filters internally), so armed dispatch is
+// observationally identical to always-on dispatch.
+func (m *Machine) AddArmedAccessHook(h AccessHook, arm HookArm) {
+	m.accessHooks = append(m.accessHooks, h)
+	m.armers = append(m.armers, arm)
+	if arm.NextTime == nil && arm.Ranges == nil {
+		m.alwaysOn++
+	}
+	m.Rearm()
+}
 
 // AddWorkHook registers a hook over compute-cycle charging.
-func (m *Machine) AddWorkHook(h WorkHook) { m.workHooks = append(m.workHooks, h) }
+func (m *Machine) AddWorkHook(h WorkHook) {
+	m.workHooks = append(m.workHooks, h)
+	m.Rearm()
+}
+
+// Rearm recomputes the per-core arm times and active watch ranges from every
+// registered hook's arming declaration. Hooks call it whenever their arming
+// state changes outside a delivered access (Start/Stop, watchpoint installs).
+func (m *Machine) Rearm() {
+	m.ranges = m.ranges[:0]
+	for _, a := range m.armers {
+		if a.Ranges == nil {
+			continue
+		}
+		m.ranges = append(m.ranges, a.Ranges()...)
+	}
+	for _, c := range m.cores {
+		m.rearmCore(c)
+	}
+}
+
+// rearmCore recomputes one core's arm time: the minimum over every armed
+// hook's next-access deadline. In reference mode (or with any always-on hook
+// registered) the core is permanently armed.
+func (m *Machine) rearmCore(c *Core) {
+	if m.reference {
+		// Reference dispatch is the pre-optimization gate: dispatch on every
+		// access whenever any hook is registered.
+		if len(m.accessHooks) > 0 || len(m.workHooks) > 0 {
+			c.hookArm = ArmAlways
+		} else {
+			c.hookArm = ArmNever
+		}
+		return
+	}
+	if m.alwaysOn > 0 {
+		c.hookArm = ArmAlways
+		return
+	}
+	arm := ArmNever
+	for _, a := range m.armers {
+		if a.NextTime == nil {
+			continue
+		}
+		if t := a.NextTime(c.ID); t < arm {
+			arm = t
+		}
+	}
+	c.hookArm = arm
+}
+
+// rangeHit reports whether [addr, addr+size) overlaps any active watch range.
+func (m *Machine) rangeHit(addr uint64, size uint32) bool {
+	for _, r := range m.ranges {
+		if addr < r.Addr+uint64(r.Len) && r.Addr < addr+uint64(size) {
+			return true
+		}
+	}
+	return false
+}
 
 // SetWindowTicks installs a periodic boundary callback: fn fires once per
 // multiple of length cycles, in order, before any event scheduled at or past
@@ -334,7 +558,7 @@ func (m *Machine) Schedule(core int, t uint64, fn TaskFunc) {
 }
 
 // Pending returns the number of queued events.
-func (m *Machine) Pending() int { return len(m.wheel.events) }
+func (m *Machine) Pending() int { return m.wheel.pending() }
 
 // Run dispatches events in time order until the queue is empty or the next
 // event is scheduled after `until`. It returns the number of tasks run.
@@ -346,9 +570,9 @@ func (m *Machine) Pending() int { return len(m.wheel.events) }
 func (m *Machine) Run(until uint64) int {
 	n := 0
 	w := &m.wheel
-	for len(w.events) > 0 {
-		t := w.events[0].t
-		if t > until {
+	for {
+		t, ok := w.peekTime()
+		if !ok || t > until {
 			break
 		}
 		// Fire window boundaries the next event is about to cross; the gate
@@ -358,7 +582,7 @@ func (m *Machine) Run(until uint64) int {
 		if m.group != nil {
 			m.group.gate(m.shard, t)
 		}
-		ev := w.events.pop()
+		ev := w.pop()
 		core := m.cores[ev.core]
 		if core.now < ev.t {
 			core.idle += ev.t - core.now
@@ -437,11 +661,33 @@ func (c *Ctx) access(addr uint64, size uint32, write bool) {
 		res := m.Hier.Access(core.ID, cur, write)
 		core.now += uint64(res.Latency)
 		core.retired++
-		if !core.inHook && (len(m.accessHooks) > 0 || len(m.workHooks) > 0) {
-			c.dispatchHooks(cur, uint32(n), write, res)
+		if !core.inHook {
+			// Armed dispatch: deliver only when some hook's arm time has
+			// arrived (compared against the same post-access clock the hooks
+			// themselves gate on) or a watch range overlaps. Undelivered
+			// accesses still feed always-on work hooks — those observe every
+			// access by contract.
+			if core.now >= core.hookArm || (len(m.ranges) > 0 && m.rangeHit(cur, uint32(n))) {
+				c.dispatchHooks(cur, uint32(n), write, res)
+				m.rearmCore(core)
+			} else if len(m.workHooks) > 0 {
+				c.dispatchWork(res)
+			}
 		}
 		cur += n
 	}
+}
+
+// dispatchWork notifies work hooks about one access whose event no armed
+// access hook asked for.
+func (c *Ctx) dispatchWork(res cache.Result) {
+	core := c.Core
+	pc := core.Fn()
+	core.inHook = true
+	for _, h := range c.M.workHooks {
+		h(c, pc, uint64(res.Latency))
+	}
+	core.inHook = false
 }
 
 // dispatchHooks notifies access and work hooks about one completed line

@@ -24,8 +24,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store is a disk-backed content-addressed object store. All methods are
@@ -34,7 +37,16 @@ import (
 type Store struct {
 	dir string
 
+	// maxBytes bounds the resident file bytes (0 = unbounded). When a Put
+	// pushes the store past the budget, a sweep deletes the oldest objects
+	// (by file mtime) until the store fits again. Deleting is always safe:
+	// entries are immutable and re-derivable, so a swept profile simply
+	// re-simulates on its next miss.
+	maxBytes int64
+	sweepMu  sync.Mutex // one sweeper at a time
+
 	entries  atomic.Int64
+	resident atomic.Int64 // file bytes on disk (headers + bodies)
 	hits     atomic.Int64
 	misses   atomic.Int64
 	puts     atomic.Int64
@@ -42,19 +54,28 @@ type Store struct {
 	corrupt  atomic.Int64 // checksum/length failures dropped on Get
 	bytesIn  atomic.Int64 // body bytes written
 	bytesOut atomic.Int64 // body bytes served
+
+	sweeps       atomic.Int64 // over-budget sweep passes
+	sweptObjects atomic.Int64 // objects deleted by sweeps
+	sweptBytes   atomic.Int64 // file bytes reclaimed by sweeps
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Dir          string `json:"dir"`
-	Entries      int64  `json:"entries"`
-	Hits         int64  `json:"hits"`
-	Misses       int64  `json:"misses"`
-	Puts         int64  `json:"puts"`
-	Rejected     int64  `json:"write_once_rejected"`
-	Corrupt      int64  `json:"corrupt_dropped"`
-	BytesWritten int64  `json:"bytes_written"`
-	BytesRead    int64  `json:"bytes_read"`
+	Dir           string `json:"dir"`
+	Entries       int64  `json:"entries"`
+	Hits          int64  `json:"hits"`
+	Misses        int64  `json:"misses"`
+	Puts          int64  `json:"puts"`
+	Rejected      int64  `json:"write_once_rejected"`
+	Corrupt       int64  `json:"corrupt_dropped"`
+	BytesWritten  int64  `json:"bytes_written"`
+	BytesRead     int64  `json:"bytes_read"`
+	MaxBytes      int64  `json:"max_bytes"`
+	BytesResident int64  `json:"bytes_resident"`
+	Sweeps        int64  `json:"sweeps"`
+	SweptObjects  int64  `json:"swept_objects"`
+	SweptBytes    int64  `json:"swept_bytes"`
 }
 
 // header is the first line of every object file. Len and SHA256 cover the
@@ -87,7 +108,7 @@ func Open(dir string) (*Store, error) {
 	os.Remove(probe)
 
 	s := &Store{dir: dir}
-	var n int64
+	var n, bytes int64
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
@@ -97,13 +118,78 @@ func Open(dir string) (*Store, error) {
 			return nil
 		}
 		n++
+		if info, err := d.Info(); err == nil {
+			bytes += info.Size()
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
 	}
 	s.entries.Store(n)
+	s.resident.Store(bytes)
 	return s, nil
+}
+
+// SetMaxBytes bounds the store's resident file bytes; 0 removes the bound.
+// A store already over the new budget sweeps immediately, so a restarted
+// daemon with a tightened -store-max-bytes converges at startup rather
+// than on its first Put.
+func (s *Store) SetMaxBytes(n int64) {
+	s.maxBytes = n
+	s.maybeSweep("")
+}
+
+// maybeSweep deletes the oldest objects (by file mtime, path as the tie
+// break) until the store fits its byte budget again. keep, when non-empty,
+// is the object the caller just linked into place: the newest entry is
+// never the right eviction choice, and protecting it keeps a single
+// over-budget object from thrashing write/sweep/write.
+func (s *Store) maybeSweep(keep string) {
+	if s.maxBytes <= 0 || s.resident.Load() <= s.maxBytes {
+		return
+	}
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.resident.Load() <= s.maxBytes {
+		return // a concurrent sweeper already got us under budget
+	}
+	type obj struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var objs []obj
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), tmpPrefix) {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			objs = append(objs, obj{path, info.Size(), info.ModTime()})
+		}
+		return nil
+	})
+	sort.Slice(objs, func(i, j int) bool {
+		if !objs[i].mtime.Equal(objs[j].mtime) {
+			return objs[i].mtime.Before(objs[j].mtime)
+		}
+		return objs[i].path < objs[j].path
+	})
+	s.sweeps.Add(1)
+	for _, o := range objs {
+		if s.resident.Load() <= s.maxBytes {
+			break
+		}
+		if o.path == keep {
+			continue
+		}
+		if os.Remove(o.path) == nil {
+			s.entries.Add(-1)
+			s.resident.Add(-o.size)
+			s.sweptObjects.Add(1)
+			s.sweptBytes.Add(o.size)
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -138,6 +224,7 @@ func (s *Store) Get(address string) ([]byte, bool) {
 		s.misses.Add(1)
 		if os.Remove(p) == nil {
 			s.entries.Add(-1)
+			s.resident.Add(-int64(len(raw)))
 		}
 		return nil, false
 	}
@@ -224,20 +311,27 @@ func (s *Store) Put(address string, body []byte) error {
 	s.puts.Add(1)
 	s.entries.Add(1)
 	s.bytesIn.Add(int64(len(body)))
+	s.resident.Add(int64(len(hdr)) + 1 + int64(len(body)))
+	s.maybeSweep(p)
 	return nil
 }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Dir:          s.dir,
-		Entries:      s.entries.Load(),
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Puts:         s.puts.Load(),
-		Rejected:     s.rejected.Load(),
-		Corrupt:      s.corrupt.Load(),
-		BytesWritten: s.bytesIn.Load(),
-		BytesRead:    s.bytesOut.Load(),
+		Dir:           s.dir,
+		Entries:       s.entries.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Puts:          s.puts.Load(),
+		Rejected:      s.rejected.Load(),
+		Corrupt:       s.corrupt.Load(),
+		BytesWritten:  s.bytesIn.Load(),
+		BytesRead:     s.bytesOut.Load(),
+		MaxBytes:      s.maxBytes,
+		BytesResident: s.resident.Load(),
+		Sweeps:        s.sweeps.Load(),
+		SweptObjects:  s.sweptObjects.Load(),
+		SweptBytes:    s.sweptBytes.Load(),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func open(t *testing.T, dir string) *Store {
@@ -246,6 +247,114 @@ func TestConcurrentGetPut(t *testing.T) {
 		if !ok || !bytes.Equal(got, body(k)) {
 			t.Errorf("final Get(key-%d) = %q, %v", k, got, ok)
 		}
+	}
+}
+
+// TestSweepOldestFirst: tightening the byte budget evicts the oldest
+// objects (by mtime) and only as many as it takes to fit; the newest
+// survive and the counters account exactly what was reclaimed.
+func TestSweepOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	body := bytes.Repeat([]byte("x"), 1024)
+	addrs := []string{"a", "b", "c", "d", "e"}
+	var sizes []int64
+	for i, addr := range addrs {
+		if err := s.Put(addr, body); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes, oldest first: put order is age order.
+		when := time.Now().Add(time.Duration(i-len(addrs)) * time.Hour)
+		if err := os.Chtimes(s.path(addr), when, when); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(s.path(addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	// A budget that fits exactly the two newest objects.
+	s.SetMaxBytes(sizes[3] + sizes[4])
+	for _, addr := range addrs[:3] {
+		if _, err := os.Stat(s.path(addr)); !os.IsNotExist(err) {
+			t.Errorf("old object %q survived the sweep", addr)
+		}
+	}
+	for _, addr := range addrs[3:] {
+		if got, ok := s.Get(addr); !ok || !bytes.Equal(got, body) {
+			t.Errorf("new object %q swept or corrupted", addr)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.SweptObjects != 3 || st.Sweeps != 1 {
+		t.Errorf("stats after sweep: %+v; want 2 entries, 3 swept in 1 pass", st)
+	}
+	if want := sizes[0] + sizes[1] + sizes[2]; st.SweptBytes != want {
+		t.Errorf("swept bytes = %d, want %d", st.SweptBytes, want)
+	}
+	if st.BytesResident != sizes[3]+sizes[4] {
+		t.Errorf("resident bytes = %d, want %d", st.BytesResident, sizes[3]+sizes[4])
+	}
+	// A swept entry is a plain miss: the caller re-simulates and repairs it.
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("swept object served")
+	}
+	if err := s.Put("a", body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepOnPutProtectsTheNewWrite: a Put that lands over budget sweeps
+// older objects, never the object it just linked — otherwise one large
+// write would thrash write/sweep/write forever.
+func TestSweepOnPutProtectsTheNewWrite(t *testing.T) {
+	s := open(t, t.TempDir())
+	body := bytes.Repeat([]byte("y"), 2048)
+	if err := s.Put("old", body); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(s.path("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age the first object and budget for exactly one object.
+	when := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.path("old"), when, when); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMaxBytes(info.Size())
+	if err := s.Put("new", body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("new"); !ok {
+		t.Fatal("the just-written object was swept")
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("the old object survived an over-budget put")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.SweptObjects != 1 {
+		t.Errorf("stats after put-triggered sweep: %+v", st)
+	}
+}
+
+// TestRestartCountsResidentBytes: Open recomputes the resident byte total
+// from disk, so a restarted daemon's budget math starts correct.
+func TestRestartCountsResidentBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("z"), 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Stats().BytesResident
+	if want == 0 {
+		t.Fatal("resident bytes not tracked on Put")
+	}
+	s2 := open(t, dir)
+	if got := s2.Stats().BytesResident; got != want {
+		t.Errorf("restarted resident bytes = %d, want %d", got, want)
 	}
 }
 
