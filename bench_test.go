@@ -327,7 +327,7 @@ func BenchmarkRemoteFreeUnbatched(b *testing.B) { benchRemoteFree(b, 1) }
 // --- ablation: path construction from histories (time-merge is the default;
 // pairwise adds link evidence and quadratically more histories) ---
 
-func makeHistories(typ *mem.Type, n int, pairwise bool) []*core.History {
+func makeHistories(typ *core.TypeDesc, n int, pairwise bool) []*core.History {
 	var out []*core.History
 	fns := []sym.PC{sym.Intern("rx"), sym.Intern("tx"), sym.Intern("free_path")}
 	for i := 0; i < n; i++ {
@@ -350,8 +350,7 @@ func makeHistories(typ *mem.Type, n int, pairwise bool) []*core.History {
 }
 
 func benchPathTraces(b *testing.B, pairwise bool) {
-	a := mem.New(mem.DefaultConfig(), 2, lockstat.NewRegistry())
-	typ := a.RegisterType("bench", 32, "")
+	typ := &core.TypeDesc{Name: "bench", Size: 32, ObjSize: 32}
 	hists := makeHistories(typ, 256, pairwise)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -24,6 +24,14 @@
 //	dprof -workload falseshare -padded -diff broken.json       # rank what the fix changed
 //	dprof -workload falseshare -cpuprofile cpu.pprof -memprofile heap.pprof
 //	dprof -experiment table6.1,table6.2 -parallel 2   # paper tables, via the engine
+//
+// Real-hardware profiles ingest through -input and export through -pprof:
+//
+//	dprof -input mem.perf.data                        # all views over a perf capture
+//	dprof -input mem.perf.data -json > real.json      # same document format as -json
+//	dprof -workload falseshare -diff real.json        # diff sim vs real
+//	dprof -input mem.perf.data -pprof out.pb.gz       # go tool pprof -top out.pb.gz
+//	dprof -workload memcached -pprof sim.pb.gz        # sim profile as pprof
 package main
 
 import (
@@ -34,17 +42,21 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
+	"time"
 
 	_ "dprof/internal/app/all" // register every workload
 	"dprof/internal/app/workload"
 	"dprof/internal/cache"
 	"dprof/internal/core"
 	"dprof/internal/exp"
+	"dprof/internal/perfin"
+	"dprof/internal/pprofout"
 )
 
 func main() {
@@ -74,6 +86,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		parallel     = fs.Int("parallel", 1, "experiment mode: experiments to run concurrently (0 = all cores)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of this run to the given file (go tool pprof)")
 		memProfile   = fs.String("memprofile", "", "write a heap profile at exit to the given file (go tool pprof)")
+		inputPath    = fs.String("input", "", "ingest a perf.data file (perf mem record) instead of running a workload; views, -type, -json, -diff, and -pprof apply to the ingested profile")
+		pprofOut     = fs.String("pprof", "", "also export the profile (simulated or ingested) as a gzipped pprof protobuf to the given file")
 	)
 	optValues := workload.RegisterFlags(fs)
 	fs.Usage = func() {
@@ -119,6 +133,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *list {
 		writeWorkloadList(stdout)
 		return 0
+	}
+
+	// Ingestion mode: the profile comes from a perf.data capture instead of
+	// a simulated workload; the analysis stack downstream is identical.
+	if *inputPath != "" {
+		return runIngest(stdout, stderr, *inputPath, *views, *typeName, *jsonOut, *diffPath, *pprofOut)
 	}
 
 	// Experiment mode delegates to the engine (same results as dprof-bench).
@@ -202,6 +222,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *jsonOut || *diffPath != "" {
 		s.Run()
+		if !writePprof(stderr, *pprofOut, s.Profiler(), "dprof: workload "+w.Name()) {
+			return 1
+		}
 		canon, err := workload.CanonicalOptions(w, setOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "dprof: %v\n", err) // unreachable: setOpts already validated
@@ -224,6 +247,120 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	s.WriteReport(stdout)
 	writeWindows(stdout, s.Windows())
+	if !writePprof(stderr, *pprofOut, s.Profiler(), "dprof: workload "+w.Name()) {
+		return 1
+	}
+	return 0
+}
+
+// writePprof exports a profile source as a gzipped pprof protobuf when a
+// path was requested. Returns false on failure (already reported).
+func writePprof(stderr io.Writer, path string, src core.ProfileSource, comment string) bool {
+	if path == "" {
+		return true
+	}
+	gz, err := pprofout.EncodeSource(src, pprofout.Meta{
+		TimeNanos: time.Now().UnixNano(),
+		Comments:  []string{comment},
+	})
+	if err == nil {
+		err = os.WriteFile(path, gz, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: writing pprof export: %v\n", err)
+		return false
+	}
+	return true
+}
+
+// runIngest parses a perf.data capture and serves the same surfaces as a
+// simulated run: text views, -json documents, -diff, and -pprof export.
+func runIngest(stdout, stderr io.Writer, path, views, typeName string, jsonOut bool, diffPath, pprofPath string) int {
+	p, err := perfin.ParseFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %v\n", err)
+		return 2
+	}
+
+	var viewList []string
+	for _, v := range strings.Split(views, ",") {
+		if v = strings.TrimSpace(v); v == "" {
+			continue
+		} else if !slices.Contains(core.KnownViews, v) {
+			fmt.Fprintf(stderr, "dprof: %v\n", &core.UnknownViewError{Name: v})
+			return 2
+		}
+		viewList = append(viewList, v)
+	}
+	if diffPath != "" && !slices.Contains(viewList, "dataprofile") {
+		viewList = append([]string{"dataprofile"}, viewList...)
+	}
+
+	target := p.DefaultTarget()
+	if typeName != "" {
+		if target = p.Source.TypeByName(typeName); target == nil {
+			fmt.Fprintf(stderr, "dprof: type %q not in %s (mapped types: %s)\n",
+				typeName, path, strings.Join(p.Types.Names(), ", "))
+			return 2
+		}
+	}
+
+	if !writePprof(stderr, pprofPath, p.Source, "dprof: ingested "+filepath.Base(path)) {
+		return 1
+	}
+
+	if jsonOut || diffPath != "" {
+		doc, err := core.BuildSourceDocument(p.Source, viewList, "perf:"+filepath.Base(path), map[string]string{}, target)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 1
+		}
+		doc.Summary = fmt.Sprintf("ingested %s: %d samples over %d mappings",
+			filepath.Base(path), p.Stats.SamplesKept, p.Stats.Mappings)
+		doc.Stamp(core.SourcePerf, time.Now())
+		if diffPath != "" {
+			return runDiff(stdout, stderr, doc, diffPath, jsonOut)
+		}
+		if err := json.NewEncoder(stdout).Encode(doc); err != nil {
+			fmt.Fprintf(stderr, "dprof: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "ingested %s\n%s\n\n", path, p.Stats)
+	for _, v := range viewList {
+		switch v {
+		case "dataprofile":
+			fmt.Fprintln(stdout, "== data profile view ==")
+			fmt.Fprintln(stdout, core.DataProfileOf(p.Source).String())
+		case "workingset":
+			fmt.Fprintln(stdout, "== working set view ==")
+			fmt.Fprintln(stdout, core.WorkingSetOf(p.Source).String())
+			fmt.Fprintln(stdout, core.CacheResidencyOf(p.Source, core.DefaultReplayObjects).String())
+		case "missclass":
+			fmt.Fprintln(stdout, "== miss classification view ==")
+			fmt.Fprintln(stdout, core.RenderMissClassification(core.MissClassificationOf(p.Source)))
+		case "pathtrace":
+			if target == nil {
+				continue
+			}
+			fmt.Fprintln(stdout, "== path traces ==")
+			for _, tr := range p.Source.PathTraces(target) {
+				fmt.Fprintln(stdout, tr.String())
+			}
+		case "dataflow":
+			if target == nil {
+				continue
+			}
+			fmt.Fprintln(stdout, "== data flow view ==")
+			g := core.DataFlowOf(p.Source, target)
+			fmt.Fprintln(stdout, g.Render())
+			for _, e := range g.CrossCPUEdges() {
+				fmt.Fprintf(stdout, "cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+			}
+		}
+	}
 	return 0
 }
 
@@ -235,9 +372,11 @@ func runDiff(stdout, stderr io.Writer, doc *core.ProfileDocument, path string, j
 		fmt.Fprintf(stderr, "dprof: %v\n", err)
 		return 2
 	}
-	var saved core.ProfileDocument
-	if err := json.Unmarshal(raw, &saved); err != nil {
-		fmt.Fprintf(stderr, "dprof: parse %s: %v\n", path, err)
+	// ParseDocument validates the schema version: a document written by a
+	// newer dprof fails here with the upgrade hint, not with a shape error.
+	saved, err := core.ParseDocument(raw)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprof: %s: %v\n", path, err)
 		return 2
 	}
 	rawA, err := saved.DataProfileExport()

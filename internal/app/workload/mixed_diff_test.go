@@ -1,0 +1,137 @@
+package workload_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dprof/internal/core"
+	"dprof/internal/perfin"
+)
+
+// mixedDiffSides builds the two halves of a mixed-source diff: a simulated
+// falseshare session's data profile export and an ingested perf.data
+// capture's, both through the shared document path.
+func mixedDiffSides(t *testing.T) (sim, ingested []byte) {
+	t.Helper()
+	s := runDefaultSession(t, "falseshare", 0)
+	simDoc, err := core.BuildProfileDocument(s, []string{"dataprofile"}, "falseshare", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := perfin.Parse(perfin.FixtureBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfDoc, err := core.BuildSourceDocument(p.Source, []string{"dataprofile"}, "perf:fixture", nil, p.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRaw, err := simDoc.DataProfileExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfRaw, err := perfDoc.DataProfileExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simRaw, perfRaw
+}
+
+// TestMixedSourceDiff diffs a simulated profile against an ingested
+// perf.data profile. The two sides share no type names, which is the
+// stress case for the diff: every row exists on exactly one side, and a
+// type carrying real miss pressure must surface with a positive score —
+// not a zero poisoned by the missing side.
+func TestMixedSourceDiff(t *testing.T) {
+	sim, ingested := mixedDiffSides(t)
+	d, err := core.DiffExports(sim, ingested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("mixed-source diff produced no rows")
+	}
+	types := map[string]core.DiffRow{}
+	for _, r := range d.Rows {
+		types[r.Type] = r
+		if math.IsNaN(r.Score) || math.IsInf(r.Score, 0) {
+			t.Errorf("type %s: non-finite score %v", r.Type, r.Score)
+		}
+		if math.IsNaN(r.WSGrowth) || math.IsInf(r.WSGrowth, 0) {
+			t.Errorf("type %s: non-finite growth %v", r.Type, r.WSGrowth)
+		}
+	}
+	// Both sides' hot types appear in the union.
+	ring, ok := types["ring_buffer"]
+	if !ok {
+		t.Fatal("ingested side's ring_buffer missing from the diff")
+	}
+	if _, ok := types["pkt_stat"]; !ok {
+		t.Fatalf("simulated side's pkt_stat missing from the diff: %v", types)
+	}
+	// ring_buffer exists only on the ingested side and carries 60% of its
+	// misses; its score must reflect that pressure, not collapse to zero.
+	if ring.MissPressureB <= 0 || ring.Score <= 0 {
+		t.Fatalf("one-sided hot type zero-poisoned: pressure=%v score=%v", ring.MissPressureB, ring.Score)
+	}
+	// Any row with miss pressure on either side must have a positive score.
+	for _, r := range d.Rows {
+		if (r.MissPressureA > 0 || r.MissPressureB > 0) && r.Score <= 0 {
+			t.Errorf("type %s: pressure (%v, %v) but score 0", r.Type, r.MissPressureA, r.MissPressureB)
+		}
+	}
+}
+
+// TestMixedSourceDiffRankStability: the ranking is a pure function of the
+// two exports — repeated diffs of the same pair order identically, and the
+// reverse diff ranks the same types (scores are symmetric magnitudes).
+func TestMixedSourceDiffRankStability(t *testing.T) {
+	sim, ingested := mixedDiffSides(t)
+	first, err := core.DiffExports(sim, ingested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := func(d *core.ProfileDiff) []string {
+		out := make([]string, len(d.Rows))
+		for i, r := range d.Rows {
+			out[i] = r.Type
+		}
+		return out
+	}
+	for i := 0; i < 3; i++ {
+		again, err := core.DiffExports(sim, ingested)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rank(first), rank(again)) {
+			t.Fatalf("rank changed across identical diffs:\n%v\n%v", rank(first), rank(again))
+		}
+	}
+	reversed, err := core.DiffExports(ingested, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, rev := map[string]float64{}, map[string]float64{}
+	for _, r := range first.Rows {
+		fwd[r.Type] = r.Score
+	}
+	for _, r := range reversed.Rows {
+		rev[r.Type] = r.Score
+	}
+	for name, score := range fwd {
+		if got := rev[name]; math.Abs(got-score) > 1e-9 {
+			t.Errorf("type %s: score %v forward, %v reversed", name, score, got)
+		}
+	}
+	// Self-diff stays all-zero: no phantom deltas from the source change.
+	self, err := core.DiffExports(ingested, ingested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range self.Rows {
+		if r.Score != 0 {
+			t.Errorf("self-diff type %s has score %v", r.Type, r.Score)
+		}
+	}
+}

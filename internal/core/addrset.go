@@ -2,15 +2,12 @@ package core
 
 import (
 	"sort"
-
-	"dprof/internal/mem"
-	"dprof/internal/sim"
 )
 
 // ObjRecord is one allocation in the address set: the address and type of an
 // object plus its lifetime (§4, "address set").
 type ObjRecord struct {
-	Type      *mem.Type
+	Type      *TypeDesc
 	Addr      uint64
 	AllocAt   uint64
 	FreeAt    uint64 // 0 while live
@@ -51,7 +48,7 @@ type AddressSet struct {
 }
 
 type typeUsageEntry struct {
-	t *mem.Type
+	t *TypeDesc
 	u *typeUsage
 }
 
@@ -61,7 +58,7 @@ func NewAddressSet() *AddressSet {
 }
 
 // AddStatic records a static (always-live) object.
-func (as *AddressSet) AddStatic(t *mem.Type, addr uint64) {
+func (as *AddressSet) AddStatic(t *TypeDesc, addr uint64) {
 	as.objects = append(as.objects, ObjRecord{Type: t, Addr: addr, AllocCore: -1})
 	as.liveIdx.set(addr, len(as.objects)-1)
 	u := as.usageFor(t)
@@ -71,7 +68,7 @@ func (as *AddressSet) AddStatic(t *mem.Type, addr uint64) {
 	}
 }
 
-func (as *AddressSet) usageFor(t *mem.Type) *typeUsage {
+func (as *AddressSet) usageFor(t *TypeDesc) *typeUsage {
 	s := as.usage
 	for i := range s {
 		if s[i].t == t {
@@ -107,9 +104,10 @@ func (u *typeUsage) integralAt(now uint64) uint64 {
 	return u.liveInt
 }
 
-// OnAlloc records an allocation (wired to the allocator's hook).
-func (as *AddressSet) OnAlloc(c *sim.Ctx, t *mem.Type, addr uint64) {
-	now := c.Now()
+// RecordAlloc records an allocation at time now on the given core. The
+// simulator wires this to the allocator's alloc hook; ingestion records
+// synthetic allocations for observed address regions.
+func (as *AddressSet) RecordAlloc(now uint64, core int32, t *TypeDesc, addr uint64) {
 	if as.start == 0 {
 		as.start = now
 	}
@@ -129,14 +127,13 @@ func (as *AddressSet) OnAlloc(c *sim.Ctx, t *mem.Type, addr uint64) {
 		Type:      t,
 		Addr:      addr,
 		AllocAt:   now,
-		AllocCore: int32(c.Core.ID),
+		AllocCore: core,
 	})
 	as.liveIdx.set(addr, len(as.objects)-1)
 }
 
-// OnFree records a deallocation.
-func (as *AddressSet) OnFree(c *sim.Ctx, t *mem.Type, addr uint64) {
-	now := c.Now()
+// RecordFree records a deallocation at time now.
+func (as *AddressSet) RecordFree(now uint64, t *TypeDesc, addr uint64) {
 	as.end = now
 	u := as.usageFor(t)
 	u.advance(now)
@@ -157,7 +154,7 @@ func (as *AddressSet) Objects() []ObjRecord { return as.objects }
 
 // TypeUsage summarizes one type's footprint.
 type TypeUsage struct {
-	Type      *mem.Type
+	Type      *TypeDesc
 	PeakCount uint64
 	PeakBytes uint64
 	AvgCount  float64
@@ -176,17 +173,17 @@ func (as *AddressSet) Usage() []TypeUsage {
 		tu := TypeUsage{
 			Type:      t,
 			PeakCount: u.peak,
-			PeakBytes: u.peak * t.ObjSize(),
+			PeakBytes: u.peak * t.ObjSize,
 			LiveCount: u.live,
 			Allocs:    u.allocs,
 			Frees:     u.frees,
 		}
 		if span > 0 {
 			tu.AvgCount = float64(u.integralAt(as.end)) / float64(span)
-			tu.AvgBytes = tu.AvgCount * float64(t.ObjSize())
+			tu.AvgBytes = tu.AvgCount * float64(t.ObjSize)
 		} else {
 			tu.AvgCount = float64(u.live)
-			tu.AvgBytes = float64(u.live * t.ObjSize())
+			tu.AvgBytes = float64(u.live * t.ObjSize)
 		}
 		out = append(out, tu)
 	}
@@ -200,7 +197,7 @@ func (as *AddressSet) Usage() []TypeUsage {
 }
 
 // UsageFor returns the footprint summary for one type.
-func (as *AddressSet) UsageFor(t *mem.Type) TypeUsage {
+func (as *AddressSet) UsageFor(t *TypeDesc) TypeUsage {
 	for _, u := range as.Usage() {
 		if u.Type == t {
 			return u

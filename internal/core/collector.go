@@ -115,8 +115,14 @@ func newCollector(p *Profiler) *Collector {
 	}
 }
 
-// Histories returns the collected histories for a type.
+// Histories returns the collected histories for a live allocator type.
 func (col *Collector) Histories(t *mem.Type) []*History { return col.byType[t] }
+
+// HistoriesFor returns the collected histories for a type descriptor,
+// making the Collector a HistorySource for the model layer.
+func (col *Collector) HistoriesFor(d *TypeDesc) []*History {
+	return col.byType[col.prof.memOf(d)]
+}
 
 // AllHistories returns every collected history.
 func (col *Collector) AllHistories() []*History {
@@ -291,7 +297,7 @@ func (col *Collector) onAlloc(c *sim.Ctx, tgt Target, addr uint64) {
 		base:   addr,
 		start:  c.Now(),
 		hist: &History{
-			Type:      tgt.Type,
+			Type:      col.prof.Desc(tgt.Type),
 			Offsets:   append([]uint32(nil), tgt.Offsets...),
 			WatchLen:  col.WatchLen,
 			Set:       tgt.Set,
@@ -370,8 +376,9 @@ func (col *Collector) finishActive(c *sim.Ctx, truncated bool) {
 	if n := len(h.Elems); n > 0 && h.Elems[n-1].Time > h.Lifetime {
 		h.Lifetime = h.Elems[n-1].Time
 	}
-	col.byType[h.Type] = append(col.byType[h.Type], h)
-	cs := col.stats[h.Type]
+	mt := act.target.Type
+	col.byType[mt] = append(col.byType[mt], h)
+	cs := col.stats[mt]
 	cs.Histories++
 	cs.Elements += uint64(len(h.Elems))
 	if truncated {

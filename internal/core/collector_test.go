@@ -262,16 +262,16 @@ func TestProfilerEndToEndViews(t *testing.T) {
 	if rows := p.MissClassification(); len(rows) == 0 {
 		t.Fatal("no miss classification rows")
 	}
-	traces := p.PathTraces(typ)
+	traces := p.PathTraces(p.Desc(typ))
 	if len(traces) == 0 {
 		t.Fatal("no path traces from collected histories")
 	}
 	// Cache must be stable and invalidatable.
-	if len(p.PathTraces(typ)) != len(traces) {
+	if len(p.PathTraces(p.Desc(typ))) != len(traces) {
 		t.Fatal("trace cache unstable")
 	}
 	p.InvalidateTraceCache()
-	if len(p.PathTraces(typ)) != len(traces) {
+	if len(p.PathTraces(p.Desc(typ))) != len(traces) {
 		t.Fatal("rebuild after invalidation differs")
 	}
 }

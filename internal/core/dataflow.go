@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
@@ -32,7 +31,7 @@ type FlowNode struct {
 // of that type's path traces merged on common prefixes, from allocation to
 // free.
 type FlowGraph struct {
-	Type  *mem.Type
+	Type  *TypeDesc
 	Roots []*FlowNode
 
 	// HotLatency is the threshold above which a node renders as "hot"
@@ -42,7 +41,7 @@ type FlowGraph struct {
 
 // BuildDataFlow merges a type's path traces into the data flow graph.
 // Traces sharing a prefix of (function, CPU-change) steps share nodes.
-func BuildDataFlow(t *mem.Type, traces []*PathTrace) *FlowGraph {
+func BuildDataFlow(t *TypeDesc, traces []*PathTrace) *FlowGraph {
 	g := &FlowGraph{Type: t, HotLatency: 100}
 	for _, tr := range traces {
 		nodes := &g.Roots

@@ -5,11 +5,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
-func flowTrace(typ *mem.Type, fns []string, cpus []int8, count uint64) *PathTrace {
+func flowTrace(typ *TypeDesc, fns []string, cpus []int8, count uint64) *PathTrace {
 	tr := &PathTrace{Type: typ, Count: count, Frequency: 1}
 	prev := int8(0)
 	for i, fn := range fns {
@@ -28,7 +27,7 @@ func flowTrace(typ *mem.Type, fns []string, cpus []int8, count uint64) *PathTrac
 
 func TestDataFlowMergesCommonPrefix(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow", 64, "")
+	typ := descOf(a.RegisterType("flow", 64, ""))
 	tr1 := flowTrace(typ, []string{"alloc", "rx", "free"}, nil, 6)
 	tr2 := flowTrace(typ, []string{"alloc", "tx", "free"}, nil, 4)
 	g := BuildDataFlow(typ, []*PathTrace{tr1, tr2})
@@ -50,7 +49,7 @@ func TestDataFlowMergesCommonPrefix(t *testing.T) {
 
 func TestDataFlowCrossCPUEdges(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow2", 64, "")
+	typ := descOf(a.RegisterType("flow2", 64, ""))
 	tr := flowTrace(typ, []string{"enqueue", "dequeue", "free"}, []int8{0, 1, 1}, 3)
 	g := BuildDataFlow(typ, []*PathTrace{tr})
 	edges := g.CrossCPUEdges()
@@ -64,7 +63,7 @@ func TestDataFlowCrossCPUEdges(t *testing.T) {
 
 func TestDataFlowEdgeDeduplication(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow3", 64, "")
+	typ := descOf(a.RegisterType("flow3", 64, ""))
 	// Two traces with the same hop but different prefixes.
 	tr1 := flowTrace(typ, []string{"a", "hop"}, []int8{0, 1}, 2)
 	tr2 := flowTrace(typ, []string{"b", "a", "hop"}, []int8{0, 0, 1}, 5)
@@ -83,7 +82,7 @@ func TestDataFlowEdgeDeduplication(t *testing.T) {
 
 func TestDataFlowRenderMarksTransitionsAndHotNodes(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow4", 64, "")
+	typ := descOf(a.RegisterType("flow4", 64, ""))
 	tr := flowTrace(typ, []string{"local", "remote"}, []int8{0, 1}, 1)
 	tr.Steps[1].HaveStats = true
 	tr.Steps[1].AvgLatency = 200
@@ -99,7 +98,7 @@ func TestDataFlowRenderMarksTransitionsAndHotNodes(t *testing.T) {
 
 func TestDataFlowDOT(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow5", 64, "")
+	typ := descOf(a.RegisterType("flow5", 64, ""))
 	tr := flowTrace(typ, []string{"x", "y"}, []int8{0, 2}, 1)
 	g := BuildDataFlow(typ, []*PathTrace{tr})
 	dot := g.DOT()
@@ -114,7 +113,7 @@ func TestDataFlowDOT(t *testing.T) {
 // summed counts of all traces, and every trace is a root-to-node walk.
 func TestQuickFlowCountConservation(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flowq", 64, "")
+	typ := descOf(a.RegisterType("flowq", 64, ""))
 	fns := []string{"p", "q", "r"}
 	prop := func(shape []uint8) bool {
 		if len(shape) == 0 {

@@ -347,6 +347,12 @@ func (s *WindowSnapshot) UnmarshalJSON(raw []byte) error {
 // either. Every map marshals with sorted keys and every view export is
 // deterministic, so equal sessions produce byte-identical documents.
 type ProfileDocument struct {
+	// SchemaVersion and Provenance are stamped at the writing surfaces
+	// (Stamp); both are omitted when zero, so documents from older builds —
+	// and the golden-locked simulator documents — keep their exact bytes.
+	SchemaVersion int         `json:"schema_version,omitempty"`
+	Provenance    *Provenance `json:"provenance,omitempty"`
+
 	Workload string                     `json:"workload"`
 	Options  map[string]string          `json:"options"`
 	Quick    bool                       `json:"quick"`
@@ -366,26 +372,40 @@ type ProfileDocument struct {
 // canonical options, fidelity); the session supplies everything else. views
 // lists the view names to export, in canonical order.
 func BuildProfileDocument(s *Session, views []string, workloadName string, options map[string]string, quick bool) (*ProfileDocument, error) {
+	doc, err := BuildSourceDocument(s.Profiler(), views, workloadName, options, s.Target())
+	if err != nil {
+		return nil, err
+	}
+	doc.Quick = quick
+	doc.Topology = s.Topology().String()
+	doc.Summary = s.Result().Summary
+	doc.Values = s.Result().Values
+	doc.Windows = s.Windows()
+	return doc, nil
+}
+
+// BuildSourceDocument renders any profile source — a simulator profiler, a
+// merged shard profile, an ingested perf.data capture — as a profile
+// document carrying the requested views. Session-only fields (summary,
+// result values, windows) stay zero; callers with a session use
+// BuildProfileDocument, which fills them on top.
+func BuildSourceDocument(src ProfileSource, views []string, workloadName string, options map[string]string, target *TypeDesc) (*ProfileDocument, error) {
 	doc := &ProfileDocument{
 		Workload: workloadName,
 		Options:  options,
-		Quick:    quick,
-		Topology: s.Topology().String(),
-		Summary:  s.Result().Summary,
-		Values:   s.Result().Values,
+		Topology: src.Topology().String(),
 		Views:    make(map[string]json.RawMessage, len(views)),
 	}
-	if t := s.Target(); t != nil {
-		doc.Target = t.Name
+	if target != nil {
+		doc.Target = target.Name
 	}
 	for _, v := range views {
-		raw, err := ExportView(s.Profiler(), v, s.Target())
+		raw, err := ExportView(src, v, target)
 		if err != nil {
 			return nil, err
 		}
 		doc.Views[v] = raw
 	}
-	doc.Windows = s.Windows()
 	return doc, nil
 }
 

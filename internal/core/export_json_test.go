@@ -92,7 +92,7 @@ func TestEmptyViewsMarshal(t *testing.T) {
 // and stays nil) and re-encode byte-identically.
 func TestWindowSnapshotRoundTrip(t *testing.T) {
 	st := NewSampleTable()
-	typ := testAlloc().RegisterType("rt", 64, "")
+	typ := descOf(testAlloc().RegisterType("rt", 64, ""))
 	st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, true))
 	st.Add(typ, 8, ev("f", 0, cache.L1Hit, 3, false))
 	orig := &WindowSnapshot{

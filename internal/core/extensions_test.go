@@ -48,8 +48,8 @@ func TestOracleCountsDistinctLinesOnce(t *testing.T) {
 
 func TestDiffProfilesFindsGrowth(t *testing.T) {
 	a := testAlloc()
-	grow := a.RegisterType("grower", 128, "")
-	flat := a.RegisterType("flat", 128, "")
+	grow := descOf(a.RegisterType("grower", 128, ""))
+	flat := descOf(a.RegisterType("flat", 128, ""))
 	mk := func(growBytes uint64) *DataProfile {
 		return &DataProfile{Rows: []DataProfileRow{
 			{Type: grow, WorkingSetBytes: growBytes, MissPct: 10, AvgMissLatency: 50},
@@ -83,7 +83,7 @@ func TestDiffProfilesFindsGrowth(t *testing.T) {
 
 func TestDiffProfilesHandlesNewTypes(t *testing.T) {
 	a := testAlloc()
-	neu := a.RegisterType("new_type", 128, "")
+	neu := descOf(a.RegisterType("new_type", 128, ""))
 	d := DiffProfiles(
 		&DataProfile{},
 		&DataProfile{Rows: []DataProfileRow{{Type: neu, WorkingSetBytes: 1 << 20, MissPct: 5}}},
@@ -95,7 +95,7 @@ func TestDiffProfilesHandlesNewTypes(t *testing.T) {
 
 func TestDataProfileJSON(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("jsonable", 128, "a type")
+	typ := descOf(a.RegisterType("jsonable", 128, "a type"))
 	st := NewSampleTable()
 	for i := 0; i < 4; i++ {
 		st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))
@@ -124,7 +124,7 @@ func TestDataProfileJSON(t *testing.T) {
 
 func TestPathTraceJSON(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("trace_json", 64, "")
+	typ := descOf(a.RegisterType("trace_json", 64, ""))
 	tr := &PathTrace{
 		Type: typ, Count: 3, Frequency: 0.5, AvgLifetime: 1000,
 		Steps: []PathStep{{
@@ -146,7 +146,7 @@ func TestPathTraceJSON(t *testing.T) {
 
 func TestFlowGraphJSON(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("flow_json", 64, "")
+	typ := descOf(a.RegisterType("flow_json", 64, ""))
 	g := BuildDataFlow(typ, []*PathTrace{flowTrace(typ, []string{"a", "b"}, []int8{0, 1}, 2)})
 	raw, err := json.Marshal(g)
 	if err != nil {

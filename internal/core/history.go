@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
@@ -21,7 +20,7 @@ type HistElem struct {
 // History is one object access history: every trapped access to the watched
 // offsets of one object, from allocation to free (§5.3).
 type History struct {
-	Type      *mem.Type
+	Type      *TypeDesc
 	Offsets   []uint32 // watched offsets (one, or two when pairwise sampling)
 	WatchLen  uint32   // bytes covered per watchpoint
 	Set       int      // which history set this collection belongs to

@@ -58,13 +58,13 @@ func TestMemcachedDataFlow(t *testing.T) {
 	}
 	t.Logf("collected %d histories (%d pending targets)", len(hs), p.Collector.Pending())
 
-	traces := p.PathTraces(b.K.SkbType)
+	traces := p.PathTraces(p.Desc(b.K.SkbType))
 	if len(traces) == 0 {
 		t.Fatal("no path traces built")
 	}
 	t.Logf("\n%s", traces[0].String())
 
-	g := p.DataFlow(b.K.SkbType)
+	g := p.DataFlow(p.Desc(b.K.SkbType))
 	rendered := g.Render()
 	t.Logf("\n%s", rendered)
 	edges := g.CrossCPUEdges()

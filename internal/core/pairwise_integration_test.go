@@ -22,7 +22,7 @@ func TestPairwiseOnMemcached(t *testing.T) {
 
 	skb := b.K.SkbType
 	p.Sync()
-	offsets := p.Samples.HotOffsets(skb, 8, 4)
+	offsets := p.Samples.HotOffsets(p.Desc(skb), 8, 4)
 	if len(offsets) < 2 {
 		t.Fatalf("hot offsets = %v; sampling should find several", offsets)
 	}
@@ -53,7 +53,7 @@ func TestPairwiseOnMemcached(t *testing.T) {
 	}
 	t.Logf("collected %d histories (%d pairs, %d observed both offsets)", len(hs), pairs, withBoth)
 
-	traces := core.BuildPathTraces(skb, hs, p.Samples)
+	traces := core.BuildPathTraces(p.Desc(skb), hs, p.Samples)
 	if len(traces) == 0 {
 		t.Fatal("pairwise histories produced no path traces")
 	}

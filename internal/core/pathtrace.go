@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"dprof/internal/cache"
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
@@ -50,7 +49,7 @@ func (s *PathStep) RemoteProb() float64 {
 // PathTrace is the combined life history of objects of one type that follow
 // one execution path, from allocation to free (§4, §5.4).
 type PathTrace struct {
-	Type        *mem.Type
+	Type        *TypeDesc
 	Steps       []PathStep
 	Count       uint64  // object histories represented
 	Frequency   float64 // fraction of this type's objects on this path
@@ -149,7 +148,7 @@ func (u unionFind) union(a, b int) { u[u.find(a)] = u.find(b) }
 //     that access patterns are repetitive enough for rank matching).
 //  3. Each group's averaged elements are merged in time order and coalesced
 //     into steps; sample statistics attach per (type, offset, instruction).
-func BuildPathTraces(t *mem.Type, hists []*History, samples *SampleTable) []*PathTrace {
+func BuildPathTraces(t *TypeDesc, hists []*History, samples *SampleTable) []*PathTrace {
 	if len(hists) == 0 {
 		return nil
 	}
@@ -338,7 +337,7 @@ func BuildPathTraces(t *mem.Type, hists []*History, samples *SampleTable) []*Pat
 // augmentSteps attaches sampled cache statistics to each step: all sample
 // keys matching the step's (type, instruction) with an offset inside the
 // step's range are aggregated into hit probabilities and average latency.
-func augmentSteps(t *mem.Type, steps []PathStep, samples *SampleTable) {
+func augmentSteps(t *TypeDesc, steps []PathStep, samples *SampleTable) {
 	// Index samples by (pc) once per call.
 	type acc struct {
 		count  uint64

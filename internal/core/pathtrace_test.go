@@ -5,12 +5,11 @@ import (
 	"testing/quick"
 
 	"dprof/internal/cache"
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
 // mkHist builds a synthetic single-offset history.
-func mkHist(typ *mem.Type, offset uint32, set int, allocCore int32, elems ...HistElem) *History {
+func mkHist(typ *TypeDesc, offset uint32, set int, allocCore int32, elems ...HistElem) *History {
 	h := &History{
 		Type:      typ,
 		Offsets:   []uint32{offset},
@@ -32,7 +31,7 @@ func el(fn string, cpu int32, time uint64, write bool) HistElem {
 
 func TestHistorySignatureRelabelsCPUs(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("sig", 64, "")
+	typ := descOf(a.RegisterType("sig", 64, ""))
 	// Two objects on different absolute cores but the same relative path.
 	h1 := mkHist(typ, 0, 0, 2, el("f", 2, 10, true), el("g", 5, 20, false))
 	h2 := mkHist(typ, 0, 0, 7, el("f", 7, 11, true), el("g", 1, 22, false))
@@ -47,7 +46,7 @@ func TestHistorySignatureRelabelsCPUs(t *testing.T) {
 
 func TestHistoryCrossCPU(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("cc", 64, "")
+	typ := descOf(a.RegisterType("cc", 64, ""))
 	local := mkHist(typ, 0, 0, 1, el("f", 1, 10, false))
 	if local.CrossCPU() {
 		t.Fatal("same-core history flagged as bouncing")
@@ -60,7 +59,7 @@ func TestHistoryCrossCPU(t *testing.T) {
 
 func TestBuildPathTracesSinglePath(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p1", 16, "")
+	typ := descOf(a.RegisterType("p1", 16, ""))
 	var hs []*History
 	for i := 0; i < 4; i++ {
 		hs = append(hs,
@@ -96,7 +95,7 @@ func TestBuildPathTracesSinglePath(t *testing.T) {
 
 func TestBuildPathTracesOrdersByTime(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p2", 16, "")
+	typ := descOf(a.RegisterType("p2", 16, ""))
 	hs := []*History{
 		mkHist(typ, 8, 0, 0, el("late", 0, 500, false)),
 		mkHist(typ, 0, 0, 0, el("early", 0, 10, true)),
@@ -113,7 +112,7 @@ func TestBuildPathTracesOrdersByTime(t *testing.T) {
 
 func TestBuildPathTracesTwoPaths(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p3", 8, "")
+	typ := descOf(a.RegisterType("p3", 8, ""))
 	var hs []*History
 	// Path A (common): rx path, 3 sets.
 	for i := 0; i < 3; i++ {
@@ -138,7 +137,7 @@ func TestBuildPathTracesTwoPaths(t *testing.T) {
 
 func TestBuildPathTracesCoalescesSteps(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p4", 16, "")
+	typ := descOf(a.RegisterType("p4", 16, ""))
 	// Same function touching adjacent offsets back to back merges into one
 	// step with a widened offset range.
 	hs := []*History{
@@ -166,7 +165,7 @@ func TestBuildPathTracesCoalescesSteps(t *testing.T) {
 
 func TestPairwiseLinkingBeatsRankMatching(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p5", 8, "")
+	typ := descOf(a.RegisterType("p5", 8, ""))
 	// Offset 0 has paths X (2 histories) and Y (2 histories): equal ranks,
 	// ambiguous. Offset 4 likewise has P and Q. A pairwise history observing
 	// X at offset 0 and Q at offset 4 must link (X,Q) and leave (Y,P).
@@ -219,7 +218,7 @@ func TestPairwiseLinkingBeatsRankMatching(t *testing.T) {
 
 func TestAugmentStepsAttachesSampleStats(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p6", 16, "")
+	typ := descOf(a.RegisterType("p6", 16, ""))
 	st := NewSampleTable()
 	for i := 0; i < 10; i++ {
 		st.Add(typ, 0, ev("hotfn", 1, cache.ForeignHit, 200, false))
@@ -251,7 +250,7 @@ func TestAugmentStepsAttachesSampleStats(t *testing.T) {
 
 func TestEmptyHistoriesProduceNoTraces(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("p7", 16, "")
+	typ := descOf(a.RegisterType("p7", 16, ""))
 	if got := BuildPathTraces(typ, nil, nil); got != nil {
 		t.Fatal("nil histories should produce nil traces")
 	}
@@ -266,7 +265,7 @@ func TestEmptyHistoriesProduceNoTraces(t *testing.T) {
 // non-decreasing in average time.
 func TestQuickTraceStepsTimeOrdered(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("pq", 32, "")
+	typ := descOf(a.RegisterType("pq", 32, ""))
 	fns := []string{"f1", "f2", "f3"}
 	prop := func(times []uint16, cpus []uint8) bool {
 		if len(times) == 0 {
@@ -307,7 +306,7 @@ func TestQuickTraceStepsTimeOrdered(t *testing.T) {
 // always land in the same trace; the per-offset history count is conserved.
 func TestQuickSignatureGroupingIsPartition(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("pr", 8, "")
+	typ := descOf(a.RegisterType("pr", 8, ""))
 	prop := func(picks []uint8) bool {
 		if len(picks) == 0 {
 			return true

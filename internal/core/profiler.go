@@ -45,6 +45,14 @@ type Profiler struct {
 	cfg      Config
 	sampling bool
 
+	// types interns the value descriptors the analysis stack keys on;
+	// descs/mems map between live allocator types (which the simulator-side
+	// machinery — collector targeting, debug registers — still needs) and
+	// their descriptors.
+	types *TypeSet
+	descs map[*mem.Type]*TypeDesc
+	mems  map[*TypeDesc]*mem.Type
+
 	// pending holds each core's samples since the last merge, in delivery
 	// order (the per-core deltas of the windowed pipeline).
 	pending [][]pendingSample
@@ -56,7 +64,7 @@ type Profiler struct {
 	// environment through the accessors below, never M directly.
 	env *profileEnv
 
-	traceCache map[*mem.Type][]*PathTrace
+	traceCache map[*TypeDesc][]*PathTrace
 }
 
 // profileEnv is the machine-shaped context a merged profiler renders views
@@ -68,31 +76,79 @@ type profileEnv struct {
 	occupancy []cache.SocketUsage
 }
 
-// cacheConfig returns the cache configuration views should use.
-func (p *Profiler) cacheConfig() cache.Config {
+// CacheConfig returns the cache configuration views should use.
+func (p *Profiler) CacheConfig() cache.Config {
 	if p.env != nil {
 		return p.env.cacheCfg
 	}
 	return p.M.Hier.Config()
 }
 
-// topology returns the (global) topology views should use.
-func (p *Profiler) topology() cache.Topology {
+// Topology returns the (global) topology views should use.
+func (p *Profiler) Topology() cache.Topology {
 	if p.env != nil {
 		return p.env.topo
 	}
 	return p.M.Topology()
 }
 
-// viewCores returns the core count views should scale by.
-func (p *Profiler) viewCores() int { return p.topology().NumCores() }
-
-// socketOccupancy returns per-socket cache occupancy for the working set.
-func (p *Profiler) socketOccupancy() []cache.SocketUsage {
+// SocketOccupancy returns per-socket cache occupancy for the working set.
+func (p *Profiler) SocketOccupancy() []cache.SocketUsage {
 	if p.env != nil {
 		return p.env.occupancy
 	}
 	return p.M.Hier.SocketOccupancy()
+}
+
+// SampleTable returns the cumulative sample table. Callers reading it after
+// driving the machine directly must Sync first (the ProfileSource view
+// builders do).
+func (p *Profiler) SampleTable() *SampleTable { return p.Samples }
+
+// AddressSet returns the profiler's address set.
+func (p *Profiler) AddressSet() *AddressSet { return p.AddrSet }
+
+// Desc returns the interned value descriptor for a live allocator type (nil
+// for nil) — the bridge from simulator identity to model identity.
+func (p *Profiler) Desc(t *mem.Type) *TypeDesc {
+	if t == nil {
+		return nil
+	}
+	if d, ok := p.descs[t]; ok {
+		return d
+	}
+	d := p.types.Intern(t.Name, t.Desc, t.Size, t.ObjSize())
+	p.descs[t] = d
+	p.mems[d] = t
+	return d
+}
+
+// memOf maps a descriptor back to its live allocator type (nil when the
+// descriptor did not come from this profiler).
+func (p *Profiler) memOf(d *TypeDesc) *mem.Type {
+	if d == nil {
+		return nil
+	}
+	return p.mems[d]
+}
+
+// TypeByName resolves a type name to its descriptor, interning it from the
+// allocator when the profile has not touched the type yet.
+func (p *Profiler) TypeByName(name string) *TypeDesc {
+	if d := p.types.ByName(name); d != nil {
+		return d
+	}
+	if p.Alloc != nil {
+		if t := p.Alloc.TypeByName(name); t != nil {
+			return p.Desc(t)
+		}
+	}
+	return nil
+}
+
+// HistoriesFor returns the collected histories for a type descriptor.
+func (p *Profiler) HistoriesFor(d *TypeDesc) []*History {
+	return p.Collector.HistoriesFor(d)
 }
 
 // pendingSample is one IBS sample buffered in a core's delta: resolved to
@@ -100,7 +156,7 @@ func (p *Profiler) socketOccupancy() []cache.SocketUsage {
 // the object could be freed by then — with the event copied out of the
 // core's scratch space.
 type pendingSample struct {
-	t   *mem.Type
+	t   *TypeDesc
 	off uint32
 	ev  sim.AccessEvent
 }
@@ -124,7 +180,10 @@ func Attach(m *sim.Machine, alloc *mem.Allocator, cfg Config) *Profiler {
 		Samples:    NewSampleTable(),
 		AddrSet:    NewAddressSet(),
 		cfg:        cfg,
-		traceCache: make(map[*mem.Type][]*PathTrace),
+		types:      NewTypeSet(),
+		descs:      make(map[*mem.Type]*TypeDesc),
+		mems:       make(map[*TypeDesc]*mem.Type),
+		traceCache: make(map[*TypeDesc][]*PathTrace),
 	}
 	p.AddrSet.MaxObjects = cfg.MaxAddrRecords
 	p.Collector = newCollector(p)
@@ -132,16 +191,20 @@ func Attach(m *sim.Machine, alloc *mem.Allocator, cfg Config) *Profiler {
 	p.pending = make([][]pendingSample, m.NumCores())
 
 	for _, s := range alloc.Statics() {
-		p.AddrSet.AddStatic(s.Type, s.Base)
+		p.AddrSet.AddStatic(p.Desc(s.Type), s.Base)
 	}
 	for _, s := range alloc.InternalObjects() {
-		p.AddrSet.AddStatic(s.Type, s.Base)
+		p.AddrSet.AddStatic(p.Desc(s.Type), s.Base)
 	}
 	for _, s := range alloc.LiveObjects() {
-		p.AddrSet.AddStatic(s.Type, s.Base)
+		p.AddrSet.AddStatic(p.Desc(s.Type), s.Base)
 	}
-	alloc.OnAlloc(p.AddrSet.OnAlloc)
-	alloc.OnFree(p.AddrSet.OnFree)
+	alloc.OnAlloc(func(c *sim.Ctx, t *mem.Type, addr uint64) {
+		p.AddrSet.RecordAlloc(c.Now(), int32(c.Core.ID), p.Desc(t), addr)
+	})
+	alloc.OnFree(func(c *sim.Ctx, t *mem.Type, addr uint64) {
+		p.AddrSet.RecordFree(c.Now(), p.Desc(t), addr)
+	})
 	alloc.OnFree(func(c *sim.Ctx, t *mem.Type, addr uint64) { p.Collector.onFree(c, addr) })
 	return p
 }
@@ -159,12 +222,12 @@ func (p *Profiler) StartSampling() {
 	p.IBS.Start(p.cfg.SampleRate, func(c *sim.Ctx, s hw.Sample) {
 		t, base, ok := p.Alloc.Resolve(s.Ev.Addr)
 		var off uint32
+		var d *TypeDesc
 		if ok {
 			off = uint32(s.Ev.Addr - base)
-		} else {
-			t = nil
+			d = p.Desc(t)
 		}
-		p.pending[s.Ev.Core] = append(p.pending[s.Ev.Core], pendingSample{t: t, off: off, ev: s.Ev})
+		p.pending[s.Ev.Core] = append(p.pending[s.Ev.Core], pendingSample{t: d, off: off, ev: s.Ev})
 	})
 }
 
@@ -212,7 +275,7 @@ func (p *Profiler) CollectHistories(sets int, types ...*mem.Type) {
 func (p *Profiler) CollectPairwise(t *mem.Type, offsets []uint32, sets, maxOffsets int) {
 	if offsets == nil {
 		p.Sync()
-		offsets = p.Samples.HotOffsets(t, p.cfg.WatchLen, maxOffsets)
+		offsets = p.Samples.HotOffsets(p.Desc(t), p.cfg.WatchLen, maxOffsets)
 	}
 	if len(offsets) < 2 {
 		// Not enough sampled offsets to order pairwise; fall back to the
@@ -227,12 +290,12 @@ func (p *Profiler) CollectPairwise(t *mem.Type, offsets []uint32, sets, maxOffse
 
 // PathTraces builds (and caches) the path traces for a type from the
 // collected histories and access samples.
-func (p *Profiler) PathTraces(t *mem.Type) []*PathTrace {
+func (p *Profiler) PathTraces(t *TypeDesc) []*PathTrace {
 	if tr, ok := p.traceCache[t]; ok {
 		return tr
 	}
 	p.Sync()
-	tr := BuildPathTraces(t, p.Collector.Histories(t), p.Samples)
+	tr := BuildPathTraces(t, p.Collector.HistoriesFor(t), p.Samples)
 	p.traceCache[t] = tr
 	return tr
 }
@@ -240,12 +303,12 @@ func (p *Profiler) PathTraces(t *mem.Type) []*PathTrace {
 // InvalidateTraceCache drops memoized path traces (after collecting more
 // histories).
 func (p *Profiler) InvalidateTraceCache() {
-	p.traceCache = make(map[*mem.Type][]*PathTrace)
+	p.traceCache = make(map[*TypeDesc][]*PathTrace)
 }
 
-// allTraces builds traces for every type with histories.
-func (p *Profiler) allTraces() map[*mem.Type][]*PathTrace {
-	out := make(map[*mem.Type][]*PathTrace)
+// AllTraces builds traces for every type with histories.
+func (p *Profiler) AllTraces() map[*TypeDesc][]*PathTrace {
+	out := make(map[*TypeDesc][]*PathTrace)
 	for _, h := range p.Collector.AllHistories() {
 		if _, ok := out[h.Type]; !ok {
 			out[h.Type] = p.PathTraces(h.Type)
@@ -255,28 +318,14 @@ func (p *Profiler) allTraces() map[*mem.Type][]*PathTrace {
 }
 
 // DataProfile builds the data profile view (§4.1).
-func (p *Profiler) DataProfile() *DataProfile {
-	p.Sync()
-	return BuildDataProfile(p.Samples, p.AddrSet, p.Collector)
-}
+func (p *Profiler) DataProfile() *DataProfile { return DataProfileOf(p) }
 
 // WorkingSet builds the working set view (§4.2) using the machine's L1
 // geometry, plus per-socket occupancy on multi-socket machines.
-func (p *Profiler) WorkingSet() *WorkingSetView {
-	v := BuildWorkingSet(p.AddrSet, p.allTraces(), GeometryFromCache(p.cacheConfig()), DefaultReplayObjects)
-	if p.topology().Sockets > 1 {
-		v.PerSocket = p.socketOccupancy()
-	}
-	return v
-}
+func (p *Profiler) WorkingSet() *WorkingSetView { return WorkingSetOf(p) }
 
 // MissClassification builds the miss classification view (§4.3).
-func (p *Profiler) MissClassification() []MissClassRow {
-	p.Sync()
-	return BuildMissClassification(p.Samples, p.allTraces(), p.WorkingSet(), p.cacheConfig().LineSize)
-}
+func (p *Profiler) MissClassification() []MissClassRow { return MissClassificationOf(p) }
 
 // DataFlow builds the data flow view for one type (§4.4).
-func (p *Profiler) DataFlow(t *mem.Type) *FlowGraph {
-	return BuildDataFlow(t, p.PathTraces(t))
-}
+func (p *Profiler) DataFlow(t *TypeDesc) *FlowGraph { return DataFlowOf(p, t) }

@@ -97,16 +97,21 @@ func (c *lruCache) remove(line uint64) {
 // agree for the same profile.
 const DefaultReplayObjects = 200_000
 
-// CacheResidency runs the §4.2 replay over the profiler's address set. It
+// CacheResidency runs the §4.2 replay over the profiler's address set.
+func (p *Profiler) CacheResidency(maxObjects int) *ResidencyView {
+	return CacheResidencyOf(p, maxObjects)
+}
+
+// CacheResidencyOf runs the §4.2 replay over any source's address set. It
 // samples at most maxObjects records (weighted uniformly, as the paper picks
 // address sets randomly) and replays their allocation and free events in
 // time order through a cache of the machine's combined capacity.
-func (p *Profiler) CacheResidency(maxObjects int) *ResidencyView {
-	cfg := p.cacheConfig()
-	capLines := int((cfg.L2Size*uint64(p.viewCores()) + cfg.L3Size) / cfg.LineSize)
+func CacheResidencyOf(src ProfileSource, maxObjects int) *ResidencyView {
+	cfg := src.CacheConfig()
+	capLines := int((cfg.L2Size*uint64(src.Topology().NumCores()) + cfg.L3Size) / cfg.LineSize)
 	v := &ResidencyView{CapacityLines: capLines}
 
-	objs := p.AddrSet.Objects()
+	objs := src.AddressSet().Objects()
 	step := 1
 	if maxObjects > 0 && len(objs) > maxObjects {
 		step = (len(objs) + maxObjects - 1) / maxObjects
@@ -146,7 +151,7 @@ func (p *Profiler) CacheResidency(maxObjects int) *ResidencyView {
 		accrue(ev.at)
 		rec := &objs[ev.obj]
 		lineLo := rec.Addr / 64
-		lineHi := (rec.Addr + rec.Type.ObjSize() - 1) / 64
+		lineHi := (rec.Addr + rec.Type.ObjSize - 1) / 64
 		for l := lineLo; l <= lineHi; l++ {
 			if ev.alloc {
 				cache.insert(l, rec.Type.Name)

@@ -22,7 +22,6 @@ import (
 	"sort"
 
 	"dprof/internal/cache"
-	"dprof/internal/mem"
 	"dprof/internal/sim"
 	"dprof/internal/sym"
 )
@@ -30,7 +29,7 @@ import (
 // SampleKey aggregates access samples by (type, offset, instruction), the
 // grouping §5.4 prescribes. Type is nil for unresolved addresses.
 type SampleKey struct {
-	Type   *mem.Type
+	Type   *TypeDesc
 	Offset uint32
 	PC     sym.PC
 }
@@ -70,7 +69,7 @@ func NewSampleTable() *SampleTable {
 }
 
 // Add records one access sample resolved to (t, offset); t may be nil.
-func (st *SampleTable) Add(t *mem.Type, offset uint32, ev *sim.AccessEvent) {
+func (st *SampleTable) Add(t *TypeDesc, offset uint32, ev *sim.AccessEvent) {
 	st.Total++
 	if t == nil {
 		st.Unresolved++
@@ -153,7 +152,7 @@ func (st *SampleTable) Keys() []SampleKey {
 
 // TypeAggregate is per-type roll-up of the sample table.
 type TypeAggregate struct {
-	Type           *mem.Type
+	Type           *TypeDesc
 	Samples        uint64
 	Misses         uint64
 	Levels         [cache.NumLevels]uint64
@@ -180,8 +179,8 @@ func (a *TypeAggregate) MissShare(table *SampleTable) float64 {
 }
 
 // ByType rolls the table up per type (nil key collects unresolved samples).
-func (st *SampleTable) ByType() map[*mem.Type]*TypeAggregate {
-	out := make(map[*mem.Type]*TypeAggregate)
+func (st *SampleTable) ByType() map[*TypeDesc]*TypeAggregate {
+	out := make(map[*TypeDesc]*TypeAggregate)
 	for k, s := range st.byKey {
 		agg := out[k.Type]
 		if agg == nil {
@@ -203,7 +202,7 @@ func (st *SampleTable) ByType() map[*mem.Type]*TypeAggregate {
 
 // HotOffsets returns the most-sampled offsets of a type (used to choose the
 // members pairwise profiling covers, §6.4), aligned down to `align` bytes.
-func (st *SampleTable) HotOffsets(t *mem.Type, align uint32, max int) []uint32 {
+func (st *SampleTable) HotOffsets(t *TypeDesc, align uint32, max int) []uint32 {
 	if align == 0 {
 		align = 1
 	}

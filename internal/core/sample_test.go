@@ -15,6 +15,32 @@ func testAlloc() *mem.Allocator {
 	return mem.New(mem.DefaultConfig(), 4, lockstat.NewRegistry())
 }
 
+// descOf wraps a live allocator type as a standalone value descriptor for
+// tests that drive the model-layer builders directly. Each call returns a
+// fresh pointer; a test reuses the one it made, mirroring interning.
+func descOf(t *mem.Type) *TypeDesc {
+	return &TypeDesc{Name: t.Name, Desc: t.Desc, Size: t.Size, ObjSize: t.ObjSize()}
+}
+
+// wireAddrSet connects an allocator's hooks to an address set the way Attach
+// does, interning each live type. It returns the desc resolver.
+func wireAddrSet(a *mem.Allocator, as *AddressSet) func(*mem.Type) *TypeDesc {
+	ts := NewTypeSet()
+	descFor := func(t *mem.Type) *TypeDesc {
+		if t == nil {
+			return nil
+		}
+		return ts.Intern(t.Name, t.Desc, t.Size, t.ObjSize())
+	}
+	a.OnAlloc(func(c *sim.Ctx, t *mem.Type, addr uint64) {
+		as.RecordAlloc(c.Now(), int32(c.Core.ID), descFor(t), addr)
+	})
+	a.OnFree(func(c *sim.Ctx, t *mem.Type, addr uint64) {
+		as.RecordFree(c.Now(), descFor(t), addr)
+	})
+	return descFor
+}
+
 func ev(pc string, core int, level cache.Level, lat uint32, write bool) *sim.AccessEvent {
 	return &sim.AccessEvent{
 		PC: sym.Intern(pc), Core: core, Level: level, Latency: lat,
@@ -24,7 +50,7 @@ func ev(pc string, core int, level cache.Level, lat uint32, write bool) *sim.Acc
 
 func TestSampleTableAggregation(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("t", 128, "")
+	typ := descOf(a.RegisterType("t", 128, ""))
 	st := NewSampleTable()
 	st.Add(typ, 0, ev("f", 0, cache.L1Hit, 3, false))
 	st.Add(typ, 0, ev("f", 0, cache.ForeignHit, 200, false))
@@ -55,7 +81,7 @@ func TestSampleTableAggregation(t *testing.T) {
 
 func TestSampleKeysOrdered(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("t2", 128, "")
+	typ := descOf(a.RegisterType("t2", 128, ""))
 	st := NewSampleTable()
 	for i := 0; i < 5; i++ {
 		st.Add(typ, 0, ev("hot", 0, cache.L1Hit, 3, false))
@@ -69,7 +95,7 @@ func TestSampleKeysOrdered(t *testing.T) {
 
 func TestHotOffsets(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("t3", 256, "")
+	typ := descOf(a.RegisterType("t3", 256, ""))
 	st := NewSampleTable()
 	for i := 0; i < 10; i++ {
 		st.Add(typ, 17, ev("f", 0, cache.L1Hit, 3, false)) // aligns to 16
@@ -90,7 +116,7 @@ func TestHotOffsets(t *testing.T) {
 
 func TestCPUMaskTracking(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("t4", 128, "")
+	typ := descOf(a.RegisterType("t4", 128, ""))
 	st := NewSampleTable()
 	st.Add(typ, 0, ev("f", 0, cache.L1Hit, 3, true))
 	st.Add(typ, 0, ev("f", 3, cache.L1Hit, 3, true))
@@ -102,7 +128,7 @@ func TestCPUMaskTracking(t *testing.T) {
 
 func TestQuickSampleCountsConserved(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("t5", 128, "")
+	typ := descOf(a.RegisterType("t5", 128, ""))
 	prop := func(levels []uint8) bool {
 		st := NewSampleTable()
 		misses := uint64(0)
@@ -132,8 +158,7 @@ func TestAddressSetUsage(t *testing.T) {
 	a := testAlloc()
 	typ := a.RegisterType("u", 128, "")
 	as := NewAddressSet()
-	a.OnAlloc(as.OnAlloc)
-	a.OnFree(as.OnFree)
+	descFor := wireAddrSet(a, as)
 	m.Schedule(0, 0, func(c *sim.Ctx) {
 		x := a.Alloc(c, typ)
 		y := a.Alloc(c, typ)
@@ -141,7 +166,7 @@ func TestAddressSetUsage(t *testing.T) {
 		_ = y
 	})
 	m.RunAll()
-	u := as.UsageFor(typ)
+	u := as.UsageFor(descFor(typ))
 	if u.PeakCount != 2 || u.LiveCount != 1 {
 		t.Fatalf("usage = %+v", u)
 	}
@@ -160,8 +185,7 @@ func TestAddressSetRecordsLifetimes(t *testing.T) {
 	a := testAlloc()
 	typ := a.RegisterType("lt", 128, "")
 	as := NewAddressSet()
-	a.OnAlloc(as.OnAlloc)
-	a.OnFree(as.OnFree)
+	descFor := wireAddrSet(a, as)
 	m.Schedule(0, 0, func(c *sim.Ctx) {
 		x := a.Alloc(c, typ)
 		c.Compute(5000)
@@ -171,7 +195,7 @@ func TestAddressSetRecordsLifetimes(t *testing.T) {
 	var rec *ObjRecord
 	for i := range as.Objects() {
 		r := &as.Objects()[i]
-		if r.Type == typ {
+		if r.Type == descFor(typ) {
 			rec = r
 		}
 	}
@@ -186,9 +210,10 @@ func TestAddressSetRecordsLifetimes(t *testing.T) {
 func TestAddressSetStatics(t *testing.T) {
 	a := testAlloc()
 	typ, addr := a.Static("dev", 128, "")
+	d := descOf(typ)
 	as := NewAddressSet()
-	as.AddStatic(typ, addr)
-	u := as.UsageFor(typ)
+	as.AddStatic(d, addr)
+	u := as.UsageFor(d)
 	if u.PeakCount != 1 || u.PeakBytes != 128 {
 		t.Fatalf("static usage = %+v", u)
 	}
@@ -202,7 +227,7 @@ func TestAddressSetMaxObjects(t *testing.T) {
 	typ := a.RegisterType("cap", 128, "")
 	as := NewAddressSet()
 	as.MaxObjects = 5
-	a.OnAlloc(as.OnAlloc)
+	descFor := wireAddrSet(a, as)
 	m.Schedule(0, 0, func(c *sim.Ctx) {
 		for i := 0; i < 10; i++ {
 			a.Alloc(c, typ)
@@ -218,7 +243,7 @@ func TestAddressSetMaxObjects(t *testing.T) {
 		t.Fatalf("dropped = %d, want >= 5", as.Dropped())
 	}
 	// Counters must keep running past the cap.
-	if as.UsageFor(typ).PeakCount != 10 {
-		t.Fatalf("peak = %d, want 10", as.UsageFor(typ).PeakCount)
+	if as.UsageFor(descFor(typ)).PeakCount != 10 {
+		t.Fatalf("peak = %d, want 10", as.UsageFor(descFor(typ)).PeakCount)
 	}
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Profile document schema versioning and provenance. Documents written
+// before versioning carry no schema_version field and are read as version 1;
+// the current version adds the provenance block and source-neutral
+// documents (ingested perf.data profiles alongside simulator sessions).
+// Readers accept every version up to their own and reject newer ones with a
+// typed error instead of misreading fields they do not know.
+
+// SchemaVersion is the document schema this build writes.
+const SchemaVersion = 2
+
+// Document sources.
+const (
+	SourceSim  = "sim"  // the in-process simulator produced the profile
+	SourcePerf = "perf" // ingested from a perf.data capture
+)
+
+// Provenance records where a profile document came from.
+type Provenance struct {
+	// Source is SourceSim or SourcePerf.
+	Source string `json:"source"`
+	// GitCommit is the VCS revision of the binary that wrote the document,
+	// when the build carried one.
+	GitCommit string `json:"git_commit,omitempty"`
+	// WrittenAt is the RFC 3339 write timestamp. Deterministic producers
+	// (dprofd's content-addressed documents) omit it so identical profiles
+	// stay byte-identical.
+	WrittenAt string `json:"written_at,omitempty"`
+}
+
+// Stamp marks the document with the current schema version and its
+// provenance. A zero time omits written_at, keeping the document
+// deterministic for content addressing.
+func (doc *ProfileDocument) Stamp(source string, at time.Time) {
+	doc.SchemaVersion = SchemaVersion
+	p := &Provenance{Source: source, GitCommit: buildCommit()}
+	if !at.IsZero() {
+		p.WrittenAt = at.UTC().Format(time.RFC3339)
+	}
+	doc.Provenance = p
+}
+
+var buildCommit = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+})
+
+// SchemaVersionError reports a document written by a newer schema than this
+// build understands.
+type SchemaVersionError struct {
+	Found int
+}
+
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("profile document schema_version %d is newer than this build understands (max %d); upgrade dprof",
+		e.Found, SchemaVersion)
+}
+
+// CheckSchema validates a document's schema version: absent (pre-versioning
+// documents) and every version up to SchemaVersion pass; newer versions
+// fail with *SchemaVersionError.
+func (doc *ProfileDocument) CheckSchema() error {
+	if doc.SchemaVersion > SchemaVersion {
+		return &SchemaVersionError{Found: doc.SchemaVersion}
+	}
+	return nil
+}
+
+// ParseDocument decodes and validates a serialized profile document: it
+// fails with a clear error on malformed or truncated JSON and on documents
+// written by a newer schema, the single entry point every document reader
+// (dprof -diff, dprofd's diff bodies, the pprof exporter surface) shares.
+func ParseDocument(raw []byte) (*ProfileDocument, error) {
+	var doc ProfileDocument
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parse profile document: %w", err)
+	}
+	if err := doc.CheckSchema(); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validDocJSON() []byte {
+	return []byte(`{"workload":"w","options":{},"quick":false,"topology":"1x4",` +
+		`"summary":"s","values":{},"views":{"dataprofile":{"total_samples":1,` +
+		`"total_miss_samples":1,"unresolved_pct":0,"rows":[]}}}`)
+}
+
+func TestParseDocumentAcceptsUnversioned(t *testing.T) {
+	doc, err := ParseDocument(validDocJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != 0 || doc.Provenance != nil {
+		t.Fatalf("pre-versioning doc = version %d, provenance %v", doc.SchemaVersion, doc.Provenance)
+	}
+	if _, err := doc.DataProfileExport(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDocumentAcceptsCurrentVersion(t *testing.T) {
+	var doc ProfileDocument
+	if err := json.Unmarshal(validDocJSON(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Stamp(SourcePerf, time.Time{})
+	raw, err := json.Marshal(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDocument(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Provenance == nil || back.Provenance.Source != SourcePerf {
+		t.Fatalf("round-trip lost the stamp: %+v", back)
+	}
+	if back.Provenance.WrittenAt != "" {
+		t.Fatalf("zero-time stamp wrote written_at %q", back.Provenance.WrittenAt)
+	}
+}
+
+func TestStampWritesTimestamp(t *testing.T) {
+	var doc ProfileDocument
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	doc.Stamp(SourceSim, at)
+	if doc.Provenance.WrittenAt != "2026-08-08T12:00:00Z" {
+		t.Fatalf("written_at = %q", doc.Provenance.WrittenAt)
+	}
+	if doc.Provenance.Source != SourceSim {
+		t.Fatalf("source = %q", doc.Provenance.Source)
+	}
+}
+
+func TestParseDocumentRejectsNewerVersion(t *testing.T) {
+	raw := []byte(fmt.Sprintf(`{"schema_version":%d,"workload":"w","options":{},"quick":false,`+
+		`"topology":"1x4","summary":"s","values":{},"views":{}}`, SchemaVersion+1))
+	_, err := ParseDocument(raw)
+	var sv *SchemaVersionError
+	if !errors.As(err, &sv) {
+		t.Fatalf("err = %v, want *SchemaVersionError", err)
+	}
+	if sv.Found != SchemaVersion+1 || !strings.Contains(err.Error(), "upgrade") {
+		t.Fatalf("error detail: %v", err)
+	}
+}
+
+func TestParseDocumentRejectsCorruptJSON(t *testing.T) {
+	cases := map[string][]byte{
+		"garbage":    []byte("not json at all"),
+		"truncated":  validDocJSON()[:30],
+		"wrong type": []byte(`{"workload":42}`),
+		"empty":      nil,
+	}
+	for name, raw := range cases {
+		if _, err := ParseDocument(raw); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

@@ -203,7 +203,7 @@ func (s *Session) Run() RunResult {
 	}
 	windowed := s.cfg.WindowCycles > 0 || s.cfg.OnWindow != nil
 	if windowed {
-		s.p.StartWindows(s.cfg.WindowCycles, s.cfg.Views, s.target, s.cfg.OnWindow)
+		s.p.StartWindows(s.cfg.WindowCycles, s.cfg.Views, s.p.Desc(s.target), s.cfg.OnWindow)
 	}
 	s.result = s.w.Run(s.cfg.Warmup, s.cfg.Measure)
 	if windowed {
@@ -244,9 +244,17 @@ func (s *Session) Topology() cache.Topology {
 	return s.w.Machine().Topology()
 }
 
-// Target returns the resolved dataflow/pathtrace target type (nil when
-// neither view was requested).
-func (s *Session) Target() *mem.Type { return s.target }
+// Target returns the resolved dataflow/pathtrace target type's descriptor
+// (nil when no target was configured). The session resolves the live
+// allocator type against whatever profiler currently serves the session —
+// on sharded sessions that is the merged profiler, whose descriptors are
+// canonical across shards.
+func (s *Session) Target() *TypeDesc {
+	if s.target == nil {
+		return nil
+	}
+	return s.Profiler().Desc(s.target)
+}
 
 // Result returns the workload's run result (zero value before Run).
 func (s *Session) Result() RunResult { return s.result }
@@ -285,7 +293,7 @@ func (s *Session) WriteReport(out io.Writer) {
 	}
 	if s.views["pathtrace"] && s.target != nil {
 		fmt.Fprintln(out, "== path traces ==")
-		for i, tr := range s.p.PathTraces(s.target) {
+		for i, tr := range s.p.PathTraces(s.p.Desc(s.target)) {
 			if i == s.cfg.MaxTraces {
 				break
 			}
@@ -294,7 +302,7 @@ func (s *Session) WriteReport(out io.Writer) {
 	}
 	if s.views["dataflow"] && s.target != nil {
 		fmt.Fprintln(out, "== data flow view ==")
-		g := s.p.DataFlow(s.target)
+		g := s.p.DataFlow(s.p.Desc(s.target))
 		fmt.Fprintln(out, g.Render())
 		for _, e := range g.CrossCPUEdges() {
 			fmt.Fprintf(out, "cross-CPU: %s ==> %s (x%d)\n", e.From, e.To, e.Count)

@@ -149,7 +149,7 @@ func TestSessionReportRendersViewsAndBaseline(t *testing.T) {
 	}
 	// The session queued history collection for the target, so the data
 	// flow view has real cross-CPU evidence.
-	if len(s.Profiler().Collector.Histories(s.Target())) == 0 {
+	if len(s.Profiler().HistoriesFor(s.Target())) == 0 {
 		t.Error("no histories collected for the dataflow target")
 	}
 }

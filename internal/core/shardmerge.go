@@ -55,12 +55,23 @@ func canonOf(canon map[*mem.Type]*mem.Type, t *mem.Type) *mem.Type {
 	return t
 }
 
+// canonDesc maps any part-local type descriptor onto the session-shared
+// canonical descriptor for its name. Descriptors are value-identified, so
+// canonicalization is just interning into the shared TypeSet (first writer —
+// shard order — wins on metadata, matching canonTypes).
+func (sh *shardedSession) canonDesc(d *TypeDesc) *TypeDesc {
+	if d == nil {
+		return nil
+	}
+	return sh.types.Intern(d.Name, d.Desc, d.Size, d.ObjSize)
+}
+
 // remapSamplesInto folds src into dst with canonical types and core IDs
 // shifted by coreOff. Per-key statistics are sums and bit-ORs, so the map
 // iteration order does not affect the result.
-func remapSamplesInto(dst, src *SampleTable, canon map[*mem.Type]*mem.Type, coreOff int) {
+func remapSamplesInto(dst, src *SampleTable, canon func(*TypeDesc) *TypeDesc, coreOff int) {
 	for k, s := range src.byKey {
-		nk := SampleKey{Type: canonOf(canon, k.Type), Offset: k.Offset, PC: k.PC}
+		nk := SampleKey{Type: canon(k.Type), Offset: k.Offset, PC: k.PC}
 		d := dst.byKey[nk]
 		if d == nil {
 			d = &SampleStats{}
@@ -89,9 +100,9 @@ func remapSamplesInto(dst, src *SampleTable, canon map[*mem.Type]*mem.Type, core
 // summed across parts (each part's peak is exact for its domain; the global
 // peak of a true single-machine run could be lower, since the parts need not
 // peak at the same instant).
-func mergeAddrSetInto(dst, src *AddressSet, canon map[*mem.Type]*mem.Type, coreOff int, stride uint64) {
+func mergeAddrSetInto(dst, src *AddressSet, canon func(*TypeDesc) *TypeDesc, coreOff int, stride uint64) {
 	for _, r := range src.objects {
-		r.Type = canonOf(canon, r.Type)
+		r.Type = canon(r.Type)
 		r.Addr += stride
 		if r.AllocCore >= 0 {
 			r.AllocCore += int32(coreOff)
@@ -100,7 +111,7 @@ func mergeAddrSetInto(dst, src *AddressSet, canon map[*mem.Type]*mem.Type, coreO
 	}
 	for _, e := range src.usage {
 		t, u := e.t, e.u
-		cu := dst.usageFor(canonOf(canon, t))
+		cu := dst.usageFor(canon(t))
 		cu.live += u.live
 		cu.peak += u.peak
 		cu.allocs += u.allocs
@@ -122,7 +133,7 @@ func mergeAddrSetInto(dst, src *AddressSet, canon map[*mem.Type]*mem.Type, coreO
 // ordering is a stable sort over the concatenation order, so the merged
 // sequence is deterministic, and path-trace identity uses relabeled CPUs,
 // which renumbering cannot change.
-func mergeCollectorInto(dst *Collector, src *Collector, canon map[*mem.Type]*mem.Type, coreOff, globalCores int) {
+func mergeCollectorInto(dst *Collector, src *Collector, canon map[*mem.Type]*mem.Type, canonD func(*TypeDesc) *TypeDesc, coreOff, globalCores int) {
 	for _, t := range src.order {
 		ct := canonOf(canon, t)
 		cs := dst.stats[ct]
@@ -147,7 +158,7 @@ func mergeCollectorInto(dst *Collector, src *Collector, canon map[*mem.Type]*mem
 		}
 		for _, h := range src.byType[t] {
 			nh := &History{
-				Type:      ct,
+				Type:      canonD(h.Type),
 				Offsets:   append([]uint32(nil), h.Offsets...),
 				WatchLen:  h.WatchLen,
 				Set:       h.Set,
@@ -199,7 +210,20 @@ func (sh *shardedSession) mergedProfiler() *Profiler {
 		AddrSet:    NewAddressSet(),
 		cfg:        sh.parts[0].p.cfg,
 		env:        &profileEnv{cacheCfg: sh.set.cacheCfg, topo: sh.set.topo, occupancy: sh.mergedOccupancy()},
-		traceCache: make(map[*mem.Type][]*PathTrace),
+		types:      sh.types,
+		descs:      make(map[*mem.Type]*TypeDesc),
+		mems:       make(map[*TypeDesc]*mem.Type),
+		traceCache: make(map[*TypeDesc][]*PathTrace),
+	}
+	// Pre-register the canonical mem-type <-> descriptor bridge so history
+	// lookups by descriptor land on the merged collector's canonical keys.
+	for _, ct := range canon {
+		if ct == nil {
+			continue
+		}
+		d := sh.types.Intern(ct.Name, ct.Desc, ct.Size, ct.ObjSize())
+		p.descs[ct] = d
+		p.mems[d] = ct
 	}
 	col := newCollector(p)
 	col.finalized = true
@@ -208,9 +232,9 @@ func (sh *shardedSession) mergedProfiler() *Profiler {
 	globalCores := sh.set.topo.NumCores()
 	for d, part := range sh.parts {
 		off := sh.set.coreOff[d]
-		remapSamplesInto(p.Samples, part.p.Samples, canon, off)
-		mergeAddrSetInto(p.AddrSet, part.p.AddrSet, canon, off, addrStride(d))
-		mergeCollectorInto(col, part.p.Collector, canon, off, globalCores)
+		remapSamplesInto(p.Samples, part.p.Samples, sh.canonDesc, off)
+		mergeAddrSetInto(p.AddrSet, part.p.AddrSet, sh.canonDesc, off, addrStride(d))
+		mergeCollectorInto(col, part.p.Collector, canon, sh.canonDesc, off, globalCores)
 	}
 	for _, e := range p.AddrSet.usage {
 		e.u.lastTouch = p.AddrSet.end

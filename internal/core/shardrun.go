@@ -18,6 +18,12 @@ type shardedSession struct {
 	set   *ShardSet
 	parts []*shardPart
 
+	// types is the session-shared descriptor interner: every merged table
+	// (boundary deltas, merged profilers) canonicalizes part-local
+	// descriptors into it, so descriptor pointers stay stable across merge
+	// points.
+	types *TypeSet
+
 	windows      []*WindowSnapshot
 	lastBoundary uint64
 }
@@ -42,7 +48,7 @@ type shardPart struct {
 // attach exactly: same sampling start, same history targets, same baselines.
 // Part 0's resolved target doubles as the merged views' canonical target.
 func (s *Session) attachSharded(set *ShardSet, cfg SessionConfig) error {
-	sh := &shardedSession{set: set}
+	sh := &shardedSession{set: set, types: NewTypeSet()}
 	if (s.views["dataflow"] || s.views["pathtrace"]) && cfg.TypeName == "" {
 		return &UnknownTypeError{Name: "", Known: TypeNames(set.parts[0].Alloc())}
 	}
@@ -177,13 +183,12 @@ func (s *Session) runSharded() RunResult {
 // of parts that finished since the previous boundary. Called with the
 // barrier lock held — every part is parked or done.
 func (sh *shardedSession) mergeBoundary(s *Session, b uint64, cohort map[int]*WindowSnapshot, done []bool) {
-	canon := sh.canonTypes()
 	delta := NewSampleTable()
 	for d, part := range sh.parts {
 		if snap, ok := cohort[d]; ok {
-			remapSamplesInto(delta, snap.Delta, canon, sh.set.coreOff[d])
+			remapSamplesInto(delta, snap.Delta, sh.canonDesc, sh.set.coreOff[d])
 		} else if done[d] && part.finalSnap != nil && !part.finalConsumed {
-			remapSamplesInto(delta, part.finalSnap.Delta, canon, sh.set.coreOff[d])
+			remapSamplesInto(delta, part.finalSnap.Delta, sh.canonDesc, sh.set.coreOff[d])
 			part.finalConsumed = true
 		}
 	}
@@ -207,7 +212,6 @@ func (sh *shardedSession) mergeBoundary(s *Session, b uint64, cohort map[int]*Wi
 // finished: any final deltas no boundary consumed, covering the tail from
 // the last merged boundary to the latest part end.
 func (sh *shardedSession) sealFinal(s *Session) {
-	canon := sh.canonTypes()
 	delta := NewSampleTable()
 	start := sh.lastBoundary
 	end := start
@@ -219,7 +223,7 @@ func (sh *shardedSession) sealFinal(s *Session) {
 			end = part.finalSnap.End
 		}
 		if !part.finalConsumed {
-			remapSamplesInto(delta, part.finalSnap.Delta, canon, sh.set.coreOff[d])
+			remapSamplesInto(delta, part.finalSnap.Delta, sh.canonDesc, sh.set.coreOff[d])
 			part.finalConsumed = true
 		}
 	}
@@ -248,7 +252,7 @@ func (sh *shardedSession) renderSnapViews(s *Session, snap *WindowSnapshot) {
 	mp := sh.mergedProfiler()
 	snap.Views = make(map[string]json.RawMessage, len(s.cfg.Views))
 	for _, v := range s.cfg.Views {
-		raw, err := ExportView(mp, v, s.target)
+		raw, err := ExportView(mp, v, mp.Desc(s.target))
 		if err != nil {
 			panic(fmt.Sprintf("core: sharded window snapshot %s: %v", v, err))
 		}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"dprof/internal/cache"
-	"dprof/internal/mem"
 )
 
 // DataProfileRow is one line of the data profile view: a data type, its
@@ -15,7 +14,7 @@ import (
 // split this type's misses by where they were satisfied; the cross-chip and
 // remote-DRAM shares are always zero on the single-socket default.
 type DataProfileRow struct {
-	Type            *mem.Type
+	Type            *TypeDesc
 	WorkingSetBytes uint64
 	MissPct         float64 // % of all sampled L1 misses
 	Bounce          bool
@@ -40,8 +39,9 @@ type DataProfile struct {
 }
 
 // BuildDataProfile combines the sample table, address set, and (optionally)
-// collected histories into the data profile view (§4.1).
-func BuildDataProfile(samples *SampleTable, addrs *AddressSet, col *Collector) *DataProfile {
+// collected histories into the data profile view (§4.1). hists may be nil
+// when no history source exists (bounce then falls back to sample evidence).
+func BuildDataProfile(samples *SampleTable, addrs *AddressSet, hists HistorySource) *DataProfile {
 	dp := &DataProfile{
 		TotalSamples:     samples.Total,
 		TotalMissSamples: samples.TotalMisses,
@@ -66,7 +66,7 @@ func BuildDataProfile(samples *SampleTable, addrs *AddressSet, col *Collector) *
 			row.RemoteDRAMPct = 100 * float64(agg.Levels[cache.DRAMRemote]) / float64(agg.Misses)
 		}
 		row.WorkingSetBytes = addrs.UsageFor(t).PeakBytes
-		row.Bounce = bounceFor(t, agg, col)
+		row.Bounce = bounceFor(t, agg, hists)
 		dp.Rows = append(dp.Rows, row)
 	}
 	if samples.TotalMisses > 0 {
@@ -84,9 +84,9 @@ func BuildDataProfile(samples *SampleTable, addrs *AddressSet, col *Collector) *
 // bounceFor decides the "bounce" column: object access histories are
 // authoritative when available; otherwise samples showing foreign-cache
 // transfers or multi-CPU writers imply bouncing.
-func bounceFor(t *mem.Type, agg *TypeAggregate, col *Collector) bool {
-	if col != nil {
-		if hs := col.Histories(t); len(hs) > 0 {
+func bounceFor(t *TypeDesc, agg *TypeAggregate, hists HistorySource) bool {
+	if hists != nil {
+		if hs := hists.HistoriesFor(t); len(hs) > 0 {
 			for _, h := range hs {
 				if h.CrossCPU() {
 					return true
@@ -114,7 +114,7 @@ type AssocSetStat struct {
 
 // WorkingSetRow is one type's footprint in the working-set view.
 type WorkingSetRow struct {
-	Type      *mem.Type
+	Type      *TypeDesc
 	PeakBytes uint64
 	AvgBytes  float64
 	PeakCount uint64
@@ -168,7 +168,7 @@ func GeometryFromCache(cfg cache.Config) Geometry {
 // BuildWorkingSet replays the address set through the cache geometry:
 // every sampled object contributes the cache lines its accessed offsets
 // (from path traces, or its whole extent without them) map to (§4.2).
-func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo Geometry, maxObjects int) *WorkingSetView {
+func BuildWorkingSet(addrs *AddressSet, traces map[*TypeDesc][]*PathTrace, geo Geometry, maxObjects int) *WorkingSetView {
 	v := &WorkingSetView{
 		Geometry:    geo,
 		LinesPerSet: make([]int, geo.Sets),
@@ -187,10 +187,10 @@ func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo G
 
 	// Per-type accessed-offset ranges, from path traces when available.
 	type offRange struct{ lo, hi uint64 }
-	rangesFor := func(t *mem.Type) []offRange {
+	rangesFor := func(t *TypeDesc) []offRange {
 		trs := traces[t]
 		if len(trs) == 0 {
-			return []offRange{{0, t.ObjSize()}}
+			return []offRange{{0, t.ObjSize}}
 		}
 		var rs []offRange
 		for _, tr := range trs {
@@ -202,11 +202,11 @@ func BuildWorkingSet(addrs *AddressSet, traces map[*mem.Type][]*PathTrace, geo G
 			}
 		}
 		if len(rs) == 0 {
-			return []offRange{{0, t.ObjSize()}}
+			return []offRange{{0, t.ObjSize}}
 		}
 		return rs
 	}
-	rangeCache := make(map[*mem.Type][]offRange)
+	rangeCache := make(map[*TypeDesc][]offRange)
 
 	perSet := make([]map[uint64]string, geo.Sets)
 	objs := addrs.Objects()
@@ -290,7 +290,7 @@ func summarizePaths(traces []*PathTrace, max int) []string {
 
 // conflictShare returns the fraction of a type's cache lines that map into
 // overloaded associativity sets.
-func (v *WorkingSetView) conflictShare(t *mem.Type) float64 {
+func (v *WorkingSetView) conflictShare(t *TypeDesc) float64 {
 	if len(v.Overloaded) == 0 {
 		return 0
 	}
@@ -323,7 +323,7 @@ func (v *WorkingSetView) spreadEvenly() bool {
 
 // MissClassRow classifies one type's misses (§4.3).
 type MissClassRow struct {
-	Type        *mem.Type
+	Type        *TypeDesc
 	MissSamples uint64
 
 	// Percentages of this type's misses.
@@ -354,7 +354,7 @@ type MissClassRow struct {
 // different object (detected by the absence of a same-object cross-CPU
 // write). Non-invalidation misses split between conflict and capacity using
 // the working-set histogram.
-func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathTrace, ws *WorkingSetView, lineSize uint64) []MissClassRow {
+func BuildMissClassification(samples *SampleTable, traces map[*TypeDesc][]*PathTrace, ws *WorkingSetView, lineSize uint64) []MissClassRow {
 	var rows []MissClassRow
 	for t, agg := range samples.ByType() {
 		if t == nil || agg.Misses == 0 {
@@ -368,7 +368,7 @@ func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathT
 		row.LocalPct = 100 - row.OnChipPct - row.CrossChipPct - row.RemoteDRAMPct
 
 		invalFrac, trueFrac := invalidationFractions(t, traces[t], agg, lineSize)
-		sharesLines := t.ObjSize()%lineSize != 0
+		sharesLines := t.ObjSize%lineSize != 0
 		falseFrac := 0.0
 		if sharesLines {
 			falseFrac = invalFrac - trueFrac
@@ -414,7 +414,7 @@ func BuildMissClassification(samples *SampleTable, traces map[*mem.Type][]*PathT
 // *same object* (true sharing). With path traces it walks each miss step
 // backwards looking for a cross-CPU write to the same line (§4.3); without
 // them it falls back to the sampled foreign-hit fraction.
-func invalidationFractions(t *mem.Type, traces []*PathTrace, agg *TypeAggregate, lineSize uint64) (inval, trueShare float64) {
+func invalidationFractions(t *TypeDesc, traces []*PathTrace, agg *TypeAggregate, lineSize uint64) (inval, trueShare float64) {
 	foreignFrac := 0.0
 	if agg.Misses > 0 {
 		foreignFrac = float64(agg.Levels[cache.ForeignHit]+agg.Levels[cache.ForeignRemote]) / float64(agg.Misses)

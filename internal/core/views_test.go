@@ -5,14 +5,13 @@ import (
 	"testing"
 
 	"dprof/internal/cache"
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
 func TestDataProfileRanksByMisses(t *testing.T) {
 	a := testAlloc()
-	hot := a.RegisterType("hot", 128, "hot type")
-	cold := a.RegisterType("cold", 128, "cold type")
+	hot := descOf(a.RegisterType("hot", 128, "hot type"))
+	cold := descOf(a.RegisterType("cold", 128, "cold type"))
 	st := NewSampleTable()
 	for i := 0; i < 10; i++ {
 		st.Add(hot, 0, ev("f", 0, cache.DRAM, 250, false))
@@ -34,7 +33,7 @@ func TestDataProfileUnresolved(t *testing.T) {
 	st := NewSampleTable()
 	st.Add(nil, 0, ev("u", 0, cache.DRAM, 250, false))
 	a := testAlloc()
-	typ := a.RegisterType("t", 64, "")
+	typ := descOf(a.RegisterType("t", 64, ""))
 	st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))
 	dp := BuildDataProfile(st, NewAddressSet(), nil)
 	if dp.UnresolvedPct != 50 {
@@ -44,8 +43,8 @@ func TestDataProfileUnresolved(t *testing.T) {
 
 func TestBounceFromForeignSamples(t *testing.T) {
 	a := testAlloc()
-	bouncer := a.RegisterType("b", 64, "")
-	pinned := a.RegisterType("p", 64, "")
+	bouncer := descOf(a.RegisterType("b", 64, ""))
+	pinned := descOf(a.RegisterType("p", 64, ""))
 	st := NewSampleTable()
 	for i := 0; i < 100; i++ {
 		st.Add(bouncer, 0, ev("f", i%4, cache.ForeignHit, 200, false))
@@ -68,13 +67,13 @@ func TestBounceFromForeignSamples(t *testing.T) {
 
 func TestBounceFromHistoriesOverridesSamples(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("hb", 64, "")
+	typ := descOf(a.RegisterType("hb", 64, ""))
 	st := NewSampleTable()
 	st.Add(typ, 0, ev("f", 0, cache.L1Hit, 3, false)) // no foreign signal
 	agg := st.ByType()[typ]
-	col := &Collector{byType: map[*mem.Type][]*History{
-		typ: {mkHist(typ, 0, 0, 0, el("f", 2, 10, false))}, // cross-CPU
-	}}
+	col := HistMap{
+		typ: {mkHist(typ, 0, 0, 0, el("f", 2, 10, false))},
+	}
 	if !bounceFor(typ, agg, col) {
 		t.Fatal("history-evidenced bounce ignored")
 	}
@@ -82,7 +81,7 @@ func TestBounceFromHistoriesOverridesSamples(t *testing.T) {
 
 func TestWorkingSetReplayCountsLines(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("ws", 128, "")
+	typ := descOf(a.RegisterType("ws", 128, ""))
 	as := NewAddressSet()
 	// Three synthetic objects at known addresses.
 	for i := uint64(0); i < 3; i++ {
@@ -104,14 +103,14 @@ func TestWorkingSetReplayCountsLines(t *testing.T) {
 
 func TestWorkingSetDetectsOverloadedSets(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("conflict", 64, "")
+	typ := descOf(a.RegisterType("conflict", 64, ""))
 	as := NewAddressSet()
 	geo := Geometry{LineSize: 64, Sets: 64, Ways: 2}
 	// 20 objects all mapping to set 5, plus light background in other sets.
 	for i := uint64(0); i < 20; i++ {
 		as.AddStatic(typ, (5+64*i)*64+0x40000000*0) // line index = 5 + 64i -> set 5
 	}
-	bg := a.RegisterType("bg", 64, "")
+	bg := descOf(a.RegisterType("bg", 64, ""))
 	for i := uint64(0); i < 8; i++ {
 		as.AddStatic(bg, (i+8)*64)
 	}
@@ -135,11 +134,11 @@ func TestWorkingSetDetectsOverloadedSets(t *testing.T) {
 
 func TestWorkingSetUsesTraceOffsets(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("big", 1024, "")
+	typ := descOf(a.RegisterType("big", 1024, ""))
 	as := NewAddressSet()
 	as.AddStatic(typ, 0x40000000)
 	// A path trace showing only the first 64 bytes are touched.
-	traces := map[*mem.Type][]*PathTrace{
+	traces := map[*TypeDesc][]*PathTrace{
 		typ: {{
 			Type: typ,
 			Steps: []PathStep{
@@ -160,13 +159,13 @@ func TestWorkingSetUsesTraceOffsets(t *testing.T) {
 
 func TestMissClassificationTrueSharing(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("shared", 64, "")
+	typ := descOf(a.RegisterType("shared", 64, ""))
 	st := NewSampleTable()
 	for i := 0; i < 50; i++ {
 		st.Add(typ, 0, ev("reader", 1, cache.ForeignHit, 200, false))
 	}
 	// Trace: writer on CPU0 then reader on CPU1 missing.
-	traces := map[*mem.Type][]*PathTrace{typ: {{
+	traces := map[*TypeDesc][]*PathTrace{typ: {{
 		Type: typ, Count: 10, Frequency: 1,
 		Steps: []PathStep{
 			{PC: sym.Intern("writer"), CPU: 0, OffLo: 0, OffHi: 8, Write: true},
@@ -196,14 +195,14 @@ func foreignProb() [cache.NumLevels]float64 {
 func TestMissClassificationFalseSharing(t *testing.T) {
 	a := testAlloc()
 	// Sub-line objects: two per cache line.
-	typ := a.RegisterTypeAligned("packed", 32, "", 32)
+	typ := descOf(a.RegisterTypeAligned("packed", 32, "", 32))
 	st := NewSampleTable()
 	for i := 0; i < 50; i++ {
 		st.Add(typ, 0, ev("reader", 1, cache.ForeignHit, 200, false))
 	}
 	// The object's own trace shows no cross-CPU write — the invalidations
 	// come from the neighbour on the same line, i.e. false sharing.
-	traces := map[*mem.Type][]*PathTrace{typ: {{
+	traces := map[*TypeDesc][]*PathTrace{typ: {{
 		Type: typ, Count: 10, Frequency: 1,
 		Steps: []PathStep{
 			{PC: sym.Intern("reader"), CPU: 0, OffLo: 0, OffHi: 8,
@@ -220,7 +219,7 @@ func TestMissClassificationFalseSharing(t *testing.T) {
 
 func TestMissClassificationCapacity(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("bulk", 64, "")
+	typ := descOf(a.RegisterType("bulk", 64, ""))
 	st := NewSampleTable()
 	for i := 0; i < 50; i++ {
 		st.Add(typ, 0, ev("scan", 0, cache.DRAM, 250, false))
@@ -234,7 +233,7 @@ func TestMissClassificationCapacity(t *testing.T) {
 
 func TestRenderersProduceTables(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("render", 128, "render me")
+	typ := descOf(a.RegisterType("render", 128, "render me"))
 	st := NewSampleTable()
 	for i := 0; i < 10; i++ {
 		st.Add(typ, 0, ev("f", 0, cache.DRAM, 250, false))

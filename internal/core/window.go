@@ -3,8 +3,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-
-	"dprof/internal/mem"
 )
 
 // WindowSnapshot is one closed accounting window of a windowed profiling
@@ -56,26 +54,26 @@ type viewReducer struct {
 	// needsTarget marks reducers that render nothing without a
 	// dataflow/pathtrace target type.
 	needsTarget bool
-	render      func(p *Profiler, target *mem.Type) (any, error)
+	render      func(src ProfileSource, target *TypeDesc) (any, error)
 }
 
 // reducers lists the windowed pipeline's view reducers in KnownViews order.
 // The rendered shapes are the service's stable JSON surface (ExportView).
 var reducers = []viewReducer{
-	{name: "dataprofile", render: func(p *Profiler, _ *mem.Type) (any, error) {
-		return p.DataProfile(), nil
+	{name: "dataprofile", render: func(src ProfileSource, _ *TypeDesc) (any, error) {
+		return DataProfileOf(src), nil
 	}},
-	{name: "workingset", render: func(p *Profiler, _ *mem.Type) (any, error) {
+	{name: "workingset", render: func(src ProfileSource, _ *TypeDesc) (any, error) {
 		return struct {
 			WorkingSet *WorkingSetView `json:"working_set"`
 			Residency  *ResidencyView  `json:"residency"`
-		}{p.WorkingSet(), p.CacheResidency(DefaultReplayObjects)}, nil
+		}{WorkingSetOf(src), CacheResidencyOf(src, DefaultReplayObjects)}, nil
 	}},
-	{name: "missclass", render: func(p *Profiler, _ *mem.Type) (any, error) {
-		return p.MissClassification(), nil
+	{name: "missclass", render: func(src ProfileSource, _ *TypeDesc) (any, error) {
+		return MissClassificationOf(src), nil
 	}},
-	{name: "dataflow", needsTarget: true, render: func(p *Profiler, target *mem.Type) (any, error) {
-		g := p.DataFlow(target)
+	{name: "dataflow", needsTarget: true, render: func(src ProfileSource, target *TypeDesc) (any, error) {
+		g := DataFlowOf(src, target)
 		type edgeJSON struct {
 			From  string `json:"from"`
 			To    string `json:"to"`
@@ -90,17 +88,18 @@ var reducers = []viewReducer{
 			CrossCPU []edgeJSON `json:"cross_cpu"`
 		}{g, edges}, nil
 	}},
-	{name: "pathtrace", needsTarget: true, render: func(p *Profiler, target *mem.Type) (any, error) {
-		return p.PathTraces(target), nil
+	{name: "pathtrace", needsTarget: true, render: func(src ProfileSource, target *TypeDesc) (any, error) {
+		return src.PathTraces(target), nil
 	}},
 }
 
-// ExportView renders one named view of a profiler as its stable JSON form —
-// the single serializer the HTTP service, the CLI -json flag, and window
-// snapshots all share, so every consumer emits byte-identical documents for
-// the same profile. target is required for the dataflow and pathtrace views
-// (nil renders them as JSON null, mirroring an absent target).
-func ExportView(p *Profiler, view string, target *mem.Type) (json.RawMessage, error) {
+// ExportView renders one named view of a profile source as its stable JSON
+// form — the single serializer the HTTP service, the CLI -json flag, and
+// window snapshots all share, so every consumer emits byte-identical
+// documents for the same profile. target is required for the dataflow and
+// pathtrace views (nil renders them as JSON null, mirroring an absent
+// target).
+func ExportView(src ProfileSource, view string, target *TypeDesc) (json.RawMessage, error) {
 	for _, r := range reducers {
 		if r.name != view {
 			continue
@@ -108,7 +107,7 @@ func ExportView(p *Profiler, view string, target *mem.Type) (json.RawMessage, er
 		if r.needsTarget && target == nil {
 			return json.RawMessage("null"), nil
 		}
-		v, err := r.render(p, target)
+		v, err := r.render(src, target)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +125,7 @@ func ExportView(p *Profiler, view string, target *mem.Type) (json.RawMessage, er
 type windowPipeline struct {
 	p      *Profiler
 	views  []string
-	target *mem.Type
+	target *TypeDesc
 	onSnap func(*WindowSnapshot)
 
 	index int
@@ -143,7 +142,7 @@ type windowPipeline struct {
 // window covering the whole run — the monolithic default — whose one
 // snapshot is taken by FinishWindows. views may be nil (snapshots then carry
 // only the sample deltas).
-func (p *Profiler) StartWindows(length uint64, views []string, target *mem.Type, onSnap func(*WindowSnapshot)) {
+func (p *Profiler) StartWindows(length uint64, views []string, target *TypeDesc, onSnap func(*WindowSnapshot)) {
 	if p.pipe != nil {
 		panic("core: StartWindows called twice")
 	}

@@ -4,16 +4,15 @@ import (
 	"strings"
 	"testing"
 
-	"dprof/internal/mem"
 	"dprof/internal/sym"
 )
 
 func TestWorkingSetReportsExecutionPaths(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("pathy", 2048, "")
+	typ := descOf(a.RegisterType("pathy", 2048, ""))
 	as := NewAddressSet()
 	as.AddStatic(typ, 0x40000000)
-	traces := map[*mem.Type][]*PathTrace{typ: {
+	traces := map[*TypeDesc][]*PathTrace{typ: {
 		{
 			Type: typ, Count: 8, Frequency: 0.8,
 			Steps: []PathStep{
@@ -51,7 +50,7 @@ func TestWorkingSetReportsExecutionPaths(t *testing.T) {
 
 func TestSummarizePathsTruncatesLongChains(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("longpath", 64, "")
+	typ := descOf(a.RegisterType("longpath", 64, ""))
 	var steps []PathStep
 	for _, fn := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
 		steps = append(steps, PathStep{PC: sym.Intern(fn)})
@@ -67,7 +66,7 @@ func TestSummarizePathsTruncatesLongChains(t *testing.T) {
 
 func TestSummarizePathsDedupesConsecutive(t *testing.T) {
 	a := testAlloc()
-	typ := a.RegisterType("dupes", 64, "")
+	typ := descOf(a.RegisterType("dupes", 64, ""))
 	steps := []PathStep{
 		{PC: sym.Intern("same")}, {PC: sym.Intern("same")}, {PC: sym.Intern("next")},
 	}

@@ -135,7 +135,7 @@ func runExtPEBS(quick bool) Result {
 			pPEBS.Samples.Add(nil, 0, &s.Ev)
 			return
 		}
-		pPEBS.Samples.Add(t, uint32(s.Ev.Addr-base), &s.Ev)
+		pPEBS.Samples.Add(pPEBS.Desc(t), uint32(s.Ev.Addr-base), &s.Ev)
 	})
 	pebsRun.Run(w.warmup, w.measure)
 	pebsMissFrac := 0.0
@@ -201,14 +201,15 @@ func runAblationMerge(quick bool) Result {
 
 	p.Sync()
 	all := p.Collector.Histories(skb)
+	skbd := p.Desc(skb)
 	var singles []*core.History
 	for _, h := range all {
 		if len(h.Offsets) == 1 {
 			singles = append(singles, h)
 		}
 	}
-	timeOnly := core.BuildPathTraces(skb, singles, p.Samples)
-	withPairs := core.BuildPathTraces(skb, all, p.Samples)
+	timeOnly := core.BuildPathTraces(skbd, singles, p.Samples)
+	withPairs := core.BuildPathTraces(skbd, all, p.Samples)
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "histories: %d single-offset, %d total (incl. pairs)\n", len(singles), len(all))

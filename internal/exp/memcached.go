@@ -73,7 +73,7 @@ func runFigure61(quick bool) Result {
 	sb.WriteString("\ncross-CPU transitions (bold edges in Figure 6-1):\n")
 	vals := map[string]float64{
 		"cross_cpu_edges": float64(len(edges)),
-		"histories":       float64(len(p.Collector.Histories(skb))),
+		"histories":       float64(len(p.HistoriesFor(skb))),
 	}
 	for _, e := range edges {
 		fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)

@@ -1,0 +1,92 @@
+package perfin
+
+// FixtureBytes builds the canonical synthetic perf.data fixture — a small
+// `perf mem record`-shaped capture of a 4-core run over a shared ring
+// buffer and a read-mostly index file. The checked-in copy at
+// testdata/mem.perf.data must stay byte-identical to this function's output
+// (TestFixtureFileUpToDate enforces it), so the binary blob in the repo is
+// always reproducible from source.
+//
+// The access pattern is chosen to light up every view:
+//   - ring_buffer offset 0x40 is write-shared across all four CPUs with
+//     HITM snoops (false/true sharing for the miss classifier, bouncing in
+//     the data profile, cross-CPU steps in dataflow/pathtrace);
+//   - ring_buffer offset 0x0 takes DRAM-latency misses (capacity);
+//   - index.dat is read-only L2/L3 traffic on two CPUs;
+//   - a few samples miss every mapping (the unresolved row);
+//   - CPU ids are sparse (0, 2, 5, 9) to exercise compaction.
+func FixtureBytes() []byte {
+	const st = sampleIP | sampleTID | sampleTime | sampleAddr |
+		sampleCPU | samplePeriod | sampleWeight | sampleDataSrc
+	w := NewFileWriter(st)
+
+	const (
+		codeBase = 0x400000
+		ringBase = 0x7f0000000000
+		idxBase  = 0x7f1000000000
+	)
+	w.Mmap(codeBase, 0x2000, "/usr/bin/ringd")
+	w.Mmap2(ringBase, 0x100000, "/dev/shm/ring_buffer")
+	w.Mmap2(idxBase, 0x800, "/tmp/index.dat")
+	w.Raw(recExit, make([]byte, 24)) // counted as an "other" record
+
+	cpus := []uint32{0, 2, 5, 9}
+	var t uint64 = 1_000_000
+	for i := 0; i < 240; i++ {
+		t += 2500
+		cpu := cpus[i%4]
+		switch {
+		case i%3 == 0:
+			// Write-shared ring slot: stores and HITM-snooped loads.
+			ds := DataSrc(memOpLoad, memLvlHit|memLvlL3, 0x04 /* HITM */)
+			weight := uint64(180 + i%40)
+			if i%6 == 0 {
+				ds = DataSrc(memOpStore, memLvlHit|memLvlL1, 0)
+				weight = 0
+			}
+			w.Sample(SampleSpec{
+				IP:      codeBase + 0x120,
+				Time:    t,
+				Addr:    ringBase + uint64(i%8)*0x1000 + 0x40,
+				CPU:     cpu,
+				Weight:  weight,
+				DataSrc: ds,
+			})
+		case i%3 == 1:
+			// Streaming scan of ring pages: local-DRAM misses.
+			w.Sample(SampleSpec{
+				IP:      codeBase + 0x240,
+				Time:    t,
+				Addr:    ringBase + uint64(i)*0x1000%0x100000,
+				CPU:     cpu,
+				Weight:  250,
+				DataSrc: DataSrc(memOpLoad, memLvlMiss|memLvlLocRAM, 0),
+			})
+		case i%12 == 2:
+			// Stray accesses outside every mapping: unresolved.
+			w.Sample(SampleSpec{
+				IP:      0xdead0000,
+				Time:    t,
+				Addr:    0xdead0000 + uint64(i),
+				CPU:     cpu,
+				Weight:  300,
+				DataSrc: DataSrc(memOpLoad, memLvlMiss, 0),
+			})
+		default:
+			// Read-mostly index lookups on two CPUs: L2/LFB hits.
+			lvl := uint64(memLvlHit | memLvlL2)
+			if i%2 == 0 {
+				lvl = memLvlHit | memLvlLFB
+			}
+			w.Sample(SampleSpec{
+				IP:      codeBase + 0x360,
+				Time:    t,
+				Addr:    idxBase + uint64(i%16)*0x40,
+				CPU:     cpus[i%2],
+				Weight:  14,
+				DataSrc: DataSrc(memOpLoad, lvl, 0),
+			})
+		}
+	}
+	return w.Bytes()
+}

@@ -1,0 +1,144 @@
+package perfin
+
+import "encoding/binary"
+
+// The perf.data on-disk format (little-endian throughout, matching the
+// kernel's perf_event ABI structures). Only the pieces the ingester needs
+// are modeled: the v2 file header, the attribute array (for sample_type),
+// and the data section's mmap/mmap2/sample records.
+
+// Magic is the perf.data v2 magic ("PERFILE2" little-endian).
+const Magic = "PERFILE2"
+
+// headerSize is sizeof(struct perf_file_header): magic(8) + size(8) +
+// attr_size(8) + 3 sections(16 each) + flags(8) + flags1[3](24).
+const headerSize = 104
+
+// perf_event_header record types (include/uapi/linux/perf_event.h).
+const (
+	recMmap   = 1
+	recExit   = 4
+	recFork   = 7
+	recSample = 9
+	recMmap2  = 10
+)
+
+// perf_event_attr.sample_type bits.
+const (
+	sampleIP        = 1 << 0
+	sampleTID       = 1 << 1
+	sampleTime      = 1 << 2
+	sampleAddr      = 1 << 3
+	sampleRead      = 1 << 4
+	sampleCallchain = 1 << 5
+	sampleID        = 1 << 6
+	sampleCPU       = 1 << 7
+	samplePeriod    = 1 << 8
+	sampleStreamID  = 1 << 9
+	sampleRaw       = 1 << 10
+	sampleWeight    = 1 << 14
+	sampleDataSrc   = 1 << 15
+
+	// supportedSampleBits are the sample_type bits the reader can walk
+	// past; any other bit would desynchronize the field cursor, so files
+	// using one are rejected as unsupported rather than misparsed.
+	supportedSampleBits = sampleIP | sampleTID | sampleTime | sampleAddr |
+		sampleCallchain | sampleID | sampleCPU | samplePeriod |
+		sampleStreamID | sampleWeight | sampleDataSrc
+)
+
+// perf_mem_data_src.mem_lvl bits (the PERF_MEM_LVL_* namespace).
+const (
+	memLvlNA      = 0x01
+	memLvlHit     = 0x02
+	memLvlMiss    = 0x04
+	memLvlL1      = 0x08
+	memLvlLFB     = 0x10
+	memLvlL2      = 0x20
+	memLvlL3      = 0x40
+	memLvlLocRAM  = 0x80
+	memLvlRemRAM1 = 0x100
+	memLvlRemRAM2 = 0x200
+	memLvlRemCCE1 = 0x400
+	memLvlRemCCE2 = 0x800
+)
+
+// perf_mem_data_src.mem_op bits.
+const (
+	memOpNA    = 0x01
+	memOpLoad  = 0x02
+	memOpStore = 0x04
+)
+
+// memLvlOf extracts the mem_lvl bit field of a perf_mem_data_src value
+// (op:5 lvl:14 snoop:5 lock:2 dtlb:7 rsvd).
+func memLvlOf(dataSrc uint64) uint64 { return (dataSrc >> 5) & 0x3fff }
+
+// memOpOf extracts the mem_op bit field.
+func memOpOf(dataSrc uint64) uint64 { return dataSrc & 0x1f }
+
+// cursor is a bounds-checked little-endian reader over a byte slice. Every
+// accessor reports failure instead of panicking, which is what lets the
+// parser guarantee typed errors on arbitrary (fuzzed) input.
+type cursor struct {
+	buf []byte
+	off int
+	// base is the absolute file offset of buf[0], for error messages.
+	base int64
+}
+
+// pos returns the cursor's absolute file offset.
+func (c *cursor) pos() int64 { return c.base + int64(c.off) }
+
+// remaining returns how many bytes are left.
+func (c *cursor) remaining() int { return len(c.buf) - c.off }
+
+func (c *cursor) u16() (uint16, bool) {
+	if c.remaining() < 2 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint16(c.buf[c.off:])
+	c.off += 2
+	return v, true
+}
+
+func (c *cursor) u32() (uint32, bool) {
+	if c.remaining() < 4 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, true
+}
+
+func (c *cursor) u64() (uint64, bool) {
+	if c.remaining() < 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, true
+}
+
+// skip advances n bytes.
+func (c *cursor) skip(n int) bool {
+	if n < 0 || c.remaining() < n {
+		return false
+	}
+	c.off += n
+	return true
+}
+
+// cstr reads a NUL-terminated string from the remainder of the buffer (the
+// trailing-filename convention of mmap records; padding after the NUL is
+// part of the record and already sliced off by the caller's record bounds).
+func (c *cursor) cstr() (string, bool) {
+	for i := c.off; i < len(c.buf); i++ {
+		if c.buf[i] == 0 {
+			s := string(c.buf[c.off:i])
+			c.off = len(c.buf)
+			return s, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,114 @@
+package perfin
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkTypedError asserts the parser's contract on arbitrary input: either a
+// clean parse or a typed error — never a panic, never an anonymous error.
+func checkTypedError(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var fe *FormatError
+	var ue *UnsupportedError
+	if !errors.As(err, &fe) && !errors.As(err, &ue) {
+		t.Errorf("%s: untyped parse error %T: %v", name, err, err)
+	}
+}
+
+// TestFuzzSeeds replays the checked-in seed corpus on every test run — the
+// CI-speed stand-in for a real fuzzing session.
+func TestFuzzSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz_seeds")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run `go run ./internal/perfin/gen`): %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus empty")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perr := Parse(data)
+		checkTypedError(t, e.Name(), perr)
+	}
+}
+
+// TestSeedCorpusUpToDate pins the checked-in corpus to its generator.
+func TestSeedCorpusUpToDate(t *testing.T) {
+	for name, want := range SeedCorpus() {
+		disk, err := os.ReadFile(filepath.Join("testdata", "fuzz_seeds", name))
+		if err != nil {
+			t.Errorf("seed %s missing (run `go run ./internal/perfin/gen`): %v", name, err)
+			continue
+		}
+		if string(disk) != string(want) {
+			t.Errorf("seed %s drifted from SeedCorpus(); run `go run ./internal/perfin/gen`", name)
+		}
+	}
+}
+
+// TestExpectedSeedOutcomes pins which seeds parse and which fail, and with
+// what error type — so a parser change that silently starts accepting
+// corrupt files (or rejecting valid ones) is caught.
+func TestExpectedSeedOutcomes(t *testing.T) {
+	seeds := SeedCorpus()
+	wantOK := map[string]bool{
+		"valid.perf.data":      true,
+		"empty-data.perf.data": true,
+	}
+	wantUnsupported := map[string]bool{
+		"unsupported-bits.perf.data": true,
+		"no-mem-fields.perf.data":    true,
+	}
+	for name, data := range seeds {
+		_, err := Parse(data)
+		switch {
+		case wantOK[name]:
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+		case wantUnsupported[name]:
+			var ue *UnsupportedError
+			if !errors.As(err, &ue) {
+				t.Errorf("%s: err = %v, want *UnsupportedError", name, err)
+			}
+		default:
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: err = %v, want *FormatError", name, err)
+			}
+		}
+	}
+}
+
+// FuzzParse fuzzes the whole reader. Run with:
+//
+//	go test -fuzz=FuzzParse -fuzztime=30s ./internal/perfin
+func FuzzParse(f *testing.F) {
+	for _, seed := range SeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data) // must not panic
+		if err != nil {
+			var fe *FormatError
+			var ue *UnsupportedError
+			if !errors.As(err, &fe) && !errors.As(err, &ue) {
+				t.Fatalf("untyped parse error %T: %v", err, err)
+			}
+			return
+		}
+		if p.Source == nil || p.Types == nil {
+			t.Fatal("successful parse with nil profile parts")
+		}
+	})
+}

@@ -1,0 +1,41 @@
+// Command gen regenerates internal/perfin's checked-in binary testdata: the
+// canonical perf.data fixture and the fuzz seed corpus. Run from the repo
+// root after changing the writer or fixture:
+//
+//	go run ./internal/perfin/gen
+//
+// TestFixtureFileUpToDate and TestFuzzSeeds fail if the checked-in bytes
+// drift from what this program produces.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dprof/internal/perfin"
+)
+
+func main() {
+	root := "internal/perfin/testdata"
+	if err := os.MkdirAll(filepath.Join(root, "fuzz_seeds"), 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(rel string, data []byte) {
+		p := filepath.Join(root, rel)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", p, len(data))
+	}
+
+	write("mem.perf.data", perfin.FixtureBytes())
+	for name, data := range perfin.SeedCorpus() {
+		write(filepath.Join("fuzz_seeds", name), data)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

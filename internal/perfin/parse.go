@@ -1,0 +1,567 @@
+package perfin
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"sort"
+
+	"dprof/internal/cache"
+	"dprof/internal/core"
+	"dprof/internal/sim"
+	"dprof/internal/sym"
+)
+
+// maxObjStride caps the object stride a mapping contributes as its "type
+// size": large mappings are treated as arrays of page-sized objects, so
+// sampled offsets fold into a page and the per-offset views (hot offsets,
+// false sharing, range math) see element structure instead of raw gigabyte
+// offsets.
+const maxObjStride = 4096
+
+// maxHistElems bounds each synthesized access history (mirrors the
+// collector's runaway cap).
+const maxHistElems = 4096
+
+// mapping is one PERF_RECORD_MMAP/MMAP2 region.
+type mapping struct {
+	start, end uint64
+	name       string // basename of the mapped file
+	full       string // full recorded path (descriptor text)
+}
+
+// sample is one decoded PERF_RECORD_SAMPLE.
+type sample struct {
+	ip      uint64
+	addr    uint64
+	time    uint64
+	cpu     uint32
+	weight  uint64
+	dataSrc uint64
+	hasCPU  bool
+}
+
+// Profile is one ingested perf.data file, wrapped as a profile source the
+// whole analysis stack accepts.
+type Profile struct {
+	Source *core.StaticProfile
+	Types  *core.TypeSet
+	Stats  Stats
+
+	// TimeStart/TimeEnd span the sampled timestamps (perf clock, ns).
+	TimeStart, TimeEnd uint64
+}
+
+// DefaultTarget picks the dataflow/pathtrace target for sessions that do
+// not name one: the type with the most sampled L1 misses (most samples,
+// then name, as tie-breaks).
+func (p *Profile) DefaultTarget() *core.TypeDesc {
+	byType := p.Source.SampleTable().ByType()
+	var best *core.TypeDesc
+	var bestAgg *core.TypeAggregate
+	for _, d := range p.Types.All() {
+		agg := byType[d]
+		if agg == nil {
+			continue
+		}
+		if best == nil ||
+			agg.Misses > bestAgg.Misses ||
+			(agg.Misses == bestAgg.Misses && agg.Samples > bestAgg.Samples) ||
+			(agg.Misses == bestAgg.Misses && agg.Samples == bestAgg.Samples && d.Name < best.Name) {
+			best, bestAgg = d, agg
+		}
+	}
+	return best
+}
+
+// ParseFile reads and ingests a perf.data file from disk.
+func ParseFile(name string) (*Profile, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return p, nil
+}
+
+// Parse ingests an in-memory perf.data image. Malformed input returns a
+// *FormatError; structurally valid files the reader cannot walk return an
+// *UnsupportedError. Parse never panics.
+func Parse(data []byte) (*Profile, error) {
+	hdr, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	sampleType, err := parseFirstAttr(data, hdr)
+	if err != nil {
+		return nil, err
+	}
+	if sampleType&sampleAddr == 0 || sampleType&sampleDataSrc == 0 {
+		return nil, &UnsupportedError{Msg: fmt.Sprintf(
+			"sample_type %#x lacks PERF_SAMPLE_ADDR|PERF_SAMPLE_DATA_SRC (record with `perf mem record`)", sampleType)}
+	}
+	if unknown := sampleType &^ uint64(supportedSampleBits); unknown != 0 {
+		return nil, &UnsupportedError{Msg: fmt.Sprintf("sample_type bits %#x not supported", unknown)}
+	}
+
+	p := &Profile{Types: core.NewTypeSet()}
+	p.Stats.FilesParsed = 1
+
+	maps, samples, err := walkData(data, hdr, sampleType, &p.Stats)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.Mappings = len(maps)
+	p.build(maps, samples)
+	return p, nil
+}
+
+// fileHeader is the slice of struct perf_file_header the reader uses.
+type fileHeader struct {
+	attrSize         uint64
+	attrOff, attrLen uint64
+	dataOff, dataLen uint64
+}
+
+func parseHeader(data []byte) (fileHeader, error) {
+	var h fileHeader
+	if len(data) < headerSize {
+		return h, errf(int64(len(data)), "file truncated: %d bytes, header needs %d", len(data), headerSize)
+	}
+	if string(data[:8]) != Magic {
+		return h, errf(0, "bad magic %q (want %q)", data[:8], Magic)
+	}
+	c := &cursor{buf: data[:headerSize], off: 8}
+	size, _ := c.u64()
+	h.attrSize, _ = c.u64()
+	c.skip(16) // attr_ids section (unused)
+	h.attrOff, _ = c.u64()
+	h.attrLen, _ = c.u64()
+	h.dataOff, _ = c.u64()
+	h.dataLen, _ = c.u64()
+	if size < headerSize {
+		return h, errf(8, "header size %d below minimum %d", size, headerSize)
+	}
+	for _, s := range []struct {
+		what     string
+		off, len uint64
+	}{{"attr section", h.attrOff, h.attrLen}, {"data section", h.dataOff, h.dataLen}} {
+		if s.off > uint64(len(data)) || s.len > uint64(len(data))-s.off {
+			return h, errf(int64(s.off), "%s [%#x, +%#x) outside %d-byte file", s.what, s.off, s.len, len(data))
+		}
+	}
+	return h, nil
+}
+
+// parseFirstAttr extracts sample_type from the first perf_event_attr. All
+// events in a `perf mem record` file share the memory-sample layout, so one
+// attr describes every sample record the reader touches.
+func parseFirstAttr(data []byte, hdr fileHeader) (uint64, error) {
+	if hdr.attrLen == 0 {
+		return 0, errf(int64(hdr.attrOff), "empty attr section")
+	}
+	if hdr.attrSize == 0 || hdr.attrLen%hdr.attrSize != 0 {
+		return 0, errf(int64(hdr.attrOff), "attr section length %d not a multiple of attr size %d", hdr.attrLen, hdr.attrSize)
+	}
+	// perf_event_attr: type u32, size u32, config u64, sample_period u64,
+	// sample_type u64 — sample_type sits 24 bytes in.
+	if hdr.attrSize < 32 {
+		return 0, errf(int64(hdr.attrOff), "attr size %d too small for perf_event_attr", hdr.attrSize)
+	}
+	c := &cursor{buf: data[hdr.attrOff : hdr.attrOff+hdr.attrSize], base: int64(hdr.attrOff)}
+	c.skip(24)
+	st, ok := c.u64()
+	if !ok {
+		return 0, errf(c.pos(), "attr truncated before sample_type")
+	}
+	return st, nil
+}
+
+// walkData iterates the data section's records, collecting mappings and
+// decoded samples in file order.
+func walkData(data []byte, hdr fileHeader, sampleType uint64, stats *Stats) ([]mapping, []sample, error) {
+	var maps []mapping
+	var samples []sample
+	c := &cursor{buf: data[hdr.dataOff : hdr.dataOff+hdr.dataLen], base: int64(hdr.dataOff)}
+	for c.remaining() > 0 {
+		recStart := c.pos()
+		typ, ok1 := c.u32()
+		misc, ok2 := c.u16()
+		size, ok3 := c.u16()
+		_ = misc
+		if !ok1 || !ok2 || !ok3 {
+			return nil, nil, errf(recStart, "record header truncated")
+		}
+		if size < 8 {
+			return nil, nil, errf(recStart, "record size %d below header size", size)
+		}
+		body := int(size) - 8
+		if c.remaining() < body {
+			return nil, nil, errf(recStart, "record body truncated: need %d bytes, have %d", body, c.remaining())
+		}
+		rc := &cursor{buf: c.buf[c.off : c.off+body], base: c.pos()}
+		c.skip(body)
+		switch typ {
+		case recMmap, recMmap2:
+			m, err := parseMmap(rc, typ == recMmap2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m.end > m.start {
+				maps = append(maps, m)
+			}
+		case recSample:
+			s, err := parseSample(rc, sampleType)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.SamplesTotal++
+			samples = append(samples, s)
+		default:
+			stats.OtherRecords++
+		}
+	}
+	return maps, samples, nil
+}
+
+func parseMmap(c *cursor, v2 bool) (mapping, error) {
+	var m mapping
+	if !c.skip(8) { // pid, tid
+		return m, errf(c.pos(), "mmap record truncated")
+	}
+	start, ok1 := c.u64()
+	length, ok2 := c.u64()
+	_, ok3 := c.u64() // pgoff
+	if !ok1 || !ok2 || !ok3 {
+		return m, errf(c.pos(), "mmap record truncated")
+	}
+	if v2 {
+		// maj, min, ino, ino_generation, prot, flags
+		if !c.skip(4 + 4 + 8 + 8 + 4 + 4) {
+			return m, errf(c.pos(), "mmap2 record truncated")
+		}
+	}
+	name, ok := c.cstr()
+	if !ok {
+		return m, errf(c.pos(), "mmap filename not NUL-terminated")
+	}
+	m.start = start
+	m.end = start + length
+	if m.end < m.start { // overflow
+		m.end = ^uint64(0)
+	}
+	m.full = name
+	m.name = path.Base(name)
+	if m.name == "." || m.name == "/" || m.name == "" {
+		m.name = "[unknown]"
+	}
+	return m, nil
+}
+
+// parseSample walks a PERF_RECORD_SAMPLE body in the kernel's field order
+// for the supported sample_type bits.
+func parseSample(c *cursor, sampleType uint64) (sample, error) {
+	var s sample
+	fail := func() (sample, error) { return s, errf(c.pos(), "sample record truncated") }
+	var ok bool
+	if sampleType&sampleIP != 0 {
+		if s.ip, ok = c.u64(); !ok {
+			return fail()
+		}
+	}
+	if sampleType&sampleTID != 0 {
+		if !c.skip(8) {
+			return fail()
+		}
+	}
+	if sampleType&sampleTime != 0 {
+		if s.time, ok = c.u64(); !ok {
+			return fail()
+		}
+	}
+	if sampleType&sampleAddr != 0 {
+		if s.addr, ok = c.u64(); !ok {
+			return fail()
+		}
+	}
+	if sampleType&sampleID != 0 {
+		if !c.skip(8) {
+			return fail()
+		}
+	}
+	if sampleType&sampleStreamID != 0 {
+		if !c.skip(8) {
+			return fail()
+		}
+	}
+	if sampleType&sampleCPU != 0 {
+		cpu, ok1 := c.u32()
+		_, ok2 := c.u32() // res
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		s.cpu, s.hasCPU = cpu, true
+	}
+	if sampleType&samplePeriod != 0 {
+		if !c.skip(8) {
+			return fail()
+		}
+	}
+	if sampleType&sampleCallchain != 0 {
+		nr, ok := c.u64()
+		if !ok {
+			return fail()
+		}
+		if nr > uint64(c.remaining()/8) {
+			return s, errf(c.pos(), "callchain length %d exceeds record", nr)
+		}
+		if !c.skip(int(nr) * 8) {
+			return fail()
+		}
+	}
+	if sampleType&sampleWeight != 0 {
+		if s.weight, ok = c.u64(); !ok {
+			return fail()
+		}
+	}
+	if sampleType&sampleDataSrc != 0 {
+		if s.dataSrc, ok = c.u64(); !ok {
+			return fail()
+		}
+	}
+	return s, nil
+}
+
+// levelOf maps a perf_mem_data_src value onto the simulator's cache levels.
+// The file knows nothing about socket layout, so remote-cache hits map to
+// the cross-chip level and local foreign transfers are invisible (perf
+// folds them into cache hits with HITM snoops, which the reader surfaces as
+// ForeignHit).
+func levelOf(dataSrc uint64) cache.Level {
+	lvl := memLvlOf(dataSrc)
+	snoop := (dataSrc >> 19) & 0x1f
+	const snoopHitM = 0x04 // PERF_MEM_SNOOP_HITM
+	switch {
+	case lvl&(memLvlRemRAM1|memLvlRemRAM2) != 0:
+		return cache.DRAMRemote
+	case lvl&(memLvlRemCCE1|memLvlRemCCE2) != 0:
+		return cache.ForeignRemote
+	case snoop&snoopHitM != 0:
+		return cache.ForeignHit
+	case lvl&memLvlLocRAM != 0:
+		return cache.DRAM
+	case lvl&memLvlL3 != 0:
+		return cache.L3Hit
+	case lvl&(memLvlL2|memLvlLFB) != 0:
+		return cache.L2Hit
+	case lvl&memLvlL1 != 0 && lvl&memLvlMiss != 0:
+		return cache.L2Hit // L1 miss with no deeper attribution
+	case lvl&memLvlL1 != 0:
+		return cache.L1Hit
+	case lvl&memLvlMiss != 0:
+		return cache.DRAM // a miss with no level attribution
+	default:
+		return cache.L1Hit // NA / hit with no level: assume cheap
+	}
+}
+
+// latencyOf returns the sampled access cost in cycles: the PEBS/IBS weight
+// when recorded, else the simulator's configured latency for the level.
+func latencyOf(s *sample, lv cache.Level, cfg cache.Config) uint32 {
+	if s.weight > 0 {
+		if s.weight > uint64(^uint32(0)) {
+			return ^uint32(0)
+		}
+		return uint32(s.weight)
+	}
+	switch lv {
+	case cache.L2Hit:
+		return cfg.LatL2
+	case cache.L3Hit:
+		return cfg.LatL3
+	case cache.ForeignHit:
+		return cfg.LatForeign
+	case cache.ForeignRemote:
+		return cfg.LatForeignRemote
+	case cache.DRAM:
+		return cfg.LatDRAM
+	case cache.DRAMRemote:
+		return cfg.LatDRAMRemote
+	default:
+		return cfg.LatL1
+	}
+}
+
+// build folds the collected mappings and samples into the profile model.
+func (p *Profile) build(maps []mapping, samples []sample) {
+	cfg := cache.DefaultConfig()
+	st := core.NewSampleTable()
+	as := core.NewAddressSet()
+
+	// The mmap table is the type oracle: one descriptor per mapped file
+	// name, with large mappings treated as arrays of page-sized objects.
+	descs := make([]*core.TypeDesc, len(maps))
+	for i, m := range maps {
+		stride := m.end - m.start
+		if stride > maxObjStride {
+			stride = maxObjStride
+		}
+		d := p.Types.Intern(m.name, m.full, stride, stride)
+		descs[i] = d
+		as.AddStatic(d, m.start)
+	}
+	resolve := func(addr uint64) (*core.TypeDesc, uint32) {
+		// Later mappings win on overlap, matching kernel replacement.
+		for i := len(maps) - 1; i >= 0; i-- {
+			if addr >= maps[i].start && addr < maps[i].end {
+				d := descs[i]
+				return d, uint32((addr - maps[i].start) % d.ObjSize)
+			}
+		}
+		return nil, 0
+	}
+
+	// Compact the sampled CPU ids into dense core indices (sample CPU
+	// masks are 64-bit): the distinct raw ids, ascending. Samples beyond
+	// the mask width drop with a counted reason rather than corrupting
+	// masks.
+	cpuIdx := compactCPUs(samples)
+	ncores := len(cpuIdx)
+	if ncores == 0 {
+		ncores = 1
+	}
+	if ncores > cache.MaxCores {
+		ncores = cache.MaxCores
+	}
+
+	type typeState struct {
+		d     *core.TypeDesc
+		hist  *core.History
+		offs  map[uint32]bool
+		first uint64
+	}
+	var order []*typeState
+	states := make(map[*core.TypeDesc]*typeState)
+
+	for i := range samples {
+		s := &samples[i]
+		if p.TimeStart == 0 || s.time < p.TimeStart {
+			p.TimeStart = s.time
+		}
+		if s.time > p.TimeEnd {
+			p.TimeEnd = s.time
+		}
+		core0 := 0
+		if s.hasCPU {
+			idx, ok := cpuIdx[s.cpu]
+			if !ok || idx >= cache.MaxCores {
+				p.Stats.drop("cpu beyond 64-core mask")
+				continue
+			}
+			core0 = idx
+		}
+		lv := levelOf(s.dataSrc)
+		d, off := resolve(s.addr)
+		ev := sim.AccessEvent{
+			Time:    s.time,
+			Core:    core0,
+			PC:      ipSym(maps, s.ip),
+			Addr:    s.addr,
+			Size:    8,
+			Write:   memOpOf(s.dataSrc)&memOpStore != 0,
+			Level:   lv,
+			Latency: latencyOf(s, lv, cfg),
+		}
+		st.Add(d, off, &ev)
+		p.Stats.SamplesKept++
+		if d == nil {
+			continue
+		}
+		ts := states[d]
+		if ts == nil {
+			ts = &typeState{
+				d:     d,
+				first: s.time,
+				offs:  make(map[uint32]bool),
+				hist: &core.History{
+					Type:      d,
+					WatchLen:  8,
+					AllocCore: int32(core0),
+					Truncated: true, // mappings outlive the recording
+				},
+			}
+			states[d] = ts
+			order = append(order, ts)
+		}
+		if len(ts.hist.Elems) < maxHistElems {
+			rel := uint64(0)
+			if s.time > ts.first {
+				rel = s.time - ts.first
+			}
+			if n := len(ts.hist.Elems); n > 0 && ts.hist.Elems[n-1].Time > rel {
+				rel = ts.hist.Elems[n-1].Time
+			}
+			ts.hist.Elems = append(ts.hist.Elems, core.HistElem{
+				Offset: off & ^uint32(7), // watchpoint-aligned, like the collector
+				IP:     ev.PC,
+				CPU:    int32(core0),
+				Time:   rel,
+				Write:  ev.Write,
+			})
+			ts.offs[off & ^uint32(7)] = true
+		}
+	}
+
+	// Finish the synthesized histories: watched offsets are the distinct
+	// sampled offsets, and lifetime spans the samples.
+	hists := make(map[*core.TypeDesc][]*core.History, len(order))
+	for _, ts := range order {
+		for o := range ts.offs {
+			ts.hist.Offsets = append(ts.hist.Offsets, o)
+		}
+		sort.Slice(ts.hist.Offsets, func(i, j int) bool { return ts.hist.Offsets[i] < ts.hist.Offsets[j] })
+		if n := len(ts.hist.Elems); n > 0 {
+			ts.hist.Lifetime = ts.hist.Elems[n-1].Time
+		}
+		hists[ts.d] = []*core.History{ts.hist}
+	}
+
+	topo := cache.SingleSocket(ncores)
+	p.Source = core.NewStaticProfile(p.Types, st, as, hists, cfg, topo)
+}
+
+// compactCPUs maps the distinct sampled CPU ids, ascending, onto dense core
+// indices.
+func compactCPUs(samples []sample) map[uint32]int {
+	seen := make(map[uint32]bool)
+	for i := range samples {
+		if samples[i].hasCPU {
+			seen[samples[i].cpu] = true
+		}
+	}
+	ids := make([]uint32, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	idx := make(map[uint32]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	return idx
+}
+
+// ipSym symbolizes a sampled instruction pointer against the mmap table:
+// mapped-file basename plus the cache-line-rounded offset. The granularity
+// bounds symbol cardinality while keeping distinct call sites apart.
+func ipSym(maps []mapping, ip uint64) sym.PC {
+	for i := len(maps) - 1; i >= 0; i-- {
+		if ip >= maps[i].start && ip < maps[i].end {
+			return sym.Intern(fmt.Sprintf("%s+0x%x", maps[i].name, (ip-maps[i].start) & ^uint64(63)))
+		}
+	}
+	return sym.Intern("[unknown_pc]")
+}

@@ -1,0 +1,283 @@
+package perfin
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dprof/internal/cache"
+	"dprof/internal/core"
+)
+
+func TestParseFixture(t *testing.T) {
+	p, err := Parse(FixtureBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Mappings != 3 {
+		t.Fatalf("mappings = %d, want 3", p.Stats.Mappings)
+	}
+	if p.Stats.SamplesTotal != 240 || p.Stats.SamplesKept != 240 || p.Stats.SamplesDropped != 0 {
+		t.Fatalf("samples = %+v", p.Stats)
+	}
+	if p.Stats.OtherRecords != 1 {
+		t.Fatalf("other records = %d, want 1 (the exit record)", p.Stats.OtherRecords)
+	}
+
+	ring := p.Source.TypeByName("ring_buffer")
+	idx := p.Source.TypeByName("index.dat")
+	if ring == nil || idx == nil {
+		t.Fatalf("mapping types missing: ring=%v idx=%v (names %v)", ring, idx, p.Types.Names())
+	}
+	if ring.ObjSize != maxObjStride {
+		t.Fatalf("large mapping stride = %d, want %d", ring.ObjSize, maxObjStride)
+	}
+	if idx.ObjSize != 0x800 {
+		t.Fatalf("small mapping stride = %d, want whole mapping", idx.ObjSize)
+	}
+
+	byType := p.Source.SampleTable().ByType()
+	if byType[nil] == nil || byType[nil].Samples == 0 {
+		t.Fatal("stray samples did not land in the unresolved row")
+	}
+	ra := byType[ring]
+	if ra == nil || ra.Misses == 0 {
+		t.Fatalf("ring aggregate = %+v", ra)
+	}
+	if ra.Levels[cache.ForeignHit] == 0 {
+		t.Fatal("HITM snoops did not map to ForeignHit")
+	}
+	if ra.Levels[cache.DRAM] == 0 {
+		t.Fatal("local-RAM misses did not map to DRAM")
+	}
+	ia := byType[idx]
+	if ia.Levels[cache.L2Hit] != ia.Samples {
+		t.Fatalf("index levels = %v, want all L2Hit", ia.Levels)
+	}
+	if ia.Levels[cache.DRAM] != 0 || ia.Levels[cache.ForeignHit] != 0 {
+		t.Fatalf("read-mostly index shows sharing/DRAM traffic: %v", ia.Levels)
+	}
+
+	// Sparse CPU ids 0,2,5,9 compact to a 4-core single socket.
+	if n := p.Source.Topology().NumCores(); n != 4 {
+		t.Fatalf("cores = %d, want 4", n)
+	}
+
+	if got := p.DefaultTarget(); got != ring {
+		t.Fatalf("default target = %v, want ring_buffer", got)
+	}
+	if p.TimeStart == 0 || p.TimeEnd <= p.TimeStart {
+		t.Fatalf("time span [%d, %d]", p.TimeStart, p.TimeEnd)
+	}
+
+	// The ingested profile must feed every view through the shared exporter.
+	for _, view := range core.KnownViews {
+		raw, err := core.ExportView(p.Source, view, ring)
+		if err != nil {
+			t.Fatalf("ExportView(%s): %v", view, err)
+		}
+		if len(raw) == 0 || string(raw) == "null" {
+			t.Fatalf("ExportView(%s) = %q", view, raw)
+		}
+	}
+}
+
+func TestParseFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.perf.data")
+	if err := os.WriteFile(path, FixtureBytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.SamplesKept != 240 {
+		t.Fatalf("kept = %d", p.Stats.SamplesKept)
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestFixtureFileUpToDate(t *testing.T) {
+	disk, err := os.ReadFile(filepath.Join("testdata", "mem.perf.data"))
+	if err != nil {
+		t.Fatalf("checked-in fixture missing (run `go run ./internal/perfin/gen`): %v", err)
+	}
+	if !bytes.Equal(disk, FixtureBytes()) {
+		t.Fatal("testdata/mem.perf.data drifted from FixtureBytes; run `go run ./internal/perfin/gen`")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	valid := FixtureBytes()
+	mangle := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short header":     valid[:50],
+		"bad magic":        mangle(func(b []byte) []byte { copy(b, "XXXXXXXX"); return b }),
+		"truncated record": valid[:len(valid)-3],
+		"attr oob": mangle(func(b []byte) []byte {
+			b[48] = 0xff // attrs.offset low byte -> past EOF alignment
+			copy(b[48:56], []byte{0, 0, 0, 0, 0, 0, 0, 1})
+			return b
+		}),
+	}
+	for name, data := range cases {
+		_, err := Parse(data)
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: err = %v, want *FormatError", name, err)
+		}
+	}
+}
+
+func TestParseRejectsUnsupported(t *testing.T) {
+	cases := map[string]uint64{
+		"no addr":     sampleIP | sampleTime | sampleDataSrc,
+		"no data_src": sampleIP | sampleAddr,
+		"read bit":    sampleAddr | sampleDataSrc | sampleRead,
+		"raw bit":     sampleAddr | sampleDataSrc | sampleRaw,
+	}
+	for name, st := range cases {
+		_, err := Parse(NewFileWriter(st).Bytes())
+		var ue *UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: err = %v, want *UnsupportedError", name, err)
+		}
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	cases := []struct {
+		lvl, snoop uint64
+		want       cache.Level
+	}{
+		{memLvlHit | memLvlL1, 0, cache.L1Hit},
+		{memLvlHit | memLvlLFB, 0, cache.L2Hit},
+		{memLvlHit | memLvlL2, 0, cache.L2Hit},
+		{memLvlMiss | memLvlL1, 0, cache.L2Hit},
+		{memLvlHit | memLvlL3, 0, cache.L3Hit},
+		{memLvlHit | memLvlL3, 0x04, cache.ForeignHit},
+		{memLvlHit | memLvlRemCCE1, 0, cache.ForeignRemote},
+		{memLvlMiss | memLvlLocRAM, 0, cache.DRAM},
+		{memLvlMiss | memLvlRemRAM1, 0, cache.DRAMRemote},
+		{memLvlMiss, 0, cache.DRAM},
+		{memLvlNA, 0, cache.L1Hit},
+	}
+	for _, c := range cases {
+		if got := levelOf(DataSrc(memOpLoad, c.lvl, c.snoop)); got != c.want {
+			t.Errorf("levelOf(lvl=%#x snoop=%#x) = %v, want %v", c.lvl, c.snoop, got, c.want)
+		}
+	}
+}
+
+func TestStoreSamplesAreWrites(t *testing.T) {
+	w := NewFileWriter(sampleAddr | sampleCPU | sampleDataSrc)
+	w.Mmap(0x1000, 0x100, "/x/buf")
+	w.Sample(SampleSpec{Addr: 0x1008, CPU: 0, DataSrc: DataSrc(memOpStore, memLvlHit|memLvlL1, 0)})
+	p, err := Parse(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.Source.SampleTable().ByType()[p.Source.TypeByName("buf")]
+	if agg == nil || agg.WriteCPUs == 0 {
+		t.Fatalf("store sample not recorded as a write: %+v", agg)
+	}
+}
+
+func TestOffsetFolding(t *testing.T) {
+	w := NewFileWriter(sampleAddr | sampleDataSrc)
+	w.Mmap(0x10000, 1<<20, "/x/big") // stride folds to 4096
+	// Two addresses one stride apart must land on the same offset key.
+	for _, a := range []uint64{0x10000 + 0x18, 0x10000 + 0x18 + maxObjStride} {
+		w.Sample(SampleSpec{Addr: a, DataSrc: DataSrc(memOpLoad, memLvlMiss|memLvlLocRAM, 0)})
+	}
+	p, err := Parse(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Source.TypeByName("big")
+	hot := p.Source.SampleTable().HotOffsets(d, 1, 10)
+	if len(hot) != 1 || hot[0] != 0x18 {
+		t.Fatalf("hot offsets = %v, want exactly [0x18]", hot)
+	}
+	if agg := p.Source.SampleTable().ByType()[d]; agg.Samples != 2 {
+		t.Fatalf("folded samples = %d, want 2", agg.Samples)
+	}
+}
+
+func TestCPUBeyondMaskDrops(t *testing.T) {
+	w := NewFileWriter(sampleAddr | sampleCPU | sampleDataSrc)
+	w.Mmap(0x1000, 0x100, "/x/buf")
+	for cpu := uint32(0); cpu < 70; cpu++ {
+		w.Sample(SampleSpec{Addr: 0x1000, CPU: cpu, DataSrc: DataSrc(memOpLoad, memLvlHit|memLvlL1, 0)})
+	}
+	p, err := Parse(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.SamplesKept != 64 || p.Stats.SamplesDropped != 6 {
+		t.Fatalf("kept/dropped = %d/%d, want 64/6", p.Stats.SamplesKept, p.Stats.SamplesDropped)
+	}
+	if p.Stats.DropReasons["cpu beyond 64-core mask"] != 6 {
+		t.Fatalf("drop reasons = %v", p.Stats.DropReasons)
+	}
+	if n := p.Source.Topology().NumCores(); n != cache.MaxCores {
+		t.Fatalf("cores = %d, want clamped to %d", n, cache.MaxCores)
+	}
+}
+
+func TestSynthesizedHistories(t *testing.T) {
+	p, err := Parse(FixtureBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := p.Source.TypeByName("ring_buffer")
+	hists := p.Source.HistoriesFor(ring)
+	if len(hists) != 1 {
+		t.Fatalf("histories = %d, want 1", len(hists))
+	}
+	h := hists[0]
+	if h.Type != ring || len(h.Elems) == 0 || len(h.Offsets) == 0 {
+		t.Fatalf("history = %+v", h)
+	}
+	if !h.Truncated {
+		t.Error("synthesized history should be marked truncated")
+	}
+	for i := 1; i < len(h.Elems); i++ {
+		if h.Elems[i].Time < h.Elems[i-1].Time {
+			t.Fatalf("elem times not monotonic at %d", i)
+		}
+	}
+	if h.Lifetime != h.Elems[len(h.Elems)-1].Time {
+		t.Fatalf("lifetime = %d", h.Lifetime)
+	}
+	// The write-shared slot must show cross-CPU traffic for the dataflow view.
+	cpus := map[int32]bool{}
+	for _, e := range h.Elems {
+		cpus[e.CPU] = true
+	}
+	if len(cpus) < 2 {
+		t.Fatal("shared ring history shows a single CPU")
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	var total Stats
+	a := Stats{FilesParsed: 1, Mappings: 2, SamplesTotal: 10, SamplesKept: 8, SamplesDropped: 2,
+		DropReasons: map[string]uint64{"x": 2}, OtherRecords: 1}
+	total.Add(a)
+	total.Add(a)
+	if total.FilesParsed != 2 || total.SamplesKept != 16 || total.DropReasons["x"] != 4 {
+		t.Fatalf("total = %+v", total)
+	}
+	s := total.String()
+	if s == "" || total.DropReasons == nil {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,104 @@
+// Package perfin ingests Linux perf.data files carrying memory-access
+// samples (perf mem record / PERF_SAMPLE_ADDR + PERF_SAMPLE_DATA_SRC) into
+// the source-neutral profile model of internal/core, so every DProf view,
+// the diff, and the exporters run over profiles captured on real hardware.
+//
+// The allocator's type map has no equivalent in a perf.data file, so the
+// mmap table stands in for it (the paper's type oracle generalized to
+// whatever address->identity mapping the source can offer): each mapped
+// file becomes one value-descriptor "type", a sampled data address resolves
+// to the mapping that covers it, and the within-mapping offset is folded
+// modulo the mapping's object stride (page-sized for large mappings) so the
+// per-offset views see array-element structure rather than gigabyte
+// offsets. Sampled instruction pointers are symbolized against the same
+// mmap table (mapping base + rounded offset) since the file carries no
+// symbol records.
+//
+// The parser is deliberately defensive: every read is bounds-checked, all
+// malformed input surfaces as a *FormatError (never a panic), and records
+// the parser cannot use are counted and dropped with a reason rather than
+// aborting the whole file.
+package perfin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats counts what ingestion did — surfaced by dprofd's GET /stats ingest
+// section and the CLI's -input summary.
+type Stats struct {
+	FilesParsed    int               `json:"files_parsed"`
+	Mappings       int               `json:"mappings"`
+	SamplesTotal   uint64            `json:"samples_total"`
+	SamplesKept    uint64            `json:"samples_accepted"`
+	SamplesDropped uint64            `json:"samples_dropped"`
+	DropReasons    map[string]uint64 `json:"drop_reasons,omitempty"`
+	OtherRecords   uint64            `json:"other_records"`
+}
+
+// drop counts one dropped sample under a reason.
+func (s *Stats) drop(reason string) {
+	s.SamplesDropped++
+	if s.DropReasons == nil {
+		s.DropReasons = make(map[string]uint64)
+	}
+	s.DropReasons[reason]++
+}
+
+// Add folds another ingestion's counters into s (for dprofd's cumulative
+// ingest stats).
+func (s *Stats) Add(o Stats) {
+	s.FilesParsed += o.FilesParsed
+	s.Mappings += o.Mappings
+	s.SamplesTotal += o.SamplesTotal
+	s.SamplesKept += o.SamplesKept
+	s.SamplesDropped += o.SamplesDropped
+	s.OtherRecords += o.OtherRecords
+	for k, v := range o.DropReasons {
+		if s.DropReasons == nil {
+			s.DropReasons = make(map[string]uint64)
+		}
+		s.DropReasons[k] += v
+	}
+}
+
+// String renders the counters for CLI output.
+func (s Stats) String() string {
+	out := fmt.Sprintf("parsed %d file(s): %d mappings, %d samples (%d kept, %d dropped)",
+		s.FilesParsed, s.Mappings, s.SamplesTotal, s.SamplesKept, s.SamplesDropped)
+	if len(s.DropReasons) > 0 {
+		reasons := make([]string, 0, len(s.DropReasons))
+		for r := range s.DropReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			out += fmt.Sprintf("\n  dropped %d: %s", s.DropReasons[r], r)
+		}
+	}
+	return out
+}
+
+// FormatError reports malformed perf.data input: what was wrong and the file
+// offset where parsing stopped trusting the bytes.
+type FormatError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("perf.data: %s (at offset %#x)", e.Msg, e.Offset)
+}
+
+// errf builds a *FormatError.
+func errf(off int64, format string, args ...any) error {
+	return &FormatError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// UnsupportedError reports a structurally valid file the parser cannot
+// ingest (missing the sample fields the model needs, or using features the
+// reader does not implement).
+type UnsupportedError struct{ Msg string }
+
+func (e *UnsupportedError) Error() string { return "perf.data: unsupported: " + e.Msg }

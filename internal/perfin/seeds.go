@@ -1,0 +1,64 @@
+package perfin
+
+import "encoding/binary"
+
+// SeedCorpus builds the checked-in fuzz seed corpus, deterministically: one
+// well-formed file, the interesting malformed shapes the parser must reject
+// with typed errors, and deterministic garbage. FuzzParse seeds from these
+// and TestFuzzSeeds replays the checked-in copies on every `go test` run,
+// so the corpus doubles as a regression net in CI where fuzzing itself is
+// too slow.
+func SeedCorpus() map[string][]byte {
+	seeds := map[string][]byte{
+		"valid.perf.data": FixtureBytes(),
+	}
+
+	// Header + attr only: no data section, zero samples — valid.
+	seeds["empty-data.perf.data"] = NewFileWriter(sampleAddr | sampleDataSrc).Bytes()
+
+	// Truncated mid-record.
+	full := FixtureBytes()
+	seeds["truncated.perf.data"] = full[:len(full)*3/5]
+
+	// Wrong magic.
+	bad := append([]byte(nil), full...)
+	copy(bad, "NOTPERF!")
+	seeds["badmagic.perf.data"] = bad
+
+	// Header section pointing past EOF.
+	past := append([]byte(nil), full[:headerSize]...)
+	binary.LittleEndian.PutUint64(past[64:], 1<<40) // data section length
+	seeds["sections-oob.perf.data"] = past
+
+	// Unsupported sample_type bit (PERF_SAMPLE_READ would desync the cursor).
+	seeds["unsupported-bits.perf.data"] =
+		NewFileWriter(sampleAddr | sampleDataSrc | sampleRead).Bytes()
+
+	// Missing the memory-sample fields entirely (plain cycles profile).
+	w := NewFileWriter(sampleIP | sampleTID | sampleTime)
+	w.Sample(SampleSpec{IP: 0x1000, Time: 1})
+	seeds["no-mem-fields.perf.data"] = w.Bytes()
+
+	// A sample whose callchain length claims more than the record holds.
+	w = NewFileWriter(sampleAddr | sampleCallchain | sampleDataSrc)
+	w.Sample(SampleSpec{Addr: 0x1000, DataSrc: DataSrc(memOpLoad, memLvlHit|memLvlL1, 0)})
+	bomb := w.Bytes()
+	// The record tail is addr, nr, entry, entry, data_src (8 bytes each);
+	// overwrite nr with a huge count.
+	binary.LittleEndian.PutUint64(bomb[len(bomb)-32:], 1<<32)
+	seeds["callchain-bomb.perf.data"] = bomb
+
+	// Deterministic garbage (xorshift), long enough to cover every branch's
+	// bounds checks.
+	garbage := make([]byte, 4096)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range garbage {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		garbage[i] = byte(state)
+	}
+	seeds["garbage.perf.data"] = garbage
+
+	return seeds
+}

@@ -1,0 +1,171 @@
+package perfin
+
+import "encoding/binary"
+
+// FileWriter assembles a synthetic perf.data image — the test double for
+// `perf mem record` output. Fixtures, the ingestion round-trip tests, and
+// the fuzz seed corpus are all built with it, so the bytes under test are
+// real on-disk format, not hand-maintained hex.
+type FileWriter struct {
+	sampleType uint64
+	data       []byte
+}
+
+// writerAttrSize is the on-disk size of each perf_event_attr entry the
+// writer emits (any value >= 32 satisfies the reader; 128 matches a common
+// kernel ABI revision).
+const writerAttrSize = 128
+
+// NewFileWriter starts a file whose single event records the given
+// sample_type bits.
+func NewFileWriter(sampleType uint64) *FileWriter {
+	return &FileWriter{sampleType: sampleType}
+}
+
+// DataSrc packs a perf_mem_data_src value from its op, mem_lvl, and snoop
+// bit fields.
+func DataSrc(op, lvl, snoop uint64) uint64 {
+	return (op & 0x1f) | (lvl&0x3fff)<<5 | (snoop&0x1f)<<19
+}
+
+func (w *FileWriter) u16(v uint16) { w.data = binary.LittleEndian.AppendUint16(w.data, v) }
+func (w *FileWriter) u32(v uint32) { w.data = binary.LittleEndian.AppendUint32(w.data, v) }
+func (w *FileWriter) u64(v uint64) { w.data = binary.LittleEndian.AppendUint64(w.data, v) }
+
+// record emits one perf_event_header + body, 8-byte aligning the record the
+// way the kernel does.
+func (w *FileWriter) record(typ uint32, body func()) {
+	start := len(w.data)
+	w.u32(typ)
+	w.u16(0) // misc
+	w.u16(0) // size, patched below
+	body()
+	for (len(w.data)-start)%8 != 0 {
+		w.data = append(w.data, 0)
+	}
+	binary.LittleEndian.PutUint16(w.data[start+6:], uint16(len(w.data)-start))
+}
+
+// Mmap emits a PERF_RECORD_MMAP mapping [start, start+length) to name.
+func (w *FileWriter) Mmap(start, length uint64, name string) {
+	w.record(recMmap, func() {
+		w.u32(1) // pid
+		w.u32(1) // tid
+		w.u64(start)
+		w.u64(length)
+		w.u64(0) // pgoff
+		w.data = append(w.data, name...)
+		w.data = append(w.data, 0)
+	})
+}
+
+// Mmap2 emits the extended PERF_RECORD_MMAP2 form of the same mapping.
+func (w *FileWriter) Mmap2(start, length uint64, name string) {
+	w.record(recMmap2, func() {
+		w.u32(1) // pid
+		w.u32(1) // tid
+		w.u64(start)
+		w.u64(length)
+		w.u64(0)  // pgoff
+		w.u32(8)  // maj
+		w.u32(1)  // min
+		w.u64(42) // ino
+		w.u64(1)  // ino_generation
+		w.u32(5)  // prot
+		w.u32(2)  // flags
+		w.data = append(w.data, name...)
+		w.data = append(w.data, 0)
+	})
+}
+
+// SampleSpec is one memory sample; fields outside the writer's sample_type
+// are skipped on emit.
+type SampleSpec struct {
+	IP      uint64
+	Time    uint64
+	Addr    uint64
+	CPU     uint32
+	Weight  uint64
+	DataSrc uint64
+}
+
+// Sample emits a PERF_RECORD_SAMPLE with the fields the writer's
+// sample_type selects, in the kernel's field order.
+func (w *FileWriter) Sample(s SampleSpec) {
+	w.record(recSample, func() {
+		if w.sampleType&sampleIP != 0 {
+			w.u64(s.IP)
+		}
+		if w.sampleType&sampleTID != 0 {
+			w.u32(1)
+			w.u32(1)
+		}
+		if w.sampleType&sampleTime != 0 {
+			w.u64(s.Time)
+		}
+		if w.sampleType&sampleAddr != 0 {
+			w.u64(s.Addr)
+		}
+		if w.sampleType&sampleID != 0 {
+			w.u64(7)
+		}
+		if w.sampleType&sampleStreamID != 0 {
+			w.u64(7)
+		}
+		if w.sampleType&sampleCPU != 0 {
+			w.u32(s.CPU)
+			w.u32(0)
+		}
+		if w.sampleType&samplePeriod != 0 {
+			w.u64(1)
+		}
+		if w.sampleType&sampleCallchain != 0 {
+			w.u64(2)
+			w.u64(s.IP)
+			w.u64(s.IP + 8)
+		}
+		if w.sampleType&sampleWeight != 0 {
+			w.u64(s.Weight)
+		}
+		if w.sampleType&sampleDataSrc != 0 {
+			w.u64(s.DataSrc)
+		}
+	})
+}
+
+// Raw emits an arbitrary record type with an opaque body (for exercising
+// the "other records" path: comm, exit, fork, ...).
+func (w *FileWriter) Raw(typ uint32, body []byte) {
+	w.record(typ, func() { w.data = append(w.data, body...) })
+}
+
+// Bytes assembles the complete file: header, one attr entry, data section.
+func (w *FileWriter) Bytes() []byte {
+	attrOff := uint64(headerSize)
+	dataOff := attrOff + writerAttrSize
+
+	out := make([]byte, 0, int(dataOff)+len(w.data))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint64(out, headerSize)          // size
+	out = binary.LittleEndian.AppendUint64(out, writerAttrSize)      // attr_size
+	out = binary.LittleEndian.AppendUint64(out, 0)                   // attr_ids.offset
+	out = binary.LittleEndian.AppendUint64(out, 0)                   // attr_ids.size
+	out = binary.LittleEndian.AppendUint64(out, attrOff)             // attrs.offset
+	out = binary.LittleEndian.AppendUint64(out, writerAttrSize)      // attrs.size
+	out = binary.LittleEndian.AppendUint64(out, dataOff)             // data.offset
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(w.data))) // data.size
+	for len(out) < headerSize {
+		out = append(out, 0) // flags + flags1[3]
+	}
+
+	// One perf_event_attr: type u32, size u32, config u64, sample_period
+	// u64, sample_type u64, rest zero.
+	attr := make([]byte, writerAttrSize)
+	binary.LittleEndian.PutUint32(attr[0:], 4)              // PERF_TYPE_RAW
+	binary.LittleEndian.PutUint32(attr[4:], writerAttrSize) // attr.size
+	binary.LittleEndian.PutUint64(attr[16:], 1000)          // sample_period
+	binary.LittleEndian.PutUint64(attr[24:], w.sampleType)
+	out = append(out, attr...)
+
+	return append(out, w.data...)
+}

@@ -1,0 +1,83 @@
+package pprofout
+
+// A minimal protobuf wire-format writer — just what serializing
+// profile.proto needs (varints and length-delimited fields). Hand-rolled so
+// the exporter has zero dependencies beyond the standard library.
+
+type protoBuf struct {
+	b []byte
+}
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// uintField writes a varint-typed field, omitting protobuf's implicit zero.
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 0) // wire type 0: varint
+	p.varint(v)
+}
+
+// intField writes a signed value as the (non-zigzag) int64 fields
+// profile.proto uses.
+func (p *protoBuf) intField(field int, v int64) {
+	p.uintField(field, uint64(v))
+}
+
+// bytesField writes a length-delimited field, omitting empty payloads.
+func (p *protoBuf) bytesField(field int, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 2) // wire type 2: length-delimited
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// strField writes a string field.
+func (p *protoBuf) strField(field int, s string) {
+	p.bytesField(field, []byte(s))
+}
+
+// msgField writes an embedded message built by fill. Unlike bytesField it
+// emits empty messages too: a present-but-default submessage is meaningful
+// in proto3 (e.g. the zeroth string-table entry's counterpart structures).
+func (p *protoBuf) msgField(field int, fill func(*protoBuf)) {
+	var child protoBuf
+	fill(&child)
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(child.b)))
+	p.b = append(p.b, child.b...)
+}
+
+// packedInts writes repeated int64/uint64 values in packed encoding (the
+// proto3 default for repeated scalars, and what pprof readers expect for
+// Sample.value and Sample.location_id).
+func (p *protoBuf) packedInts(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var child protoBuf
+	for _, v := range vs {
+		child.varint(uint64(v))
+	}
+	p.bytesField(field, child.b)
+}
+
+func (p *protoBuf) packedUints(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var child protoBuf
+	for _, v := range vs {
+		child.varint(v)
+	}
+	p.bytesField(field, child.b)
+}

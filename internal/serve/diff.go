@@ -87,12 +87,15 @@ func (s *Server) runDiff(ka, kb profileKey) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profile b: %w", err)
 	}
-	var docA, docB core.ProfileDocument
-	if err := json.Unmarshal(bodyA, &docA); err != nil {
-		return nil, fmt.Errorf("parse profile a: %w", err)
+	// ParseDocument validates the schema version, so a document persisted by
+	// a newer build fails clearly instead of being misread.
+	docA, err := core.ParseDocument(bodyA)
+	if err != nil {
+		return nil, fmt.Errorf("profile a: %w", err)
 	}
-	if err := json.Unmarshal(bodyB, &docB); err != nil {
-		return nil, fmt.Errorf("parse profile b: %w", err)
+	docB, err := core.ParseDocument(bodyB)
+	if err != nil {
+		return nil, fmt.Errorf("profile b: %w", err)
 	}
 	rawA, err := docA.DataProfileExport()
 	if err != nil {

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"time"
+
+	"dprof/internal/core"
+	"dprof/internal/perfin"
+	"dprof/internal/pprofout"
+)
+
+// maxIngestBytes bounds a POST /ingest body. Real perf mem captures of the
+// duration DProf analyzes run well under this.
+const maxIngestBytes = 32 << 20
+
+// ingestKey is an ingest request after normalization: the capture identified
+// by content, the views canonicalized. Its JSON encoding hashes into the
+// content address, so re-POSTing the same perf.data with the same parameters
+// hits the cache/store instead of re-parsing.
+type ingestKey struct {
+	BodySHA string   `json:"body_sha256"`
+	Views   []string `json:"views"`
+	Type    string   `json:"type"`
+}
+
+func (k ingestKey) address() string {
+	raw, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("serve: ingest key not marshalable: %v", err)) // plain data; cannot happen
+	}
+	sum := sha256.Sum256(raw)
+	return "ingest/" + hex.EncodeToString(sum[:])
+}
+
+// handleIngest is POST /ingest: the body is a raw perf.data capture
+// (perf mem record), the optional ?views= and ?type= query parameters mirror
+// the ProfileRequest fields, and the response is the same canonical
+// core.ProfileDocument bytes POST /profile produces — content-addressed,
+// cached, persisted, and replica-routed through the identical layered path,
+// so the ingested document round-trips via GET /object/{addr} and diffs
+// against simulated sessions. Like /profile, the response converts to a
+// gzipped pprof protobuf when the client negotiates it (?format=pprof or
+// Accept: application/octet-stream).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	k, err := normalizeIngest(r, raw)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	addr := k.address()
+
+	if body, ok := s.cache.get(addr); ok {
+		s.hits.Add(1)
+		s.writeNegotiated(w, r, body, "hit")
+		return
+	}
+	if owner, ok := s.routeOwner(r, addr); ok {
+		// Forward the capture verbatim: normalization is deterministic, so
+		// the owner derives the identical content address from it.
+		uri := "/ingest"
+		if r.URL.RawQuery != "" {
+			uri += "?" + r.URL.RawQuery
+		}
+		body, disposition, err := s.proxyCompute(r.Context(), owner, addr, http.MethodPost, uri, raw)
+		if err == nil {
+			w.Header().Set(replicaHeader, owner)
+			s.writeNegotiated(w, r, body, disposition)
+			return
+		}
+		s.peerFallbacks.Add(1)
+	}
+	body, disposition, err := s.compute(r, addr, func() ([]byte, error) { return s.runIngest(raw, k) })
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.writeNegotiated(w, r, body, disposition)
+}
+
+// normalizeIngest resolves the query parameters against the capture bytes.
+func normalizeIngest(r *http.Request, raw []byte) (ingestKey, error) {
+	sum := sha256.Sum256(raw)
+	k := ingestKey{
+		BodySHA: hex.EncodeToString(sum[:]),
+		Type:    r.URL.Query().Get("type"),
+	}
+	views := r.URL.Query().Get("views")
+	if views == "" {
+		k.Views = slices.Clone(core.KnownViews)
+		return k, nil
+	}
+	var requested []string
+	for _, v := range strings.Split(views, ",") {
+		if v = strings.TrimSpace(v); v == "" {
+			continue
+		} else if !slices.Contains(core.KnownViews, v) {
+			return ingestKey{}, &core.UnknownViewError{Name: v}
+		}
+		requested = append(requested, v)
+	}
+	// Canonical order and deduplication, same as profile normalization: the
+	// view set, not its spelling, addresses the document.
+	for _, v := range core.KnownViews {
+		if slices.Contains(requested, v) {
+			k.Views = append(k.Views, v)
+		}
+	}
+	return k, nil
+}
+
+// runIngest parses a capture and renders the canonical profile document.
+// It is only ever called inside a flight; parse counters accumulate into the
+// server's cumulative ingest stats (GET /stats "ingest" section) only when a
+// parse actually runs — cache and store hits do not recount samples.
+func (s *Server) runIngest(raw []byte, k ingestKey) ([]byte, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	p, err := perfin.Parse(raw)
+	if err != nil {
+		s.ingestFailures.Add(1)
+		return nil, err
+	}
+	s.ingestMu.Lock()
+	s.ingestStats.Add(p.Stats)
+	s.ingestMu.Unlock()
+
+	target := p.DefaultTarget()
+	if k.Type != "" {
+		if target = p.Source.TypeByName(k.Type); target == nil {
+			return nil, &core.UnknownTypeError{Name: k.Type, Known: p.Types.Names()}
+		}
+	}
+	doc, err := core.BuildSourceDocument(p.Source, k.Views, "perf:ingest", map[string]string{}, target)
+	if err != nil {
+		return nil, err
+	}
+	doc.Summary = fmt.Sprintf("ingested perf.data: %d samples over %d mappings",
+		p.Stats.SamplesKept, p.Stats.Mappings)
+	// Zero time: the document must stay byte-identical for its content
+	// address across replicas and restarts.
+	doc.Stamp(core.SourcePerf, time.Time{})
+	return json.Marshal(doc)
+}
+
+// --- pprof content negotiation ---
+
+// wantsPprof reports whether the client asked for the document as a gzipped
+// pprof protobuf instead of JSON.
+func wantsPprof(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "pprof" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/octet-stream")
+}
+
+// ExportError reports a cached document that cannot convert to the
+// negotiated format — the request's view selection, not the server's fault.
+type ExportError struct{ Err error }
+
+func (e *ExportError) Error() string { return fmt.Sprintf("pprof export: %v", e.Err) }
+
+func (e *ExportError) Unwrap() error { return e.Err }
+
+// writeNegotiated writes a finished profile-document body, converting it to
+// a gzipped pprof protobuf when the client negotiated that. The conversion
+// reads the canonical JSON bytes — the cache, store, and peers keep serving
+// one representation; pprof is derived at the edge.
+func (s *Server) writeNegotiated(w http.ResponseWriter, r *http.Request, body []byte, disposition string) {
+	if !wantsPprof(r) {
+		writeBody(w, body, disposition)
+		return
+	}
+	doc, err := core.ParseDocument(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	gz, err := pprofout.EncodeDocument(doc, pprofout.Meta{
+		Comments: []string{"dprofd: " + doc.Workload},
+	})
+	if err != nil {
+		writeError(w, &ExportError{Err: err})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-DProf-Cache", disposition)
+	w.Write(gz)
+}

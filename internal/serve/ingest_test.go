@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dprof/internal/core"
+	"dprof/internal/perfin"
+)
+
+func postIngest(t *testing.T, ts *httptest.Server, uri string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+uri, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestIngestRoundTrip is the acceptance path: a perf.data capture POSTs in,
+// the canonical document comes back, a re-POST is a byte-identical cache
+// hit, and the document is fetchable by content address.
+func TestIngestRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+	capture := perfin.FixtureBytes()
+
+	resp, body := postIngest(t, ts, "/ingest", capture, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-DProf-Cache"); got != "miss" {
+		t.Fatalf("first ingest disposition = %q, want miss", got)
+	}
+	doc, err := core.ParseDocument(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != core.SchemaVersion || doc.Provenance == nil || doc.Provenance.Source != core.SourcePerf {
+		t.Fatalf("ingested document not stamped: version=%d provenance=%+v", doc.SchemaVersion, doc.Provenance)
+	}
+	if doc.Provenance.WrittenAt != "" {
+		t.Fatalf("content-addressed document carries written_at %q", doc.Provenance.WrittenAt)
+	}
+	for _, v := range core.KnownViews {
+		raw, ok := doc.Views[v]
+		if !ok || len(raw) == 0 || string(raw) == "null" {
+			t.Errorf("view %q missing or null in ingested document", v)
+		}
+	}
+	if doc.Target != "ring_buffer" {
+		t.Errorf("default target = %q, want ring_buffer", doc.Target)
+	}
+
+	resp2, body2 := postIngest(t, ts, "/ingest", capture, nil)
+	if got := resp2.Header.Get("X-DProf-Cache"); got != "hit" {
+		t.Fatalf("re-ingest disposition = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cache hit returned different bytes")
+	}
+
+	// The document must be resident in the disk store under its address.
+	k, err := normalizeIngest(httptest.NewRequest(http.MethodPost, "/ingest", nil), capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := http.Get(ts.URL + "/object/" + k.address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer or.Body.Close()
+	objBody, _ := io.ReadAll(or.Body)
+	if or.StatusCode != http.StatusOK {
+		t.Fatalf("GET /object/%s: status %d", k.address(), or.StatusCode)
+	}
+	if !bytes.Equal(bytes.TrimRight(objBody, "\n"), bytes.TrimRight(body, "\n")) {
+		t.Fatal("stored object differs from the served document")
+	}
+	if s.Simulations() != 0 {
+		t.Fatalf("ingest counted %d simulations", s.Simulations())
+	}
+}
+
+// TestIngestPprofNegotiation: the same cached document converts to a gzipped
+// pprof protobuf when the client negotiates it, on /ingest and /profile.
+func TestIngestPprofNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	capture := perfin.FixtureBytes()
+
+	resp, body := postIngest(t, ts, "/ingest?format=pprof", capture, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("pprof body is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("ring_buffer")) || !bytes.Contains(raw, []byte("miss_pressure")) {
+		t.Fatal("pprof body missing expected frames")
+	}
+
+	// Accept-header spelling, and the JSON document stays cached alongside.
+	resp2, _ := postIngest(t, ts, "/ingest", capture, map[string]string{"Accept": "application/octet-stream"})
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Accept negotiation content type = %q", ct)
+	}
+	if got := resp2.Header.Get("X-DProf-Cache"); got != "hit" {
+		t.Fatalf("negotiated re-ingest disposition = %q, want hit", got)
+	}
+
+	// /profile negotiates the same way.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/profile?format=pprof", strings.NewReader(quickProfile))
+	req.Header.Set("Content-Type", "application/json")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	praw, _ := io.ReadAll(presp.Body)
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("profile pprof status %d: %s", presp.StatusCode, praw)
+	}
+	if _, err := gzip.NewReader(bytes.NewReader(praw)); err != nil {
+		t.Fatalf("profile pprof body is not gzip: %v", err)
+	}
+}
+
+func TestIngestRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, capture := range perfin.SeedCorpus() {
+		switch strings.TrimSuffix(name, ".perf.data") {
+		case "valid", "empty-data":
+			continue
+		}
+		resp, body := postIngest(t, ts, "/ingest", capture, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", name, body)
+		}
+	}
+
+	// Unknown views and types reject with the valid set, like /profile.
+	resp, body := postIngest(t, ts, "/ingest?views=dataprofle", perfin.FixtureBytes(), nil)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("dataprofile")) {
+		t.Errorf("unknown view: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = postIngest(t, ts, "/ingest?type=nosuch", perfin.FixtureBytes(), nil)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("ring_buffer")) {
+		t.Errorf("unknown type: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestIngestStats: GET /stats grows an "ingest" section counting parses,
+// accepted and dropped samples — and cache hits do not recount.
+func TestIngestStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	getStats := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		ing, ok := out["ingest"].(map[string]any)
+		if !ok {
+			t.Fatalf("stats missing ingest section: %v", out)
+		}
+		return ing
+	}
+
+	if ing := getStats(); ing["files_parsed"].(float64) != 0 {
+		t.Fatalf("fresh server ingest stats = %v", ing)
+	}
+	postIngest(t, ts, "/ingest", perfin.FixtureBytes(), nil)
+	postIngest(t, ts, "/ingest", perfin.FixtureBytes(), nil) // cache hit: no recount
+	postIngest(t, ts, "/ingest", []byte("junk"), nil)        // parse failure
+
+	ing := getStats()
+	if ing["files_parsed"].(float64) != 1 || ing["samples_accepted"].(float64) != 240 {
+		t.Fatalf("ingest stats after one parse = %v", ing)
+	}
+	if ing["parse_failures"].(float64) != 1 {
+		t.Fatalf("parse_failures = %v", ing["parse_failures"])
+	}
+}
+
+// TestIngestDiffsAgainstSimulation: mixed-source diffing over HTTP — an
+// ingested document and a simulated one share the document schema, so
+// DiffExports accepts both sides.
+func TestMixedSourceDocumentsShareSchema(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, ingested := postIngest(t, ts, "/ingest", perfin.FixtureBytes(), nil)
+	resp, simulated := postProfile(t, ts, quickProfile)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d: %s", resp.StatusCode, simulated)
+	}
+	docA, err := core.ParseDocument(ingested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docB, err := core.ParseDocument(simulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docA.Provenance.Source != core.SourcePerf || docB.Provenance.Source != core.SourceSim {
+		t.Fatalf("sources = %q, %q", docA.Provenance.Source, docB.Provenance.Source)
+	}
+	rawA, err := docA.DataProfileExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := docB.DataProfileExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.DiffExports(rawA, rawB); err != nil {
+		t.Fatalf("mixed-source diff: %v", err)
+	}
+}

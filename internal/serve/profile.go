@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"slices"
 	"strconv"
+	"time"
 
 	"dprof/internal/app/workload"
 	"dprof/internal/core"
@@ -235,5 +236,8 @@ func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) (
 	if err != nil {
 		return nil, err
 	}
+	// Zero time: content-addressed documents must stay byte-identical for
+	// the same key across replicas and restarts.
+	doc.Stamp(core.SourceSim, time.Time{})
 	return json.Marshal(doc)
 }

@@ -7,6 +7,7 @@
 //	GET  /experiments        the experiment registry, in paper order
 //	GET  /experiments/{name} run one paper experiment (cached)
 //	POST /profile            run a workload profiling session (cached)
+//	POST /ingest             ingest a raw perf.data capture (cached)
 //	POST /diff               diff two sessions' data profiles (cached)
 //	GET  /object/{addr}      a stored document by content address (peers)
 //	GET  /stats              cache/store/peer + singleflight counters
@@ -44,6 +45,7 @@ import (
 	"runtime"
 	"slices"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +53,7 @@ import (
 	"dprof/internal/app/workload"
 	"dprof/internal/core"
 	"dprof/internal/exp"
+	"dprof/internal/perfin"
 	"dprof/internal/store"
 )
 
@@ -104,6 +107,12 @@ type Server struct {
 	peerFetches   atomic.Int64 // stored documents adopted from a peer's store
 	peerFallbacks atomic.Int64 // proxy failures served by local simulation
 	objectsServed atomic.Int64 // GET /object hits served to peers
+
+	// Cumulative perf.data ingestion counters (GET /stats "ingest" section).
+	// Only actual parses accumulate — cache and store hits do not recount.
+	ingestMu       sync.Mutex
+	ingestStats    perfin.Stats
+	ingestFailures atomic.Int64
 }
 
 // New builds a Server with its worker pool, cache, and (when configured)
@@ -149,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /profile", s.handleProfile)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /diff", s.handleDiff)
 	s.mux.HandleFunc("GET /object/{addr...}", s.handleObject)
 	return s, nil
@@ -202,13 +212,19 @@ func statusFor(err error) int {
 		unknownType     *core.UnknownTypeError
 		tooLarge        *TooLargeError
 		buildErr        *BuildError
+		formatErr       *perfin.FormatError
+		unsupported     *perfin.UnsupportedError
+		schemaErr       *core.SchemaVersionError
+		exportErr       *ExportError
 	)
 	switch {
 	case errors.As(err, &unknownWorkload), errors.As(err, &unknownExp):
 		return http.StatusNotFound
 	case errors.As(err, &unknownOption), errors.As(err, &badValue),
 		errors.As(err, &unknownView), errors.As(err, &unknownType),
-		errors.As(err, &tooLarge), errors.As(err, &buildErr):
+		errors.As(err, &tooLarge), errors.As(err, &buildErr),
+		errors.As(err, &formatErr), errors.As(err, &unsupported),
+		errors.As(err, &schemaErr), errors.As(err, &exportErr):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
@@ -331,6 +347,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"simulations": s.simulations.Load(),
 		"workers":     s.cfg.Workers,
 	}
+	s.ingestMu.Lock()
+	ing := s.ingestStats
+	reasons := make(map[string]uint64, len(ing.DropReasons))
+	for k, v := range ing.DropReasons {
+		reasons[k] = v
+	}
+	s.ingestMu.Unlock()
+	out["ingest"] = map[string]any{
+		"files_parsed":     ing.FilesParsed,
+		"mappings":         ing.Mappings,
+		"samples_total":    ing.SamplesTotal,
+		"samples_accepted": ing.SamplesKept,
+		"samples_dropped":  ing.SamplesDropped,
+		"drop_reasons":     reasons,
+		"other_records":    ing.OtherRecords,
+		"parse_failures":   s.ingestFailures.Load(),
+	}
 	if s.store != nil {
 		st := s.store.Stats()
 		out["store"] = map[string]any{
@@ -399,7 +432,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			st.event("result", json.RawMessage(body))
 			return
 		}
-		writeBody(w, body, "hit")
+		s.writeNegotiated(w, r, body, "hit")
 		return
 	}
 	if st != nil {
@@ -414,7 +447,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		body, disposition, err := s.proxyCompute(r.Context(), owner, addr, http.MethodPost, "/profile", raw)
 		if err == nil {
 			w.Header().Set(replicaHeader, owner)
-			writeBody(w, body, disposition)
+			s.writeNegotiated(w, r, body, disposition)
 			return
 		}
 		// The owner is dead or draining: availability beats strict
@@ -427,7 +460,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeBody(w, body, disposition)
+	s.writeNegotiated(w, r, body, disposition)
 }
 
 // streamProfile runs a profiling session through the singleflight layer,
