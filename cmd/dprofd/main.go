@@ -66,9 +66,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "default to quick (reduced-fidelity) sessions")
 		maxMs    = fs.Uint64("max-measure-ms", 60_000, "largest measured window a request may ask for, simulated ms")
 		storeDir = fs.String("store-dir", "", "disk profile store directory (empty = in-memory LRU only)")
-		storeMax = fs.Int64("store-max-bytes", 0, "disk store byte budget; over-budget writes sweep the oldest profiles (0 = unbounded)")
+		storeMax = fs.Int64("store-max-bytes", 0, "disk store byte budget; over-budget writes sweep the least recently read profiles (0 = unbounded)")
 		self     = fs.String("self", "", "this replica's URL as peers reach it (required with -peers)")
 		peers    = fs.String("peers", "", "comma-separated replica URLs forming the consistent-hash ring")
+		ckptMax  = fs.Int64("checkpoint-pool-bytes", 0, "warm-start checkpoint pool byte budget (0 = 256 MiB default, negative = disable warm-start forking)")
 	)
 	fs.IntVar(entries, "cache", 256, "deprecated alias for -cache-entries")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +101,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		StoreMaxBytes: *storeMax,
 		Self:          *self,
 		Peers:         replicas,
+
+		CheckpointPoolBytes: *ckptMax,
 	})
 	if err != nil {
 		// An unwritable store dir or a malformed ring fails here, at

@@ -143,6 +143,7 @@ func New(cfg Config) *Bench {
 		core := core
 		l.Epoll.Wakeup = func(c *sim.Ctx) { b.wakeApp(c, core) }
 	}
+	m.AddSnapshotter(b)
 	return b
 }
 
@@ -263,13 +264,28 @@ func (b *Bench) tick(at uint64) {
 // without running the machine; callers then drive b.M.Run themselves.
 func (b *Bench) Prime(horizon uint64) { b.start(horizon) }
 
-// Run executes warmup then a measured window and reports throughput.
-func (b *Bench) Run(warmup, measure uint64) Stats {
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close, and the generator stop horizon open (both
+// close points depend on the measured length, which a warm-start fork
+// chooses later; no warmup-phase event ever reaches either, so the open
+// ends change nothing observable). Requests completing as a worker
+// overshoots the boundary mid-task count into the window exactly as on the
+// cold path. Cache statistics reset at the boundary.
+func (b *Bench) RunWarmup(warmup uint64) {
 	b.measureFrom = warmup
-	b.measureTo = warmup + measure
-	b.start(warmup + measure)
+	b.measureTo = ^uint64(0)
+	b.start(^uint64(0))
 	b.M.Run(warmup)
 	b.M.Hier.ResetStats()
+}
+
+// RunMeasured arms the measured window, pins the generator stop horizon to
+// its end, and runs the measured phase. It continues a RunWarmup on the same
+// or a restored machine.
+func (b *Bench) RunMeasured(warmup, measure uint64) Stats {
+	b.measureFrom = warmup
+	b.measureTo = warmup + measure
+	b.stopAt = warmup + measure
 	b.M.Run(warmup + measure)
 	var st Stats
 	st.MeasureCycles = measure
@@ -284,4 +300,55 @@ func (b *Bench) Run(warmup, measure uint64) Stats {
 	}
 	st.Throughput = float64(st.Completed) / (float64(measure) / float64(sim.Freq))
 	return st
+}
+
+// Run executes warmup then a measured window and reports throughput.
+func (b *Bench) Run(warmup, measure uint64) Stats {
+	b.RunWarmup(warmup)
+	return b.RunMeasured(warmup, measure)
+}
+
+// benchState is the workload-level mutable state a warm-start checkpoint
+// captures on top of the machine/kernel layers. Connections never outlive
+// the listener task that serves them, so the kernel's accept-queue capture
+// covers every live TCPConn.
+type benchState struct {
+	rr          []int
+	appQueued   []bool
+	completed   []uint64
+	queueDelay  uint64
+	accepted    uint64
+	measureFrom uint64
+	measureTo   uint64
+	stopAt      uint64
+	started     bool
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (b *Bench) SnapshotState() any {
+	return &benchState{
+		rr:          append([]int(nil), b.rr...),
+		appQueued:   append([]bool(nil), b.appQueued...),
+		completed:   append([]uint64(nil), b.completed...),
+		queueDelay:  b.queueDelay,
+		accepted:    b.accepted,
+		measureFrom: b.measureFrom,
+		measureTo:   b.measureTo,
+		stopAt:      b.stopAt,
+		started:     b.started,
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (b *Bench) RestoreState(state any) {
+	st := state.(*benchState)
+	copy(b.rr, st.rr)
+	copy(b.appQueued, st.appQueued)
+	copy(b.completed, st.completed)
+	b.queueDelay = st.queueDelay
+	b.accepted = st.accepted
+	b.measureFrom = st.measureFrom
+	b.measureTo = st.measureTo
+	b.stopAt = st.stopAt
+	b.started = st.started
 }

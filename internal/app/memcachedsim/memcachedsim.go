@@ -111,6 +111,7 @@ func New(cfg Config) *Bench {
 		core := core
 		sk.Epoll.Wakeup = func(c *sim.Ctx) { b.wakeApp(c, core) }
 	}
+	m.AddSnapshotter(b)
 	return b
 }
 
@@ -211,15 +212,26 @@ func (b *Bench) tick(at uint64) {
 // experiments) then drive b.M.Run themselves.
 func (b *Bench) Prime() { b.start() }
 
-// Run executes warmup cycles, then measures for measure cycles, and returns
-// throughput over the measured window. Profiling attachments stay active for
-// the whole run.
-func (b *Bench) Run(warmup, measure uint64) Stats {
+// RunWarmup runs the machine to the warmup boundary with the measured
+// window armed to open there but never close (its end depends on the
+// measured length, which a warm-start fork chooses later; no warmup-phase
+// event ever reaches it, so the open end changes nothing observable).
+// Responses landing as a core overshoots the boundary mid-task count into
+// the window exactly as on the cold path. Cache statistics reset at the
+// boundary — the state a warm-start checkpoint captures.
+func (b *Bench) RunWarmup(warmup uint64) {
 	b.measureFrom = warmup
-	b.measureTo = warmup + measure
+	b.measureTo = ^uint64(0)
 	b.start()
 	b.M.Run(warmup)
 	b.M.Hier.ResetStats()
+}
+
+// RunMeasured arms the measured window and runs it to completion. It
+// continues a RunWarmup on the same or a restored machine.
+func (b *Bench) RunMeasured(warmup, measure uint64) Stats {
+	b.measureFrom = warmup
+	b.measureTo = warmup + measure
 	b.M.Run(warmup + measure)
 	var st Stats
 	st.MeasureCycles = measure
@@ -230,4 +242,43 @@ func (b *Bench) Run(warmup, measure uint64) Stats {
 	st.Drops = b.K.Dev.Drops()
 	st.Throughput = float64(st.Completed) / (float64(measure) / float64(sim.Freq))
 	return st
+}
+
+// Run executes warmup cycles, then measures for measure cycles, and returns
+// throughput over the measured window. Profiling attachments stay active for
+// the whole run.
+func (b *Bench) Run(warmup, measure uint64) Stats {
+	b.RunWarmup(warmup)
+	return b.RunMeasured(warmup, measure)
+}
+
+// benchState is the workload-level mutable state a warm-start checkpoint
+// captures on top of the machine/kernel layers.
+type benchState struct {
+	appQueued   []bool
+	completed   []uint64
+	measureFrom uint64
+	measureTo   uint64
+	started     bool
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (b *Bench) SnapshotState() any {
+	return &benchState{
+		appQueued:   append([]bool(nil), b.appQueued...),
+		completed:   append([]uint64(nil), b.completed...),
+		measureFrom: b.measureFrom,
+		measureTo:   b.measureTo,
+		started:     b.started,
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (b *Bench) RestoreState(state any) {
+	st := state.(*benchState)
+	copy(b.appQueued, st.appQueued)
+	copy(b.completed, st.completed)
+	b.measureFrom = st.measureFrom
+	b.measureTo = st.measureTo
+	b.started = st.started
 }

@@ -67,7 +67,16 @@ func (i instance) Locks() *lockstat.Registry { return i.b.K.Locks }
 func (i instance) Prime(horizon uint64)      { i.b.Prime() } // closed loop: no horizon needed
 
 func (i instance) Run(warmup, measure uint64) core.RunResult {
-	st := i.b.Run(warmup, measure)
+	return result(i.b.Run(warmup, measure))
+}
+
+func (i instance) RunWarmup(warmup uint64) { i.b.RunWarmup(warmup) }
+
+func (i instance) RunMeasured(warmup, measure uint64) core.RunResult {
+	return result(i.b.RunMeasured(warmup, measure))
+}
+
+func result(st Stats) core.RunResult {
 	return core.RunResult{
 		Summary: st.String(),
 		Values: map[string]float64{

@@ -64,7 +64,25 @@ func NewAlienPing(cfg AlienPingConfig) *AlienPing {
 		rounds: make([]uint64, b.M.NumCores()),
 	}
 	a.PingType = b.A.RegisterType("ping_obj", cfg.ObjBytes, "producer-allocated buffer freed on a remote core")
+	b.M.AddSnapshotter(a)
 	return a
+}
+
+type alienPingState struct {
+	bench  benchState
+	rounds []uint64
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (a *AlienPing) SnapshotState() any {
+	return &alienPingState{bench: a.state(), rounds: append([]uint64(nil), a.rounds...)}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *AlienPing) RestoreState(state any) {
+	st := state.(*alienPingState)
+	a.setState(st.bench)
+	copy(a.rounds, st.rounds)
 }
 
 // produce allocates and fills one batch on the producing core, then hands
@@ -135,11 +153,17 @@ func (a *AlienPing) start(stopAt uint64) {
 // Prime starts the ping-pong loops without running the machine.
 func (a *AlienPing) Prime(horizon uint64) { a.start(horizon) }
 
-// Run executes warmup then a measured window and reports round throughput.
-func (a *AlienPing) Run(warmup, measure uint64) core.RunResult {
-	a.window(warmup, measure)
-	a.start(warmup + measure)
-	a.measure(warmup, measure)
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close.
+func (a *AlienPing) RunWarmup(warmup uint64) {
+	a.warmupWindow(warmup)
+	a.start(a.stopAt)
+	a.warm(warmup)
+}
+
+// RunMeasured arms and runs the measured window after a RunWarmup.
+func (a *AlienPing) RunMeasured(warmup, measure uint64) core.RunResult {
+	a.measured(warmup, measure)
 	var total uint64
 	for _, n := range a.rounds {
 		total += n
@@ -154,6 +178,12 @@ func (a *AlienPing) Run(warmup, measure uint64) core.RunResult {
 			mode, tput, total, float64(measure)/1e6, a.Cfg.Batch),
 		Values: map[string]float64{"throughput": tput, "rounds": float64(total)},
 	}
+}
+
+// Run executes warmup then a measured window and reports round throughput.
+func (a *AlienPing) Run(warmup, measure uint64) core.RunResult {
+	a.RunWarmup(warmup)
+	return a.RunMeasured(warmup, measure)
 }
 
 func init() { workload.Register(alienPingWL{}) }

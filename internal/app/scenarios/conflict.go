@@ -51,7 +51,25 @@ func NewConflict(cfg ConflictConfig) *Conflict {
 	}
 	cf := &Conflict{bench: b, Cfg: cfg, Stride: stride}
 	cf.BufType, cf.addrs = b.A.StaticStrided("hot_buf", 64, cfg.Buffers, stride, "DMA descriptor ring")
+	b.M.AddSnapshotter(cf)
 	return cf
+}
+
+type conflictState struct {
+	bench  benchState
+	sweeps uint64
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (cf *Conflict) SnapshotState() any {
+	return &conflictState{bench: cf.state(), sweeps: cf.sweeps}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (cf *Conflict) RestoreState(state any) {
+	st := state.(*conflictState)
+	cf.setState(st.bench)
+	cf.sweeps = st.sweeps
 }
 
 // sweep reads every ring buffer once, then reschedules itself until the
@@ -83,11 +101,17 @@ func (cf *Conflict) start(stopAt uint64) {
 // Prime starts the ring walk without running the machine.
 func (cf *Conflict) Prime(horizon uint64) { cf.start(horizon) }
 
-// Run executes warmup then a measured window and reports sweep throughput.
-func (cf *Conflict) Run(warmup, measure uint64) core.RunResult {
-	cf.window(warmup, measure)
-	cf.start(warmup + measure)
-	cf.measure(warmup, measure)
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close.
+func (cf *Conflict) RunWarmup(warmup uint64) {
+	cf.warmupWindow(warmup)
+	cf.start(cf.stopAt)
+	cf.warm(warmup)
+}
+
+// RunMeasured arms and runs the measured window after a RunWarmup.
+func (cf *Conflict) RunMeasured(warmup, measure uint64) core.RunResult {
+	cf.measured(warmup, measure)
 	tput := float64(cf.sweeps) / seconds(measure)
 	layout := "aligned"
 	if cf.Cfg.Colored {
@@ -98,6 +122,12 @@ func (cf *Conflict) Run(warmup, measure uint64) core.RunResult {
 			layout, tput, cf.sweeps, float64(measure)/1e6, cf.Stride),
 		Values: map[string]float64{"throughput": tput, "sweeps": float64(cf.sweeps)},
 	}
+}
+
+// Run executes warmup then a measured window and reports sweep throughput.
+func (cf *Conflict) Run(warmup, measure uint64) core.RunResult {
+	cf.RunWarmup(warmup)
+	return cf.RunMeasured(warmup, measure)
 }
 
 func init() { workload.Register(conflictWL{}) }

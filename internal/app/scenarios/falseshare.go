@@ -50,7 +50,31 @@ func NewFalseShare(cfg FalseShareConfig) *FalseShare {
 		ops:   make([]uint64, b.M.NumCores()),
 	}
 	f.StatType = b.A.RegisterTypeAligned("pkt_stat", 16, "per-core packet counters", cfg.Align)
+	b.M.AddSnapshotter(f)
 	return f
+}
+
+type falseShareState struct {
+	bench benchState
+	addrs []uint64
+	ops   []uint64
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (f *FalseShare) SnapshotState() any {
+	return &falseShareState{
+		bench: f.state(),
+		addrs: append([]uint64(nil), f.addrs...),
+		ops:   append([]uint64(nil), f.ops...),
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (f *FalseShare) RestoreState(state any) {
+	st := state.(*falseShareState)
+	f.setState(st.bench)
+	copy(f.addrs, st.addrs)
+	copy(f.ops, st.ops)
 }
 
 // start allocates the counters contiguously (one pool slab, one counter per
@@ -97,12 +121,17 @@ func (f *FalseShare) step(c *sim.Ctx, core int) {
 // Prime starts the update loops without running the machine.
 func (f *FalseShare) Prime(horizon uint64) { f.start(horizon) }
 
-// Run executes warmup then a measured window and reports counter-update
-// throughput.
-func (f *FalseShare) Run(warmup, measure uint64) core.RunResult {
-	f.window(warmup, measure)
-	f.start(warmup + measure)
-	f.measure(warmup, measure)
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close.
+func (f *FalseShare) RunWarmup(warmup uint64) {
+	f.warmupWindow(warmup)
+	f.start(f.stopAt)
+	f.warm(warmup)
+}
+
+// RunMeasured arms and runs the measured window after a RunWarmup.
+func (f *FalseShare) RunMeasured(warmup, measure uint64) core.RunResult {
+	f.measured(warmup, measure)
 	var total uint64
 	for _, n := range f.ops {
 		total += n
@@ -117,6 +146,13 @@ func (f *FalseShare) Run(warmup, measure uint64) core.RunResult {
 			layout, tput, total, float64(measure)/1e6),
 		Values: map[string]float64{"throughput": tput, "ops": float64(total)},
 	}
+}
+
+// Run executes warmup then a measured window and reports counter-update
+// throughput.
+func (f *FalseShare) Run(warmup, measure uint64) core.RunResult {
+	f.RunWarmup(warmup)
+	return f.RunMeasured(warmup, measure)
 }
 
 func init() { workload.Register(falseShareWL{}) }

@@ -98,7 +98,25 @@ func NewNumaRemote(cfg NumaRemoteConfig) *NumaRemote {
 		panic("scenarios: numaremote placement leaves no consumer cores")
 	}
 	n.BufType = b.A.RegisterType("numa_buf", cfg.ObjBytes, "buffer allocated on one NUMA node and consumed from another")
+	b.M.AddSnapshotter(n)
 	return n
+}
+
+type numaRemoteState struct {
+	bench    benchState
+	consumed []uint64
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (n *NumaRemote) SnapshotState() any {
+	return &numaRemoteState{bench: n.state(), consumed: append([]uint64(nil), n.consumed...)}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (n *NumaRemote) RestoreState(state any) {
+	st := state.(*numaRemoteState)
+	n.setState(st.bench)
+	copy(n.consumed, st.consumed)
 }
 
 // produce allocates and fills one batch on the producer core, then hands it
@@ -209,11 +227,17 @@ func (n *NumaRemote) start(stopAt uint64) {
 // Prime starts the rounds without running the machine.
 func (n *NumaRemote) Prime(horizon uint64) { n.start(horizon) }
 
-// Run executes warmup then a measured window and reports buffer throughput.
-func (n *NumaRemote) Run(warmup, measure uint64) core.RunResult {
-	n.window(warmup, measure)
-	n.start(warmup + measure)
-	n.measure(warmup, measure)
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close.
+func (n *NumaRemote) RunWarmup(warmup uint64) {
+	n.warmupWindow(warmup)
+	n.start(n.stopAt)
+	n.warm(warmup)
+}
+
+// RunMeasured arms and runs the measured window after a RunWarmup.
+func (n *NumaRemote) RunMeasured(warmup, measure uint64) core.RunResult {
+	n.measured(warmup, measure)
 	var total uint64
 	for _, v := range n.consumed {
 		total += v
@@ -240,6 +264,12 @@ func (n *NumaRemote) Run(warmup, measure uint64) core.RunResult {
 			"remote_dram_fills": float64(tot.DRAMRemoteFills),
 		},
 	}
+}
+
+// Run executes warmup then a measured window and reports buffer throughput.
+func (n *NumaRemote) Run(warmup, measure uint64) core.RunResult {
+	n.RunWarmup(warmup)
+	return n.RunMeasured(warmup, measure)
 }
 
 func init() { workload.Register(numaRemoteWL{}) }

@@ -62,5 +62,56 @@ func (b *bench) measure(warmup, measureCycles uint64) {
 	b.M.Run(warmup + measureCycles)
 }
 
+// warmupWindow arms the start of the measured window and leaves its end and
+// the generator stop horizon open (both depend on the measured length, which
+// a warm-start fork chooses later). Tasks that overshoot the warmup boundary
+// mid-task count into the window exactly as on the cold path; the open end
+// changes nothing observable because no pre-boundary event ever runs within
+// a measured length of the horizon.
+func (b *bench) warmupWindow(warmup uint64) {
+	b.measureFrom = warmup
+	b.measureTo = ^uint64(0)
+	b.stopAt = ^uint64(0)
+}
+
+// warm runs the machine to the warmup boundary and resets cache statistics —
+// the point a warm-start checkpoint captures.
+func (b *bench) warm(warmup uint64) {
+	b.M.Run(warmup)
+	b.M.Hier.ResetStats()
+}
+
+// measured arms the measured window and stop horizon and runs the measured
+// interval. It continues a warm() on the same or a restored machine.
+func (b *bench) measured(warmup, measureCycles uint64) {
+	b.window(warmup, measureCycles)
+	b.M.Run(warmup + measureCycles)
+}
+
+// benchState is the window bookkeeping a warm-start checkpoint captures;
+// scenario snapshotters embed it alongside their own counters.
+type benchState struct {
+	measureFrom uint64
+	measureTo   uint64
+	stopAt      uint64
+	started     bool
+}
+
+func (b *bench) state() benchState {
+	return benchState{
+		measureFrom: b.measureFrom,
+		measureTo:   b.measureTo,
+		stopAt:      b.stopAt,
+		started:     b.started,
+	}
+}
+
+func (b *bench) setState(st benchState) {
+	b.measureFrom = st.measureFrom
+	b.measureTo = st.measureTo
+	b.stopAt = st.stopAt
+	b.started = st.started
+}
+
 // seconds converts simulated cycles to seconds.
 func seconds(cycles uint64) float64 { return float64(cycles) / float64(sim.Freq) }

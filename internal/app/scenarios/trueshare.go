@@ -74,7 +74,39 @@ func NewTrueShare(cfg TrueShareConfig) *TrueShare {
 	for _, a := range t.counterAddrs {
 		t.locks = append(t.locks, lockstat.NewLock(class, a))
 	}
+	b.M.AddSnapshotter(t)
 	return t
+}
+
+type trueShareState struct {
+	bench     benchState
+	completed []uint64
+	// The bucket locks are workload-owned, so their per-instance state is
+	// captured here (the registry checkpoint only covers class counters).
+	locks []lockstat.LockState
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (t *TrueShare) SnapshotState() any {
+	st := &trueShareState{
+		bench:     t.state(),
+		completed: append([]uint64(nil), t.completed...),
+		locks:     make([]lockstat.LockState, len(t.locks)),
+	}
+	for i, l := range t.locks {
+		st.locks[i] = l.State()
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshotter.
+func (t *TrueShare) RestoreState(state any) {
+	st := state.(*trueShareState)
+	t.setState(st.bench)
+	copy(t.completed, st.completed)
+	for i, l := range t.locks {
+		l.SetState(st.locks[i])
+	}
 }
 
 func (t *TrueShare) bucket(core int) int { return core % t.Cfg.Buckets }
@@ -153,11 +185,17 @@ func (t *TrueShare) start(stopAt uint64) {
 // Prime starts the closed loops without running the machine.
 func (t *TrueShare) Prime(horizon uint64) { t.start(horizon) }
 
-// Run executes warmup then a measured window and reports job throughput.
-func (t *TrueShare) Run(warmup, measure uint64) core.RunResult {
-	t.window(warmup, measure)
-	t.start(warmup + measure)
-	t.measure(warmup, measure)
+// RunWarmup runs to the warmup boundary with the measured window armed to
+// open there but never close.
+func (t *TrueShare) RunWarmup(warmup uint64) {
+	t.warmupWindow(warmup)
+	t.start(t.stopAt)
+	t.warm(warmup)
+}
+
+// RunMeasured arms and runs the measured window after a RunWarmup.
+func (t *TrueShare) RunMeasured(warmup, measure uint64) core.RunResult {
+	t.measured(warmup, measure)
 	var total uint64
 	for _, n := range t.completed {
 		total += n
@@ -172,6 +210,12 @@ func (t *TrueShare) Run(warmup, measure uint64) core.RunResult {
 			mode, tput, total, float64(measure)/1e6, t.Cfg.Buckets),
 		Values: map[string]float64{"throughput": tput, "jobs": float64(total)},
 	}
+}
+
+// Run executes warmup then a measured window and reports job throughput.
+func (t *TrueShare) Run(warmup, measure uint64) core.RunResult {
+	t.RunWarmup(warmup)
+	return t.RunMeasured(warmup, measure)
 }
 
 func init() { workload.Register(trueShareWL{}) }

@@ -206,6 +206,9 @@ func Attach(m *sim.Machine, alloc *mem.Allocator, cfg Config) *Profiler {
 		p.AddrSet.RecordFree(c.Now(), p.Desc(t), addr)
 	})
 	alloc.OnFree(func(c *sim.Ctx, t *mem.Type, addr uint64) { p.Collector.onFree(c, addr) })
+	// Registered after the hw units the constructor created, so a restore
+	// rewinds the raw sampling state before the analysis pipeline above it.
+	m.AddSnapshotter(p)
 	return p
 }
 

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"dprof/internal/mem"
+)
+
+// Profiler implements sim.Snapshotter. A warm-start checkpoint at the warmup
+// boundary captures the entire analysis pipeline — the cumulative sample
+// table, per-core pending deltas, the address set (object records mutate in
+// place when objects free), the collector's queue position and in-flight
+// history, the window pipeline, and the memoized path traces — so a forked
+// measured phase replays byte-identically to a cold run.
+//
+// Pointer identity is load-bearing in three places and the restore paths
+// below preserve it: the active collection (the debug-register trap handler
+// and the wheel's truncation-guard event both close over the
+// *activeCollection), CollectStats entries (returned by Stats()), and the
+// window pipeline itself (the machine's boundary tick holds pipe.close).
+// Type interning (types/descs/mems) is append-only and keyed by name, so it
+// is deliberately not rewound: descriptors interned after the checkpoint are
+// simply re-used when the re-run interns them again.
+
+type sampleTableState struct {
+	byKey       map[SampleKey]SampleStats
+	total       uint64
+	totalMisses uint64
+	unresolved  uint64
+}
+
+func captureSampleTable(st *SampleTable) sampleTableState {
+	s := sampleTableState{
+		byKey:       make(map[SampleKey]SampleStats, len(st.byKey)),
+		total:       st.Total,
+		totalMisses: st.TotalMisses,
+		unresolved:  st.Unresolved,
+	}
+	for k, v := range st.byKey {
+		s.byKey[k] = *v
+	}
+	return s
+}
+
+func (s *sampleTableState) restoreInto(st *SampleTable) {
+	st.byKey = make(map[SampleKey]*SampleStats, len(s.byKey))
+	for k, v := range s.byKey {
+		cp := v
+		st.byKey[k] = &cp
+	}
+	st.Total = s.total
+	st.TotalMisses = s.totalMisses
+	st.Unresolved = s.unresolved
+}
+
+type usageState struct {
+	t *TypeDesc
+	u typeUsage
+}
+
+type addrSetState struct {
+	objects    []ObjRecord
+	idxKeys    []uint64
+	idxVals    []int
+	idxMask    uint64
+	idxShift   uint
+	idxN       int
+	usage      []usageState
+	start, end uint64
+	maxObjects int
+	dropped    uint64
+}
+
+func captureAddrSet(as *AddressSet) addrSetState {
+	st := addrSetState{
+		objects:    append([]ObjRecord(nil), as.objects...),
+		idxKeys:    append([]uint64(nil), as.liveIdx.keys...),
+		idxVals:    append([]int(nil), as.liveIdx.vals...),
+		idxMask:    as.liveIdx.mask,
+		idxShift:   as.liveIdx.shift,
+		idxN:       as.liveIdx.n,
+		usage:      make([]usageState, len(as.usage)),
+		start:      as.start,
+		end:        as.end,
+		maxObjects: as.MaxObjects,
+		dropped:    as.dropped,
+	}
+	for i, e := range as.usage {
+		st.usage[i] = usageState{t: e.t, u: *e.u}
+	}
+	return st
+}
+
+func (st *addrSetState) restoreInto(as *AddressSet) {
+	as.objects = append(as.objects[:0], st.objects...)
+	as.liveIdx.keys = append([]uint64(nil), st.idxKeys...)
+	as.liveIdx.vals = append([]int(nil), st.idxVals...)
+	as.liveIdx.mask = st.idxMask
+	as.liveIdx.shift = st.idxShift
+	as.liveIdx.n = st.idxN
+	as.usage = as.usage[:0]
+	for i := range st.usage {
+		u := st.usage[i].u
+		as.usage = append(as.usage, typeUsageEntry{t: st.usage[i].t, u: &u})
+	}
+	as.start = st.start
+	as.end = st.end
+	as.MaxObjects = st.maxObjects
+	as.dropped = st.dropped
+}
+
+type collectStatsState struct {
+	start, end    uint64
+	histories     int
+	sets          int
+	elements      uint64
+	truncated     int
+	overhead      map[string]uint64
+	overheadStart map[string]uint64
+}
+
+type collectorState struct {
+	queue  []Target
+	next   int
+	active *activeCollection
+	// activeElems/activeTrunc/activeLife rewind the active history, whose
+	// element slice the trap handler appends to in place.
+	activeElems []HistElem
+	activeTrunc bool
+	activeLife  uint64
+	gen         uint64
+	byTypeLens  map[*mem.Type]int
+	orderLen    int
+	stats       map[*mem.Type]collectStatsState
+	curType     *mem.Type
+	maxLifetime uint64
+	maxElems    int
+	watchLen    uint32
+	done        func()
+	running     bool
+	finalized   bool
+}
+
+func captureCollector(col *Collector) collectorState {
+	st := collectorState{
+		queue:       append([]Target(nil), col.queue...),
+		next:        col.next,
+		active:      col.active,
+		gen:         col.gen,
+		byTypeLens:  make(map[*mem.Type]int, len(col.byType)),
+		orderLen:    len(col.order),
+		stats:       make(map[*mem.Type]collectStatsState, len(col.stats)),
+		curType:     col.curType,
+		maxLifetime: col.MaxLifetime,
+		maxElems:    col.MaxElems,
+		watchLen:    col.WatchLen,
+		done:        col.Done,
+		running:     col.running,
+		finalized:   col.finalized,
+	}
+	if act := col.active; act != nil {
+		st.activeElems = append([]HistElem(nil), act.hist.Elems...)
+		st.activeTrunc = act.hist.Truncated
+		st.activeLife = act.hist.Lifetime
+	}
+	for t, hs := range col.byType {
+		st.byTypeLens[t] = len(hs)
+	}
+	for t, cs := range col.stats {
+		st.stats[t] = collectStatsState{
+			start:         cs.Start,
+			end:           cs.End,
+			histories:     cs.Histories,
+			sets:          cs.Sets,
+			elements:      cs.Elements,
+			truncated:     cs.Truncated,
+			overhead:      snapshotOverhead(cs.Overhead),
+			overheadStart: snapshotOverhead(cs.overheadStart),
+		}
+	}
+	return st
+}
+
+func (st *collectorState) restoreInto(col *Collector) {
+	col.queue = append(col.queue[:0], st.queue...)
+	col.next = st.next
+	col.active = st.active
+	if act := st.active; act != nil {
+		act.hist.Elems = append(act.hist.Elems[:0], st.activeElems...)
+		act.hist.Truncated = st.activeTrunc
+		act.hist.Lifetime = st.activeLife
+	}
+	col.gen = st.gen
+	for t := range col.byType {
+		if _, ok := st.byTypeLens[t]; !ok {
+			delete(col.byType, t)
+		}
+	}
+	for t, n := range st.byTypeLens {
+		col.byType[t] = col.byType[t][:n]
+	}
+	col.order = col.order[:st.orderLen]
+	for t := range col.stats {
+		if _, ok := st.stats[t]; !ok {
+			delete(col.stats, t)
+		}
+	}
+	for t, css := range st.stats {
+		cs := col.stats[t]
+		cs.Start = css.start
+		cs.End = css.end
+		cs.Histories = css.histories
+		cs.Sets = css.sets
+		cs.Elements = css.elements
+		cs.Truncated = css.truncated
+		cs.Overhead = snapshotOverhead(css.overhead)
+		cs.overheadStart = snapshotOverhead(css.overheadStart)
+	}
+	col.curType = st.curType
+	col.MaxLifetime = st.maxLifetime
+	col.MaxElems = st.maxElems
+	col.WatchLen = st.watchLen
+	col.Done = st.done
+	col.running = st.running
+	col.finalized = st.finalized
+}
+
+type pipeState struct {
+	index    int
+	start    uint64
+	hasDelta bool
+	delta    sampleTableState
+	snapsLen int
+}
+
+type profilerState struct {
+	samples  sampleTableState
+	addr     addrSetState
+	col      collectorState
+	pending  [][]pendingSample
+	sampling bool
+	pipe     *pipeState
+	traces   map[*TypeDesc][]*PathTrace
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (p *Profiler) SnapshotState() any {
+	st := &profilerState{
+		samples:  captureSampleTable(p.Samples),
+		addr:     captureAddrSet(p.AddrSet),
+		col:      captureCollector(p.Collector),
+		pending:  make([][]pendingSample, len(p.pending)),
+		sampling: p.sampling,
+		traces:   make(map[*TypeDesc][]*PathTrace, len(p.traceCache)),
+	}
+	for i, buf := range p.pending {
+		st.pending[i] = append([]pendingSample(nil), buf...)
+	}
+	if pipe := p.pipe; pipe != nil {
+		ps := &pipeState{index: pipe.index, start: pipe.start, snapsLen: len(pipe.snaps)}
+		if pipe.delta != nil {
+			ps.hasDelta = true
+			ps.delta = captureSampleTable(pipe.delta)
+		}
+		st.pipe = ps
+	}
+	// Traces are immutable once built; sharing the slices is safe.
+	for t, tr := range p.traceCache {
+		st.traces[t] = tr
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Profiler) RestoreState(state any) {
+	st := state.(*profilerState)
+	st.samples.restoreInto(p.Samples)
+	st.addr.restoreInto(p.AddrSet)
+	st.col.restoreInto(p.Collector)
+	for i := range p.pending {
+		p.pending[i] = append(p.pending[i][:0], st.pending[i]...)
+	}
+	p.sampling = st.sampling
+	if ps := st.pipe; ps != nil {
+		pipe := p.pipe
+		pipe.index = ps.index
+		pipe.start = ps.start
+		if ps.hasDelta {
+			if pipe.delta == nil {
+				pipe.delta = NewSampleTable()
+			}
+			ps.delta.restoreInto(pipe.delta)
+		} else {
+			pipe.delta = nil
+		}
+		pipe.snaps = pipe.snaps[:ps.snapsLen]
+	}
+	p.traceCache = make(map[*TypeDesc][]*PathTrace, len(st.traces))
+	for t, tr := range st.traces {
+		p.traceCache[t] = tr
+	}
+}

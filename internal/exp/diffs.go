@@ -26,16 +26,17 @@ func init() {
 // baseline A) and on (fixed, B), ranks the per-type deltas, and reports
 // whether one of the expected types tops the ranking.
 func diffExp(name, fixOption string, expected []string) Runner {
-	return func(quick bool) Result {
-		w := windowFor(name, quick)
-		side := func(fixed bool) (core.RunResult, *core.DataProfile) {
-			s := mustSession(build(name, boolOpt(fixOption, fixed)), core.SessionConfig{
+	return func(rc RunCfg) Result {
+		w := windowFor(name, rc.Quick)
+		side := func(fixed bool) (res core.RunResult, dp *core.DataProfile) {
+			rc.session(name, boolOpt(fixOption, fixed), core.SessionConfig{
 				Profiler: core.Config{SampleRate: 100_000, WatchLen: 8},
 				Warmup:   w.warmup,
 				Measure:  w.measure,
+			}, func(s *core.Session, r core.RunResult) {
+				res, dp = r, s.Profiler().DataProfile()
 			})
-			res := s.Run()
-			return res, s.Profiler().DataProfile()
+			return
 		}
 		broken, dpBroken := side(false)
 		fixed, dpFixed := side(true)

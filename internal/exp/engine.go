@@ -21,6 +21,13 @@ type Options struct {
 	// means GOMAXPROCS. Every experiment constructs its own seeded machine,
 	// so results are identical at any worker count.
 	Workers int
+	// WarmStart shares warmup checkpoints across the experiments of this
+	// run: experiments whose runs share a warmup prefix (same workload,
+	// options, profiler configuration, and warmup length) fork one
+	// checkpoint at the warmup boundary instead of re-simulating it, and
+	// identical runs are answered from the materialized state outright.
+	// Results are byte-identical to cold runs at any worker count.
+	WarmStart bool
 	// Progress, if non-nil, receives one Event when an experiment starts and
 	// one when it finishes or fails. Delivery never blocks experiment
 	// execution: events flow through a buffer sized for the whole run and a
@@ -163,6 +170,11 @@ func RunAll(ctx context.Context, names []string, opts Options) ([]Result, error)
 		}
 	}
 
+	rc := RunCfg{Quick: opts.Quick}
+	if opts.WarmStart {
+		rc.warm = newWarmPool()
+	}
+
 	runOne := func(i int) {
 		e := runners[i]
 		start := time.Now()
@@ -175,7 +187,7 @@ func RunAll(ctx context.Context, names []string, opts Options) ([]Result, error)
 					Total: len(runners), Elapsed: time.Since(start), Err: err})
 			}
 		}()
-		r := e.run(opts.Quick)
+		r := e.run(rc)
 		r.Name = e.name
 		r.Title = e.title
 		results[i] = r

@@ -63,7 +63,7 @@ func TestRunAllUnknownName(t *testing.T) {
 }
 
 func TestRunAllPanicIsRunError(t *testing.T) {
-	register("test-panic", "panics for the engine test", func(quick bool) Result {
+	register("test-panic", "panics for the engine test", func(RunCfg) Result {
 		panic("boom")
 	})
 	defer func() { registry = registry[:len(registry)-1] }()

@@ -30,8 +30,9 @@ type Result struct {
 	Values map[string]float64
 }
 
-// Runner produces a Result; quick trades precision for speed (used by tests).
-type Runner func(quick bool) Result
+// Runner produces a Result. The RunCfg carries the quick/full switch and,
+// when the engine runs with WarmStart, the shared checkpoint pool.
+type Runner func(rc RunCfg) Result
 
 type entry struct {
 	name  string

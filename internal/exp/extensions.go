@@ -22,19 +22,23 @@ func init() {
 // contents. The simulator has that hardware, so the experiment compares
 // DProf's *estimated* per-type working set against the *actual* per-type
 // cache residency, for the top memcached types.
-func runExtOracle(quick bool) Result {
-	w := memcachedWindow(quick)
-	s := mustSession(buildMemcached(false), core.SessionConfig{
+func runExtOracle(rc RunCfg) Result {
+	w := memcachedWindow(rc.Quick)
+	var oracle *core.OracleWorkingSet
+	var est *core.WorkingSetView
+	var replay *core.ResidencyView
+	var lineSize float64
+	rc.session("memcached", memcachedOpts(false), core.SessionConfig{
 		Profiler: core.DefaultConfig(),
 		Warmup:   w.warmup,
 		Measure:  w.measure,
+	}, func(s *core.Session, _ core.RunResult) {
+		p := s.Profiler()
+		oracle = p.OracleWorkingSet()
+		est = p.WorkingSet()
+		replay = p.CacheResidency(200_000) // the §4.2 replay simulation
+		lineSize = float64(p.M.Hier.Config().LineSize)
 	})
-	s.Run()
-	p := s.Profiler()
-
-	oracle := p.OracleWorkingSet()
-	est := p.WorkingSet()
-	replay := p.CacheResidency(200_000) // the §4.2 replay simulation
 
 	var sb strings.Builder
 	sb.WriteString(oracle.String())
@@ -44,7 +48,6 @@ func runExtOracle(quick bool) Result {
 		"oracle_total_lines": float64(oracle.TotalLines),
 		"oracle_unresolved":  float64(oracle.Unresolved),
 	}
-	lineSize := float64(p.M.Hier.Config().LineSize)
 	for _, row := range est.Rows {
 		o := oracle.LinesFor(row.Type.Name)
 		if o == 0 && row.PeakBytes < 64*1024 {
@@ -67,7 +70,8 @@ func runExtOracle(quick bool) Result {
 // runExtWideWatch measures the other §7 wish: variable-size debug registers.
 // One skbuff history set is collected with the x86 8-byte windows, then with
 // a single 128-byte window covering the whole watched region at once.
-func runExtWideWatch(quick bool) Result {
+func runExtWideWatch(rc RunCfg) Result {
+	quick := rc.Quick
 	budget := uint64(800_000_000)
 	sets := 2
 	if quick {
@@ -115,7 +119,8 @@ func runExtWideWatch(quick bool) Result {
 // runExtPEBS compares IBS against PEBS in its load-latency configuration:
 // at the same interrupt budget, PEBS delivers almost exclusively misses, so
 // DProf needs far fewer interrupts per useful (miss) sample.
-func runExtPEBS(quick bool) Result {
+func runExtPEBS(rc RunCfg) Result {
+	quick := rc.Quick
 	w := memcachedWindow(quick)
 	const rate = 8000
 
@@ -160,7 +165,8 @@ func runExtPEBS(quick bool) Result {
 // runExtPTU runs the Intel-PTU-style baseline on memcached: hot cache lines
 // are visible but dynamic data has no names, so the size-1024/skbuff story
 // is invisible (§2.2).
-func runExtPTU(quick bool) Result {
+func runExtPTU(rc RunCfg) Result {
+	quick := rc.Quick
 	w := memcachedWindow(quick)
 	b := buildMemcached(false)
 	p := ptu.Attach(b.Machine(), b.Alloc())
@@ -180,7 +186,8 @@ func runExtPTU(quick bool) Result {
 // runAblationMerge compares path construction with and without pairwise
 // linkage on the same history population: pairwise co-occurrence evidence
 // merges per-offset clusters that rank matching keeps apart.
-func runAblationMerge(quick bool) Result {
+func runAblationMerge(rc RunCfg) Result {
+	quick := rc.Quick
 	budget := uint64(600_000_000)
 	sets := 3
 	if quick {

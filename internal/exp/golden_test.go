@@ -41,12 +41,18 @@ func TestGoldenProfiles(t *testing.T) {
 		}
 	}
 
+	// DPROF_GOLDEN_WARMSTART=1 runs the same goldens in warm-start fork
+	// mode: each experiment's internal runs fork their measured phase from
+	// a shared warmup checkpoint and must still reproduce the checked-in
+	// paper bytes — not merely agree with a cold run of the same build.
+	warm := os.Getenv("DPROF_GOLDEN_WARMSTART") != ""
+
 	got := make(map[string]map[string]float64)
 	for _, name := range Names() {
 		if testing.Short() && !goldenFast[name] {
 			continue
 		}
-		r, err := Run(context.Background(), name, Options{Quick: true})
+		r, err := Run(context.Background(), name, Options{Quick: true, WarmStart: warm})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

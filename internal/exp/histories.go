@@ -117,7 +117,8 @@ func collectAllSingles(sets int, quick bool) []collectOutcome {
 // collection time, and overhead. The paper collects 32-80 sets; the
 // simulated machine collects fewer (documented in EXPERIMENTS.md) — the
 // comparison is the per-type *ordering* of times and overheads.
-func runTable67(quick bool) Result {
+func runTable67(rc RunCfg) Result {
+	quick := rc.Quick
 	sets := 2
 	if quick {
 		sets = 1
@@ -146,7 +147,8 @@ func runTable67(quick bool) Result {
 }
 
 // runTable68 regenerates Table 6.8: collection rates.
-func runTable68(quick bool) Result {
+func runTable68(rc RunCfg) Result {
+	quick := rc.Quick
 	sets := 2
 	if quick {
 		sets = 1
@@ -179,7 +181,8 @@ func runTable68(quick bool) Result {
 // runTable69 regenerates Table 6.9: the overhead breakdown (debug-register
 // interrupts vs memory-subsystem reservation vs cross-core setup
 // communication) for the Apache types.
-func runTable69(quick bool) Result {
+func runTable69(rc RunCfg) Result {
+	quick := rc.Quick
 	sets := 2
 	types := []string{"size-1024", "skbuff", "skbuff_fclone", "tcp_sock"}
 	if quick {
@@ -211,7 +214,8 @@ func runTable69(quick bool) Result {
 // runFigure63 regenerates Figure 6-3: the fraction of unique execution paths
 // captured as a function of how many history sets were collected, relative
 // to a large-baseline collection.
-func runFigure63(quick bool) Result {
+func runFigure63(rc RunCfg) Result {
+	quick := rc.Quick
 	maxSets := 12
 	budget := uint64(2_500_000_000)
 	if quick {
@@ -262,7 +266,8 @@ func runFigure63(quick bool) Result {
 // runTable610 regenerates Table 6.10: pairwise sampling, which needs
 // quadratically more histories per set; DProf limits the pairs to the
 // hottest members found in the access samples.
-func runTable610(quick bool) Result {
+func runTable610(rc RunCfg) Result {
+	quick := rc.Quick
 	budget := uint64(2_000_000_000)
 	maxOffsets := 8
 	if quick {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dprof/internal/core"
@@ -16,38 +17,45 @@ func init() {
 	register("fix-memcached", "local TX queue selection fix (+57% in the paper)", runFixMemcached)
 }
 
+// memcachedOpts builds the option map shared by the warm pool's keying.
+func memcachedOpts(fix bool) map[string]string {
+	return map[string]string{"fix": strconv.FormatBool(fix)}
+}
+
 // runTable61 regenerates Table 6.1: the data profile of the memcached
-// workload under the buggy default queue selection.
-func runTable61(quick bool) Result {
-	w := memcachedWindow(quick)
-	s := mustSession(buildMemcached(false), core.SessionConfig{
+// workload under the buggy default queue selection. Its session shares a
+// warm key (and, via the memo, its entire run) with ext-oracle.
+func runTable61(rc RunCfg) Result {
+	w := memcachedWindow(rc.Quick)
+	var out Result
+	rc.session("memcached", memcachedOpts(false), core.SessionConfig{
 		Profiler: core.DefaultConfig(),
 		Warmup:   w.warmup,
 		Measure:  w.measure,
-	})
-	s.Run()
-
-	dp := s.Profiler().DataProfile()
-	vals := map[string]float64{}
-	for _, row := range dp.Rows {
-		vals[row.Type.Name+"_misspct"] = row.MissPct
-		vals[row.Type.Name+"_ws_bytes"] = float64(row.WorkingSetBytes)
-		if row.Bounce {
-			vals[row.Type.Name+"_bounce"] = 1
+	}, func(s *core.Session, _ core.RunResult) {
+		dp := s.Profiler().DataProfile()
+		vals := map[string]float64{}
+		for _, row := range dp.Rows {
+			vals[row.Type.Name+"_misspct"] = row.MissPct
+			vals[row.Type.Name+"_ws_bytes"] = float64(row.WorkingSetBytes)
+			if row.Bounce {
+				vals[row.Type.Name+"_bounce"] = 1
+			}
 		}
-	}
-	if len(dp.Rows) > 0 {
-		vals["top_is_size1024"] = boolVal(dp.Rows[0].Type.Name == "size-1024")
-	}
-	return Result{Text: dp.String(), Values: vals}
+		if len(dp.Rows) > 0 {
+			vals["top_is_size1024"] = boolVal(dp.Rows[0].Type.Name == "size-1024")
+		}
+		out = Result{Text: dp.String(), Values: vals}
+	})
+	return out
 }
 
 // runFigure61 regenerates Figure 6-1: the data flow view for skbuff objects,
 // with the cross-CPU hop through the qdisc.
-func runFigure61(quick bool) Result {
+func runFigure61(rc RunCfg) Result {
 	sets := 3
 	measure := uint64(120_000_000)
-	if quick {
+	if rc.Quick {
 		sets = 1
 		measure = 40_000_000
 	}
@@ -55,61 +63,65 @@ func runFigure61(quick bool) Result {
 	pcfg.WatchLen = 8
 	// Watching the skbuff header region is enough to see the transmit path;
 	// the paper similarly profiles the most-used members (§6.4).
-	s := mustSession(buildMemcached(false), core.SessionConfig{
+	var out Result
+	rc.session("memcached", memcachedOpts(false), core.SessionConfig{
 		Profiler:   pcfg,
 		TypeName:   "skbuff",
 		Sets:       sets,
 		WatchRange: 128,
 		Warmup:     1_000_000,
 		Measure:    measure,
-	})
-	s.Run()
-
-	p, skb := s.Profiler(), s.Target()
-	g := p.DataFlow(skb)
-	edges := g.CrossCPUEdges()
-	var sb strings.Builder
-	sb.WriteString(g.Render())
-	sb.WriteString("\ncross-CPU transitions (bold edges in Figure 6-1):\n")
-	vals := map[string]float64{
-		"cross_cpu_edges": float64(len(edges)),
-		"histories":       float64(len(p.HistoriesFor(skb))),
-	}
-	for _, e := range edges {
-		fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
-		if strings.Contains(e.From, "pfifo_fast_enqueue") || strings.Contains(e.To, "pfifo_fast_dequeue") ||
-			strings.Contains(e.From, "dev_queue_xmit") || strings.Contains(e.To, "dev_hard_start_xmit") {
-			vals["qdisc_hop"] = 1
+	}, func(s *core.Session, _ core.RunResult) {
+		p, skb := s.Profiler(), s.Target()
+		g := p.DataFlow(skb)
+		edges := g.CrossCPUEdges()
+		var sb strings.Builder
+		sb.WriteString(g.Render())
+		sb.WriteString("\ncross-CPU transitions (bold edges in Figure 6-1):\n")
+		vals := map[string]float64{
+			"cross_cpu_edges": float64(len(edges)),
+			"histories":       float64(len(p.HistoriesFor(skb))),
 		}
-	}
-	sb.WriteString("\nGraphviz form:\n")
-	sb.WriteString(g.DOT())
-	return Result{Text: sb.String(), Values: vals}
+		for _, e := range edges {
+			fmt.Fprintf(&sb, "  %s ==> %s (x%d)\n", e.From, e.To, e.Count)
+			if strings.Contains(e.From, "pfifo_fast_enqueue") || strings.Contains(e.To, "pfifo_fast_dequeue") ||
+				strings.Contains(e.From, "dev_queue_xmit") || strings.Contains(e.To, "dev_hard_start_xmit") {
+				vals["qdisc_hop"] = 1
+			}
+		}
+		sb.WriteString("\nGraphviz form:\n")
+		sb.WriteString(g.DOT())
+		out = Result{Text: sb.String(), Values: vals}
+	})
+	return out
 }
 
 // runTable62 regenerates Table 6.2: lock-stat output for memcached. No DProf
-// session here: the baseline runs unprofiled, exactly as the paper did.
-func runTable62(quick bool) Result {
-	w := memcachedWindow(quick)
-	b := buildMemcached(false)
-	b.Locks().Reset()
-	b.Run(w.warmup, w.measure)
-	rep := b.Locks().BuildReport(w.measure * uint64(b.Machine().NumCores()))
-	vals := map[string]float64{}
-	for _, row := range rep.Rows {
-		vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
-		vals[strings.ReplaceAll(row.Name, " ", "_")+"_wait_s"] = seconds(row.WaitCycles)
-	}
-	if len(rep.Rows) > 0 {
-		vals["top_is_qdisc"] = boolVal(rep.Rows[0].Name == "Qdisc lock")
-	}
-	return Result{Text: rep.String(), Values: vals}
+// session here: the baseline runs unprofiled, exactly as the paper did. The
+// bare run shares its full configuration with fix-memcached's default side.
+func runTable62(rc RunCfg) Result {
+	w := memcachedWindow(rc.Quick)
+	var out Result
+	rc.bare("memcached", memcachedOpts(false), w, func(b core.Runnable, _ core.RunResult) {
+		rep := b.Locks().BuildReport(w.measure * uint64(b.Machine().NumCores()))
+		vals := map[string]float64{}
+		for _, row := range rep.Rows {
+			vals[strings.ReplaceAll(row.Name, " ", "_")+"_overhead_pct"] = row.OverheadPct
+			vals[strings.ReplaceAll(row.Name, " ", "_")+"_wait_s"] = seconds(row.WaitCycles)
+		}
+		if len(rep.Rows) > 0 {
+			vals["top_is_qdisc"] = boolVal(rep.Rows[0].Name == "Qdisc lock")
+		}
+		out = Result{Text: rep.String(), Values: vals}
+	})
+	return out
 }
 
 // runTable63 regenerates Table 6.3: OProfile's flat function profile for
-// memcached (again unprofiled by DProf).
-func runTable63(quick bool) Result {
-	w := memcachedWindow(quick)
+// memcached (again unprofiled by DProf). OProfile attaches before the run,
+// outside the session plumbing, so this experiment always runs cold.
+func runTable63(rc RunCfg) Result {
+	w := memcachedWindow(rc.Quick)
 	b := buildMemcached(false)
 	op := oprofile.Attach(b.Machine())
 	op.Start()
@@ -128,11 +140,13 @@ func runTable63(quick bool) Result {
 }
 
 // runFixMemcached measures the §6.1 fix: default hashed TX queue selection
-// versus the driver-local queue selection.
-func runFixMemcached(quick bool) Result {
-	w := memcachedWindow(quick)
-	stDefault := buildMemcached(false).Run(w.warmup, w.measure)
-	stFixed := buildMemcached(true).Run(w.warmup, w.measure)
+// versus the driver-local queue selection. The default side shares its run
+// with table6.2's lock-stat baseline.
+func runFixMemcached(rc RunCfg) Result {
+	w := memcachedWindow(rc.Quick)
+	var stDefault, stFixed core.RunResult
+	rc.bare("memcached", memcachedOpts(false), w, func(_ core.Runnable, res core.RunResult) { stDefault = res })
+	rc.bare("memcached", memcachedOpts(true), w, func(_ core.Runnable, res core.RunResult) { stFixed = res })
 	speedup := stFixed.Values["throughput"] / stDefault.Values["throughput"]
 	text := fmt.Sprintf("default (skb_tx_hash):   %s\nfixed (local queue):     %s\nimprovement: %.0f%%  (paper: +57%%)\n",
 		stDefault.Summary, stFixed.Summary, 100*(speedup-1))

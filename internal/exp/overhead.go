@@ -20,21 +20,23 @@ func init() {
 // Both workloads run saturated (CPU-bound), so throughput is the direct
 // inverse of per-request cost and the sampling interrupts translate into a
 // measurable reduction — the same operating point the paper measures at.
-func runFigure62(quick bool) Result {
+func runFigure62(rc RunCfg) Result {
+	quick := rc.Quick
 	rates := []float64{2000, 6000, 10000, 14000, 18000}
 	if quick {
 		rates = []float64{6000, 18000}
 	}
 
-	throughputAt := func(name string, opts map[string]string, w window, rate float64) float64 {
-		b := build(name, opts)
+	throughputAt := func(name string, opts map[string]string, w window, rate float64) (tput float64) {
 		if rate > 0 {
 			pcfg := core.DefaultConfig()
 			pcfg.SampleRate = rate
-			s := mustSession(b, core.SessionConfig{Profiler: pcfg, Warmup: w.warmup, Measure: w.measure})
-			return s.Run().Values["throughput"]
+			rc.session(name, opts, core.SessionConfig{Profiler: pcfg, Warmup: w.warmup, Measure: w.measure},
+				func(_ *core.Session, res core.RunResult) { tput = res.Values["throughput"] })
+			return
 		}
-		return b.Run(w.warmup, w.measure).Values["throughput"]
+		rc.bare(name, opts, w, func(_ core.Runnable, res core.RunResult) { tput = res.Values["throughput"] })
+		return
 	}
 	memc := func(rate float64) float64 {
 		// The fixed kernel with a deep closed-loop window: saturated cores,
@@ -44,6 +46,8 @@ func runFigure62(quick bool) Result {
 	}
 	apache := func(rate float64) float64 {
 		// Saturated but not queue-degraded: drop-off load, capped backlog.
+		// The unprofiled baseline shares its run with fix-apache's capped
+		// side (the option maps render identically).
 		return throughputAt("apache", map[string]string{
 			"offered": strconv.Itoa(apachesim.DropOffOffered),
 			"backlog": strconv.Itoa(apachesim.FixedBacklog),

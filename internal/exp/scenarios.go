@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dprof/internal/core"
+	"dprof/internal/lockstat"
 )
 
 func init() {
@@ -35,19 +36,20 @@ func missRowFor(rows []core.MissClassRow, name string) (core.MissClassRow, bool)
 // packed layout shows pkt_stat misses classified as false sharing —
 // invalidation misses without any cross-CPU write to the same object —
 // and padding each counter to its own line removes them.
-func runFalseshareExp(quick bool) Result {
-	w := windowFor("falseshare", quick)
-	side := func(padded bool) (core.RunResult, []core.MissClassRow) {
-		s := mustSession(build("falseshare", boolOpt("padded", padded)), core.SessionConfig{
+func runFalseshareExp(rc RunCfg) Result {
+	w := windowFor("falseshare", rc.Quick)
+	side := func(padded bool) (res core.RunResult, rows []core.MissClassRow) {
+		rc.session("falseshare", boolOpt("padded", padded), core.SessionConfig{
 			Profiler:    core.Config{SampleRate: 100_000, WatchLen: 8},
 			TypeName:    "pkt_stat",
 			Sets:        1,
 			MaxLifetime: (w.warmup + w.measure) / 2, // counters live forever; truncate so traces exist
 			Warmup:      w.warmup,
 			Measure:     w.measure,
+		}, func(s *core.Session, r core.RunResult) {
+			res, rows = r, s.Profiler().MissClassification()
 		})
-		res := s.Run()
-		return res, s.Profiler().MissClassification()
+		return
 	}
 	packed, packedRows := side(false)
 	padded, paddedRows := side(true)
@@ -81,16 +83,17 @@ func runFalseshareExp(quick bool) Result {
 // runConflictExp profiles the conflict scenario in both layouts: the aligned
 // pool overloads a handful of L1 sets (conflict misses while the cache sits
 // nearly empty); coloring the pool spreads them.
-func runConflictExp(quick bool) Result {
-	w := windowFor("conflict", quick)
-	side := func(colored bool) (core.RunResult, *core.WorkingSetView, []core.MissClassRow) {
-		s := mustSession(build("conflict", boolOpt("colored", colored)), core.SessionConfig{
+func runConflictExp(rc RunCfg) Result {
+	w := windowFor("conflict", rc.Quick)
+	side := func(colored bool) (res core.RunResult, ws *core.WorkingSetView, rows []core.MissClassRow) {
+		rc.session("conflict", boolOpt("colored", colored), core.SessionConfig{
 			Profiler: core.Config{SampleRate: 200_000, WatchLen: 8},
 			Warmup:   w.warmup,
 			Measure:  w.measure,
+		}, func(s *core.Session, r core.RunResult) {
+			res, ws, rows = r, s.Profiler().WorkingSet(), s.Profiler().MissClassification()
 		})
-		res := s.Run()
-		return res, s.Profiler().WorkingSet(), s.Profiler().MissClassification()
+		return
 	}
 	renderSide := func(sb *strings.Builder, label string, res core.RunResult, ws *core.WorkingSetView, rows []core.MissClassRow) {
 		fmt.Fprintf(sb, "--- %s ---\n%s\n", label, res.Summary)
@@ -134,29 +137,35 @@ func runConflictExp(quick bool) Result {
 // runTrueshareExp contrasts shared job buckets against the partitioned fix:
 // the lock-stat baseline names the contended class, and the job data flow
 // shows every object hopping cores.
-func runTrueshareExp(quick bool) Result {
-	w := windowFor("trueshare", quick)
+func runTrueshareExp(rc RunCfg) Result {
+	w := windowFor("trueshare", rc.Quick)
 
 	// A profiled session on the shared configuration: the data flow view of
 	// the job type shows the producer->consumer hop, and lock-stat names the
 	// bucket lock.
-	s := mustSession(build("trueshare", boolOpt("partition", false)), core.SessionConfig{
+	var profiled core.RunResult
+	var edges []core.FlowEdge
+	rc.session("trueshare", boolOpt("partition", false), core.SessionConfig{
 		Profiler: core.DefaultConfig(),
 		TypeName: "job",
 		Sets:     2,
 		Warmup:   w.warmup,
 		Measure:  w.measure,
+	}, func(s *core.Session, r core.RunResult) {
+		profiled = r
+		edges = s.Profiler().DataFlow(s.Target()).CrossCPUEdges()
 	})
-	profiled := s.Run()
-	g := s.Profiler().DataFlow(s.Target())
-	edges := g.CrossCPUEdges()
 
 	// Clean (unprofiled) runs on both sides, the way the paper reports
 	// fixes; the shared run doubles as the lock-stat baseline.
-	sharedInst := build("trueshare", boolOpt("partition", false))
-	sharedInst.Locks().Reset()
-	shared := sharedInst.Run(w.warmup, w.measure)
-	part := build("trueshare", boolOpt("partition", true)).Run(w.warmup, w.measure)
+	var shared, part core.RunResult
+	var rep lockstat.Report
+	rc.bare("trueshare", boolOpt("partition", false), w, func(b core.Runnable, res core.RunResult) {
+		shared = res
+		rep = b.Locks().BuildReport(w.measure * uint64(b.Machine().NumCores()))
+	})
+	rc.bare("trueshare", boolOpt("partition", true), w,
+		func(_ core.Runnable, res core.RunResult) { part = res })
 	speedup := part.Values["throughput"] / shared.Values["throughput"]
 
 	var sb strings.Builder
@@ -171,7 +180,6 @@ func runTrueshareExp(quick bool) Result {
 		"tput_partitioned": part.Values["throughput"],
 		"speedup":          speedup,
 	}
-	rep := sharedInst.Locks().BuildReport(w.measure * uint64(sharedInst.Machine().NumCores()))
 	sb.WriteString("\nlock-stat baseline (shared buckets):\n")
 	sb.WriteString(rep.String())
 	for _, row := range rep.Rows {
@@ -189,24 +197,33 @@ func runTrueshareExp(quick bool) Result {
 // on the paper's 4x4 topology: the data profile's locality columns show
 // numa_buf served almost entirely across chips before the fix, and the
 // throughput comparison shows what that costs.
-func runNumaremoteExp(quick bool) Result {
-	w := windowFor("numaremote", quick)
+func runNumaremoteExp(rc RunCfg) Result {
+	w := windowFor("numaremote", rc.Quick)
 
-	s := mustSession(build("numaremote", boolOpt("localalloc", false)), core.SessionConfig{
+	var profiled core.RunResult
+	var dp *core.DataProfile
+	var rows []core.MissClassRow
+	var topo string
+	rc.session("numaremote", boolOpt("localalloc", false), core.SessionConfig{
 		Profiler: core.Config{SampleRate: 50_000, WatchLen: 8},
 		Warmup:   w.warmup,
 		Measure:  w.measure,
+	}, func(s *core.Session, r core.RunResult) {
+		profiled = r
+		dp = s.Profiler().DataProfile()
+		rows = s.Profiler().MissClassification()
+		topo = fmt.Sprint(s.Topology())
 	})
-	profiled := s.Run()
-	dp := s.Profiler().DataProfile()
-	rows := s.Profiler().MissClassification()
 
-	remote := build("numaremote", boolOpt("localalloc", false)).Run(w.warmup, w.measure)
-	local := build("numaremote", boolOpt("localalloc", true)).Run(w.warmup, w.measure)
+	var remote, local core.RunResult
+	rc.bare("numaremote", boolOpt("localalloc", false), w,
+		func(_ core.Runnable, res core.RunResult) { remote = res })
+	rc.bare("numaremote", boolOpt("localalloc", true), w,
+		func(_ core.Runnable, res core.RunResult) { local = res })
 	speedup := local.Values["throughput"] / remote.Values["throughput"]
 
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "profiled (remote alloc, topology %s): %s\n\n", s.Topology(), profiled.Summary)
+	fmt.Fprintf(&sb, "profiled (remote alloc, topology %s): %s\n\n", topo, profiled.Summary)
 	sb.WriteString(dp.String())
 	sb.WriteString("\n")
 	sb.WriteString(core.RenderMissClassification(rows))
@@ -233,20 +250,25 @@ func runNumaremoteExp(quick bool) Result {
 // runAlienpingExp contrasts remote frees (through the alien caches) against
 // the local-free fix: the data profile of the remote-free run shows the
 // allocator's own bookkeeping types bouncing between cores.
-func runAlienpingExp(quick bool) Result {
-	w := windowFor("alienping", quick)
+func runAlienpingExp(rc RunCfg) Result {
+	w := windowFor("alienping", rc.Quick)
 
-	pcfg := core.Config{SampleRate: 50_000, WatchLen: 8}
-	s := mustSession(build("alienping", boolOpt("localfree", false)), core.SessionConfig{
-		Profiler: pcfg,
+	var profiled core.RunResult
+	var dp *core.DataProfile
+	rc.session("alienping", boolOpt("localfree", false), core.SessionConfig{
+		Profiler: core.Config{SampleRate: 50_000, WatchLen: 8},
 		Warmup:   w.warmup,
 		Measure:  w.measure,
+	}, func(s *core.Session, r core.RunResult) {
+		profiled = r
+		dp = s.Profiler().DataProfile()
 	})
-	profiled := s.Run()
-	dp := s.Profiler().DataProfile()
 
-	remote := build("alienping", boolOpt("localfree", false)).Run(w.warmup, w.measure)
-	local := build("alienping", boolOpt("localfree", true)).Run(w.warmup, w.measure)
+	var remote, local core.RunResult
+	rc.bare("alienping", boolOpt("localfree", false), w,
+		func(_ core.Runnable, res core.RunResult) { remote = res })
+	rc.bare("alienping", boolOpt("localfree", true), w,
+		func(_ core.Runnable, res core.RunResult) { local = res })
 	speedup := local.Values["throughput"] / remote.Values["throughput"]
 
 	var sb strings.Builder

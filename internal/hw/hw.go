@@ -86,6 +86,7 @@ func NewIBS(m *sim.Machine) *IBS {
 	// population and the call entirely; onAccess keeps its own guard, which
 	// is what runs on the reference path.
 	m.AddArmedAccessHook(u.onAccess, sim.HookArm{NextTime: u.nextArm})
+	m.AddSnapshotter(u)
 	return u
 }
 
@@ -181,6 +182,7 @@ func NewDebugRegs(m *sim.Machine) *DebugRegs {
 	// only dispatches accesses overlapping one (the overlap predicate is the
 	// same one onAccess applies per register).
 	m.AddArmedAccessHook(d.onAccess, sim.HookArm{Ranges: d.activeRanges})
+	m.AddSnapshotter(d)
 	return d
 }
 

@@ -112,6 +112,7 @@ func New(m *sim.Machine, acfg mem.Config, kcfg Config) *Kernel {
 	k.Dev = newNetDevice(k)
 	k.initEpoll()
 	k.Futex = newFutexTable(k)
+	m.AddSnapshotter(k)
 	return k
 }
 

@@ -56,13 +56,19 @@ type NetDevice struct {
 	txPackets uint64
 	rxPackets uint64
 	drops     uint64
+
+	// inflight tracks packets between hardStartXmit and cleanTxIrq: their
+	// completion events sit in the wheel holding live *SKB pointers, so a
+	// warm-start snapshot must capture (and a restore rewind) their mutable
+	// fields even though no queue references them anymore.
+	inflight map[*SKB]struct{}
 }
 
 func newNetDevice(k *Kernel) *NetDevice {
 	_, devAddr := k.Alloc.Static("net_device", 128, "network device structure")
 	qdiscClass := k.Locks.Class("Qdisc lock")
 	_, qdiscAddrs := k.Alloc.StaticArray("Qdisc", 256, k.Cfg.TxQueues, "packet scheduler queue")
-	d := &NetDevice{k: k, Addr: devAddr}
+	d := &NetDevice{k: k, Addr: devAddr, inflight: make(map[*SKB]struct{})}
 	for i := 0; i < k.Cfg.TxQueues; i++ {
 		q := &TxQueue{
 			ID:        i,
@@ -227,6 +233,7 @@ func (d *NetDevice) hardStartXmit(c *sim.Ctx, q *TxQueue, skb *SKB) {
 		c.Write(d.Addr+DevOffStats, 16)       // dev stats: the net_device bounce
 	}()
 	d.txPackets++
+	d.inflight[skb] = struct{}{}
 	c.Spawn(q.OwnerCore, d.k.Cfg.WireDelay, func(cc *sim.Ctx) { d.cleanTxIrq(cc, q, skb) })
 }
 
@@ -235,6 +242,7 @@ func (d *NetDevice) hardStartXmit(c *sim.Ctx, q *TxQueue, skb *SKB) {
 // fires the packet's completion callback.
 func (d *NetDevice) cleanTxIrq(c *sim.Ctx, q *TxQueue, skb *SKB) {
 	defer c.Leave(c.EnterPC(pcIxgbeCleanTxIrq))
+	delete(d.inflight, skb)
 	c.Read(q.QdiscAddr+QdiscOffRing, 16)
 	c.Write(q.QdiscAddr+QdiscOffRing, 8)
 	c.Compute(500) // IRQ entry/exit, descriptor recycling

@@ -22,13 +22,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
-	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dprof/internal/benchmeta"
 )
 
 // Config parameterizes one load run.
@@ -270,17 +270,12 @@ func percentiles(ms []float64) Latency {
 	}
 }
 
-// Artifact is the BENCH_dprofd_load.json schema: run configuration, host
-// context, and one Result per phase (e.g. cold / warm / multi_replica).
-// GitCommit and WrittenAt come from the DPROF_GIT_COMMIT / DPROF_WRITTEN_AT
-// environment variables the bench harness (CI) injects, so a checked-in
-// artifact says which commit produced it and when.
+// Artifact is the BENCH_dprofd_load.json schema: run configuration, the
+// shared benchmeta provenance block (commit, time, host), and one Result
+// per phase (e.g. cold / warm / multi_replica).
 type Artifact struct {
-	Benchmark        string            `json:"benchmark"`
-	GitCommit        string            `json:"git_commit,omitempty"`
-	WrittenAt        string            `json:"written_at,omitempty"`
-	GoMaxProcs       int               `json:"gomaxprocs"`
-	HostCPUs         int               `json:"host_cpus"`
+	Benchmark string `json:"benchmark"`
+	benchmeta.Provenance
 	Keys             int               `json:"keys"`
 	ZipfS            float64           `json:"zipf_s"`
 	ZipfV            float64           `json:"zipf_v"`
@@ -294,10 +289,7 @@ func NewArtifact(cfg Config) Artifact {
 	cfg.defaults()
 	return Artifact{
 		Benchmark:        "dprofd-load",
-		GitCommit:        os.Getenv("DPROF_GIT_COMMIT"),
-		WrittenAt:        os.Getenv("DPROF_WRITTEN_AT"),
-		GoMaxProcs:       runtime.GOMAXPROCS(0),
-		HostCPUs:         runtime.NumCPU(),
+		Provenance:       benchmeta.Collect(),
 		Keys:             cfg.Keys,
 		ZipfS:            cfg.ZipfS,
 		ZipfV:            cfg.ZipfV,
@@ -309,10 +301,4 @@ func NewArtifact(cfg Config) Artifact {
 
 // Write lands the artifact as indented JSON, the repo's BENCH_*.json
 // convention.
-func (a Artifact) Write(path string) error {
-	buf, err := json.MarshalIndent(a, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
-}
+func (a Artifact) Write(path string) error { return benchmeta.Write(path, a) }

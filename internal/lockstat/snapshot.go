@@ -1,0 +1,80 @@
+package lockstat
+
+// Snapshot support for warm-start forks. A lock's per-instance state is
+// owner-side: the component that owns a Lock captures LockState alongside
+// its own state (there is deliberately no global instance registry — apache
+// creates a lock per live connection and a registry would pin every dead
+// one). Class statistics live in the Registry, whose checkpoint is a deep
+// copy restorable any number of times.
+
+// LockState is the mutable per-instance state of one Lock.
+type LockState struct {
+	ReleaseAt uint64
+	HoldFrom  uint64
+	Holder    int
+	Held      bool
+}
+
+// State returns the lock's mutable state (class and address are identity,
+// not state).
+func (l *Lock) State() LockState {
+	return LockState{ReleaseAt: l.releaseAt, HoldFrom: l.holdFrom, Holder: l.holder, Held: l.held}
+}
+
+// SetState rewinds the lock to a previously captured state.
+func (l *Lock) SetState(s LockState) {
+	l.releaseAt = s.ReleaseAt
+	l.holdFrom = s.HoldFrom
+	l.holder = s.Holder
+	l.held = s.Held
+}
+
+// RegistryState is a deep copy of every class's statistics, in registration
+// order. Classes are append-only, so restoring by prefix position is exact:
+// classes created after the checkpoint keep existing but are rewound to zero
+// (the state they had before the checkpoint, i.e. nonexistent-as-zero).
+type RegistryState struct {
+	classes []classState
+}
+
+type classState struct {
+	acquisitions uint64
+	contentions  uint64
+	waitCycles   uint64
+	holdCycles   uint64
+	sites        []siteCount
+}
+
+// Checkpoint deep-copies the registry's statistics.
+func (r *Registry) Checkpoint() RegistryState {
+	st := RegistryState{classes: make([]classState, len(r.order))}
+	for i, c := range r.order {
+		st.classes[i] = classState{
+			acquisitions: c.Acquisitions,
+			contentions:  c.Contentions,
+			waitCycles:   c.WaitCycles,
+			holdCycles:   c.HoldCycles,
+			sites:        append([]siteCount(nil), c.sites...),
+		}
+	}
+	return st
+}
+
+// Restore rewinds the registry to a checkpoint taken from it. Classes
+// registered after the checkpoint are zeroed, not removed (live Lock
+// instances may point at them).
+func (r *Registry) Restore(st RegistryState) {
+	for i, c := range r.order {
+		if i < len(st.classes) {
+			cs := &st.classes[i]
+			c.Acquisitions = cs.acquisitions
+			c.Contentions = cs.contentions
+			c.WaitCycles = cs.waitCycles
+			c.HoldCycles = cs.holdCycles
+			c.sites = append(c.sites[:0], cs.sites...)
+		} else {
+			c.Acquisitions, c.Contentions, c.WaitCycles, c.HoldCycles = 0, 0, 0, 0
+			c.sites = nil
+		}
+	}
+}

@@ -241,6 +241,7 @@ func (a *Allocator) BindMachine(m *sim.Machine) {
 	}
 	a.hier = m.Hier
 	a.topo = topo
+	m.AddSnapshotter(a)
 }
 
 // assignHome records the NUMA home of the pages in [base, base+size) per the

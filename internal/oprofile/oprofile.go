@@ -39,6 +39,7 @@ func Attach(m *sim.Machine) *Profiler {
 	// dispatch for this hook entirely.
 	m.AddArmedAccessHook(p.onAccess, sim.HookArm{NextTime: p.nextArm})
 	m.AddWorkHook(p.onWork)
+	m.AddSnapshotter(p)
 	return p
 }
 

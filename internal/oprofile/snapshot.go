@@ -1,0 +1,38 @@
+package oprofile
+
+import "dprof/internal/sym"
+
+// Profiler implements sim.Snapshotter so a warm-start checkpoint taken while
+// collection is running (table 6.3 profiles across the whole run) restores
+// the per-function counters exactly.
+
+type profState struct {
+	fns     map[sym.PC]fnStats
+	total   fnStats
+	enabled bool
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (p *Profiler) SnapshotState() any {
+	st := &profState{
+		fns:     make(map[sym.PC]fnStats, len(p.fns)),
+		total:   p.total,
+		enabled: p.enabled,
+	}
+	for pc, s := range p.fns {
+		st.fns[pc] = *s
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Profiler) RestoreState(state any) {
+	st := state.(*profState)
+	p.fns = make(map[sym.PC]*fnStats, len(st.fns))
+	for pc, s := range st.fns {
+		cp := s
+		p.fns[pc] = &cp
+	}
+	p.total = st.total
+	p.enabled = st.enabled
+}

@@ -182,20 +182,11 @@ func (e *BuildError) Error() string { return fmt.Sprintf("building %s: %v", e.Wo
 
 func (e *BuildError) Unwrap() error { return e.Err }
 
-// runProfile executes one normalized profiling session end to end: bounded
-// by the worker pool, built through the registry's shared option path, run
-// under a core.Session, and rendered as the canonical core.ProfileDocument
-// bytes (the same serializer cmd/dprof -json uses). It is only ever called
-// inside a flight, under the server's lifetime context. onWindow, when
-// non-nil and the session is windowed (window-ms > 0), receives every
-// window snapshot as its boundary closes — the live half of the streaming
-// pipeline.
-func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) ([]byte, error) {
-	if err := s.acquire(); err != nil {
-		return nil, err
-	}
-	defer s.release()
-
+// buildSession constructs the workload instance and profiling session for a
+// normalized key — the shared front half of the cold and warm-start run
+// paths. onWindow, when non-nil and the session is windowed (window-ms > 0),
+// receives every window snapshot as its boundary closes.
+func (s *Server) buildSession(k profileKey, onWindow func(*core.WindowSnapshot)) (*core.Session, error) {
 	w, err := workload.Lookup(k.Workload)
 	if err != nil {
 		return nil, err
@@ -223,15 +214,12 @@ func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) (
 	if onWindow != nil && scfg.WindowCycles > 0 {
 		scfg.OnWindow = onWindow
 	}
-	sess, err := core.NewSession(inst, scfg)
-	if err != nil {
-		return nil, err
-	}
-	// Counted here, after validation: Simulations() means simulations that
-	// actually ran, not requests that failed session setup with a 4xx.
-	s.simulations.Add(1)
-	sess.Run()
+	return core.NewSession(inst, scfg)
+}
 
+// renderProfile serializes a finished session as the canonical
+// core.ProfileDocument bytes (the same serializer cmd/dprof -json uses).
+func renderProfile(sess *core.Session, k profileKey) ([]byte, error) {
 	doc, err := core.BuildProfileDocument(sess, k.Views, k.Workload, k.Options, k.Quick)
 	if err != nil {
 		return nil, err
@@ -240,4 +228,34 @@ func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) (
 	// the same key across replicas and restarts.
 	doc.Stamp(core.SourceSim, time.Time{})
 	return json.Marshal(doc)
+}
+
+// runProfile executes one normalized profiling session end to end: bounded
+// by the worker pool, built through the registry's shared option path, run
+// under a core.Session (or forked from a pooled warmup checkpoint), and
+// rendered as canonical document bytes. It is only ever called inside a
+// flight, under the server's lifetime context. Streamed (windowed) sessions
+// always run cold: a checkpoint fork replays only the measured phase, but a
+// live window stream owns the whole run.
+func (s *Server) runProfile(k profileKey, onWindow func(*core.WindowSnapshot)) ([]byte, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	if onWindow == nil && s.ckpts != nil {
+		if body, handled, err := s.runProfileWarm(k); handled {
+			return body, err
+		}
+	}
+
+	sess, err := s.buildSession(k, onWindow)
+	if err != nil {
+		return nil, err
+	}
+	// Counted here, after validation: Simulations() means simulations that
+	// actually ran, not requests that failed session setup with a 4xx.
+	s.simulations.Add(1)
+	sess.Run()
+	return renderProfile(sess, k)
 }

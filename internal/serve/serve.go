@@ -82,6 +82,12 @@ type Config struct {
 	// peers reach it, Peers the fleet's replica URLs.
 	Self  string
 	Peers []string
+	// CheckpointPoolBytes bounds the in-memory warm-start checkpoint pool:
+	// machine checkpoints captured at the warmup boundary, forked to serve
+	// profile requests that differ only in measured length without
+	// re-simulating the warmup. Zero means the 256 MiB default; negative
+	// disables warm-start forking entirely (every request runs cold).
+	CheckpointPoolBytes int64
 }
 
 // Server is the dprofd HTTP service. Construct with New, mount Handler,
@@ -92,6 +98,7 @@ type Server struct {
 	cache   *lru
 	store   *store.Store // nil = memory only
 	peers   *peerSet     // nil = single-replica mode
+	ckpts   *ckptPool    // nil = warm-start forking disabled
 	flights flightGroup
 	mux     *http.ServeMux
 
@@ -128,10 +135,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxMeasureMs == 0 {
 		cfg.MaxMeasureMs = 60_000
 	}
+	if cfg.CheckpointPoolBytes == 0 {
+		cfg.CheckpointPoolBytes = 256 << 20
+	}
 	s := &Server{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
 		cache: newLRU(cfg.CacheEntries),
+	}
+	if cfg.CheckpointPoolBytes > 0 {
+		s.ckpts = newCkptPool(cfg.CheckpointPoolBytes)
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
@@ -382,6 +395,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"swept_objects":       st.SweptObjects,
 			"swept_bytes":         st.SweptBytes,
 		}
+	}
+	if s.ckpts != nil {
+		out["checkpoints"] = s.ckpts.statsMap()
 	}
 	if s.peers != nil {
 		out["peers"] = map[string]any{
@@ -683,7 +699,9 @@ func (s *Server) runExperiment(ctx context.Context, name string, quick bool, pro
 	}
 	defer s.release()
 	s.simulations.Add(1)
-	res, err := exp.Run(ctx, name, exp.Options{Quick: quick, Workers: 1, Progress: progress})
+	// WarmStart shares warmup checkpoints across the experiment's internal
+	// runs; the output is byte-identical to a cold engine run.
+	res, err := exp.Run(ctx, name, exp.Options{Quick: quick, Workers: 1, Progress: progress, WarmStart: true})
 	if err != nil {
 		return nil, err
 	}

@@ -115,6 +115,8 @@ type Core struct {
 	// access hot path compares the clock against it instead of calling into
 	// every hook.
 	hookArm uint64
+	seed    int64 // the value src was last seeded with (for Snapshot/Reseed)
+	src     *countedSource
 	rng     *rand.Rand
 	// ev is scratch space for hook dispatch. Hooks receive a pointer into it
 	// for the duration of the call only; reusing it keeps the per-access hot
@@ -360,6 +362,11 @@ type Machine struct {
 	// Overhead tallies profiling costs by category; Table 6.9 reports the
 	// breakdown. Categories used: "interrupt", "memory", "communication".
 	Overhead map[string]uint64
+
+	// snapshotters capture attached-component state (profilers, allocator,
+	// kernel, workloads) alongside the machine's own in Snapshot/Restore.
+	// Order is registration order (see AddSnapshotter).
+	snapshotters []Snapshotter
 }
 
 // defaultReference, when set, makes every subsequently built Machine start in
@@ -394,7 +401,9 @@ func New(cfg Config) *Machine {
 	m.cores = make([]*Core, n)
 	m.ctxs = make([]Ctx, n)
 	for i := range m.cores {
-		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), hookArm: ArmNever, rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))}
+		seed := cfg.Seed + int64(i) + 1
+		src := newCountedSource(seed)
+		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), hookArm: ArmNever, seed: seed, src: src, rng: rand.New(src)}
 		m.ctxs[i] = Ctx{M: m, Core: m.cores[i]}
 	}
 	if defaultReference.Load() {

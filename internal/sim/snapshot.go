@@ -1,0 +1,324 @@
+// Machine snapshot/fork: deep-copy all mutable simulation state at a task
+// boundary so a warmed-up run can be checkpointed once and forked into many
+// measured phases without re-simulating the warmup.
+//
+// Wheel events hold closures over live workload objects, so a Snapshot is
+// bound to the Machine it was taken from: Restore rewinds that machine (and
+// every registered Snapshotter) to the checkpointed instant. The snapshot
+// itself is immutable — Restore copies out of it — so one checkpoint can seed
+// any number of sequential forks, and fork-level parallelism comes from
+// running distinct machines (one per warmup group) concurrently.
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+
+	"dprof/internal/cache"
+	"dprof/internal/sym"
+)
+
+// countedSource wraps the math/rand source so the number of values drawn is
+// observable. rand.NewSource's concrete type implements Source64, and so does
+// the wrapper, so rand.Rand consumes it through the exact same Uint64 path as
+// before — the streams (and every golden profile) are unchanged. A core's RNG
+// state is then fully described by (seed, draws): restore re-seeds and
+// replays that many draws. Int63 and Uint64 each cost exactly one underlying
+// Uint64 step, so replaying via Uint64 reproduces the state regardless of
+// which method made the original draws. (rand.Rand.Read buffers half-drawn
+// values internally and would break this accounting; simulation code never
+// uses it.)
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// rewind re-seeds the underlying source and replays draws steps, leaving the
+// stream exactly where it was when a snapshot recorded (seed, draws). The
+// wrapper pointer is what the core's rand.Rand holds, so swapping the inner
+// source rewinds the live RNG in place.
+func (s *countedSource) rewind(seed int64, draws uint64) {
+	s.src = rand.NewSource(seed).(rand.Source64)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+}
+
+// Snapshotter is implemented by components attached to a machine (profiler,
+// allocator, kernel, lock registry, workloads) whose mutable state must
+// travel with Machine.Snapshot/Restore. SnapshotState returns an immutable
+// deep copy of the component's state; RestoreState rewinds the component to
+// a state previously returned by its own SnapshotState.
+type Snapshotter interface {
+	SnapshotState() any
+	RestoreState(state any)
+}
+
+// AddSnapshotter registers a component for inclusion in Snapshot/Restore.
+// Registration order is capture/restore order.
+func (m *Machine) AddSnapshotter(s Snapshotter) {
+	m.snapshotters = append(m.snapshotters, s)
+}
+
+// coreState is one core's snapshot.
+type coreState struct {
+	now     uint64
+	stack   []sym.PC
+	idle    uint64
+	retired uint64
+	hookArm uint64
+	seed    int64
+	draws   uint64
+}
+
+// wheelState is the event wheel's snapshot. The reference flag is runtime
+// mode, not simulated state, and is not captured.
+type wheelState struct {
+	events  eventHeap
+	seq     uint64
+	now     uint64
+	next    event
+	hasNext bool
+	winLen  uint64
+	winNext uint64
+	winFn   func(boundary uint64)
+}
+
+// Snapshot is a deep copy of a machine's mutable state at a task boundary.
+// It is bound to the machine it was taken from (wheel events close over live
+// workload objects) and immutable once taken.
+type Snapshot struct {
+	wheel    wheelState
+	cores    []coreState
+	overhead map[string]uint64
+	ranges   []WatchRange
+
+	// Hook registrations at snapshot time; Restore truncates back to these
+	// counts so hooks attached afterwards do not leak into a fork.
+	nAccess  int
+	nWork    int
+	alwaysOn int
+
+	hier  *cache.Checkpoint
+	blobs []any // one per registered Snapshotter, in registration order
+
+	bytes uint64
+}
+
+// Snapshot captures the machine: the event wheel (bypass slot and window-tick
+// state included), every core's clock/stack/RNG position, hook arming, the
+// profiling-overhead tally, the full cache hierarchy, and every registered
+// Snapshotter's state. It must be taken at a task boundary (between Run
+// calls, or from a window-boundary callback), never from inside a running
+// task.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		wheel: wheelState{
+			events:  append(eventHeap(nil), m.wheel.events...),
+			seq:     m.wheel.seq,
+			now:     m.wheel.now,
+			next:    m.wheel.next,
+			hasNext: m.wheel.hasNext,
+			winLen:  m.wheel.winLen,
+			winNext: m.wheel.winNext,
+			winFn:   m.wheel.winFn,
+		},
+		cores:    make([]coreState, len(m.cores)),
+		overhead: make(map[string]uint64, len(m.Overhead)),
+		ranges:   append([]WatchRange(nil), m.ranges...),
+		nAccess:  len(m.accessHooks),
+		nWork:    len(m.workHooks),
+		alwaysOn: m.alwaysOn,
+		hier:     m.Hier.Checkpoint(),
+	}
+	for i, c := range m.cores {
+		s.cores[i] = coreState{
+			now:     c.now,
+			stack:   append([]sym.PC(nil), c.stack...),
+			idle:    c.idle,
+			retired: c.retired,
+			hookArm: c.hookArm,
+			seed:    c.seed,
+			draws:   c.src.draws,
+		}
+	}
+	for k, v := range m.Overhead {
+		s.overhead[k] = v
+	}
+	for _, sn := range m.snapshotters {
+		s.blobs = append(s.blobs, sn.SnapshotState())
+	}
+	s.bytes = s.estimateBytes()
+	return s
+}
+
+// Restore rewinds the machine (and every Snapshotter registered at snapshot
+// time) to the snapshotted instant. It copies out of the immutable snapshot,
+// so the same snapshot restores any number of times. Per-core arm times are
+// restored verbatim rather than recomputed — Rearm would consult the hooks'
+// current arming state, which the Snapshotter restores only afterwards; the
+// captured values are by construction what a cold run had at this instant.
+// The reference/fast-path mode is runtime state and keeps its current value.
+func (m *Machine) Restore(s *Snapshot) {
+	m.wheel.events = append(m.wheel.events[:0], s.wheel.events...)
+	m.wheel.seq = s.wheel.seq
+	m.wheel.now = s.wheel.now
+	m.wheel.next = s.wheel.next
+	m.wheel.hasNext = s.wheel.hasNext
+	m.wheel.winLen = s.wheel.winLen
+	m.wheel.winNext = s.wheel.winNext
+	m.wheel.winFn = s.wheel.winFn
+	if m.wheel.reference && m.wheel.hasNext {
+		// Reference mode keeps everything in the heap; drain the restored
+		// bypass slot so the invariant holds in either mode.
+		m.wheel.events.push(m.wheel.next)
+		m.wheel.next = event{}
+		m.wheel.hasNext = false
+	}
+	for i, cs := range s.cores {
+		c := m.cores[i]
+		c.now = cs.now
+		c.stack = append(c.stack[:0], cs.stack...)
+		c.idle = cs.idle
+		c.retired = cs.retired
+		c.hookArm = cs.hookArm
+		c.inHook = false
+		c.seed = cs.seed
+		c.src.rewind(cs.seed, cs.draws)
+	}
+	for k := range m.Overhead {
+		delete(m.Overhead, k)
+	}
+	for k, v := range s.overhead {
+		m.Overhead[k] = v
+	}
+	m.ranges = append(m.ranges[:0], s.ranges...)
+	m.accessHooks = m.accessHooks[:s.nAccess]
+	m.armers = m.armers[:s.nAccess]
+	m.workHooks = m.workHooks[:s.nWork]
+	m.alwaysOn = s.alwaysOn
+	m.Hier.Restore(s.hier)
+	for i, sn := range m.snapshotters {
+		if i < len(s.blobs) {
+			sn.RestoreState(s.blobs[i])
+		}
+	}
+}
+
+// Reseed swaps every core onto a fresh RNG stream derived from base (the same
+// seed+core+1 derivation New uses), so a restored fork can diverge from its
+// siblings deterministically. Call it after Restore, before resuming the run.
+func (m *Machine) Reseed(base int64) {
+	for i, c := range m.cores {
+		c.seed = base + int64(i) + 1
+		c.src.rewind(c.seed, 0)
+	}
+}
+
+// Bytes returns an estimate of the snapshot's resident size (computed once at
+// capture), for checkpoint-pool budgeting. The cache hierarchy's way arrays
+// dominate; Snapshotter blobs are sized by a reflective walk over their
+// maps, slices, and structs.
+func (s *Snapshot) Bytes() uint64 { return s.bytes }
+
+func (s *Snapshot) estimateBytes() uint64 {
+	n := uint64(len(s.wheel.events))*40 + 128
+	for _, c := range s.cores {
+		n += 64 + uint64(len(c.stack))*8
+	}
+	n += uint64(len(s.overhead))*48 + uint64(len(s.ranges))*16
+	n += s.hier.Bytes()
+	seen := map[uintptr]bool{}
+	for _, b := range s.blobs {
+		n += approxSize(reflect.ValueOf(b), seen, 0)
+	}
+	return n
+}
+
+// approxSize walks a snapshot blob and sums the memory its maps, slices,
+// strings, and structs pin. It is an estimate for budgeting, not an exact
+// accounting: shared pointers are counted once, funcs/chans count as a word,
+// and recursion is depth-limited defensively.
+func approxSize(v reflect.Value, seen map[uintptr]bool, depth int) uint64 {
+	if !v.IsValid() || depth > 32 {
+		return 0
+	}
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() || seen[v.Pointer()] {
+			return 8
+		}
+		seen[v.Pointer()] = true
+		return 8 + approxSize(v.Elem(), seen, depth+1)
+	case reflect.Interface:
+		if v.IsNil() {
+			return 16
+		}
+		return 16 + approxSize(v.Elem(), seen, depth+1)
+	case reflect.Slice:
+		if v.IsNil() {
+			return 24
+		}
+		if v.Pointer() != 0 && seen[v.Pointer()] {
+			return 24
+		}
+		if v.Pointer() != 0 {
+			seen[v.Pointer()] = true
+		}
+		n := uint64(24)
+		if v.Len() > 0 {
+			per := approxSize(v.Index(0), seen, depth+1)
+			n += per
+			if v.Len() > 1 {
+				// Assume homogeneous element footprint beyond the first.
+				n += uint64(v.Len()-1) * per
+			}
+		}
+		return n
+	case reflect.Map:
+		n := uint64(48)
+		iter := v.MapRange()
+		for iter.Next() {
+			n += approxSize(iter.Key(), seen, depth+1)
+			n += approxSize(iter.Value(), seen, depth+1)
+			n += 16 // bucket overhead
+		}
+		return n
+	case reflect.Struct:
+		n := uint64(0)
+		for i := 0; i < v.NumField(); i++ {
+			n += approxSize(v.Field(i), seen, depth+1)
+		}
+		return n
+	case reflect.String:
+		return 16 + uint64(v.Len())
+	case reflect.Array:
+		n := uint64(0)
+		for i := 0; i < v.Len(); i++ {
+			n += approxSize(v.Index(i), seen, depth+1)
+		}
+		return n
+	default:
+		return uint64(v.Type().Size())
+	}
+}

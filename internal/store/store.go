@@ -38,8 +38,9 @@ type Store struct {
 	dir string
 
 	// maxBytes bounds the resident file bytes (0 = unbounded). When a Put
-	// pushes the store past the budget, a sweep deletes the oldest objects
-	// (by file mtime) until the store fits again. Deleting is always safe:
+	// pushes the store past the budget, a sweep deletes the least recently
+	// accessed objects (Get refreshes a hit file's mtime, so mtime order is
+	// access order) until the store fits again. Deleting is always safe:
 	// entries are immutable and re-derivable, so a swept profile simply
 	// re-simulates on its next miss.
 	maxBytes int64
@@ -140,8 +141,9 @@ func (s *Store) SetMaxBytes(n int64) {
 	s.maybeSweep("")
 }
 
-// maybeSweep deletes the oldest objects (by file mtime, path as the tie
-// break) until the store fits its byte budget again. keep, when non-empty,
+// maybeSweep deletes the least recently accessed objects (by file mtime,
+// which Get refreshes on every hit; path as the tie break) until the store
+// fits its byte budget again. keep, when non-empty,
 // is the object the caller just linked into place: the newest entry is
 // never the right eviction choice, and protecting it keeps a single
 // over-budget object from thrashing write/sweep/write.
@@ -211,6 +213,12 @@ func (s *Store) path(address string) string {
 // validation — short, torn, flipped bits, or written under the wrong
 // name — is deleted so the next Put can repair the entry, and reported
 // as a miss; the caller falls back to recomputing.
+//
+// A hit bumps the file's mtime, so the sweep's oldest-mtime order is
+// true access order: a profile that is still being served survives
+// budget pressure, and eviction lands on objects nothing has read.
+// The bump is best-effort — a racing sweep can delete the file first,
+// and serving the bytes we already read is still correct.
 func (s *Store) Get(address string) ([]byte, bool) {
 	p := s.path(address)
 	raw, err := os.ReadFile(p)
@@ -228,6 +236,8 @@ func (s *Store) Get(address string) ([]byte, bool) {
 		}
 		return nil, false
 	}
+	now := time.Now()
+	os.Chtimes(p, now, now)
 	s.hits.Add(1)
 	s.bytesOut.Add(int64(len(body)))
 	return body, true

@@ -305,6 +305,49 @@ func TestSweepOldestFirst(t *testing.T) {
 	}
 }
 
+// TestGetRefreshesSweepOrder: a Get bumps the hit file's mtime, so the
+// sweep evicts by access order, not write order — an old object that is
+// still being read outlives a younger one nothing has touched.
+func TestGetRefreshesSweepOrder(t *testing.T) {
+	s := open(t, t.TempDir())
+	body := bytes.Repeat([]byte("x"), 1024)
+	addrs := []string{"hot-but-old", "cold-middle", "cold-new"}
+	for i, addr := range addrs {
+		if err := s.Put(addr, body); err != nil {
+			t.Fatal(err)
+		}
+		// Backdate each file, oldest first, so write order is unambiguous.
+		when := time.Now().Add(time.Duration(i-len(addrs)) * time.Hour)
+		if err := os.Chtimes(s.path(addr), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reading the oldest object moves it to the back of the eviction queue.
+	if _, ok := s.Get("hot-but-old"); !ok {
+		t.Fatal("Get on a resident object missed")
+	}
+	// Budget for exactly the survivor (header lengths vary with the
+	// address, so size it from its own file): the sweep must take both
+	// cold entries — in pure write order, "hot-but-old" would have been
+	// the first victim.
+	info, err := os.Stat(s.path("hot-but-old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMaxBytes(info.Size())
+	if got, ok := s.Get("hot-but-old"); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("recently read object swept: %q, %v", got, ok)
+	}
+	for _, addr := range []string{"cold-middle", "cold-new"} {
+		if _, err := os.Stat(s.path(addr)); !os.IsNotExist(err) {
+			t.Errorf("cold object %q survived while budget held one object", addr)
+		}
+	}
+	if st := s.Stats(); st.Entries != 1 || st.SweptObjects != 2 {
+		t.Errorf("stats after access-order sweep: %+v", st)
+	}
+}
+
 // TestSweepOnPutProtectsTheNewWrite: a Put that lands over budget sweeps
 // older objects, never the object it just linked — otherwise one large
 // write would thrash write/sweep/write forever.
